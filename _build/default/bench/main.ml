@@ -1,0 +1,162 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Bechamel micro-benchmarks for each pipeline stage (generation, front
+      end, compilation, execution, mutation, diversity scoring) — one
+      Test.make per stage, all in one executable.
+   2. The experiment harness: runs the four campaigns at the paper's
+      budget and regenerates every table and figure of the evaluation
+      (Tables 1–6 and Figure 3), printing the same rows the paper
+      reports. EXPERIMENTS.md records paper-vs-measured values.
+
+   Environment knobs:
+     LLM4FP_BUDGET    programs per approach        (default 1000)
+     LLM4FP_SEED      base seed                    (default 20250704)
+     LLM4FP_MAXPAIRS  CodeBLEU pair sample bound   (default 50000)
+     LLM4FP_SKIP_MICRO=1   skip the bechamel half
+     LLM4FP_SKIP_TABLES=1  skip the campaign half
+     LLM4FP_SKIP_ABLATION=1  skip the mechanism-ablation study
+     LLM4FP_ABLATION_BUDGET  corpus size for ablation/FP32 (default 300)
+     LLM4FP_SKIP_FP32=1    skip the FP32-vs-FP64 extension *)
+
+open Bechamel
+open Toolkit
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let env_flag name = Sys.getenv_opt name = Some "1"
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks: one per pipeline stage. *)
+
+let varity_program = Gen.Varity.generate (Util.Rng.of_int 11)
+
+let llm_source =
+  let client = Llm.Client.create ~seed:11 () in
+  (Llm.Client.generate client (Llm.Prompt.Grammar { precision = Lang.Ast.F64 }))
+    .Llm.Client.source
+
+let llm_program = Cparse.Parse.program_exn llm_source
+
+let llm_inputs =
+  Gen.Generate.gen_inputs (Util.Rng.of_int 12) Llm.Client.generation_config
+    llm_program
+
+let gcc_o3fm =
+  Compiler.Config.make Compiler.Personality.Gcc Compiler.Optlevel.O3_fastmath
+
+let compiled_binary =
+  match Compiler.Driver.compile gcc_o3fm llm_program with
+  | Ok bin -> bin
+  | Error m -> failwith m
+
+let codebleu_summary_a = Diversity.Codebleu.summarize llm_program
+let codebleu_summary_b = Diversity.Codebleu.summarize varity_program
+
+let micro_tests =
+  [
+    Test.make ~name:"generate/varity"
+      (Staged.stage (fun () -> Gen.Varity.generate (Util.Rng.of_int 42)));
+    Test.make ~name:"generate/mock-llm"
+      (let client = Llm.Client.create ~seed:42 () in
+       Staged.stage (fun () ->
+           Llm.Client.generate client
+             (Llm.Prompt.Grammar { precision = Lang.Ast.F64 })));
+    Test.make ~name:"frontend/parse"
+      (Staged.stage (fun () -> Cparse.Parse.program_exn llm_source));
+    Test.make ~name:"frontend/validate"
+      (Staged.stage (fun () -> Analysis.Validate.check llm_program));
+    Test.make ~name:"compile/gcc-O3-fastmath"
+      (Staged.stage (fun () -> Compiler.Driver.compile gcc_o3fm llm_program));
+    Test.make ~name:"execute/one-binary"
+      (Staged.stage (fun () -> Compiler.Driver.run compiled_binary llm_inputs));
+    Test.make ~name:"difftest/full-matrix"
+      (Staged.stage (fun () -> Difftest.Run.test llm_program llm_inputs));
+    Test.make ~name:"mutate/one-strategy"
+      (let rng = Util.Rng.of_int 43 in
+       Staged.stage (fun () ->
+           Llm.Mutate.apply rng Llm.Mutate.Insert_intermediates llm_program));
+    Test.make ~name:"diversity/codebleu-pair"
+      (Staged.stage (fun () ->
+           Diversity.Codebleu.symmetric codebleu_summary_a codebleu_summary_b));
+    Test.make ~name:"diversity/clone-keys"
+      (Staged.stage (fun () -> Diversity.Clones.type2_key llm_program));
+  ]
+
+let run_micro () =
+  print_endline "== micro-benchmarks (bechamel, monotonic clock) ==";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instance = Instance.monotonic_clock in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] test in
+        let name = Test.Elt.name (List.hd (Test.elements test)) in
+        let analyzed = Analyze.all ols instance results in
+        let estimate =
+          Hashtbl.fold
+            (fun _ result acc ->
+              match Analyze.OLS.estimates result with
+              | Some [ t ] -> t
+              | _ -> acc)
+            analyzed 0.0
+        in
+        (name, estimate))
+      micro_tests
+  in
+  print_string
+    (Report.Table.render ~header:[ "stage"; "time per call" ]
+       (List.map
+          (fun (name, ns) ->
+            let rendered =
+              if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+              else Printf.sprintf "%.0f ns" ns
+            in
+            [ name; rendered ])
+          rows));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Table/figure regeneration. *)
+
+let run_tables () =
+  let budget = env_int "LLM4FP_BUDGET" 1000 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  let max_pairs = env_int "LLM4FP_MAXPAIRS" 50_000 in
+  Printf.printf
+    "== experiment harness: regenerating every table and figure (budget \
+     %d per approach) ==\n\n"
+    budget;
+  let t0 = Unix.gettimeofday () in
+  let suite = Harness.Experiments.run_suite ~budget ~seed () in
+  List.iter
+    (fun (name, text) -> Printf.printf "== %s ==\n%s\n" name text)
+    (Harness.Experiments.all_tables ~max_pairs suite);
+  Printf.printf "(real compute for all campaigns + tables: %.1fs)\n"
+    (Unix.gettimeofday () -. t0)
+
+let run_ablation () =
+  let budget = env_int "LLM4FP_ABLATION_BUDGET" 300 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  print_endline "== ablation (this reproduction's own study) ==";
+  print_string (Harness.Ablation.table ~budget ~seed ());
+  print_newline ()
+
+let run_fp32 () =
+  let budget = env_int "LLM4FP_ABLATION_BUDGET" 300 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  print_endline "== precision extension (FP32 vs FP64) ==";
+  print_string (Harness.Experiments.precision_comparison ~budget ~seed ());
+  print_newline ()
+
+let () =
+  if not (env_flag "LLM4FP_SKIP_MICRO") then run_micro ();
+  if not (env_flag "LLM4FP_SKIP_TABLES") then run_tables ();
+  if not (env_flag "LLM4FP_SKIP_ABLATION") then run_ablation ();
+  if not (env_flag "LLM4FP_SKIP_FP32") then run_fp32 ()

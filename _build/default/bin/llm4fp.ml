@@ -1,0 +1,256 @@
+(* llm4fp — command-line front end for the LLM4FP reproduction.
+
+   Subcommands:
+     generate   print candidate programs from any approach's generator
+     matrix     compile & run one program under all 18 configurations
+     campaign   run a full campaign for one approach and print statistics
+     tables     run all four campaigns and print every paper table/figure
+     corpus     list or show the mock LLM's kernel corpus *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 20250704 & info [ "s"; "seed" ] ~docv:"SEED"
+         ~doc:"Base random seed (campaigns are deterministic in it).")
+
+let budget_arg =
+  Arg.(value & opt int 1000 & info [ "b"; "budget" ] ~docv:"N"
+         ~doc:"Number of generated programs per approach (paper: 1000).")
+
+let approach_arg =
+  let parse s =
+    match Harness.Approach.of_name s with
+    | Some a -> Ok a
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown approach %S (try varity, \
+                                   direct-prompt, grammar-guided, llm4fp)" s))
+  in
+  let print fmt a = Format.pp_print_string fmt (Harness.Approach.name a) in
+  Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_generate =
+  let count =
+    Arg.(value & opt int 1 & info [ "n" ] ~docv:"COUNT" ~doc:"How many programs.")
+  in
+  let approach =
+    Arg.(value & opt approach_arg Harness.Approach.Llm4fp
+         & info [ "a"; "approach" ] ~docv:"APPROACH"
+             ~doc:"varity | direct-prompt | grammar-guided | llm4fp")
+  in
+  let run seed count approach =
+    let rng = Util.Rng.of_int seed in
+    let client = Llm.Client.create ~seed () in
+    for k = 1 to count do
+      let source =
+        match approach with
+        | Harness.Approach.Varity -> Lang.Pp.to_c (Gen.Varity.generate rng)
+        | Harness.Approach.Direct_prompt ->
+          (Llm.Client.generate client (Llm.Prompt.Direct { precision = Lang.Ast.F64 }))
+            .Llm.Client.source
+        | Harness.Approach.Grammar_guided | Harness.Approach.Llm4fp ->
+          (Llm.Client.generate client (Llm.Prompt.Grammar { precision = Lang.Ast.F64 }))
+            .Llm.Client.source
+      in
+      if count > 1 then Printf.printf "/* --- program %d --- */\n" k;
+      print_string source
+    done
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Print generated candidate programs")
+    Term.(const run $ seed_arg $ count $ approach)
+
+let cmd_matrix =
+  let file =
+    Arg.(value & opt (some file) None
+         & info [ "f"; "file" ] ~docv:"FILE"
+             ~doc:"C source of a compute function (default: a fresh \
+                   LLM4FP-style program).")
+  in
+  let run seed file =
+    let source =
+      match file with
+      | Some path ->
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      | None ->
+        let client = Llm.Client.create ~seed () in
+        (Llm.Client.generate client (Llm.Prompt.Grammar { precision = Lang.Ast.F64 }))
+          .Llm.Client.source
+    in
+    match Cparse.Parse.program source with
+    | Error msg -> prerr_endline ("parse error: " ^ msg); exit 1
+    | Ok program ->
+      (match Analysis.Validate.check program with
+       | Error issues ->
+         prerr_endline "invalid program:";
+         List.iter
+           (fun i -> prerr_endline ("  " ^ Analysis.Validate.issue_to_string i))
+           issues;
+         exit 1
+       | Ok () -> ());
+      let rng = Util.Rng.of_int (seed lxor 0xF00D) in
+      let inputs =
+        Gen.Generate.gen_inputs rng Llm.Client.generation_config program
+      in
+      print_string (Lang.Pp.to_c program);
+      Format.printf "@.inputs: %a@.@." Irsim.Inputs.pp inputs;
+      let result = Difftest.Run.test program inputs in
+      let rows =
+        List.map
+          (fun (o : Difftest.Run.output) ->
+            [ Compiler.Config.name o.Difftest.Run.config;
+              o.Difftest.Run.hex;
+              Printf.sprintf "%.17g" o.Difftest.Run.value ])
+          result.Difftest.Run.outputs
+      in
+      print_string
+        (Report.Table.render ~header:[ "configuration"; "hex"; "value" ]
+           ~align:[ Report.Table.Left; Report.Table.Left; Report.Table.Right ]
+           rows);
+      Printf.printf "\ncross-compiler inconsistencies: %d of %d comparisons\n"
+        (Difftest.Run.cross_inconsistencies result)
+        (List.length result.Difftest.Run.cross)
+  in
+  Cmd.v (Cmd.info "matrix" ~doc:"Run one program under every configuration")
+    Term.(const run $ seed_arg $ file)
+
+let cmd_campaign =
+  let approach =
+    Arg.(required & pos 0 (some approach_arg) None
+         & info [] ~docv:"APPROACH" ~doc:"Which approach to run.")
+  in
+  let fp32 =
+    Arg.(value & flag
+         & info [ "fp32" ] ~doc:"Generate and test single-precision programs.")
+  in
+  let run seed budget approach fp32 =
+    let precision = if fp32 then Lang.Ast.F32 else Lang.Ast.F64 in
+    let o = Harness.Campaign.run ~budget ~precision ~seed approach in
+    let stats = o.Harness.Campaign.stats in
+    Printf.printf "%s: budget %d, seed %d\n" (Harness.Approach.name approach)
+      budget seed;
+    Printf.printf "  inconsistency rate : %s\n"
+      (Report.Table.pct (Difftest.Stats.inconsistency_rate stats));
+    Printf.printf "  inconsistencies    : %s of %s comparisons\n"
+      (Report.Table.commas (Difftest.Stats.total_inconsistencies stats))
+      (Report.Table.commas (Difftest.Stats.total_comparisons stats));
+    Printf.printf "  valid programs     : %d (%d generation failures)\n"
+      (List.length o.Harness.Campaign.programs)
+      o.Harness.Campaign.generation_failures;
+    Printf.printf "  feedback set       : %d\n" o.Harness.Campaign.successful;
+    Printf.printf "  simulated time     : %s (llm %s)\n"
+      (Util.Sim_clock.hms o.Harness.Campaign.sim_seconds)
+      (Util.Sim_clock.hms o.Harness.Campaign.llm_seconds);
+    Printf.printf "  real compute       : %.2fs\n" o.Harness.Campaign.real_seconds
+  in
+  Cmd.v (Cmd.info "campaign" ~doc:"Run one approach's full campaign")
+    Term.(const run $ seed_arg $ budget_arg $ approach $ fp32)
+
+let cmd_tables =
+  let only =
+    Arg.(value & opt (some string) None
+         & info [ "t"; "table" ] ~docv:"NAME"
+             ~doc:"Print only this section (summary, table1, table2, table3, \
+                   figure3, table4, table5, table6).")
+  in
+  let max_pairs =
+    Arg.(value & opt int 50_000 & info [ "max-pairs" ] ~docv:"N"
+           ~doc:"CodeBLEU pair-sample bound per approach.")
+  in
+  let run seed budget only max_pairs =
+    let suite = Harness.Experiments.run_suite ~budget ~seed () in
+    let tables = Harness.Experiments.all_tables ~max_pairs suite in
+    match only with
+    | None ->
+      List.iter (fun (name, text) -> Printf.printf "== %s ==\n%s\n" name text) tables
+    | Some name -> begin
+      match List.assoc_opt name tables with
+      | Some text -> print_string text
+      | None ->
+        prerr_endline ("unknown section " ^ name);
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Run all four campaigns and print every paper table and figure")
+    Term.(const run $ seed_arg $ budget_arg $ only $ max_pairs)
+
+let cmd_corpus =
+  let kernel_name =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"NAME" ~doc:"Kernel to print (omit to list).")
+  in
+  let run name =
+    match name with
+    | None ->
+      Array.iter
+        (fun (e : Llm.Corpus.entry) ->
+          Printf.printf "%-28s %s\n" e.Llm.Corpus.name
+            (if e.Llm.Corpus.common then "common" else ""))
+        Llm.Corpus.entries
+    | Some name -> begin
+      match
+        Array.find_opt
+          (fun (e : Llm.Corpus.entry) -> e.Llm.Corpus.name = name)
+          Llm.Corpus.entries
+      with
+      | Some e -> print_string (String.trim e.Llm.Corpus.source ^ "\n")
+      | None ->
+        prerr_endline ("no such kernel: " ^ name);
+        exit 1
+    end
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"List or print the mock LLM's kernel corpus")
+    Term.(const run $ kernel_name)
+
+let cmd_ablation =
+  let run seed budget = print_string (Harness.Ablation.table ~budget ~seed ()) in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"Replay one LLM4FP corpus under ablated compiler models")
+    Term.(const run $ seed_arg
+          $ Arg.(value & opt int 300
+                 & info [ "b"; "budget" ] ~docv:"N" ~doc:"Corpus size."))
+
+let cmd_fp32 =
+  let run seed budget =
+    print_string (Harness.Experiments.precision_comparison ~budget ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "precision"
+       ~doc:"Compare FP64 and FP32 campaigns (Varity and LLM4FP)")
+    Term.(const run $ seed_arg
+          $ Arg.(value & opt int 300
+                 & info [ "b"; "budget" ] ~docv:"N" ~doc:"Budget per campaign."))
+
+let cmd_stability =
+  let seeds =
+    Arg.(value & opt (list int) [ 11; 22; 33 ]
+         & info [ "seeds" ] ~docv:"S1,S2,..." ~doc:"Seeds to compare.")
+  in
+  let run budget seeds =
+    print_string (Harness.Experiments.seed_stability ~budget ~seeds ())
+  in
+  Cmd.v
+    (Cmd.info "stability"
+       ~doc:"Inconsistency rates across several independent seeds")
+    Term.(const run
+          $ Arg.(value & opt int 200
+                 & info [ "b"; "budget" ] ~docv:"N" ~doc:"Budget per campaign.")
+          $ seeds)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "llm4fp" ~version:"1.0.0"
+             ~doc:"LLM-guided floating-point differential compiler testing \
+                   (SC'25 reproduction)")
+          [ cmd_generate; cmd_matrix; cmd_campaign; cmd_tables; cmd_corpus;
+            cmd_ablation; cmd_fp32; cmd_stability ]))

@@ -1,0 +1,1 @@
+examples/diversity_report.ml: Array Diversity Harness Lang List Printf Report Sys

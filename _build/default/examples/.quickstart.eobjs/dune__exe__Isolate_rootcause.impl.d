@@ -1,0 +1,1 @@
+examples/isolate_rootcause.ml: Analysis Compiler Cparse Gen Isolate Lang Llm Printf Util

@@ -1,0 +1,1 @@
+examples/isolate_rootcause.mli:

@@ -1,0 +1,1 @@
+examples/mutation_explore.ml: Array Compiler Gen Irsim Lang List Llm Printf Util

@@ -1,0 +1,1 @@
+examples/optlevel_sweep.ml: Array Compiler Difftest Harness Printf Report Sys Util

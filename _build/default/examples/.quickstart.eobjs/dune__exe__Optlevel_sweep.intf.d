@@ -1,0 +1,1 @@
+examples/optlevel_sweep.mli:

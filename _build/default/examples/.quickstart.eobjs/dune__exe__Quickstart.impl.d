@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Compiler Cparse Difftest Format Fp Gen Irsim Lang List Llm Printf String Util

@@ -1,0 +1,1 @@
+examples/triage_inconsistency.ml: Analysis Array Compiler Cparse Difftest Format Fp Gen Irsim Lang List Llm Option Printf Util

@@ -1,0 +1,47 @@
+(* Diversity: CodeBLEU and clone analysis across the four approaches on a
+   small budget — Table 3 in miniature, plus per-approach structural
+   feature summaries that explain *why* the scores differ.
+
+   Run with: dune exec examples/diversity_report.exe [-- budget] *)
+
+let () =
+  let budget =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 120
+  in
+  Printf.printf "diversity across approaches (budget %d per approach)\n\n" budget;
+  let rows =
+    Array.to_list Harness.Approach.all
+    |> List.map (fun approach ->
+           let outcome = Harness.Campaign.run ~budget ~seed:161803 approach in
+           let programs = outcome.Harness.Campaign.programs in
+           let codebleu =
+             Diversity.Codebleu.corpus_mean ~max_pairs:5000 ~seed:1 programs
+           in
+           let clones = Diversity.Clones.analyze programs in
+           let mean_calls =
+             List.fold_left (fun acc p -> acc + Lang.Ast.call_count p) 0 programs
+             |> fun total -> float_of_int total /. float_of_int (List.length programs)
+           in
+           let mean_loops =
+             List.fold_left (fun acc p -> acc + Lang.Ast.loop_count p) 0 programs
+             |> fun total -> float_of_int total /. float_of_int (List.length programs)
+           in
+           [ Harness.Approach.name approach;
+             Printf.sprintf "%.4f" codebleu;
+             string_of_int clones.Diversity.Clones.type1;
+             string_of_int clones.Diversity.Clones.type2;
+             string_of_int clones.Diversity.Clones.type2c;
+             Printf.sprintf "%.2f%%" (Diversity.Clones.percentage clones);
+             Printf.sprintf "%.1f" mean_calls;
+             Printf.sprintf "%.1f" mean_loops ])
+  in
+  print_string
+    (Report.Table.render
+       ~header:
+         [ "approach"; "CodeBLEU"; "T1"; "T2"; "T2c"; "clone%"; "calls/prog";
+           "loops/prog" ]
+       rows);
+  print_newline ();
+  print_endline
+    "lower CodeBLEU = more diverse. Clones: Type-1 identical, Type-2c \
+     consistent renaming, Type-2 blind identifier/literal substitution."

@@ -1,0 +1,45 @@
+(* Mutation explorer: the paper's five Feedback-Based Mutation strategies
+   applied, one at a time, to a seed kernel — with before/after source and
+   the numerical consequence under one compiler configuration.
+
+   Run with: dune exec examples/mutation_explore.exe *)
+
+let () =
+  let seed_entry =
+    Array.to_list Llm.Corpus.entries
+    |> List.find (fun (e : Llm.Corpus.entry) -> e.Llm.Corpus.name = "axpy_accumulate")
+  in
+  let seed = Llm.Corpus.program seed_entry in
+  Printf.printf "--- seed kernel (%s) ---\n%s\n\n" seed_entry.Llm.Corpus.name
+    (Lang.Pp.compute_to_string seed);
+  let rng = Util.Rng.of_int 5050 in
+  let inputs = Gen.Generate.gen_inputs rng Llm.Client.generation_config seed in
+  let gcc_o2 = Compiler.Config.make Compiler.Personality.Gcc Compiler.Optlevel.O2 in
+  let value p =
+    match Compiler.Driver.compile gcc_o2 p with
+    | Ok bin -> Compiler.Driver.run_hex bin inputs
+    | Error m -> "compile error: " ^ m
+  in
+  Printf.printf "seed result under %s: %s\n\n" (Compiler.Config.name gcc_o2)
+    (value seed);
+  Array.iter
+    (fun strategy ->
+      let mutated, changed = Llm.Mutate.apply rng strategy seed in
+      Printf.printf "=== %s %s===\n" (Llm.Mutate.name strategy)
+        (if changed then "" else "(no applicable site) ");
+      if changed then begin
+        print_string (Lang.Pp.compute_to_string mutated);
+        print_newline ();
+        let h = value mutated in
+        Printf.printf "result: %s %s\n"
+          h
+          (if Irsim.Inputs.matches mutated inputs && h = value seed then
+             "(numerically identical to seed)"
+           else "(behaviour changed)")
+      end;
+      print_newline ())
+    Llm.Mutate.all;
+  print_endline
+    "note: Insert_intermediates is the strategy that manufactures the \
+     split multiply-add shapes gcc contracts across statements but clang \
+     does not — run examples/triage_inconsistency.exe to see the effect."

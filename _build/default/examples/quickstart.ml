@@ -1,0 +1,54 @@
+(* Quickstart: the whole pipeline on one program.
+
+   1. Ask the mock LLM for a floating-point C program (grammar prompt).
+   2. Parse and validate it.
+   3. Compile it under every (compiler x optimization level) configuration.
+   4. Run all binaries on one input vector and compare the results bitwise.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let seed = 2025 in
+
+  (* 1. generation: the prompt is real text (shown truncated), the client
+     returns C source like an API would *)
+  let client = Llm.Client.create ~seed () in
+  let prompt = Llm.Prompt.Grammar { precision = Lang.Ast.F64 } in
+  let prompt_text = Llm.Prompt.render prompt in
+  Printf.printf "--- prompt (first lines) ---\n%s...\n\n"
+    (String.concat "\n"
+       (List.filteri (fun i _ -> i < 4) (Util.Text.lines prompt_text)));
+  let response = Llm.Client.generate client prompt in
+  Printf.printf "--- generated program (%d tokens, %.1fs simulated latency) ---\n%s\n"
+    response.Llm.Client.output_tokens response.Llm.Client.latency
+    response.Llm.Client.source;
+
+  (* 2. front end + validation *)
+  let program = Cparse.Parse.program_exn response.Llm.Client.source in
+  (match Analysis.Validate.check program with
+   | Ok () -> print_endline "validation: ok"
+   | Error issues ->
+     List.iter
+       (fun i -> print_endline (Analysis.Validate.issue_to_string i))
+       issues);
+
+  (* 3 + 4. differential testing across the full matrix *)
+  let rng = Util.Rng.of_int (seed + 1) in
+  let inputs = Gen.Generate.gen_inputs rng Llm.Client.generation_config program in
+  Format.printf "inputs: %a@.@." Irsim.Inputs.pp inputs;
+  let result = Difftest.Run.test program inputs in
+  List.iter
+    (fun (o : Difftest.Run.output) ->
+      Printf.printf "%-28s %s\n" (Compiler.Config.name o.config) o.hex)
+    result.Difftest.Run.outputs;
+  Printf.printf "\n%d of %d cross-compiler comparisons inconsistent\n"
+    (Difftest.Run.cross_inconsistencies result)
+    (List.length result.Difftest.Run.cross);
+  List.iter
+    (fun (pair, (c : Difftest.Run.comparison)) ->
+      if c.inconsistent then
+        Printf.printf "  %s @ %s: %s vs %s (%d digits, %s)\n"
+          (Compiler.Personality.pair_name pair)
+          (Compiler.Optlevel.name c.level) c.left.hex c.right.hex c.digits
+          (Fp.Bits.class_pair_name c.class_left c.class_right))
+    result.Difftest.Run.cross

@@ -1,0 +1,91 @@
+(* Triage: hunt for an inconsistency the way a tool user would, then dig
+   into one — which compilers, which levels, what kind of values, how many
+   digits, and what the optimized IR looks like on each side.
+
+   Run with: dune exec examples/triage_inconsistency.exe *)
+
+let () =
+  let rng = Util.Rng.of_int 777 in
+  let client = Llm.Client.create ~seed:777 () in
+
+  (* generate until a program triggers a host/device inconsistency at the
+     strictest level — the subtle kind the paper cares about *)
+  let rec hunt attempt =
+    if attempt > 200 then failwith "no inconsistency found in 200 programs";
+    let response =
+      Llm.Client.generate client (Llm.Prompt.Grammar { precision = Lang.Ast.F64 })
+    in
+    match Cparse.Parse.program response.Llm.Client.source with
+    | Error _ -> hunt (attempt + 1)
+    | Ok program when not (Analysis.Validate.is_valid program) -> hunt (attempt + 1)
+    | Ok program ->
+      let inputs =
+        Gen.Generate.gen_inputs rng Llm.Client.generation_config program
+      in
+      let result = Difftest.Run.test program inputs in
+      let strict_diff =
+        List.exists
+          (fun (_, (c : Difftest.Run.comparison)) ->
+            c.inconsistent && c.level = Compiler.Optlevel.O0_nofma)
+          result.Difftest.Run.cross
+      in
+      if strict_diff then (attempt, program, inputs, result)
+      else hunt (attempt + 1)
+  in
+  let attempt, program, inputs, result = hunt 1 in
+  Printf.printf "found after %d candidate(s):\n\n%s\n" attempt
+    (Lang.Pp.compute_to_string program);
+  Format.printf "@.inputs: %a@.@." Irsim.Inputs.pp inputs;
+
+  Printf.printf "%-16s" "level";
+  List.iter
+    (fun pair -> Printf.printf " %-14s" (Compiler.Personality.pair_name pair))
+    Compiler.Personality.pairs;
+  print_newline ();
+  Array.iter
+    (fun level ->
+      Printf.printf "%-16s" (Compiler.Optlevel.name level);
+      List.iter
+        (fun pair ->
+          let status =
+            List.find_map
+              (fun (p, (c : Difftest.Run.comparison)) ->
+                if p = pair && c.Difftest.Run.level = level then
+                  Some
+                    (if c.Difftest.Run.inconsistent then
+                       Printf.sprintf "DIFF(%dd)" c.Difftest.Run.digits
+                     else "same")
+                else None)
+              result.Difftest.Run.cross
+          in
+          Printf.printf " %-14s" (Option.value status ~default:"-"))
+        Compiler.Personality.pairs;
+      print_newline ())
+    Compiler.Optlevel.all;
+
+  (* dig into the strictest-level host/device divergence *)
+  print_newline ();
+  let interesting =
+    List.find
+      (fun (_, (c : Difftest.Run.comparison)) ->
+        c.Difftest.Run.inconsistent && c.Difftest.Run.level = Compiler.Optlevel.O0_nofma)
+      result.Difftest.Run.cross
+  in
+  let pair, c = interesting in
+  Printf.printf "focus: %s at %s\n"
+    (Compiler.Personality.pair_name pair)
+    (Compiler.Optlevel.name c.Difftest.Run.level);
+  Printf.printf "  left  (%s): %s = %.17g [%s]\n"
+    (Compiler.Config.name c.Difftest.Run.left.Difftest.Run.config)
+    c.Difftest.Run.left.Difftest.Run.hex c.Difftest.Run.left.Difftest.Run.value
+    (Fp.Bits.class_name c.Difftest.Run.class_left);
+  Printf.printf "  right (%s): %s = %.17g [%s]\n"
+    (Compiler.Config.name c.Difftest.Run.right.Difftest.Run.config)
+    c.Difftest.Run.right.Difftest.Run.hex c.Difftest.Run.right.Difftest.Run.value
+    (Fp.Bits.class_name c.Difftest.Run.class_right);
+  Printf.printf "  differing decimal digits: %d of 16\n" c.Difftest.Run.digits;
+  Printf.printf "  ulp distance: %Ld\n"
+    (try
+       Fp.Bits.ulp_distance c.Difftest.Run.left.Difftest.Run.value
+         c.Difftest.Run.right.Difftest.Run.value
+     with Invalid_argument _ -> -1L)

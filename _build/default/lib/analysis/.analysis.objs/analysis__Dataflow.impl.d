@@ -1,0 +1,1 @@
+lib/analysis/dataflow.ml: Ast Hashtbl Lang List Option

@@ -1,0 +1,1 @@
+lib/analysis/features.ml: Ast Float Format Hashtbl Lang List String

@@ -1,0 +1,1 @@
+lib/analysis/features.mli: Format Lang

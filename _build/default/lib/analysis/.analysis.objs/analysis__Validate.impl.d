@@ -1,0 +1,1 @@
+lib/analysis/validate.ml: Ast Lang List Printf Result

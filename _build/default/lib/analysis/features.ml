@@ -1,0 +1,192 @@
+open Lang
+
+type t = {
+  size : int;
+  depth : int;
+  add_count : int;
+  sub_count : int;
+  mul_count : int;
+  div_count : int;
+  call_count : int;
+  distinct_math_fns : string list;
+  loop_count : int;
+  if_count : int;
+  temp_count : int;
+  array_param_count : int;
+  scalar_param_count : int;
+  int_param_count : int;
+  literal_count : int;
+  literal_abs_max : float;
+  mul_add_patterns : int;
+  split_mul_add_patterns : int;
+  accumulation_loops : int;
+}
+
+let is_mul = function Ast.Bin (Ast.Mul, _, _) -> true | _ -> false
+
+(* Count syntactic multiply-add shapes: an addition or subtraction with a
+   multiplication as a direct operand. *)
+let rec mul_add_in_expr e =
+  match e with
+  | Ast.Lit _ | Ast.Int_lit _ | Ast.Var _ -> 0
+  | Ast.Index (_, e) | Ast.Neg e -> mul_add_in_expr e
+  | Ast.Call (_, args) ->
+    List.fold_left (fun acc e -> acc + mul_add_in_expr e) 0 args
+  | Ast.Bin (op, a, b) ->
+    let here =
+      match op with
+      | Ast.Add | Ast.Sub -> if is_mul a || is_mul b then 1 else 0
+      | Ast.Mul | Ast.Div -> 0
+    in
+    here + mul_add_in_expr a + mul_add_in_expr b
+
+(* A "split" multiply-add: `t = a * b;` followed (anywhere later in the
+   same block) by an additive use of `t`. This is the shape contracted by
+   the simulated gcc but not by clang. *)
+let split_mul_adds body =
+  let rec scan body =
+    let mul_temps = Hashtbl.create 8 in
+    let count = ref 0 in
+    let additive_use name e =
+      Ast.fold_expr
+        (fun acc e ->
+          match e with
+          | Ast.Bin ((Ast.Add | Ast.Sub), a, b) ->
+            let uses_temp x = x = Ast.Var name in
+            acc || uses_temp a || uses_temp b
+          | _ -> acc)
+        false e
+    in
+    List.iter
+      (fun s ->
+        match s with
+        | Ast.Decl { name; init } ->
+          Hashtbl.iter
+            (fun t () -> if additive_use t init then incr count)
+            mul_temps;
+          if is_mul init then Hashtbl.replace mul_temps name ()
+        | Ast.Assign { lhs; op; rhs } ->
+          Hashtbl.iter
+            (fun t () -> if additive_use t rhs then incr count)
+            mul_temps;
+          (match (lhs, op) with
+           | Ast.Lv_var name, Ast.Set when is_mul rhs ->
+             Hashtbl.replace mul_temps name ()
+           | Ast.Lv_var name, _ -> Hashtbl.remove mul_temps name
+           | Ast.Lv_index _, _ -> ())
+        | Ast.If { body; _ } -> count := !count + scan body
+        | Ast.For { body; _ } -> count := !count + scan body)
+      body;
+    !count
+  in
+  scan body
+
+let accumulation_loops body =
+  let rec loop_accumulates body =
+    List.exists
+      (fun s ->
+        match s with
+        | Ast.Assign { op = Ast.Add_eq | Ast.Sub_eq | Ast.Mul_eq | Ast.Div_eq; _ }
+          ->
+          true
+        | Ast.Assign { lhs = Ast.Lv_var n; op = Ast.Set; rhs; _ } ->
+          (* `x = x + ...` counts as accumulation too. *)
+          Ast.fold_expr
+            (fun acc e -> acc || e = Ast.Var n)
+            false rhs
+        | Ast.If { body; _ } -> loop_accumulates body
+        | Ast.For _ | Ast.Decl _ | Ast.Assign _ -> false)
+      body
+  in
+  let rec scan body =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Ast.For { body; _ } ->
+          acc + (if loop_accumulates body then 1 else 0) + scan body
+        | Ast.If { body; _ } -> acc + scan body
+        | Ast.Decl _ | Ast.Assign _ -> acc)
+      0 body
+  in
+  scan body
+
+let of_program (p : Ast.program) =
+  let count_op op =
+    Ast.fold_stmts
+      (fun acc _ -> acc)
+      (fun acc e -> match e with Ast.Bin (o, _, _) when o = op -> acc + 1 | _ -> acc)
+      0 p.body
+  in
+  let fns =
+    Ast.fold_stmts
+      (fun acc _ -> acc)
+      (fun acc e ->
+        match e with Ast.Call (fn, _) -> Ast.math_fn_name fn :: acc | _ -> acc)
+      [] p.body
+  in
+  let literals =
+    Ast.fold_stmts
+      (fun acc _ -> acc)
+      (fun acc e -> match e with Ast.Lit v -> v :: acc | _ -> acc)
+      [] p.body
+  in
+  let if_count =
+    Ast.fold_stmts
+      (fun acc s -> match s with Ast.If _ -> acc + 1 | _ -> acc)
+      (fun acc _ -> acc)
+      0 p.body
+  in
+  let temp_count =
+    Ast.fold_stmts
+      (fun acc s -> match s with Ast.Decl _ -> acc + 1 | _ -> acc)
+      (fun acc _ -> acc)
+      0 p.body
+  in
+  let mul_adds =
+    Ast.fold_stmts
+      (fun acc s ->
+        match s with
+        | Ast.Decl { init; _ } -> acc + mul_add_in_expr init
+        | Ast.Assign { rhs; _ } -> acc + mul_add_in_expr rhs
+        | Ast.If { lhs; rhs; _ } ->
+          acc + mul_add_in_expr lhs + mul_add_in_expr rhs
+        | Ast.For _ -> acc)
+      (fun acc _ -> acc)
+      0 p.body
+  in
+  let param_count pred = List.length (List.filter pred p.params) in
+  {
+    size = Ast.program_size p;
+    depth = Ast.program_depth p;
+    add_count = count_op Ast.Add;
+    sub_count = count_op Ast.Sub;
+    mul_count = count_op Ast.Mul;
+    div_count = count_op Ast.Div;
+    call_count = Ast.call_count p;
+    distinct_math_fns = List.sort_uniq compare fns;
+    loop_count = Ast.loop_count p;
+    if_count;
+    temp_count;
+    array_param_count =
+      param_count (function Ast.P_fp_array _ -> true | _ -> false);
+    scalar_param_count = param_count (function Ast.P_fp _ -> true | _ -> false);
+    int_param_count = param_count (function Ast.P_int _ -> true | _ -> false);
+    literal_count = List.length literals;
+    literal_abs_max =
+      List.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 literals;
+    mul_add_patterns = mul_adds;
+    split_mul_add_patterns = split_mul_adds p.body;
+    accumulation_loops = accumulation_loops p.body;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>size=%d depth=%d ops=(+%d -%d *%d /%d) calls=%d fns=[%s]@ \
+     loops=%d ifs=%d temps=%d params=(fp %d, arr %d, int %d)@ \
+     literals=%d max|lit|=%g mul-add=%d split-mul-add=%d accum-loops=%d@]"
+    t.size t.depth t.add_count t.sub_count t.mul_count t.div_count
+    t.call_count
+    (String.concat "," t.distinct_math_fns)
+    t.loop_count t.if_count t.temp_count t.scalar_param_count
+    t.array_param_count t.int_param_count t.literal_count t.literal_abs_max
+    t.mul_add_patterns t.split_mul_add_patterns t.accumulation_loops

@@ -1,0 +1,38 @@
+(** Structural feature extraction.
+
+    A compact summary of what a program exercises. The harness uses it to
+    characterize generated corpora (e.g. how often multiply-add patterns or
+    loop-carried accumulations occur — the patterns that make compiler
+    personalities diverge), and the reports print aggregate feature
+    statistics alongside the paper's tables. *)
+
+type t = {
+  size : int;            (** AST node count *)
+  depth : int;           (** statement nesting depth *)
+  add_count : int;
+  sub_count : int;
+  mul_count : int;
+  div_count : int;
+  call_count : int;
+  distinct_math_fns : string list;  (** sorted, deduplicated *)
+  loop_count : int;
+  if_count : int;
+  temp_count : int;      (** declared temporaries *)
+  array_param_count : int;
+  scalar_param_count : int;
+  int_param_count : int;
+  literal_count : int;
+  literal_abs_max : float;    (** 0 when there are no literals *)
+  mul_add_patterns : int;
+      (** syntactic [a*b + c] / [c + a*b] shapes, FMA-contraction fodder *)
+  split_mul_add_patterns : int;
+      (** multiply stored in a temporary and added in a later statement —
+          the cross-statement contraction fodder that distinguishes the
+          simulated gcc from clang *)
+  accumulation_loops : int;
+      (** loops whose body compound-assigns the accumulator or a temp *)
+}
+
+val of_program : Lang.Ast.program -> t
+
+val pp : Format.formatter -> t -> unit

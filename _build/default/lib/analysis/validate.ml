@@ -1,0 +1,173 @@
+open Lang
+
+type issue =
+  | Unbound_variable of string
+  | Redeclared_variable of string
+  | Array_index_out_of_bounds of string * int * int
+  | Array_index_unbounded of string
+  | Non_array_indexed of string
+  | Array_used_as_scalar of string
+  | Assign_to_counter of string
+  | Loop_bound_invalid of int
+  | Division_by_literal_zero
+  | Comp_never_assigned
+  | Bad_arity of string
+
+let max_loop_bound = 1024
+
+let issue_to_string = function
+  | Unbound_variable v -> Printf.sprintf "use of undeclared variable %s" v
+  | Redeclared_variable v -> Printf.sprintf "redeclaration of %s" v
+  | Array_index_out_of_bounds (a, i, len) ->
+    Printf.sprintf "index %d can exceed bounds of %s (length %d)" i a len
+  | Array_index_unbounded a ->
+    Printf.sprintf "index into %s has no static bound" a
+  | Non_array_indexed v -> Printf.sprintf "%s is not an array but is indexed" v
+  | Array_used_as_scalar a -> Printf.sprintf "array %s used as a scalar" a
+  | Assign_to_counter v -> Printf.sprintf "assignment to loop counter %s" v
+  | Loop_bound_invalid b -> Printf.sprintf "loop bound %d out of range" b
+  | Division_by_literal_zero -> "division by literal zero"
+  | Comp_never_assigned -> "the accumulator comp is never assigned"
+  | Bad_arity f -> Printf.sprintf "wrong arity in call to %s" f
+
+type kind =
+  | Kscalar
+  | Karray of int
+  | Kint of { bound : int option }  (** counter with bound, or free int param *)
+
+type env = (string * kind) list ref
+
+let lookup env name = List.assoc_opt name !env
+
+(* Interval of an integer-valued expression, when statically known.
+   Counters range over [0, bound-1]. *)
+let rec int_interval env e =
+  match e with
+  | Ast.Int_lit n -> Some (n, n)
+  | Ast.Var name -> begin
+    match lookup env name with
+    | Some (Kint { bound = Some b }) -> Some (0, b - 1)
+    | _ -> None
+  end
+  | Ast.Neg e -> begin
+    match int_interval env e with
+    | Some (lo, hi) -> Some (-hi, -lo)
+    | None -> None
+  end
+  | Ast.Bin (op, a, b) -> begin
+    match (int_interval env a, int_interval env b) with
+    | Some (alo, ahi), Some (blo, bhi) -> begin
+      match op with
+      | Ast.Add -> Some (alo + blo, ahi + bhi)
+      | Ast.Sub -> Some (alo - bhi, ahi - blo)
+      | Ast.Mul ->
+        let products = [ alo * blo; alo * bhi; ahi * blo; ahi * bhi ] in
+        Some (List.fold_left min max_int products,
+              List.fold_left max min_int products)
+      | Ast.Div -> None
+    end
+    | _ -> None
+  end
+  | Ast.Lit _ | Ast.Index _ | Ast.Call _ -> None
+
+let check (p : Ast.program) =
+  let issues = ref [] in
+  let note issue = if not (List.mem issue !issues) then issues := issue :: !issues in
+  let env : env = ref [] in
+  let declare name kind =
+    if List.mem_assoc name !env || name = Ast.comp_name then
+      note (Redeclared_variable name)
+    else env := (name, kind) :: !env
+  in
+  List.iter
+    (fun prm ->
+      match prm with
+      | Ast.P_int name -> declare name (Kint { bound = None })
+      | Ast.P_fp name -> declare name Kscalar
+      | Ast.P_fp_array (name, len) ->
+        if len <= 0 then note (Loop_bound_invalid len);
+        declare name (Karray len))
+    p.params;
+  let check_index arr idx =
+    match lookup env arr with
+    | None -> note (Unbound_variable arr)
+    | Some (Kscalar | Kint _) -> note (Non_array_indexed arr)
+    | Some (Karray len) -> begin
+      match int_interval env idx with
+      | None -> note (Array_index_unbounded arr)
+      | Some (lo, hi) ->
+        if lo < 0 then note (Array_index_out_of_bounds (arr, lo, len))
+        else if hi >= len then note (Array_index_out_of_bounds (arr, hi, len))
+    end
+  in
+  let rec check_expr e =
+    match e with
+    | Ast.Lit _ | Ast.Int_lit _ -> ()
+    | Ast.Var name ->
+      if name = Ast.comp_name then ()
+      else begin
+        match lookup env name with
+        | None -> note (Unbound_variable name)
+        | Some (Karray _) -> note (Array_used_as_scalar name)
+        | Some (Kscalar | Kint _) -> ()
+      end
+    | Ast.Index (arr, idx) ->
+      check_index arr idx;
+      check_expr idx
+    | Ast.Neg e -> check_expr e
+    | Ast.Bin (op, a, b) ->
+      if op = Ast.Div && (b = Ast.Lit 0.0 || b = Ast.Int_lit 0) then
+        note Division_by_literal_zero;
+      check_expr a;
+      check_expr b
+    | Ast.Call (fn, args) ->
+      if List.length args <> Ast.math_fn_arity fn then
+        note (Bad_arity (Ast.math_fn_name fn));
+      List.iter check_expr args
+  in
+  let comp_assigned = ref false in
+  let rec check_body body =
+    let saved = !env in
+    List.iter
+      (fun s ->
+        match s with
+        | Ast.Decl { name; init } ->
+          check_expr init;
+          declare name Kscalar
+        | Ast.Assign { lhs; op = _; rhs } -> begin
+          (match lhs with
+           | Ast.Lv_var name ->
+             if name = Ast.comp_name then comp_assigned := true
+             else begin
+               match lookup env name with
+               | None -> note (Unbound_variable name)
+               | Some (Karray _) -> note (Array_used_as_scalar name)
+               | Some (Kint _) -> note (Assign_to_counter name)
+               | Some Kscalar -> ()
+             end
+           | Ast.Lv_index (arr, idx) ->
+             check_index arr idx;
+             check_expr idx);
+          check_expr rhs
+        end
+        | Ast.If { lhs; cmp = _; rhs; body } ->
+          check_expr lhs;
+          check_expr rhs;
+          check_body body
+        | Ast.For { var; bound; body } ->
+          if bound <= 0 || bound > max_loop_bound then
+            note (Loop_bound_invalid bound);
+          let saved_loop = !env in
+          (if List.mem_assoc var !env || var = Ast.comp_name then
+             note (Redeclared_variable var)
+           else env := (var, Kint { bound = Some bound }) :: !env);
+          check_body body;
+          env := saved_loop)
+      body;
+    env := saved
+  in
+  check_body p.body;
+  if not !comp_assigned then note Comp_never_assigned;
+  match List.rev !issues with [] -> Ok () | issues -> Error issues
+
+let is_valid p = Result.is_ok (check p)

@@ -1,0 +1,46 @@
+(** Static validation of generated programs.
+
+    The paper's prompts instruct the LLM to "require all variables to be
+    initialized and avoid undefined behavior" (§2.3.1); Varity guarantees
+    the same by construction. This checker enforces those guarantees on
+    every candidate program before it enters the compilation driver, so an
+    invalid generation is rejected and regenerated rather than producing a
+    false inconsistency:
+
+    - every used identifier is declared (parameter, temporary, counter);
+    - no identifier is redeclared in the same block, and declarations do
+      not shadow a live name (legal C, but banned to keep semantics
+      obvious);
+    - array subscripts provably stay inside the array bounds (interval
+      analysis over loop counters and integer literals);
+    - loop bounds are positive and below {!max_loop_bound};
+    - no division by a literal zero, and no assignment to a loop counter
+      or an array parameter as a whole;
+    - the body assigns the accumulator at least once (otherwise the
+      program cannot expose any inconsistency). *)
+
+type issue =
+  | Unbound_variable of string
+  | Redeclared_variable of string
+  | Array_index_out_of_bounds of string * int * int
+      (** array, worst-case index, length *)
+  | Array_index_unbounded of string
+      (** index depends on a value with no static bound *)
+  | Non_array_indexed of string
+  | Array_used_as_scalar of string
+  | Assign_to_counter of string
+  | Loop_bound_invalid of int
+  | Division_by_literal_zero
+  | Comp_never_assigned
+  | Bad_arity of string
+
+val max_loop_bound : int
+(** Upper limit on a single loop bound (keeps simulated execution cheap),
+    1024. *)
+
+val issue_to_string : issue -> string
+
+val check : Lang.Ast.program -> (unit, issue list) result
+(** All issues found, in source order (deduplicated). *)
+
+val is_valid : Lang.Ast.program -> bool

@@ -1,0 +1,1 @@
+lib/compiler/config.ml: Array Irsim Lang List Mathlib Optlevel Personality Printf

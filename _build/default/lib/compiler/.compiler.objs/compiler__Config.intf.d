@@ -1,0 +1,1 @@
+lib/compiler/config.mli: Irsim Lang Mathlib Optlevel Personality

@@ -1,0 +1,1 @@
+lib/compiler/driver.ml: Analysis Config Cparse Either Fp Irsim Lang List Personality Printf String

@@ -1,0 +1,1 @@
+lib/compiler/optlevel.ml: Array

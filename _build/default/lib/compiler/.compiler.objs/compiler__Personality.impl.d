@@ -1,0 +1,1 @@
+lib/compiler/personality.ml: Printf

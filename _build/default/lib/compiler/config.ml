@@ -1,0 +1,97 @@
+type t = {
+  personality : Personality.t;
+  level : Optlevel.t;
+  fold : Irsim.Fold.config;
+  contract : Irsim.Contract.policy;
+  fastmath : Irsim.Fastmath.config option;
+  libm : Mathlib.Libm.flavor;
+  ftz : bool;
+  dce : bool;
+  nan_cmp_taken : bool;
+}
+
+let optimizes (level : Optlevel.t) =
+  match level with
+  | Optlevel.O0_nofma | Optlevel.O0 -> false
+  | Optlevel.O1 | Optlevel.O2 | Optlevel.O3 | Optlevel.O3_fastmath -> true
+
+let make (personality : Personality.t) (level : Optlevel.t) =
+  let fastmath_level = level = Optlevel.O3_fastmath in
+  let fold_calls =
+    match personality with
+    | Personality.Gcc -> Some Mathlib.Libm.Mpfr_fold
+    | Personality.Clang ->
+      if optimizes level then Some Mathlib.Libm.Llvm_fold else None
+    | Personality.Nvcc -> None
+  in
+  let contract =
+    match personality with
+    | Personality.Gcc ->
+      if optimizes level then Irsim.Contract.Cross_stmt
+      else Irsim.Contract.No_contract
+    | Personality.Clang ->
+      if optimizes level then Irsim.Contract.Syntactic
+      else Irsim.Contract.No_contract
+    | Personality.Nvcc ->
+      if level = Optlevel.O0_nofma then Irsim.Contract.No_contract
+      else Irsim.Contract.Syntactic
+  in
+  let fastmath =
+    if not fastmath_level then None
+    else
+      Some
+        (match personality with
+        | Personality.Gcc -> Irsim.Fastmath.gcc
+        | Personality.Clang -> Irsim.Fastmath.clang
+        | Personality.Nvcc -> Irsim.Fastmath.nvcc)
+  in
+  let libm =
+    match (personality, fastmath_level) with
+    | Personality.Gcc, false | Personality.Clang, false -> Mathlib.Libm.Glibc
+    | Personality.Gcc, true -> Mathlib.Libm.Gcc_fast
+    | Personality.Clang, true -> Mathlib.Libm.Clang_fast
+    | Personality.Nvcc, false -> Mathlib.Libm.Cuda
+    | Personality.Nvcc, true -> Mathlib.Libm.Cuda_fast
+  in
+  let nan_cmp_taken =
+    (* finite-math branch compilation: gcc and nvcc negate the inverse
+       predicate, clang keeps the IEEE-shaped compare *)
+    fastmath_level
+    && match personality with
+       | Personality.Gcc | Personality.Nvcc -> true
+       | Personality.Clang -> false
+  in
+  {
+    personality;
+    level;
+    fold = { Irsim.Fold.fold_arith = true; fold_calls };
+    contract;
+    fastmath;
+    libm;
+    ftz = fastmath_level;
+    dce = optimizes level;
+    nan_cmp_taken;
+  }
+
+let effective t (precision : Lang.Ast.precision) =
+  match (t.personality, t.level, precision) with
+  | Personality.Nvcc, Optlevel.O3_fastmath, Lang.Ast.F64 ->
+    (* -use_fast_math's extra flags are single-precision-only; an FP64
+       kernel compiles as at -O3 (fmad is on either way) *)
+    { (make Personality.Nvcc Optlevel.O3) with level = Optlevel.O3_fastmath }
+  | _ -> t
+
+let runtime t =
+  { Irsim.Interp.libm = t.libm; ftz = t.ftz; nan_cmp_taken = t.nan_cmp_taken }
+
+let name t =
+  let flags =
+    if Personality.is_host t.personality then Optlevel.host_flags t.level
+    else Optlevel.nvcc_flags t.level
+  in
+  Printf.sprintf "%s %s" (Personality.name t.personality) flags
+
+let all () =
+  Array.to_list Personality.all
+  |> List.concat_map (fun p ->
+         Array.to_list Optlevel.all |> List.map (fun level -> make p level))

@@ -1,0 +1,67 @@
+(** The policy matrix: what each (compiler, optimization level) pair
+    actually does to floating-point code.
+
+    This table is the simulator's model of gcc 9.4 / clang 12.0 /
+    nvcc 12.3 behaviour (sources: compiler documentation and the
+    mechanisms the Varity and pLiner papers report):
+
+    {v
+                 fold-calls      contraction        fast-math   libm       ftz
+    gcc   00nf   mpfr (all lv)   none               -           glibc      no
+          00     mpfr            none               -           glibc      no
+          01-03  mpfr            cross-statement    -           glibc      no
+          03fm   mpfr            cross-statement    balanced    gcc-fast   yes
+    clang 00nf   -               none               -           glibc      no
+          00     -               none               -           glibc      no
+          01-03  llvm            syntactic          -           glibc      no
+          03fm   llvm            syntactic          pairwise    clang-fast yes
+    nvcc  00nf   -               none               -           cuda       no
+          00-03  -               syntactic          -           cuda       no
+          03fm   -               syntactic          flat        cuda-fast  yes
+    v}
+
+    Notes: gcc folds libm builtins on constants at every level (via MPFR,
+    correctly rounded); clang folds once it optimizes, using the build
+    host's libm; nvcc's device folding matches its runtime library, so it
+    is modelled as no folding. nvcc contracts FMAs by default
+    ([-fmad=true]) at every level except [00_nofma]. Host fast-math links
+    [crtfastmath.o], enabling FTZ/DAZ on x86, so all three fast-math
+    configurations flush subnormals. Basic-arithmetic constant folding is
+    rounding-identical to runtime evaluation, hence enabled everywhere
+    without observable effect. Our [O3] pipelines equal [O2]: without
+    fast-math, real compilers' extra [-O3] work (vectorization choices,
+    unrolling) is FP-transparent in the common case — EXPERIMENTS.md
+    discusses the deviation. *)
+
+type t = {
+  personality : Personality.t;
+  level : Optlevel.t;
+  fold : Irsim.Fold.config;
+  contract : Irsim.Contract.policy;
+  fastmath : Irsim.Fastmath.config option;
+  libm : Mathlib.Libm.flavor;
+  ftz : bool;
+  dce : bool;
+  nan_cmp_taken : bool;
+      (** fast-math finite-math branch compilation (gcc, nvcc) *)
+}
+
+val make : Personality.t -> Optlevel.t -> t
+
+val effective : t -> Lang.Ast.precision -> t
+(** The pipeline that actually applies to a program of the given
+    precision. One adjustment: nvcc's [-use_fast_math] expands to
+    [--ftz=true --prec-div=false --prec-sqrt=false --fmad=true], all of
+    which affect {e single-precision} operations only — for an FP64
+    program the device fast-math build behaves like [-O3] (the paper's
+    Table 6 shows exactly this: the nvcc column is nearly flat across
+    levels). The configuration's identity ([personality], [level]) is
+    preserved for reporting. *)
+
+val runtime : t -> Irsim.Interp.runtime
+
+val name : t -> string
+(** e.g. ["gcc -O3 -ffast-math"]. *)
+
+val all : unit -> t list
+(** Every (personality, level) combination, personalities major. *)

@@ -1,0 +1,69 @@
+type binary = {
+  config : Config.t;
+  source : string;
+  ir : Irsim.Ir.t;
+  work : int;
+}
+
+let rec body_size body =
+  List.fold_left
+    (fun acc (s : Irsim.Ir.stmt) ->
+      acc
+      +
+      match s with
+      | Irsim.Ir.Store (_, e) -> 1 + Irsim.Ir.expr_size e
+      | Irsim.Ir.Store_arr (_, _, e) -> 2 + Irsim.Ir.expr_size e
+      | Irsim.Ir.If { lhs; rhs; body; _ } ->
+        1 + Irsim.Ir.expr_size lhs + Irsim.Ir.expr_size rhs + body_size body
+      | Irsim.Ir.For { body; _ } -> 2 + body_size body)
+    0 body
+
+let pipeline (config : Config.t) ir =
+  let ir = Irsim.Fold.run config.fold ir in
+  let ir =
+    match config.fastmath with
+    | None -> ir
+    | Some fm -> Irsim.Fastmath.run fm ir
+  in
+  let ir = Irsim.Contract.run config.contract ir in
+  if config.dce then Irsim.Dce.run ir else ir
+
+let compile (config : Config.t) (program : Lang.Ast.program) =
+  (* Emit the translation unit for the target, then run the front end on
+     that text: the device path really goes through the C-to-CUDA
+     translation. *)
+  let source =
+    if Personality.is_host config.personality then Lang.Pp.to_c program
+    else Lang.Pp.to_cuda program
+  in
+  match Cparse.Parse.program source with
+  | Error msg -> Error (Printf.sprintf "%s: front end: %s" (Config.name config) msg)
+  | Ok parsed -> begin
+    match Analysis.Validate.check parsed with
+    | Error issues ->
+      Error
+        (Printf.sprintf "%s: %s" (Config.name config)
+           (String.concat "; "
+              (List.map Analysis.Validate.issue_to_string issues)))
+    | Ok () -> begin
+      match Irsim.Lower.program parsed with
+      | exception Irsim.Lower.Error msg ->
+        Error (Printf.sprintf "%s: lowering: %s" (Config.name config) msg)
+      | ir ->
+        let applied = Config.effective config parsed.Lang.Ast.precision in
+        let ir = pipeline applied ir in
+        Ok { config = applied; source; ir; work = body_size ir.body }
+    end
+  end
+
+let run binary inputs = Irsim.Interp.run (Config.runtime binary.config) binary.ir inputs
+
+let run_hex binary inputs = Fp.Bits.hex_of_double (run binary inputs).result
+
+let matrix program =
+  List.map
+    (fun config ->
+      match compile config program with
+      | Ok binary -> Either.Left (config, binary)
+      | Error msg -> Either.Right (config, msg))
+    (Config.all ())

@@ -1,0 +1,35 @@
+(** The compilation driver (paper §2.4).
+
+    Prepares a generated program for execution on host and device: the
+    host path emits C and compiles it; the device path first translates C
+    to CUDA ([compute] becomes a single-thread [__global__] kernel) and
+    compiles that. "Compiling" means: emit the translation unit, re-parse
+    it (the simulated front end — translation errors surface here, as
+    real nvcc failures do), validate, lower to IR, and run the
+    configuration's pass pipeline (constant folding → fast-math rewrites
+    → FMA contraction → dead-store elimination). The result is a binary:
+    optimized IR plus the runtime configuration. *)
+
+type binary = {
+  config : Config.t;
+  source : string;  (** the exact translation unit that was "compiled" *)
+  ir : Irsim.Ir.t;  (** after the pass pipeline *)
+  work : int;       (** IR node count, the compile/execute cost proxy *)
+}
+
+val compile : Config.t -> Lang.Ast.program -> (binary, string) result
+(** Validation or lowering failure yields [Error] (a compilation
+    failure; the harness counts it and moves on, per §2.4 "only binaries
+    that compile successfully are passed to the next stage"). *)
+
+val run : binary -> Irsim.Inputs.t -> Irsim.Interp.outcome
+
+val run_hex : binary -> Irsim.Inputs.t -> string
+(** The 16-character hexadecimal encoding of the printed result — the
+    comparison key of the paper's differential testing. *)
+
+val matrix :
+  Lang.Ast.program ->
+  ((Config.t * binary, Config.t * string) Either.t) list
+(** Compile under every configuration, keeping per-configuration
+    successes and failures. *)

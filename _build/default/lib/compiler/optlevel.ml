@@ -1,0 +1,34 @@
+type t = O0_nofma | O0 | O1 | O2 | O3 | O3_fastmath
+
+let all = [| O0_nofma; O0; O1; O2; O3; O3_fastmath |]
+
+let name = function
+  | O0_nofma -> "00_nofma"
+  | O0 -> "00"
+  | O1 -> "01"
+  | O2 -> "02"
+  | O3 -> "03"
+  | O3_fastmath -> "03_fastmath"
+
+let host_flags = function
+  | O0_nofma -> "-O0 -ffp-contract=off"
+  | O0 -> "-O0"
+  | O1 -> "-O1"
+  | O2 -> "-O2"
+  | O3 -> "-O3"
+  | O3_fastmath -> "-O3 -ffast-math"
+
+let nvcc_flags = function
+  | O0_nofma -> "-O0 -fmad=false"
+  | O0 -> "-O0"
+  | O1 -> "-O1"
+  | O2 -> "-O2"
+  | O3 -> "-O3"
+  | O3_fastmath -> "-O3 -use_fast_math"
+
+let of_name s =
+  Array.find_opt (fun level -> name level = s) all
+
+let index level =
+  let rec go i = if all.(i) = level then i else go (i + 1) in
+  go 0

@@ -1,0 +1,20 @@
+(** The six optimization levels of the paper's Table 1. *)
+
+type t = O0_nofma | O0 | O1 | O2 | O3 | O3_fastmath
+
+val all : t array
+(** In Table 1 order. *)
+
+val name : t -> string
+(** Paper spelling: ["00_nofma"], ["00"], ..., ["03_fastmath"]. *)
+
+val host_flags : t -> string
+(** gcc/clang column of Table 1, e.g. ["-00 -ffp-contract=off"]. *)
+
+val nvcc_flags : t -> string
+(** nvcc column of Table 1, e.g. ["-00 -fmad=false"]. *)
+
+val of_name : string -> t option
+
+val index : t -> int
+(** Position in {!all}. *)

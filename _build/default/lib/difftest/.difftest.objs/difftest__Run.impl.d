@@ -1,0 +1,1 @@
+lib/difftest/run.ml: Array Compiler Either Fp Fun Irsim List

@@ -1,0 +1,1 @@
+lib/difftest/run.mli: Compiler Fp Irsim Lang

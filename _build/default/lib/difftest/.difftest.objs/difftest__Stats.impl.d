@@ -1,0 +1,1 @@
+lib/difftest/stats.ml: Array Compiler Fp Hashtbl List Option Run

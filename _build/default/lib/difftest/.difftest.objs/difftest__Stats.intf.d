@@ -1,0 +1,1 @@
+lib/difftest/stats.mli: Compiler Fp Run

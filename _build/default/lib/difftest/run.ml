@@ -1,0 +1,115 @@
+type output = {
+  config : Compiler.Config.t;
+  value : float;
+  hex : string;
+  ops : int;
+  work : int;
+}
+
+type comparison = {
+  level : Compiler.Optlevel.t;
+  left : output;
+  right : output;
+  inconsistent : bool;
+  class_left : Fp.Bits.class_;
+  class_right : Fp.Bits.class_;
+  digits : int;
+}
+
+type result = {
+  outputs : output list;
+  failures : (Compiler.Config.t * string) list;
+  cross : ((Compiler.Personality.t * Compiler.Personality.t) * comparison) list;
+  within : (Compiler.Personality.t * comparison) list;
+  total_work : int;
+  total_ops : int;
+}
+
+let compare_outputs level (left : output) (right : output) =
+  let inconsistent = left.hex <> right.hex in
+  {
+    level;
+    left;
+    right;
+    inconsistent;
+    class_left = Fp.Bits.classify left.value;
+    class_right = Fp.Bits.classify right.value;
+    digits = (if inconsistent then Fp.Digits.diff_count left.value right.value else 0);
+  }
+
+let test ?configs program inputs =
+  let configs =
+    match configs with Some cs -> cs | None -> Compiler.Config.all ()
+  in
+  let compiled, failures =
+    List.partition_map Fun.id
+      (List.map
+         (fun config ->
+           match Compiler.Driver.compile config program with
+           | Ok binary -> Either.Left (config, binary)
+           | Error msg -> Either.Right (config, msg))
+         configs)
+  in
+  let outputs =
+    List.map
+      (fun ((config : Compiler.Config.t), (binary : Compiler.Driver.binary)) ->
+        let out = Compiler.Driver.run binary inputs in
+        {
+          config;
+          value = out.Irsim.Interp.result;
+          hex = Fp.Bits.hex_of_double out.Irsim.Interp.result;
+          ops = out.Irsim.Interp.fp_ops;
+          work = binary.Compiler.Driver.work;
+        })
+      compiled
+  in
+  let find personality level =
+    List.find_opt
+      (fun o ->
+        o.config.Compiler.Config.personality = personality
+        && o.config.Compiler.Config.level = level)
+      outputs
+  in
+  let cross =
+    List.concat_map
+      (fun level ->
+        List.filter_map
+          (fun (a, b) ->
+            match (find a level, find b level) with
+            | Some left, Some right ->
+              Some ((a, b), compare_outputs level left right)
+            | _ -> None)
+          Compiler.Personality.pairs)
+      (Array.to_list Compiler.Optlevel.all)
+  in
+  let within =
+    List.concat_map
+      (fun personality ->
+        List.filter_map
+          (fun level ->
+            if level = Compiler.Optlevel.O0_nofma then None
+            else
+              match
+                (find personality Compiler.Optlevel.O0_nofma, find personality level)
+              with
+              | Some baseline, Some other ->
+                Some (personality, compare_outputs level baseline other)
+              | _ -> None)
+          (Array.to_list Compiler.Optlevel.all))
+      (Array.to_list Compiler.Personality.all)
+  in
+  {
+    outputs;
+    failures;
+    cross;
+    within;
+    total_work = List.fold_left (fun acc o -> acc + o.work) 0 outputs;
+    total_ops = List.fold_left (fun acc o -> acc + o.ops) 0 outputs;
+  }
+
+let cross_inconsistencies result =
+  List.fold_left
+    (fun acc (_, c) -> if c.inconsistent then acc + 1 else acc)
+    0 result.cross
+
+let has_inconsistency result = cross_inconsistencies result > 0

@@ -1,0 +1,153 @@
+let n_pairs = List.length Compiler.Personality.pairs
+let n_levels = Array.length Compiler.Optlevel.all
+
+type t = {
+  mutable programs : int;
+  mutable generation_failures : int;
+  mutable programs_with_failures : int;
+  cross_counts : int array array;              (* pair × level *)
+  cross_digit_acc : Fp.Digits.Acc.t array array;
+  class_counts : (int * int * int, int ref) Hashtbl.t;
+      (* (level index, class rank low, class rank high) *)
+  within : int array array;                    (* personality × level *)
+  mutable inconsistencies : int;
+  mutable work : int;
+  mutable ops : int;
+  mutable performed : int;
+  mutable within_performed : int;
+}
+
+let create () =
+  {
+    programs = 0;
+    generation_failures = 0;
+    programs_with_failures = 0;
+    cross_counts = Array.make_matrix n_pairs n_levels 0;
+    cross_digit_acc =
+      Array.init n_pairs (fun _ -> Array.make n_levels Fp.Digits.Acc.empty);
+    class_counts = Hashtbl.create 32;
+    within = Array.make_matrix (Array.length Compiler.Personality.all) n_levels 0;
+    inconsistencies = 0;
+    work = 0;
+    ops = 0;
+    performed = 0;
+    within_performed = 0;
+  }
+
+let pair_index pair =
+  let rec go i = function
+    | [] -> invalid_arg "Stats.pair_index"
+    | p :: rest -> if p = pair then i else go (i + 1) rest
+  in
+  go 0 Compiler.Personality.pairs
+
+let personality_index p =
+  let rec go i =
+    if Compiler.Personality.all.(i) = p then i else go (i + 1)
+  in
+  go 0
+
+let class_rank (c : Fp.Bits.class_) =
+  match c with
+  | Fp.Bits.Real -> 0
+  | Fp.Bits.Zero -> 1
+  | Fp.Bits.Pos_inf -> 2
+  | Fp.Bits.Neg_inf -> 3
+  | Fp.Bits.Nan -> 4
+
+let note_class t level_idx a b =
+  let ra = class_rank a and rb = class_rank b in
+  let key = (level_idx, min ra rb, max ra rb) in
+  match Hashtbl.find_opt t.class_counts key with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.class_counts key (ref 1)
+
+let add t (result : Run.result) =
+  t.programs <- t.programs + 1;
+  if result.Run.failures <> [] then
+    t.programs_with_failures <- t.programs_with_failures + 1;
+  t.work <- t.work + result.Run.total_work;
+  t.ops <- t.ops + result.Run.total_ops;
+  List.iter
+    (fun (pair, (c : Run.comparison)) ->
+      t.performed <- t.performed + 1;
+      if c.Run.inconsistent then begin
+        let pi = pair_index pair in
+        let li = Compiler.Optlevel.index c.Run.level in
+        t.cross_counts.(pi).(li) <- t.cross_counts.(pi).(li) + 1;
+        t.cross_digit_acc.(pi).(li) <-
+          Fp.Digits.Acc.add t.cross_digit_acc.(pi).(li) c.Run.digits;
+        t.inconsistencies <- t.inconsistencies + 1;
+        note_class t li c.Run.class_left c.Run.class_right
+      end)
+    result.Run.cross;
+  List.iter
+    (fun (personality, (c : Run.comparison)) ->
+      t.within_performed <- t.within_performed + 1;
+      if c.Run.inconsistent then begin
+        let pi = personality_index personality in
+        let li = Compiler.Optlevel.index c.Run.level in
+        t.within.(pi).(li) <- t.within.(pi).(li) + 1
+      end)
+    result.Run.within
+
+let add_generation_failure t =
+  t.programs <- t.programs + 1;
+  t.generation_failures <- t.generation_failures + 1;
+  t.programs_with_failures <- t.programs_with_failures + 1
+
+let n_programs t = t.programs
+let total_comparisons t = t.programs * n_pairs * n_levels
+let performed_comparisons t = t.performed
+let total_inconsistencies t = t.inconsistencies
+
+let inconsistency_rate t =
+  let total = total_comparisons t in
+  if total = 0 then 0.0
+  else float_of_int t.inconsistencies /. float_of_int total
+
+let cross_count t ~pair ~level =
+  t.cross_counts.(pair).(Compiler.Optlevel.index level)
+
+let cross_digits t ~pair ~level =
+  t.cross_digit_acc.(pair).(Compiler.Optlevel.index level)
+
+let pair_total t ~pair = Array.fold_left ( + ) 0 t.cross_counts.(pair)
+
+let class_pair_count t ?level (a, b) =
+  let ra = class_rank a and rb = class_rank b in
+  let lo = min ra rb and hi = max ra rb in
+  match level with
+  | Some l ->
+    let li = Compiler.Optlevel.index l in
+    Option.fold ~none:0 ~some:( ! ) (Hashtbl.find_opt t.class_counts (li, lo, hi))
+  | None ->
+    Hashtbl.fold
+      (fun (_, l, h) count acc -> if l = lo && h = hi then acc + !count else acc)
+      t.class_counts 0
+
+let rank_class = function
+  | 0 -> Fp.Bits.Real
+  | 1 -> Fp.Bits.Zero
+  | 2 -> Fp.Bits.Pos_inf
+  | 3 -> Fp.Bits.Neg_inf
+  | _ -> Fp.Bits.Nan
+
+let class_pairs_present t =
+  Hashtbl.fold (fun (_, lo, hi) _ acc -> (lo, hi) :: acc) t.class_counts []
+  |> List.sort_uniq compare
+  |> List.map (fun (lo, hi) -> (rank_class lo, rank_class hi))
+
+let within_count t personality level =
+  if level = Compiler.Optlevel.O0_nofma then 0
+  else t.within.(personality_index personality).(Compiler.Optlevel.index level)
+
+let within_total t personality =
+  Array.fold_left ( + ) 0 t.within.(personality_index personality)
+
+let within_comparisons t =
+  t.programs * Array.length Compiler.Personality.all * (n_levels - 1)
+
+let total_work t = t.work
+let total_ops t = t.ops
+let compile_failures t = t.programs_with_failures

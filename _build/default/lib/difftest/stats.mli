@@ -1,0 +1,72 @@
+(** Campaign-level aggregation of differential-testing results.
+
+    Collects everything the paper's tables need: per-(pair, level)
+    inconsistency counts and digit-difference accumulators (Table 5),
+    per-(class-pair, level) counts (Figure 3, Table 4), per-(compiler,
+    level) within-compiler counts against [00_nofma] (Table 6), totals
+    and rates (Table 2), plus cost accounting for the time model. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Run.result -> unit
+(** Fold one program's result into the accumulator. *)
+
+val add_generation_failure : t -> unit
+(** Record a budget slot whose generation never produced a testable
+    program (e.g. the LLM emitted code that failed to compile
+    everywhere). Its comparisons count as consistent, matching the
+    paper's fixed 18,000-comparison denominator. *)
+
+(** {1 Denominators} *)
+
+val n_programs : t -> int
+(** Budget consumed, including generation failures. *)
+
+val total_comparisons : t -> int
+(** [n_programs × pairs × levels] — the paper's denominator. *)
+
+val performed_comparisons : t -> int
+(** Comparisons actually executed (both sides compiled). *)
+
+(** {1 Table 2} *)
+
+val total_inconsistencies : t -> int
+val inconsistency_rate : t -> float
+(** [total_inconsistencies / total_comparisons], in [0,1]. *)
+
+(** {1 Table 5} *)
+
+val pair_index : Compiler.Personality.t * Compiler.Personality.t -> int
+val cross_count : t -> pair:int -> level:Compiler.Optlevel.t -> int
+val cross_digits : t -> pair:int -> level:Compiler.Optlevel.t -> Fp.Digits.Acc.t
+val pair_total : t -> pair:int -> int
+
+(** {1 Figure 3 / Table 4} *)
+
+val class_pair_count :
+  t -> ?level:Compiler.Optlevel.t -> Fp.Bits.class_ * Fp.Bits.class_ -> int
+(** Count of inconsistencies whose two sides classified as the given
+    (unordered) pair, optionally restricted to one level. *)
+
+val class_pairs_present : t -> (Fp.Bits.class_ * Fp.Bits.class_) list
+(** Distinct class pairs observed, normalized order, sorted. *)
+
+(** {1 Table 6} *)
+
+val within_count :
+  t -> Compiler.Personality.t -> Compiler.Optlevel.t -> int
+(** Inconsistencies between the level and [00_nofma] for this compiler.
+    Zero for the baseline level itself. *)
+
+val within_total : t -> Compiler.Personality.t -> int
+val within_comparisons : t -> int
+(** [n_programs × compilers × (levels - 1)]. *)
+
+(** {1 Cost accounting} *)
+
+val total_work : t -> int
+val total_ops : t -> int
+val compile_failures : t -> int
+(** Programs with at least one configuration failing to compile
+    (generation failures included). *)

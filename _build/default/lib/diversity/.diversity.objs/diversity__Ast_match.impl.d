@@ -1,0 +1,1 @@
+lib/diversity/ast_match.ml: Ast Float Lang List Map Printf String

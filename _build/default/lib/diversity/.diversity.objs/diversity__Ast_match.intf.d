@@ -1,0 +1,1 @@
+lib/diversity/ast_match.mli: Lang

@@ -1,0 +1,1 @@
+lib/diversity/bleu.ml: Array Float List Map String

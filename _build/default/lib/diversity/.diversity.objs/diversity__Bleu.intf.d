@@ -1,0 +1,1 @@
+lib/diversity/bleu.mli:

@@ -1,0 +1,1 @@
+lib/diversity/clones.ml: Ast Cparse Hashtbl Lang List Pp String

@@ -1,0 +1,1 @@
+lib/diversity/clones.mli: Lang

@@ -1,0 +1,1 @@
+lib/diversity/codebleu.ml: Analysis Array Ast_match Bleu Cparse Hashtbl Lang List Option Util

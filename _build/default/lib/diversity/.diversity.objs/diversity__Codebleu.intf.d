@@ -1,0 +1,1 @@
+lib/diversity/codebleu.mli: Lang

@@ -1,0 +1,18 @@
+(** Syntactic subtree matching (CodeBLEU's AST component).
+
+    Every program is summarized as the multiset of its AST subtrees,
+    rendered canonically with identifiers abstracted to [id] and numeric
+    literals to [lit] (the reference implementation also compares
+    subtrees name-insensitively). The match score of a candidate against
+    a reference is the clipped fraction of candidate subtrees found in
+    the reference. *)
+
+type summary
+(** Precomputed subtree multiset. *)
+
+val summarize : Lang.Ast.program -> summary
+
+val score : candidate:summary -> reference:summary -> float
+(** In [0, 1]; 1.0 when the candidate has no subtrees. *)
+
+val subtree_count : summary -> int

@@ -1,0 +1,77 @@
+let max_order = 4
+
+module Smap = Map.Make (String)
+
+type ngram_table = {
+  len : int;
+  (* per order (index 0 = unigrams): ngram -> weighted count *)
+  counts : float Smap.t array;
+  totals : float array;
+}
+
+let ngrams_of tokens n =
+  let arr = Array.of_list tokens in
+  let len = Array.length arr in
+  let out = ref [] in
+  for i = 0 to len - n do
+    let gram = String.concat "\x00" (Array.to_list (Array.sub arr i n)) in
+    out := (i, gram) :: !out
+  done;
+  List.rev !out
+
+let table_weighted ~weight tokens =
+  let arr = Array.of_list tokens in
+  let counts =
+    Array.init max_order (fun k ->
+        let n = k + 1 in
+        List.fold_left
+          (fun map (i, gram) ->
+            let w =
+              (* weight of an n-gram = max weight of its tokens *)
+              let rec max_w j acc =
+                if j >= i + n then acc
+                else max_w (j + 1) (Float.max acc (weight arr.(j)))
+              in
+              max_w i 1.0
+            in
+            Smap.update gram
+              (function None -> Some w | Some c -> Some (c +. w))
+              map)
+          Smap.empty (ngrams_of tokens n))
+  in
+  let totals =
+    Array.map (fun map -> Smap.fold (fun _ c acc -> acc +. c) map 0.0) counts
+  in
+  { len = Array.length arr; counts; totals }
+
+let table tokens = table_weighted ~weight:(fun _ -> 1.0) tokens
+
+let length t = t.len
+
+let score ~candidate ~reference =
+  if candidate.len = 0 then if reference.len = 0 then 1.0 else 0.0
+  else begin
+    let log_sum = ref 0.0 in
+    for k = 0 to max_order - 1 do
+      let matched =
+        Smap.fold
+          (fun gram c acc ->
+            match Smap.find_opt gram reference.counts.(k) with
+            | None -> acc
+            | Some r -> acc +. Float.min c r)
+          candidate.counts.(k) 0.0
+      in
+      let total = candidate.totals.(k) in
+      let precision =
+        if total <= 0.0 then 1.0 (* candidate shorter than the order *)
+        else Float.max (matched /. total) 1e-9
+      in
+      log_sum := !log_sum +. log precision
+    done;
+    let geo = exp (!log_sum /. float_of_int max_order) in
+    let bp =
+      if candidate.len >= reference.len then 1.0
+      else exp (1.0 -. (float_of_int reference.len /. float_of_int candidate.len))
+    in
+    geo *. bp
+  end

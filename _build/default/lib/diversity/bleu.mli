@@ -1,0 +1,24 @@
+(** BLEU-style n-gram precision between token sequences.
+
+    The n-gram components of CodeBLEU (Ren et al., 2020): modified n-gram
+    precision with clipping, geometric mean over n = 1..4, and a brevity
+    penalty. The weighted variant multiplies each n-gram's count by the
+    maximum token weight it contains (keywords weigh more), following the
+    reference implementation's keyword-weighted unigram idea extended to
+    all orders. *)
+
+type ngram_table
+(** Precomputed clipped-count tables for one token sequence (orders
+    1..4), reusable across many pairings. *)
+
+val table : string list -> ngram_table
+val table_weighted : weight:(string -> float) -> string list -> ngram_table
+
+val score : candidate:ngram_table -> reference:ngram_table -> float
+(** Geometric mean of modified precisions times brevity penalty, in
+    [0, 1]. Empty candidates score 0 against non-empty references and 1
+    against empty ones. Smoothing: zero precisions are floored at
+    [1e-9] before the geometric mean (standard smoothing-epsilon). *)
+
+val length : ngram_table -> int
+(** Token count of the underlying sequence. *)

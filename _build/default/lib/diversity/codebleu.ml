@@ -1,0 +1,84 @@
+type summary = {
+  plain : Bleu.ngram_table;
+  weighted : Bleu.ngram_table;
+  ast : Ast_match.summary;
+  edges : (string * string, int) Hashtbl.t;
+  n_edges : int;
+}
+
+let keyword_weight tok = if Cparse.Lex.is_keyword tok then 4.0 else 1.0
+
+let tokens_of (p : Lang.Ast.program) =
+  Cparse.Lex.tokens (Lang.Pp.compute_to_string p)
+  |> List.map Cparse.Lex.to_string
+
+let summarize p =
+  let tokens = tokens_of p in
+  let edges = Hashtbl.create 32 in
+  let edge_list = Analysis.Dataflow.edges p in
+  List.iter
+    (fun (e : Analysis.Dataflow.edge) ->
+      let key = (e.def, e.use) in
+      Hashtbl.replace edges key
+        (1 + Option.value (Hashtbl.find_opt edges key) ~default:0))
+    edge_list;
+  {
+    plain = Bleu.table tokens;
+    weighted = Bleu.table_weighted ~weight:keyword_weight tokens;
+    ast = Ast_match.summarize p;
+    edges;
+    n_edges = List.length edge_list;
+  }
+
+let dataflow_score ~candidate ~reference =
+  if candidate.n_edges = 0 then 1.0
+  else begin
+    let matched = ref 0 in
+    Hashtbl.iter
+      (fun key c ->
+        match Hashtbl.find_opt reference.edges key with
+        | None -> ()
+        | Some r -> matched := !matched + min c r)
+      candidate.edges;
+    float_of_int !matched /. float_of_int candidate.n_edges
+  end
+
+let pair_score ~candidate ~reference =
+  let bleu = Bleu.score ~candidate:candidate.plain ~reference:reference.plain in
+  let wbleu =
+    Bleu.score ~candidate:candidate.weighted ~reference:reference.weighted
+  in
+  let ast = Ast_match.score ~candidate:candidate.ast ~reference:reference.ast in
+  let df = dataflow_score ~candidate ~reference in
+  0.25 *. (bleu +. wbleu +. ast +. df)
+
+let symmetric a b =
+  0.5 *. (pair_score ~candidate:a ~reference:b +. pair_score ~candidate:b ~reference:a)
+
+let corpus_mean ?(max_pairs = 200_000) ~seed programs =
+  let summaries = Array.of_list (List.map summarize programs) in
+  let n = Array.length summaries in
+  if n < 2 then 0.0
+  else begin
+    let total_pairs = n * (n - 1) / 2 in
+    if total_pairs <= max_pairs then begin
+      let sum = ref 0.0 in
+      for i = 0 to n - 2 do
+        for j = i + 1 to n - 1 do
+          sum := !sum +. symmetric summaries.(i) summaries.(j)
+        done
+      done;
+      !sum /. float_of_int total_pairs
+    end
+    else begin
+      let rng = Util.Rng.of_int seed in
+      let sum = ref 0.0 in
+      for _ = 1 to max_pairs do
+        let i = Util.Rng.int rng n in
+        let j = ref (Util.Rng.int rng n) in
+        while !j = i do j := Util.Rng.int rng n done;
+        sum := !sum +. symmetric summaries.(i) summaries.(!j)
+      done;
+      !sum /. float_of_int max_pairs
+    end
+  end

@@ -1,0 +1,32 @@
+(** CodeBLEU (Ren et al., 2020), as used by the paper's diversity
+    evaluation (§3.2.2, Table 3).
+
+    CodeBLEU(cand, ref) = α·BLEU + β·BLEU_weighted + γ·Match_ast +
+    δ·Match_df with α = β = γ = δ = 0.25. Tokens come from the mini-C
+    lexer; keywords (C keywords and math-library names) weigh 4× in the
+    weighted component; the AST component matches abstracted subtrees;
+    the dataflow component matches alpha-normalized def-use edges.
+
+    A {e lower} average pairwise score means a more diverse program set. *)
+
+type summary
+(** Everything precomputed about one program (token tables, subtree
+    multiset, dataflow edges), so pair scoring is cheap. *)
+
+val summarize : Lang.Ast.program -> summary
+
+val pair_score : candidate:summary -> reference:summary -> float
+(** CodeBLEU of one ordered pair, in [0, 1]. *)
+
+val symmetric : summary -> summary -> float
+(** Mean of both directions. *)
+
+val corpus_mean :
+  ?max_pairs:int -> seed:int -> Lang.Ast.program list -> float
+(** Average symmetric pairwise score over all unordered pairs; when the
+    pair count exceeds [max_pairs] (default 200_000) a deterministic
+    uniform sample of that many pairs is used (the sampling seed is
+    [seed]). Returns 0 for fewer than two programs. *)
+
+val keyword_weight : string -> float
+(** 4.0 for keywords, 1.0 otherwise (exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/fp/bits.ml: Float Int32 Int64 Printf String

@@ -1,0 +1,1 @@
+lib/fp/bits.mli:

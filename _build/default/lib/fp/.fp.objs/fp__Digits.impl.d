@@ -1,0 +1,1 @@
+lib/fp/digits.ml: Float Int64 Printf Seq Stdlib String

@@ -1,0 +1,1 @@
+lib/fp/eft.mli:

@@ -1,0 +1,1 @@
+lib/fp/fma.ml: Eft Float Int64

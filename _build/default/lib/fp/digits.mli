@@ -1,0 +1,37 @@
+(** Decimal digit-difference metric (paper §3.4, Table 5).
+
+    The paper considers "the 16 first floating-point digits" of the printed
+    results and reports the minimum / maximum / average number of differing
+    digits among inconsistent outputs. We render both values in scientific
+    notation with 16 significant decimal digits and count positions whose
+    digits disagree; a sign or exponent mismatch (or any non-finite operand)
+    counts as all 16 digits differing. *)
+
+val significand_digits : float -> string
+(** The 16 significant decimal digits of a finite value (no sign, no
+    decimal point), e.g. [significand_digits 0.1 = "1000000000000000"].
+    Raises [Invalid_argument] on non-finite input. *)
+
+val decompose : float -> bool * string * int
+(** [decompose x = (negative, digits, exponent)] for finite [x], matching
+    [%.15e] formatting. Zero decomposes to [(sign, "000...0", 0)]. *)
+
+val diff_count : float -> float -> int
+(** Number of differing digits among the 16, in [\[0, 16\]]. Bitwise-equal
+    values give 0. *)
+
+(** Running min/max/mean accumulator for digit differences. *)
+module Acc : sig
+  type t
+
+  val empty : t
+  val add : t -> int -> t
+  val count : t -> int
+  val min : t -> int
+  (** Raises [Invalid_argument] when empty. *)
+
+  val max : t -> int
+  val mean : t -> float
+  val to_string : t -> string
+  (** ["(min/max/avg)"] in the paper's format, or ["-"] when empty. *)
+end

@@ -1,0 +1,56 @@
+let two_sum a b =
+  let s = a +. b in
+  let bb = s -. a in
+  let e = (a -. (s -. bb)) +. (b -. bb) in
+  (s, e)
+
+let fast_two_sum a b =
+  let s = a +. b in
+  let e = b -. (s -. a) in
+  (s, e)
+
+let splitter = 0x1p27 +. 1.0 (* 2^27 + 1 *)
+
+let split a =
+  let c = splitter *. a in
+  let hi = c -. (c -. a) in
+  let lo = a -. hi in
+  (hi, lo)
+
+let two_prod a b =
+  let p = a *. b in
+  let ah, al = split a in
+  let bh, bl = split b in
+  let e = ((ah *. bh -. p) +. (ah *. bl) +. (al *. bh)) +. (al *. bl) in
+  (p, e)
+
+module Dd = struct
+  type t = { hi : float; lo : float }
+
+  let of_float x = { hi = x; lo = 0.0 }
+  let to_float t = t.hi +. t.lo
+
+  let of_sum a b =
+    let hi, lo = two_sum a b in
+    { hi; lo }
+
+  let of_prod a b =
+    let hi, lo = two_prod a b in
+    { hi; lo }
+
+  let add x y =
+    let s, e = two_sum x.hi y.hi in
+    let e = e +. x.lo +. y.lo in
+    let hi, lo = fast_two_sum s e in
+    { hi; lo }
+
+  let add_float x f = add x (of_float f)
+
+  let mul x y =
+    let p, e = two_prod x.hi y.hi in
+    let e = e +. (x.hi *. y.lo) +. (x.lo *. y.hi) in
+    let hi, lo = fast_two_sum p e in
+    { hi; lo }
+
+  let mul_float x f = mul x (of_float f)
+end

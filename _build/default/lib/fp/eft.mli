@@ -1,0 +1,44 @@
+(** Error-free transformations on binary64 values.
+
+    These classical building blocks (Møller/Knuth TwoSum, Dekker splitting
+    and TwoProd) return both the rounded result of an operation and its
+    exact rounding error. The simulated math libraries use them to evaluate
+    polynomial approximations in double-double arithmetic, and the software
+    FMA is built from them. *)
+
+val two_sum : float -> float -> float * float
+(** [two_sum a b = (s, e)] with [s = fl(a+b)] and [s + e = a + b] exactly
+    (for finite values without intermediate overflow). Knuth's branch-free
+    6-operation version. *)
+
+val fast_two_sum : float -> float -> float * float
+(** Dekker's 3-operation variant; requires [|a| >= |b|] (or one of them
+    zero) for the error term to be exact. *)
+
+val split : float -> float * float
+(** Dekker splitting: [split a = (hi, lo)] with [a = hi + lo] and both
+    halves representable in 26 bits of significand, so that products of
+    halves are exact. Valid when [|a| < 2^996]. *)
+
+val two_prod : float -> float -> float * float
+(** [two_prod a b = (p, e)] with [p = fl(a*b)] and [p + e = a * b] exactly
+    (finite, non-overflowing range). Uses [split]. *)
+
+(** Double-double arithmetic: an unevaluated sum [hi + lo] with
+    [|lo| <= ulp(hi)/2], giving roughly 106 bits of precision. Used by the
+    simulated math libraries for near-correctly-rounded references. *)
+module Dd : sig
+  type t = { hi : float; lo : float }
+
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val add_float : t -> float -> t
+  val mul : t -> t -> t
+  val mul_float : t -> float -> t
+  val of_sum : float -> float -> t
+  (** Exact sum of two doubles. *)
+
+  val of_prod : float -> float -> t
+  (** Exact product of two doubles (non-overflowing range). *)
+end

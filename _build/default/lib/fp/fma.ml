@@ -1,0 +1,34 @@
+let hardware = Float.fma
+
+(* Round-to-odd addition: compute a+b, and when rounding occurred force the
+   last significand bit to 1. Adding a round-to-odd intermediate before a
+   final rounded addition avoids double-rounding errors
+   (Boldo & Melquiond, "Emulation of a FMA and correctly rounded sums"). *)
+let add_round_to_odd a b =
+  let s, e = Eft.two_sum a b in
+  if e = 0.0 || not (Float.is_finite s) then s
+  else
+    let bits = Int64.bits_of_float s in
+    if Int64.logand bits 1L = 1L then s
+    else
+      (* Force the last bit toward the direction of the discarded error so
+         the result is odd and carries the sticky information. *)
+      let bumped =
+        if (e > 0.0) = (s >= 0.0) then Int64.add bits 1L else Int64.sub bits 1L
+      in
+      Int64.float_of_bits bumped
+
+let finite x = Float.is_finite x
+
+let software a b c =
+  if not (finite a && finite b && finite c) then (a *. b) +. c
+  else
+    let mag = Float.abs a +. Float.abs b +. Float.abs c in
+    if mag > 0x1p510 || (mag <> 0.0 && mag < 0x1p-510) then (a *. b) +. c
+    else
+      let ph, pl = Eft.two_prod a b in
+      let sh, sl = Eft.two_sum ph c in
+      let v = add_round_to_odd pl sl in
+      sh +. v
+
+let contract = hardware

@@ -1,0 +1,22 @@
+(** Fused multiply-add.
+
+    The compiler simulator introduces FMA nodes when a personality's
+    contraction policy fires; the execution engine must then evaluate
+    [round(a*b + c)] with a single rounding. [hardware] delegates to the
+    platform's correctly-rounded primitive; [software] is an independent
+    emulation built from error-free transformations and Boldo–Melquiond
+    round-to-odd addition, used to cross-check the primitive in tests and
+    as a fallback documentation of the algorithm. *)
+
+val hardware : float -> float -> float -> float
+(** [hardware a b c] is the platform's correctly rounded fused
+    [a *. b +. c]. *)
+
+val software : float -> float -> float -> float
+(** Software emulation of the fused operation. Correctly rounded on the
+    non-overflowing, non-underflowing range; falls back to the naive
+    two-rounding expression for special values and extreme magnitudes. *)
+
+val contract : float -> float -> float -> float
+(** The evaluation used by the simulator for contracted multiply-adds
+    (currently [hardware]). *)

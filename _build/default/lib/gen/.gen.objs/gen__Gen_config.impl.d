@@ -1,0 +1,1 @@
+lib/gen/gen_config.ml: Analysis

@@ -1,0 +1,1 @@
+lib/gen/generate.ml: Array Ast Float Gen_config Hashtbl Irsim Lang List Printf Util

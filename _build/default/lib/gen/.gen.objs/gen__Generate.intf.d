@@ -1,0 +1,1 @@
+lib/gen/generate.mli: Gen_config Irsim Lang Util

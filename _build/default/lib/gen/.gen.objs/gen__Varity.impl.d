@@ -1,0 +1,1 @@
+lib/gen/varity.ml: Gen_config Generate

@@ -1,0 +1,1 @@
+lib/gen/varity.mli: Gen_config Irsim Lang Util

@@ -1,0 +1,62 @@
+type input_profile = Extreme | Sensible
+
+type t = {
+  min_params : int;
+  max_params : int;
+  p_array_param : float;
+  p_int_param : float;
+  array_len_min : int;
+  array_len_max : int;
+  min_stmts : int;
+  max_stmts : int;
+  max_expr_depth : int;
+  max_block_depth : int;
+  p_loop : float;
+  p_if : float;
+  p_decl : float;
+  p_call : float;
+  p_compound_assign : float;
+  loop_bound_min : int;
+  loop_bound_max : int;
+  literal_log10_min : float;
+  literal_log10_max : float;
+  input_profile : input_profile;
+}
+
+let varity =
+  {
+    min_params = 2;
+    max_params = 5;
+    p_array_param = 0.35;
+    p_int_param = 0.2;
+    array_len_min = 4;
+    array_len_max = 16;
+    min_stmts = 2;
+    max_stmts = 6;
+    max_expr_depth = 5;
+    max_block_depth = 2;
+    p_loop = 0.3;
+    p_if = 0.3;
+    p_decl = 0.25;
+    p_call = 0.26;
+    p_compound_assign = 0.5;
+    loop_bound_min = 2;
+    loop_bound_max = 32;
+    literal_log10_min = -6.0;
+    literal_log10_max = 6.0;
+    input_profile = Extreme;
+  }
+
+let validate t =
+  let check cond msg = if not cond then invalid_arg ("Gen_config: " ^ msg) in
+  check (t.min_params >= 0 && t.min_params <= t.max_params) "params range";
+  check (t.array_len_min >= 1 && t.array_len_min <= t.array_len_max)
+    "array length range";
+  check (t.min_stmts >= 1 && t.min_stmts <= t.max_stmts) "stmts range";
+  check (t.max_expr_depth >= 1) "expr depth";
+  check (t.max_block_depth >= 0) "block depth";
+  check
+    (t.loop_bound_min >= 1 && t.loop_bound_max >= t.loop_bound_min
+    && t.loop_bound_max <= Analysis.Validate.max_loop_bound)
+    "loop bounds";
+  check (t.literal_log10_min <= t.literal_log10_max) "literal range"

@@ -1,0 +1,45 @@
+(** Tunable shape of randomly generated programs.
+
+    One configuration describes a program-generation regime: how many
+    parameters and statements, how deep expressions grow, how likely
+    loops / branches / math calls are, and from which ranges literals and
+    runtime inputs are drawn. {!varity} reproduces the regime of the
+    Varity generator (deep single expressions over wide value ranges,
+    few named temporaries, occasional math calls); the mock LLM uses its
+    own regimes layered on corpus patterns. *)
+
+type input_profile =
+  | Extreme
+      (** Varity-style: magnitudes up to 1e±300 with substantial
+          probability, provoking overflow/invalid operations *)
+  | Sensible
+      (** LLM-style: human-plausible magnitudes (|x| mostly <= 10) *)
+
+type t = {
+  min_params : int;
+  max_params : int;
+  p_array_param : float;   (** probability an extra array parameter is added *)
+  p_int_param : float;
+  array_len_min : int;
+  array_len_max : int;
+  min_stmts : int;
+  max_stmts : int;
+  max_expr_depth : int;
+  max_block_depth : int;   (** loop/if nesting limit *)
+  p_loop : float;
+  p_if : float;
+  p_decl : float;          (** probability a statement declares a temporary *)
+  p_call : float;          (** probability a subexpression is a math call *)
+  p_compound_assign : float;  (** += and friends vs plain = *)
+  loop_bound_min : int;
+  loop_bound_max : int;
+  literal_log10_min : float;  (** literals: magnitude 10^U(min,max) *)
+  literal_log10_max : float;
+  input_profile : input_profile;
+}
+
+val varity : t
+(** The baseline regime (§3.2.1). *)
+
+val validate : t -> unit
+(** Sanity-check field ranges; raises [Invalid_argument]. *)

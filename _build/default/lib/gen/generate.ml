@@ -1,0 +1,288 @@
+open Lang
+
+type naming = {
+  param_pool : string array;
+  temp_pool : string array;
+  counter_pool : string array;
+}
+
+let varity_naming =
+  {
+    param_pool = [| "var_1"; "var_2"; "var_3"; "var_4"; "var_5"; "var_6" |];
+    temp_pool = [| "tmp" |];
+    counter_pool = [| "i" |];
+  }
+
+let human_naming =
+  {
+    param_pool =
+      [| "x"; "y"; "z"; "a"; "b"; "c"; "u"; "v"; "w"; "alpha"; "beta";
+         "gamma"; "scale"; "offset"; "rate"; "data"; "weights"; "coeffs";
+         "values"; "n"; "count"; "steps" |];
+    temp_pool =
+      [| "t"; "sum"; "acc"; "prod"; "term"; "delta"; "factor"; "result";
+         "partial"; "numer"; "denom"; "err" |];
+    counter_pool = [| "i"; "j"; "k" |];
+  }
+
+type ctx = {
+  rng : Util.Rng.t;
+  cfg : Gen_config.t;
+  naming : naming;
+  mutable scalars : string list;          (* readable fp scalars incl. comp *)
+  mutable read_only : string list;        (* promoted int parameters *)
+  mutable arrays : (string * int) list;
+  mutable counters : (string * int) list; (* in-scope counters with bounds *)
+  mutable used : (string, unit) Hashtbl.t;
+  mutable temp_idx : int;
+  mutable counter_idx : int;
+  mutable comp_assigned : bool;
+}
+
+let fresh ctx pool =
+  let base = pool.(Util.Rng.int ctx.rng (Array.length pool)) in
+  let rec go candidate n =
+    if Hashtbl.mem ctx.used candidate then
+      go (Printf.sprintf "%s_%d" base n) (n + 1)
+    else begin
+      Hashtbl.add ctx.used candidate ();
+      candidate
+    end
+  in
+  go base 1
+
+let gen_literal rng (cfg : Gen_config.t) =
+  let magnitude =
+    10.0 ** Util.Rng.float_in rng cfg.literal_log10_min cfg.literal_log10_max
+  in
+  let v = if Util.Rng.bool rng then magnitude else -.magnitude in
+  (* Keep a human-plausible fraction of round constants. *)
+  if Util.Rng.chance rng 0.25 then
+    Float.round (v *. 4.0) /. 4.0
+    |> fun r -> if r = 0.0 then v else r
+  else v
+
+(* Weighted math functions: common HPC usage first. *)
+let fn_weights =
+  [| (6.0, Ast.Sin); (6.0, Ast.Cos); (5.0, Ast.Exp); (5.0, Ast.Log);
+     (5.0, Ast.Sqrt); (4.0, Ast.Fabs); (3.0, Ast.Pow); (2.0, Ast.Tan);
+     (2.0, Ast.Atan); (2.0, Ast.Tanh); (2.0, Ast.Floor); (3.0, Ast.Fmax);
+     (3.0, Ast.Fmin); (1.0, Ast.Cosh); (1.0, Ast.Sinh); (1.0, Ast.Log10);
+     (1.0, Ast.Exp2); (1.0, Ast.Log2); (1.0, Ast.Cbrt); (1.0, Ast.Hypot);
+     (1.0, Ast.Atan2); (1.0, Ast.Fmod); (0.5, Ast.Asin); (0.5, Ast.Acos);
+     (0.5, Ast.Expm1); (0.5, Ast.Log1p); (0.5, Ast.Ceil) |]
+
+let gen_index ctx len =
+  let fitting =
+    List.filter (fun (_, bound) -> bound <= len) ctx.counters
+  in
+  match fitting with
+  | (counter, bound) :: _ ->
+    if bound < len && Util.Rng.chance ctx.rng 0.2 then
+      (* counter + k stays in bounds when k <= len - bound *)
+      Ast.Bin
+        (Ast.Add, Ast.Var counter,
+         Ast.Int_lit (Util.Rng.int ctx.rng (len - bound + 1)))
+    else Ast.Var counter
+  | [] -> Ast.Int_lit (Util.Rng.int ctx.rng len)
+
+let gen_terminal ctx =
+  let scalar_choices =
+    List.map (fun name -> (3.0, `Scalar name)) ctx.scalars
+  in
+  let array_choices = List.map (fun arr -> (2.0, `Array arr)) ctx.arrays in
+  let choices =
+    Array.of_list
+      ((4.0, `Literal) :: (scalar_choices @ array_choices))
+  in
+  match Util.Rng.weighted ctx.rng choices with
+  | `Literal -> Ast.Lit (gen_literal ctx.rng ctx.cfg)
+  | `Scalar name -> Ast.Var name
+  | `Array (name, len) -> Ast.Index (name, gen_index ctx len)
+
+let rec gen_expr ctx depth =
+  if depth <= 0 then gen_terminal ctx
+  else
+    let r = Util.Rng.float ctx.rng 1.0 in
+    if r < ctx.cfg.p_call then begin
+      let fn = Util.Rng.weighted ctx.rng fn_weights in
+      let args =
+        List.init (Ast.math_fn_arity fn) (fun _ -> gen_expr ctx (depth - 1))
+      in
+      Ast.Call (fn, args)
+    end
+    else if r < ctx.cfg.p_call +. 0.05 then Ast.Neg (gen_expr ctx (depth - 1))
+    else if r < ctx.cfg.p_call +. 0.75 then begin
+      let op =
+        Util.Rng.weighted ctx.rng
+          [| (4.0, Ast.Add); (3.0, Ast.Mul); (2.5, Ast.Sub); (2.0, Ast.Div) |]
+      in
+      Ast.Bin (op, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    end
+    else gen_terminal ctx
+
+let cmp_pool = [| Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge |]
+
+let gen_assign ctx =
+  let depth = 1 + Util.Rng.int ctx.rng ctx.cfg.max_expr_depth in
+  let rhs = gen_expr ctx depth in
+  let op =
+    if Util.Rng.chance ctx.rng ctx.cfg.p_compound_assign then
+      Util.Rng.choose ctx.rng [| Ast.Add_eq; Ast.Sub_eq; Ast.Mul_eq; Ast.Div_eq |]
+    else Ast.Set
+  in
+  let target =
+    let temps =
+      List.filter
+        (fun s -> s <> Ast.comp_name && not (List.mem s ctx.read_only))
+        ctx.scalars
+    in
+    let array_write =
+      ctx.arrays <> [] && Util.Rng.chance ctx.rng 0.15
+    in
+    if array_write then begin
+      let name, len = Util.Rng.choose_list ctx.rng ctx.arrays in
+      Ast.Lv_index (name, gen_index ctx len)
+    end
+    else if temps <> [] && Util.Rng.chance ctx.rng 0.3 then
+      Ast.Lv_var (Util.Rng.choose_list ctx.rng temps)
+    else begin
+      ctx.comp_assigned <- true;
+      Ast.Lv_var Ast.comp_name
+    end
+  in
+  Ast.Assign { lhs = target; op; rhs }
+
+let rec gen_stmt ctx block_depth =
+  let r = Util.Rng.float ctx.rng 1.0 in
+  if r < ctx.cfg.p_decl then begin
+    let name = fresh ctx ctx.naming.temp_pool in
+    ctx.temp_idx <- ctx.temp_idx + 1;
+    let init = gen_expr ctx (1 + Util.Rng.int ctx.rng ctx.cfg.max_expr_depth) in
+    let stmt = Ast.Decl { name; init } in
+    ctx.scalars <- name :: ctx.scalars;
+    stmt
+  end
+  else if block_depth < ctx.cfg.max_block_depth
+          && r < ctx.cfg.p_decl +. ctx.cfg.p_loop then begin
+    let counter = fresh ctx ctx.naming.counter_pool in
+    ctx.counter_idx <- ctx.counter_idx + 1;
+    let bound =
+      Util.Rng.int_in ctx.rng ctx.cfg.loop_bound_min ctx.cfg.loop_bound_max
+    in
+    let saved_scalars = ctx.scalars and saved_counters = ctx.counters in
+    ctx.counters <- (counter, bound) :: ctx.counters;
+    let n_body = Util.Rng.int_in ctx.rng 1 3 in
+    let body = List.init n_body (fun _ -> gen_stmt ctx (block_depth + 1)) in
+    ctx.scalars <- saved_scalars;
+    ctx.counters <- saved_counters;
+    Ast.For { var = counter; bound; body }
+  end
+  else if block_depth < ctx.cfg.max_block_depth
+          && r < ctx.cfg.p_decl +. ctx.cfg.p_loop +. ctx.cfg.p_if then begin
+    let lhs =
+      (* Conditions preferentially test computed temporaries (consed most
+         recently onto the scalar list): branching on computed data is
+         where NaN-sensitivity lives. *)
+      match ctx.scalars with
+      | [] -> Ast.Lit (gen_literal ctx.rng ctx.cfg)
+      | scalars ->
+        let n = List.length scalars in
+        let idx =
+          if n > 1 && Util.Rng.chance ctx.rng 0.7 then
+            Util.Rng.int ctx.rng ((n + 1) / 2)
+          else Util.Rng.int ctx.rng n
+        in
+        Ast.Var (List.nth scalars idx)
+    in
+    let cmp = Util.Rng.choose ctx.rng cmp_pool in
+    let rhs = gen_expr ctx (1 + Util.Rng.int ctx.rng 2) in
+    let saved_scalars = ctx.scalars in
+    let n_body = Util.Rng.int_in ctx.rng 1 2 in
+    let body = List.init n_body (fun _ -> gen_stmt ctx (block_depth + 1)) in
+    ctx.scalars <- saved_scalars;
+    Ast.If { lhs; cmp; rhs; body }
+  end
+  else gen_assign ctx
+
+let generate rng (cfg : Gen_config.t) naming =
+  Gen_config.validate cfg;
+  let ctx =
+    {
+      rng;
+      cfg;
+      naming;
+      scalars = [];
+      read_only = [];
+      arrays = [];
+      counters = [];
+      used = Hashtbl.create 16;
+      temp_idx = 0;
+      counter_idx = 0;
+      comp_assigned = false;
+    }
+  in
+  Hashtbl.add ctx.used Ast.comp_name ();
+  let n_scalars = Util.Rng.int_in rng cfg.min_params cfg.max_params in
+  let params = ref [] in
+  for _ = 1 to n_scalars do
+    let name = fresh ctx naming.param_pool in
+    ctx.scalars <- name :: ctx.scalars;
+    params := Ast.P_fp name :: !params
+  done;
+  if Util.Rng.chance rng cfg.p_array_param then begin
+    let name = fresh ctx naming.param_pool in
+    let len = Util.Rng.int_in rng cfg.array_len_min cfg.array_len_max in
+    ctx.arrays <- (name, len) :: ctx.arrays;
+    params := Ast.P_fp_array (name, len) :: !params
+  end;
+  if Util.Rng.chance rng cfg.p_int_param then begin
+    let name = fresh ctx naming.param_pool in
+    (* Integer parameters join the scalar pool through implicit
+       promotion, as in C — but only as read-only values. *)
+    ctx.scalars <- name :: ctx.scalars;
+    ctx.read_only <- name :: ctx.read_only;
+    params := Ast.P_int name :: !params
+  end;
+  let params = List.rev !params in
+  let n_stmts = Util.Rng.int_in rng cfg.min_stmts cfg.max_stmts in
+  let body = List.init n_stmts (fun _ -> gen_stmt ctx 0) in
+  let body =
+    if ctx.comp_assigned then body
+    else
+      body
+      @ [ Ast.Assign
+            {
+              lhs = Ast.Lv_var Ast.comp_name;
+              op = Ast.Add_eq;
+              rhs = gen_expr ctx 2;
+            } ]
+  in
+  { Ast.precision = Ast.F64; params; body }
+
+let gen_input_value rng (cfg : Gen_config.t) =
+  match cfg.input_profile with
+  | Gen_config.Extreme ->
+    let r = Util.Rng.float rng 1.0 in
+    let magnitude =
+      if r < 0.35 then 10.0 ** Util.Rng.float_in rng (-300.0) 300.0
+      else if r < 0.5 then Util.Rng.float_in rng 0.0 1e6
+      else Util.Rng.float_in rng 0.0 10.0
+    in
+    if Util.Rng.bool rng then magnitude else -.magnitude
+  | Gen_config.Sensible ->
+    let r = Util.Rng.float rng 1.0 in
+    if r < 0.05 then
+      Util.Rng.choose rng [| 0.0; 1.0; -1.0; 0.5; 2.0; 0.1; 10.0 |]
+    else if r < 0.85 then Util.Rng.float_in rng (-10.0) 10.0
+    else Util.Rng.float_in rng (-100.0) 100.0
+
+let gen_inputs rng (cfg : Gen_config.t) (p : Ast.program) =
+  List.map
+    (fun prm ->
+      match prm with
+      | Ast.P_fp _ -> Irsim.Inputs.Fp (gen_input_value rng cfg)
+      | Ast.P_int _ -> Irsim.Inputs.Int (Util.Rng.int_in rng 1 10)
+      | Ast.P_fp_array (_, len) ->
+        Irsim.Inputs.Arr (Array.init len (fun _ -> gen_input_value rng cfg)))
+    p.params

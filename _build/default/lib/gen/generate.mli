@@ -1,0 +1,31 @@
+(** Grammar-driven random program generation (the Varity baseline, and
+    the structural backbone the mock LLM builds on).
+
+    Generation follows the grammar of Figure 2 and is correct by
+    construction: every emitted program passes
+    {!Analysis.Validate.check} — identifiers are declared before use,
+    subscripts are provably in bounds (counters are only used on arrays
+    at least as long as the loop bound), loop bounds are in range, and
+    the accumulator is always assigned. *)
+
+type naming = {
+  param_pool : string array;   (** names for scalar/array/int parameters *)
+  temp_pool : string array;    (** base names for declared temporaries *)
+  counter_pool : string array; (** base names for loop counters *)
+}
+
+val varity_naming : naming
+(** Varity's machine-flavored names: [var_1], [tmp_1], [i_1], ... *)
+
+val human_naming : naming
+(** Human-plausible names the mock LLM samples from. *)
+
+val generate : Util.Rng.t -> Gen_config.t -> naming -> Lang.Ast.program
+(** A fresh random program. *)
+
+val gen_inputs : Util.Rng.t -> Gen_config.t -> Lang.Ast.program -> Irsim.Inputs.t
+(** A random input vector for the program, drawn from the
+    configuration's {!Gen_config.input_profile}. *)
+
+val gen_literal : Util.Rng.t -> Gen_config.t -> float
+(** One random literal under the configuration's magnitude regime. *)

@@ -1,0 +1,7 @@
+let config = Gen_config.varity
+
+let generate rng = Generate.generate rng config Generate.varity_naming
+
+let gen_case rng =
+  let program = generate rng in
+  (program, Generate.gen_inputs rng config program)

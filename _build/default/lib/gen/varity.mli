@@ -1,0 +1,17 @@
+(** The Varity baseline (Laguna, IPDPS 2020; paper §3.2.1).
+
+    Random grammar-driven generation with no domain knowledge and no
+    feedback: deep arithmetic expressions, machine-flavored identifiers,
+    and inputs drawn from wide magnitude ranges — the regime that makes
+    Varity's inconsistencies skew toward extreme values (NaN, ±Inf) in
+    the paper's Figure 3. *)
+
+val generate : Util.Rng.t -> Lang.Ast.program
+(** One random program (always valid by construction). *)
+
+val gen_case : Util.Rng.t -> Lang.Ast.program * Irsim.Inputs.t
+(** A program paired with one random input vector (§3.1.3: each program
+    is paired with a unique set of input values). *)
+
+val config : Gen_config.t
+(** The generation regime, exposed for tests and reports. *)

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Approach Campaign Compiler Difftest Irsim List Mathlib Printf Report

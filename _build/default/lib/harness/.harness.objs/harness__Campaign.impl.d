@@ -1,0 +1,1 @@
+lib/harness/campaign.ml: Analysis Approach Cparse Difftest Gen Irsim Lang List Llm String Time_model Unix Util

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Analysis Approach Array Buffer Campaign Compiler Difftest Diversity Float Fp Lang List Mathlib Printf Report Util

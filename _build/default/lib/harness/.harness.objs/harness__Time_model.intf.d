@@ -1,0 +1,1 @@
+lib/harness/time_model.mli: Util

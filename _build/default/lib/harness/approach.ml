@@ -1,0 +1,17 @@
+type t = Varity | Direct_prompt | Grammar_guided | Llm4fp
+
+let all = [| Varity; Direct_prompt; Grammar_guided; Llm4fp |]
+
+let name = function
+  | Varity -> "VARITY"
+  | Direct_prompt -> "DIRECT-PROMPT"
+  | Grammar_guided -> "GRAMMAR-GUIDED"
+  | Llm4fp -> "LLM4FP"
+
+let of_name s =
+  let s = String.uppercase_ascii s in
+  Array.find_opt (fun a -> name a = s) all
+
+let uses_llm = function
+  | Varity -> false
+  | Direct_prompt | Grammar_guided | Llm4fp -> true

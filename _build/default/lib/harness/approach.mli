@@ -1,0 +1,19 @@
+(** The four program-generation approaches the paper evaluates (§3.2.1). *)
+
+type t =
+  | Varity          (** random grammar generation, no LLM, no feedback *)
+  | Direct_prompt   (** LLM, no grammar, no examples *)
+  | Grammar_guided  (** LLM + Figure-2 grammar specification *)
+  | Llm4fp          (** grammar + feedback-based mutation loop *)
+
+val all : t array
+(** In the paper's table order. *)
+
+val name : t -> string
+(** Paper spelling: ["VARITY"], ["DIRECT-PROMPT"], ["GRAMMAR-GUIDED"],
+    ["LLM4FP"]. *)
+
+val of_name : string -> t option
+(** Case-insensitive. *)
+
+val uses_llm : t -> bool

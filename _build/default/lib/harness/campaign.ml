@@ -1,0 +1,108 @@
+type outcome = {
+  approach : Approach.t;
+  budget : int;
+  stats : Difftest.Stats.t;
+  programs : Lang.Ast.program list;
+  cases : (Lang.Ast.program * Irsim.Inputs.t) list;
+  generation_failures : int;
+  successful : int;
+  sim_seconds : float;
+  llm_seconds : float;
+  real_seconds : float;
+}
+
+let strategy_mix_probability = 0.5
+
+(* A generated candidate: either a program that made it through the front
+   end and validator, or the reason it did not. *)
+let admit source =
+  match Cparse.Parse.program source with
+  | Error msg -> Error msg
+  | Ok program -> begin
+    match Analysis.Validate.check program with
+    | Error issues ->
+      Error
+        (String.concat "; "
+           (List.map Analysis.Validate.issue_to_string issues))
+    | Ok () -> Ok program
+  end
+
+let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ~seed approach =
+  let rng = Util.Rng.of_int seed in
+  let input_rng = Util.Rng.split rng in
+  let clock = Util.Sim_clock.create () in
+  let client = Llm.Client.create ~seed:(seed lxor 0x5eed) () in
+  let stats = Difftest.Stats.create () in
+  let successful = ref [] in
+  let n_successful = ref 0 in
+  let programs = ref [] in
+  let cases = ref [] in
+  let generation_failures = ref 0 in
+  let t_start = Unix.gettimeofday () in
+  let llm_generate prompt =
+    let response = Llm.Client.generate client prompt in
+    Time_model.charge_llm clock response.Llm.Client.latency;
+    admit response.Llm.Client.source
+  in
+  let generate () : (Lang.Ast.program, string) result =
+    match approach with
+    | Approach.Varity ->
+      Ok { (Gen.Varity.generate rng) with Lang.Ast.precision }
+    | Approach.Direct_prompt ->
+      llm_generate (Llm.Prompt.Direct { precision })
+    | Approach.Grammar_guided ->
+      llm_generate (Llm.Prompt.Grammar { precision })
+    | Approach.Llm4fp ->
+      if
+        !successful <> []
+        && Util.Rng.chance rng strategy_mix_probability
+      then
+        let example = Util.Rng.choose_list rng !successful in
+        llm_generate (Llm.Prompt.Mutate { precision; example })
+      else llm_generate (Llm.Prompt.Grammar { precision })
+  in
+  let input_config =
+    match approach with
+    | Approach.Varity -> Gen.Varity.config
+    | Approach.Direct_prompt | Approach.Grammar_guided | Approach.Llm4fp ->
+      Llm.Client.generation_config
+  in
+  let framework_cost =
+    if Approach.uses_llm approach then Time_model.framework_llm
+    else Time_model.framework
+  in
+  for _ = 1 to budget do
+    Util.Sim_clock.advance clock framework_cost;
+    match generate () with
+    | Error _ ->
+      incr generation_failures;
+      Difftest.Stats.add_generation_failure stats
+    | Ok program ->
+      programs := program :: !programs;
+      let inputs = Gen.Generate.gen_inputs input_rng input_config program in
+      cases := (program, inputs) :: !cases;
+      let result = Difftest.Run.test program inputs in
+      Difftest.Stats.add stats result;
+      Time_model.charge_program clock ~work:result.Difftest.Run.total_work
+        ~ops:result.Difftest.Run.total_ops
+        ~configs:(List.length result.Difftest.Run.outputs);
+      if
+        approach = Approach.Llm4fp
+        && Difftest.Run.has_inconsistency result
+      then begin
+        successful := program :: !successful;
+        incr n_successful
+      end
+  done;
+  {
+    approach;
+    budget;
+    stats;
+    programs = List.rev !programs;
+    cases = List.rev !cases;
+    generation_failures = !generation_failures;
+    successful = !n_successful;
+    sim_seconds = Util.Sim_clock.elapsed clock;
+    llm_seconds = Llm.Client.total_latency client;
+    real_seconds = Unix.gettimeofday () -. t_start;
+  }

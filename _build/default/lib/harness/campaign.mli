@@ -1,0 +1,42 @@
+(** Campaign runner: one approach, one budget, full pipeline.
+
+    Implements Figure 1's loop. For each of the [budget] slots: select a
+    generation strategy (for LLM4FP, a fair coin between Grammar-Based
+    Generation and Feedback-Based Mutation once the successful set is
+    non-empty — §2.3), obtain a candidate program, pair it with a fresh
+    input vector, push it through the compilation driver and differential
+    testing, and feed programs that triggered at least one inconsistency
+    back into the successful set. All costs are charged to a simulated
+    clock via {!Time_model}.
+
+    Everything is deterministic in [seed]. *)
+
+type outcome = {
+  approach : Approach.t;
+  budget : int;
+  stats : Difftest.Stats.t;
+  programs : Lang.Ast.program list;
+      (** valid generated programs in generation order (diversity input) *)
+  cases : (Lang.Ast.program * Irsim.Inputs.t) list;
+      (** the same programs paired with their input vectors, so ablation
+          studies can replay the corpus under modified compiler models *)
+  generation_failures : int;
+      (** budget slots whose candidate failed to parse or validate *)
+  successful : int;  (** final size of the feedback set *)
+  sim_seconds : float;       (** total modelled wall-clock *)
+  llm_seconds : float;       (** the API-latency share *)
+  real_seconds : float;      (** actually measured compute time *)
+}
+
+val run :
+  ?budget:int -> ?precision:Lang.Ast.precision -> seed:int -> Approach.t ->
+  outcome
+(** [budget] defaults to 1000 (the paper's); [precision] to FP64 (the
+    paper's default — §3.1.3 notes the extension to FP32, which this
+    parameter provides: programs are generated, printed, compiled and
+    executed in single precision, and nvcc's [-use_fast_math] intrinsics
+    then genuinely apply). *)
+
+val strategy_mix_probability : float
+(** 0.5 — the paper's fixed probability of choosing Feedback-Based
+    Mutation once examples exist (§3.1.4). *)

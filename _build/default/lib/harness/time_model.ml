@@ -1,0 +1,18 @@
+let compile_base = 0.055
+let compile_per_work = 0.0002
+let exec_base = 0.008
+let exec_per_op = 8e-6
+let framework = 0.09
+let framework_llm = 6.0
+
+let charge_program clock ~work ~ops ~configs =
+  let compile =
+    (float_of_int configs *. compile_base)
+    +. (float_of_int work *. compile_per_work)
+  in
+  let exec =
+    (float_of_int configs *. exec_base) +. (float_of_int ops *. exec_per_op)
+  in
+  Util.Sim_clock.advance clock (compile +. exec)
+
+let charge_llm = Util.Sim_clock.advance

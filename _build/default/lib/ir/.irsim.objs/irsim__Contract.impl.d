@@ -1,0 +1,1 @@
+lib/ir/contract.ml: Forward Ir Lang List

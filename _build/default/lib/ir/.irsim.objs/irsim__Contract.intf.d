@@ -1,0 +1,1 @@
+lib/ir/contract.mli: Ir

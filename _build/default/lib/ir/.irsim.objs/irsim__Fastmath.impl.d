@@ -1,0 +1,1 @@
+lib/ir/fastmath.ml: Ast Ir Lang List

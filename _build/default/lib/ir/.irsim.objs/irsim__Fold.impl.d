@@ -1,0 +1,1 @@
+lib/ir/fold.ml: Ast Fp Ir Lang List Mathlib

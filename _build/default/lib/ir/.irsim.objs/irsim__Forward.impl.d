@@ -1,0 +1,1 @@
+lib/ir/forward.ml: Array Int Ir Lang List Set

@@ -1,0 +1,1 @@
+lib/ir/forward.mli: Ir

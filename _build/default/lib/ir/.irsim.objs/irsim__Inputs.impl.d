@@ -1,0 +1,1 @@
+lib/ir/inputs.ml: Array Format Lang List Printf String

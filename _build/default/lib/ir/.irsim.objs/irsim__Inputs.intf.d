@@ -1,0 +1,1 @@
+lib/ir/inputs.mli: Format Lang

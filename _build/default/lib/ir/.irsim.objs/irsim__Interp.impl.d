@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ast Float Fp Fun Inputs Int32 Ir Lang List Mathlib

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast Ir Lang List Printf

@@ -1,0 +1,58 @@
+module Int_set = Set.Make (Int)
+
+type uses = { mutable fslots : Int_set.t; mutable arrs : Int_set.t }
+
+let rec note_expr u (e : Ir.expr) =
+  match e with
+  | Ir.Const _ | Ir.Itof _ -> ()
+  | Ir.Load s -> u.fslots <- Int_set.add s u.fslots
+  | Ir.Load_arr (s, _) -> u.arrs <- Int_set.add s u.arrs
+  | Ir.Neg e | Ir.Recip e -> note_expr u e
+  | Ir.Bin (_, a, b) ->
+    note_expr u a;
+    note_expr u b
+  | Ir.Fma (a, b, c) ->
+    note_expr u a;
+    note_expr u b;
+    note_expr u c
+  | Ir.Call (_, args) -> List.iter (note_expr u) args
+
+let rec note_body u body =
+  List.iter
+    (fun (s : Ir.stmt) ->
+      match s with
+      | Ir.Store (_, e) -> note_expr u e
+      | Ir.Store_arr (_, _, e) -> note_expr u e
+      | Ir.If { lhs; rhs; body; _ } ->
+        note_expr u lhs;
+        note_expr u rhs;
+        note_body u body
+      | Ir.For { body; _ } -> note_body u body)
+    body
+
+(* NaN constants make structural equality of bodies unreliable (nan <> nan),
+   so convergence is tracked with an explicit removal counter. *)
+let rec sweep removed live_f live_a comp body =
+  List.filter_map
+    (fun (s : Ir.stmt) ->
+      match s with
+      | Ir.Store (slot, _) ->
+        if slot = comp || Int_set.mem slot live_f then Some s
+        else begin incr removed; None end
+      | Ir.Store_arr (arr, _, _) ->
+        if Int_set.mem arr live_a then Some s
+        else begin incr removed; None end
+      | Ir.If r ->
+        Some (Ir.If { r with body = sweep removed live_f live_a comp r.body })
+      | Ir.For r ->
+        Some (Ir.For { r with body = sweep removed live_f live_a comp r.body }))
+    body
+
+let rec fixpoint (ir : Ir.t) =
+  let u = { fslots = Int_set.empty; arrs = Int_set.empty } in
+  note_body u ir.body;
+  let removed = ref 0 in
+  let swept = sweep removed u.fslots u.arrs ir.comp_slot ir.body in
+  if !removed = 0 then ir else fixpoint { ir with body = swept }
+
+let run = fixpoint

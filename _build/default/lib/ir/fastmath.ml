@@ -1,0 +1,203 @@
+open Lang
+
+type reassoc = Balanced | Pairwise | Flat
+
+type config = {
+  simplify : bool;
+  simplify_div_self : bool;
+  simplify_sub_self : bool;
+  recip : bool;
+  reassoc : reassoc;
+}
+
+let gcc =
+  { simplify = true; simplify_div_self = true; simplify_sub_self = true;
+    recip = true; reassoc = Balanced }
+
+let clang =
+  { simplify = true; simplify_div_self = false; simplify_sub_self = true;
+    recip = true; reassoc = Pairwise }
+
+let nvcc =
+  { simplify = true; simplify_div_self = true; simplify_sub_self = false;
+    recip = true; reassoc = Flat }
+
+(* ----------------------------------------------------------------- *)
+(* Value-unsafe algebraic simplification. Structural equality of pure
+   subtrees implies equal runtime values (expressions have no side
+   effects), so `x - x` and `x / x` may be folded — unsafely, since the
+   runtime value could be NaN or Inf. *)
+
+let is_zero = function Ir.Const 0.0 -> true | _ -> false
+let is_one = function Ir.Const 1.0 -> true | _ -> false
+
+let rec simplify_expr cfg (e : Ir.expr) : Ir.expr =
+  let simplify_expr = simplify_expr cfg in
+  match e with
+  | Ir.Const _ | Ir.Load _ | Ir.Load_arr _ | Ir.Itof _ -> e
+  | Ir.Neg inner -> begin
+    match simplify_expr inner with
+    | Ir.Neg x -> x
+    | inner -> Ir.Neg inner
+  end
+  | Ir.Recip inner -> Ir.Recip (simplify_expr inner)
+  | Ir.Fma (a, b, c) -> Ir.Fma (simplify_expr a, simplify_expr b, simplify_expr c)
+  | Ir.Call (fn, args) -> Ir.Call (fn, List.map simplify_expr args)
+  | Ir.Bin (op, a, b) -> begin
+    let a = simplify_expr a and b = simplify_expr b in
+    match op with
+    | Ast.Sub when cfg.simplify_sub_self && a = b -> Ir.Const 0.0
+    | Ast.Div when cfg.simplify_div_self && a = b -> Ir.Const 1.0
+    | Ast.Mul when is_zero a || is_zero b -> Ir.Const 0.0
+    | Ast.Mul when is_one a -> b
+    | Ast.Mul when is_one b -> a
+    | Ast.Add when is_zero b -> a
+    | Ast.Add when is_zero a -> b
+    | Ast.Sub when is_zero b -> a
+    | Ast.Div when is_one b -> a
+    | _ -> Ir.Bin (op, a, b)
+  end
+
+(* ----------------------------------------------------------------- *)
+(* Reciprocal division. *)
+
+let rec recip_expr (e : Ir.expr) : Ir.expr =
+  match e with
+  | Ir.Const _ | Ir.Load _ | Ir.Load_arr _ | Ir.Itof _ -> e
+  | Ir.Neg inner -> Ir.Neg (recip_expr inner)
+  | Ir.Recip inner -> Ir.Recip (recip_expr inner)
+  | Ir.Fma (a, b, c) -> Ir.Fma (recip_expr a, recip_expr b, recip_expr c)
+  | Ir.Call (fn, args) -> Ir.Call (fn, List.map recip_expr args)
+  | Ir.Bin (Ast.Div, a, b) ->
+    (* Constant divisors get their reciprocal precomputed at compile time
+       (all compilers do this under -freciprocal-math). *)
+    let b = recip_expr b in
+    let recip = match b with Ir.Const c -> Ir.Const (1.0 /. c) | _ -> Ir.Recip b in
+    Ir.Bin (Ast.Mul, recip_expr a, recip)
+  | Ir.Bin (op, a, b) -> Ir.Bin (op, recip_expr a, recip_expr b)
+
+(* ----------------------------------------------------------------- *)
+(* Reassociation. An Add/Sub tree flattens to a signed term list; a Mul
+   tree to a factor list. The rebuild shape is the per-compiler knob. *)
+
+type term = { negated : bool; expr : Ir.expr }
+
+let rec flatten_sum (e : Ir.expr) ~negated acc =
+  match e with
+  | Ir.Bin (Ast.Add, a, b) ->
+    flatten_sum a ~negated (flatten_sum b ~negated acc)
+  | Ir.Bin (Ast.Sub, a, b) ->
+    flatten_sum a ~negated (flatten_sum b ~negated:(not negated) acc)
+  | _ -> { negated; expr = e } :: acc
+
+let rec flatten_product (e : Ir.expr) acc =
+  match e with
+  | Ir.Bin (Ast.Mul, a, b) -> flatten_product a (flatten_product b acc)
+  | _ -> e :: acc
+
+let signed_term t = if t.negated then Ir.Neg t.expr else t.expr
+
+(* Left-associated fold of a non-empty term list, subtracting negated
+   terms (keeps `a - b + c` shaped naturally). *)
+let rebuild_left terms =
+  match terms with
+  | [] -> invalid_arg "rebuild_left: empty"
+  | first :: rest ->
+    List.fold_left
+      (fun acc t ->
+        if t.negated then Ir.Bin (Ast.Sub, acc, t.expr)
+        else Ir.Bin (Ast.Add, acc, t.expr))
+      (signed_term first) rest
+
+(* Balanced binary reduction in source order (gcc's reduction tree). *)
+let rec rebuild_balanced terms =
+  match terms with
+  | [] -> invalid_arg "rebuild_balanced: empty"
+  | [ t ] -> signed_term t
+  | terms ->
+    let n = List.length terms in
+    let rec split k left right =
+      if k = 0 then (List.rev left, right)
+      else
+        match right with
+        | [] -> (List.rev left, [])
+        | x :: rest -> split (k - 1) (x :: left) rest
+    in
+    let left, right = split (n / 2) [] terms in
+    Ir.Bin (Ast.Add, rebuild_balanced left, rebuild_balanced right)
+
+(* Even/odd partial sums (clang's two-lane vectorization shape). *)
+let rebuild_pairwise terms =
+  let evens, odds =
+    List.fold_left
+      (fun (evens, odds, k) t ->
+        if k mod 2 = 0 then (t :: evens, odds, k + 1)
+        else (evens, t :: odds, k + 1))
+      ([], [], 0) terms
+    |> fun (e, o, _) -> (List.rev e, List.rev o)
+  in
+  match (evens, odds) with
+  | [], [] -> invalid_arg "rebuild_pairwise: empty"
+  | terms, [] | [], terms -> rebuild_left terms
+  | evens, odds -> Ir.Bin (Ast.Add, rebuild_left evens, rebuild_left odds)
+
+let rebuild_product_left factors =
+  match factors with
+  | [] -> invalid_arg "rebuild_product_left: empty"
+  | first :: rest ->
+    List.fold_left (fun acc f -> Ir.Bin (Ast.Mul, acc, f)) first rest
+
+let rec rebuild_product_balanced factors =
+  match factors with
+  | [] -> invalid_arg "rebuild_product_balanced: empty"
+  | [ f ] -> f
+  | factors ->
+    let n = List.length factors in
+    let rec split k left right =
+      if k = 0 then (List.rev left, right)
+      else
+        match right with
+        | [] -> (List.rev left, [])
+        | x :: rest -> split (k - 1) (x :: left) rest
+    in
+    let left, right = split (n / 2) [] factors in
+    Ir.Bin (Ast.Mul, rebuild_product_balanced left, rebuild_product_balanced right)
+
+let rec reassoc_expr shape (e : Ir.expr) : Ir.expr =
+  match e with
+  | Ir.Const _ | Ir.Load _ | Ir.Load_arr _ | Ir.Itof _ -> e
+  | Ir.Neg inner -> Ir.Neg (reassoc_expr shape inner)
+  | Ir.Recip inner -> Ir.Recip (reassoc_expr shape inner)
+  | Ir.Fma (a, b, c) ->
+    Ir.Fma (reassoc_expr shape a, reassoc_expr shape b, reassoc_expr shape c)
+  | Ir.Call (fn, args) -> Ir.Call (fn, List.map (reassoc_expr shape) args)
+  | Ir.Bin ((Ast.Add | Ast.Sub), _, _) -> begin
+    let terms =
+      flatten_sum e ~negated:false []
+      |> List.map (fun t -> { t with expr = reassoc_expr shape t.expr })
+    in
+    match shape with
+    | Flat -> rebuild_left terms
+    | _ when List.length terms < 3 -> rebuild_left terms
+    | Balanced -> rebuild_balanced terms
+    | Pairwise -> rebuild_pairwise terms
+  end
+  | Ir.Bin (Ast.Mul, _, _) -> begin
+    let factors =
+      flatten_product e [] |> List.map (reassoc_expr shape)
+    in
+    match shape with
+    | Flat -> rebuild_product_left factors
+    | _ when List.length factors < 3 -> rebuild_product_left factors
+    | Balanced -> rebuild_product_balanced factors
+    | Pairwise -> rebuild_product_left factors
+  end
+  | Ir.Bin (Ast.Div, a, b) ->
+    Ir.Bin (Ast.Div, reassoc_expr shape a, reassoc_expr shape b)
+
+let rewrite_expr cfg e =
+  let e = if cfg.simplify then simplify_expr cfg e else e in
+  let e = if cfg.recip then recip_expr e else e in
+  reassoc_expr cfg.reassoc e
+
+let run cfg (ir : Ir.t) = { ir with body = Ir.map_body (rewrite_expr cfg) ir.body }

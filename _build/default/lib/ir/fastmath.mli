@@ -1,0 +1,42 @@
+(** Value-unsafe fast-math transformations ([-ffast-math] /
+    [-use_fast_math]).
+
+    Three ingredients, each a real compiler behaviour:
+
+    - {b algebraic simplification} assuming finite math and ignoring
+      signed zero: [x - x → 0], [x / x → 1], [0 * x → 0], [x + 0 → x],
+      [1 * x → x], [-(-x) → x]. These change results exactly when the
+      operand is NaN/Inf/-0 — the mechanism behind the paper's
+      {Real, NaN}-style class flips at [03_fastmath].
+    - {b reciprocal division}: [a / b → a * (1/b)] (two roundings instead
+      of one).
+    - {b reassociation} of addition and multiplication chains. Each
+      compiler reduces long chains in its own shape, so the same source
+      sums in different orders: gcc builds a balanced reduction tree,
+      clang splits even/odd partial sums (vectorization style), nvcc
+      keeps the source order. Chains shorter than three terms are left
+      alone. Subtractions are canonicalized into added negations during
+      reassociation, as real middle-ends do. *)
+
+type reassoc = Balanced | Pairwise | Flat
+
+type config = {
+  simplify : bool;
+  simplify_div_self : bool;
+      (** apply [x / x → 1]; compilers differ in whether this fires (the
+          operand could be NaN, 0 or Inf at runtime — folding it erases
+          the NaN), so it is a per-compiler knob *)
+  simplify_sub_self : bool;  (** apply [x - x → 0] *)
+  recip : bool;
+  reassoc : reassoc;
+}
+
+val gcc : config
+val clang : config
+val nvcc : config
+
+val rewrite_expr : config -> Ir.expr -> Ir.expr
+(** The whole-expression rewrite (simplify, then reciprocal, then
+    reassociate), exposed for tests. *)
+
+val run : config -> Ir.t -> Ir.t

@@ -1,0 +1,80 @@
+open Lang
+
+type config = { fold_arith : bool; fold_calls : Mathlib.Libm.flavor option }
+
+let nothing = { fold_arith = false; fold_calls = None }
+
+let rec fold_iexpr (e : Ir.iexpr) : Ir.iexpr =
+  match e with
+  | Ir.Iconst _ | Ir.Iload _ -> e
+  | Ir.Ineg inner -> begin
+    match fold_iexpr inner with
+    | Ir.Iconst n -> Ir.Iconst (-n)
+    | inner -> Ir.Ineg inner
+  end
+  | Ir.Ibin (op, a, b) -> begin
+    match (fold_iexpr a, fold_iexpr b) with
+    | Ir.Iconst x, Ir.Iconst y -> begin
+      match op with
+      | Ast.Add -> Ir.Iconst (x + y)
+      | Ast.Sub -> Ir.Iconst (x - y)
+      | Ast.Mul -> Ir.Iconst (x * y)
+      | Ast.Div -> if y = 0 then Ir.Ibin (op, Ir.Iconst x, Ir.Iconst y)
+                   else Ir.Iconst (x / y)
+    end
+    | a, b -> Ir.Ibin (op, a, b)
+  end
+
+let rec fold_expr cfg (e : Ir.expr) : Ir.expr =
+  match e with
+  | Ir.Const _ | Ir.Load _ -> e
+  | Ir.Load_arr (s, idx) -> Ir.Load_arr (s, fold_iexpr idx)
+  | Ir.Itof idx -> begin
+    match fold_iexpr idx with
+    | Ir.Iconst n when cfg.fold_arith -> Ir.Const (float_of_int n)
+    | idx -> Ir.Itof idx
+  end
+  | Ir.Neg inner -> begin
+    match fold_expr cfg inner with
+    | Ir.Const v when cfg.fold_arith -> Ir.Const (-.v)
+    | inner -> Ir.Neg inner
+  end
+  | Ir.Bin (op, a, b) -> begin
+    match (fold_expr cfg a, fold_expr cfg b) with
+    | Ir.Const x, Ir.Const y when cfg.fold_arith -> begin
+      match op with
+      | Ast.Add -> Ir.Const (x +. y)
+      | Ast.Sub -> Ir.Const (x -. y)
+      | Ast.Mul -> Ir.Const (x *. y)
+      | Ast.Div -> Ir.Const (x /. y)
+    end
+    | a, b -> Ir.Bin (op, a, b)
+  end
+  | Ir.Recip inner -> begin
+    match fold_expr cfg inner with
+    | Ir.Const v when cfg.fold_arith -> Ir.Const (1.0 /. v)
+    | inner -> Ir.Recip inner
+  end
+  | Ir.Fma (a, b, c) -> begin
+    match (fold_expr cfg a, fold_expr cfg b, fold_expr cfg c) with
+    | Ir.Const x, Ir.Const y, Ir.Const z when cfg.fold_arith ->
+      Ir.Const (Fp.Fma.contract x y z)
+    | a, b, c -> Ir.Fma (a, b, c)
+  end
+  | Ir.Call (fn, args) -> begin
+    let args = List.map (fold_expr cfg) args in
+    let all_const =
+      List.for_all (function Ir.Const _ -> true | _ -> false) args
+    in
+    match cfg.fold_calls with
+    | Some flavor when all_const ->
+      let values =
+        List.map (function Ir.Const v -> v | _ -> assert false) args
+      in
+      Ir.Const (Mathlib.Libm.call flavor fn values)
+    | _ -> Ir.Call (fn, args)
+  end
+
+let run cfg (ir : Ir.t) =
+  if (not cfg.fold_arith) && cfg.fold_calls = None then ir
+  else { ir with body = Ir.map_body (fold_expr cfg) ir.body }

@@ -1,0 +1,22 @@
+(** Compile-time constant folding.
+
+    Folding [+ - * /] on constants is semantically transparent (the
+    compile-time rounding equals the runtime rounding), so it is enabled
+    whenever a compiler optimizes at all. Folding a math-library call on
+    constant arguments is the interesting case: real gcc folds through
+    MPFR (correctly rounded), which can disagree with the runtime library
+    in the last ulp — a genuine source of host-host inconsistency that
+    LLM-style programs (rich in literal-argument calls) expose even at
+    [-O0] (the paper's Table 6 gcc column). The [fold_calls] flavor says
+    which library semantics the compiler evaluates with; [None] leaves
+    calls alone. *)
+
+type config = {
+  fold_arith : bool;
+  fold_calls : Mathlib.Libm.flavor option;
+}
+
+val nothing : config
+(** No folding at all ([-O0 -ffp-contract=off] style). *)
+
+val run : config -> Ir.t -> Ir.t

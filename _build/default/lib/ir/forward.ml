@@ -1,0 +1,96 @@
+module Int_set = Set.Make (Int)
+
+type deps = {
+  fslots : Int_set.t;   (** scalar slots the multiplication reads *)
+  arrs : Int_set.t;     (** array slots it reads *)
+  islots : Int_set.t;   (** integer slots its subscripts read *)
+}
+
+let empty_deps =
+  { fslots = Int_set.empty; arrs = Int_set.empty; islots = Int_set.empty }
+
+let rec ideps acc (e : Ir.iexpr) =
+  match e with
+  | Ir.Iconst _ -> acc
+  | Ir.Iload s -> { acc with islots = Int_set.add s acc.islots }
+  | Ir.Ineg e -> ideps acc e
+  | Ir.Ibin (_, a, b) -> ideps (ideps acc a) b
+
+let rec deps_of acc (e : Ir.expr) =
+  match e with
+  | Ir.Const _ -> acc
+  | Ir.Load s -> { acc with fslots = Int_set.add s acc.fslots }
+  | Ir.Load_arr (s, idx) ->
+    ideps { acc with arrs = Int_set.add s acc.arrs } idx
+  | Ir.Itof idx -> ideps acc idx
+  | Ir.Neg e | Ir.Recip e -> deps_of acc e
+  | Ir.Bin (_, a, b) -> deps_of (deps_of acc a) b
+  | Ir.Fma (a, b, c) -> deps_of (deps_of (deps_of acc a) b) c
+  | Ir.Call (_, args) -> List.fold_left deps_of acc args
+
+(* Replace `Load slot` with the multiplication wherever it is a direct
+   operand of an addition or subtraction. *)
+let substitute slot mul e =
+  let sub_operand operand =
+    match operand with Ir.Load s when s = slot -> mul | _ -> operand
+  in
+  let rec go e =
+    match e with
+    | Ir.Const _ | Ir.Load _ | Ir.Load_arr _ | Ir.Itof _ -> e
+    | Ir.Neg e -> Ir.Neg (go e)
+    | Ir.Recip e -> Ir.Recip (go e)
+    | Ir.Bin (((Lang.Ast.Add | Lang.Ast.Sub) as op), a, b) ->
+      Ir.Bin (op, sub_operand (go a), sub_operand (go b))
+    | Ir.Bin (op, a, b) -> Ir.Bin (op, go a, go b)
+    | Ir.Fma (a, b, c) -> Ir.Fma (go a, go b, sub_operand (go c))
+    | Ir.Call (fn, args) -> Ir.Call (fn, List.map go args)
+  in
+  go e
+
+let is_mul = function Ir.Bin (Lang.Ast.Mul, _, _) -> true | _ -> false
+
+let forward_block comp_slot body =
+  let arr = Array.of_list body in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    match arr.(i) with
+    | Ir.Store (slot, mul)
+      when slot <> comp_slot && is_mul mul
+           && not (Int_set.mem slot (deps_of empty_deps mul).fslots) ->
+      (* self-referential defs (t = t * x) must not forward: at the use
+         site the recomputed product would read the new value of t *)
+      let deps = deps_of empty_deps mul in
+      let blocked = ref false in
+      let j = ref (i + 1) in
+      while (not !blocked) && !j < n do
+        (match arr.(!j) with
+         | Ir.Store (s', e') ->
+           arr.(!j) <- Ir.Store (s', substitute slot mul e');
+           if s' = slot || Int_set.mem s' deps.fslots then blocked := true
+         | Ir.Store_arr (a', idx, e') ->
+           arr.(!j) <- Ir.Store_arr (a', idx, substitute slot mul e');
+           if Int_set.mem a' deps.arrs then blocked := true
+         | Ir.If _ | Ir.For _ ->
+           (* Control flow may iterate or skip redefinitions; stop
+              conservatively. *)
+           blocked := true);
+        incr j
+      done
+    | Ir.Store _ | Ir.Store_arr _ | Ir.If _ | Ir.For _ -> ()
+  done;
+  Array.to_list arr
+
+let run (ir : Ir.t) =
+  let rec walk body =
+    let body =
+      List.map
+        (fun (s : Ir.stmt) ->
+          match s with
+          | Ir.If r -> Ir.If { r with body = walk r.body }
+          | Ir.For r -> Ir.For { r with body = walk r.body }
+          | Ir.Store _ | Ir.Store_arr _ -> s)
+        body
+    in
+    forward_block ir.comp_slot body
+  in
+  { ir with body = walk ir.body }

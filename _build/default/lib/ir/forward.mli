@@ -1,0 +1,15 @@
+(** Single-use multiply-temporary forwarding.
+
+    Models gcc's cross-statement contraction fodder: when a statement
+    stores a pure multiplication into a scalar slot and the {e only}
+    subsequent use of that slot in the same block is an additive operand
+    at the same nesting level, the multiplication is inlined into the use
+    site (where {!Contract} will fuse it). Forwarding is refused whenever
+    an intervening statement redefines the slot or any slot/array the
+    multiplication reads, or when the use sits inside a nested block
+    (loop counters could change the operands' meaning).
+
+    The defining store is left in place; dead-store elimination
+    ({!Dce}) removes it when it becomes unused. *)
+
+val run : Ir.t -> Ir.t

@@ -1,0 +1,38 @@
+type value = Fp of float | Int of int | Arr of float array
+
+type t = value list
+
+let matches (p : Lang.Ast.program) (inputs : t) =
+  List.length p.params = List.length inputs
+  && List.for_all2
+       (fun param value ->
+         match (param, value) with
+         | Lang.Ast.P_fp _, Fp _ -> true
+         | Lang.Ast.P_int _, Int _ -> true
+         | Lang.Ast.P_fp_array (_, len), Arr a -> Array.length a = len
+         | _ -> false)
+       p.params inputs
+
+let to_argv inputs =
+  List.concat_map
+    (function
+      | Fp v -> [ Printf.sprintf "%.17g" v ]
+      | Int v -> [ string_of_int v ]
+      | Arr a ->
+        Array.to_list (Array.map (Printf.sprintf "%.17g") a))
+    inputs
+
+let pp fmt inputs =
+  let pp_value fmt = function
+    | Fp v -> Format.fprintf fmt "%.17g" v
+    | Int v -> Format.pp_print_int fmt v
+    | Arr a ->
+      Format.fprintf fmt "[%s]"
+        (String.concat "; "
+           (Array.to_list (Array.map (Printf.sprintf "%.17g") a)))
+  in
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_value)
+    inputs

@@ -1,0 +1,143 @@
+open Lang
+
+type runtime = {
+  libm : Mathlib.Libm.flavor;
+  ftz : bool;
+  nan_cmp_taken : bool;
+}
+
+type outcome = { result : float; fp_ops : int }
+
+type env = {
+  f : float array;
+  i : int array;
+  a : float array array;
+  rt : runtime;
+  precision : Lang.Ast.precision;
+  prec : float -> float;   (** storage/operation precision rounding *)
+  mutable ops : int;
+}
+
+let round_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let rec eval_i env (e : Ir.iexpr) =
+  match e with
+  | Ir.Iconst n -> n
+  | Ir.Iload s -> env.i.(s)
+  | Ir.Ineg e -> -eval_i env e
+  | Ir.Ibin (op, a, b) -> begin
+    let a = eval_i env a and b = eval_i env b in
+    match op with
+    | Ast.Add -> a + b
+    | Ast.Sub -> a - b
+    | Ast.Mul -> a * b
+    | Ast.Div -> a / b
+  end
+
+(* C comparison semantics: every ordered comparison involving NaN is
+   false; != is true. Under finite-math codegen (see {!runtime}) the
+   branch is taken instead. *)
+let ccmp ~nan_taken cmp a b =
+  if Float.is_nan a || Float.is_nan b then nan_taken || cmp = Ast.Ne
+  else
+    match cmp with
+    | Ast.Lt -> a < b
+    | Ast.Le -> a <= b
+    | Ast.Gt -> a > b
+    | Ast.Ge -> a >= b
+    | Ast.Eq -> a = b
+    | Ast.Ne -> a <> b
+
+let rec eval env (e : Ir.expr) =
+  match e with
+  | Ir.Const v -> env.prec v
+  | Ir.Load s -> env.f.(s)
+  | Ir.Load_arr (s, idx) ->
+    let arr = env.a.(s) in
+    let k = eval_i env idx in
+    assert (k >= 0 && k < Array.length arr);
+    arr.(k)
+  | Ir.Itof e -> env.prec (float_of_int (eval_i env e))
+  | Ir.Neg e -> -.eval env e
+  | Ir.Bin (op, a, b) ->
+    let a = flush env (eval env a) and b = flush env (eval env b) in
+    env.ops <- env.ops + 1;
+    let raw =
+      match op with
+      | Ast.Add -> a +. b
+      | Ast.Sub -> a -. b
+      | Ast.Mul -> a *. b
+      | Ast.Div -> a /. b
+    in
+    flush env (env.prec raw)
+  | Ir.Call (fn, args) ->
+    let args = List.map (fun e -> flush env (eval env e)) args in
+    env.ops <- env.ops + 1;
+    flush env
+      (env.prec (Mathlib.Libm.call ~precision:env.precision env.rt.libm fn args))
+  | Ir.Fma (a, b, c) ->
+    let a = flush env (eval env a)
+    and b = flush env (eval env b)
+    and c = flush env (eval env c) in
+    env.ops <- env.ops + 1;
+    flush env (env.prec (Fp.Fma.contract a b c))
+  | Ir.Recip e ->
+    let v = flush env (eval env e) in
+    env.ops <- env.ops + 1;
+    flush env (env.prec (1.0 /. v))
+
+and flush env x = if env.rt.ftz then Fp.Bits.flush_subnormal x else x
+
+let rec exec env body =
+  List.iter
+    (fun (s : Ir.stmt) ->
+      match s with
+      | Ir.Store (slot, e) -> env.f.(slot) <- eval env e
+      | Ir.Store_arr (slot, idx, e) ->
+        let arr = env.a.(slot) in
+        let k = eval_i env idx in
+        assert (k >= 0 && k < Array.length arr);
+        arr.(k) <- eval env e
+      | Ir.If { lhs; cmp; rhs; body } ->
+        if
+          ccmp ~nan_taken:env.rt.nan_cmp_taken cmp (eval env lhs)
+            (eval env rhs)
+        then exec env body
+      | Ir.For { islot; bound; body } ->
+        for k = 0 to bound - 1 do
+          env.i.(islot) <- k;
+          exec env body
+        done)
+    body
+
+let run rt (ir : Ir.t) (inputs : Inputs.t) =
+  if List.length inputs <> List.length ir.bindings then
+    invalid_arg "Interp.run: input arity mismatch";
+  let prec =
+    match ir.precision with Ast.F64 -> Fun.id | Ast.F32 -> round_f32
+  in
+  let env =
+    {
+      f = Array.make (max 1 ir.n_fslots) 0.0;
+      i = Array.make (max 1 ir.n_islots) 0;
+      a = Array.map (fun len -> Array.make len 0.0) ir.arr_lens;
+      rt;
+      precision = ir.precision;
+      prec;
+      ops = 0;
+    }
+  in
+  List.iter2
+    (fun binding (value : Inputs.value) ->
+      match (binding, value) with
+      | Ir.Bind_fp slot, Inputs.Fp v -> env.f.(slot) <- prec v
+      | Ir.Bind_int slot, Inputs.Int v -> env.i.(slot) <- v
+      | Ir.Bind_arr (slot, len), Inputs.Arr a ->
+        if Array.length a <> len then
+          invalid_arg "Interp.run: array length mismatch";
+        Array.blit (Array.map prec a) 0 env.a.(slot) 0 len
+      | _ -> invalid_arg "Interp.run: input kind mismatch")
+    ir.bindings inputs;
+  env.f.(ir.comp_slot) <- 0.0;
+  exec env ir.body;
+  { result = env.f.(ir.comp_slot); fp_ops = env.ops }

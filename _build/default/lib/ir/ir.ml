@@ -1,0 +1,104 @@
+type iexpr =
+  | Iconst of int
+  | Iload of int
+  | Ineg of iexpr
+  | Ibin of Lang.Ast.binop * iexpr * iexpr
+
+type expr =
+  | Const of float
+  | Load of int
+  | Load_arr of int * iexpr
+  | Itof of iexpr
+  | Neg of expr
+  | Bin of Lang.Ast.binop * expr * expr
+  | Call of Lang.Ast.math_fn * expr list
+  | Fma of expr * expr * expr
+  | Recip of expr
+
+type stmt =
+  | Store of int * expr
+  | Store_arr of int * iexpr * expr
+  | If of { lhs : expr; cmp : Lang.Ast.cmpop; rhs : expr; body : stmt list }
+  | For of { islot : int; bound : int; body : stmt list }
+
+type param_binding = Bind_fp of int | Bind_int of int | Bind_arr of int * int
+
+type t = {
+  precision : Lang.Ast.precision;
+  n_fslots : int;
+  n_islots : int;
+  arr_lens : int array;
+  bindings : param_binding list;
+  body : stmt list;
+  comp_slot : int;
+}
+
+let rec expr_size = function
+  | Const _ | Load _ | Itof _ -> 1
+  | Load_arr _ -> 1
+  | Neg e | Recip e -> 1 + expr_size e
+  | Bin (_, a, b) -> 1 + expr_size a + expr_size b
+  | Fma (a, b, c) -> 1 + expr_size a + expr_size b + expr_size c
+  | Call (_, args) -> 1 + List.fold_left (fun acc e -> acc + expr_size e) 0 args
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp_iexpr fmt = function
+  | Iconst n -> Format.pp_print_int fmt n
+  | Iload s -> Format.fprintf fmt "i%d" s
+  | Ineg e -> Format.fprintf fmt "-(%a)" pp_iexpr e
+  | Ibin (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_iexpr a (Lang.Ast.binop_symbol op)
+      pp_iexpr b
+
+let rec pp_expr fmt = function
+  | Const v -> Format.fprintf fmt "%.17g" v
+  | Load s -> Format.fprintf fmt "f%d" s
+  | Load_arr (s, i) -> Format.fprintf fmt "a%d[%a]" s pp_iexpr i
+  | Itof i -> Format.fprintf fmt "(fp)%a" pp_iexpr i
+  | Neg e -> Format.fprintf fmt "-(%a)" pp_expr e
+  | Bin (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (Lang.Ast.binop_symbol op)
+      pp_expr b
+  | Call (fn, args) ->
+    Format.fprintf fmt "%s(%a)" (Lang.Ast.math_fn_name fn)
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+         pp_expr)
+      args
+  | Fma (a, b, c) ->
+    Format.fprintf fmt "fma(%a, %a, %a)" pp_expr a pp_expr b pp_expr c
+  | Recip e -> Format.fprintf fmt "recip(%a)" pp_expr e
+
+let rec pp_stmt fmt = function
+  | Store (s, e) -> Format.fprintf fmt "@[f%d := %a@]" s pp_expr e
+  | Store_arr (s, i, e) ->
+    Format.fprintf fmt "@[a%d[%a] := %a@]" s pp_iexpr i pp_expr e
+  | If { lhs; cmp; rhs; body } ->
+    Format.fprintf fmt "@[<v 2>if %a %s %a {@,%a@]@,}" pp_expr lhs
+      (Lang.Ast.cmpop_symbol cmp) pp_expr rhs pp_body body
+  | For { islot; bound; body } ->
+    Format.fprintf fmt "@[<v 2>for i%d < %d {@,%a@]@,}" islot bound pp_body
+      body
+
+and pp_body fmt body =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_cut fmt ())
+    pp_stmt fmt body
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>ir{fslots=%d islots=%d arrays=%d comp=f%d}@,%a@]" t.n_fslots
+    t.n_islots (Array.length t.arr_lens) t.comp_slot pp_body t.body
+
+let rec map_body f body =
+  List.map
+    (fun s ->
+      match s with
+      | Store (slot, e) -> Store (slot, f e)
+      | Store_arr (slot, i, e) -> Store_arr (slot, i, f e)
+      | If { lhs; cmp; rhs; body } ->
+        If { lhs = f lhs; cmp; rhs = f rhs; body = map_body f body }
+      | For { islot; bound; body } ->
+        For { islot; bound; body = map_body f body })
+    body

@@ -1,0 +1,166 @@
+open Lang
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type sym = Sf of int | Si of int | Sa of int
+
+type state = {
+  mutable table : (string * sym) list;  (** scoped symbol stack *)
+  mutable n_fslots : int;
+  mutable n_islots : int;
+  mutable arrs : int list;  (** reversed lengths *)
+}
+
+let fresh_f st =
+  let slot = st.n_fslots in
+  st.n_fslots <- slot + 1;
+  slot
+
+let fresh_i st =
+  let slot = st.n_islots in
+  st.n_islots <- slot + 1;
+  slot
+
+let fresh_a st len =
+  let slot = List.length st.arrs in
+  st.arrs <- len :: st.arrs;
+  slot
+
+let lookup st name =
+  match List.assoc_opt name st.table with
+  | Some sym -> sym
+  | None -> fail "lowering: unbound variable %s" name
+
+let bind st name sym = st.table <- (name, sym) :: st.table
+
+(* Integer-context lowering: array subscripts. *)
+let rec lower_iexpr st e =
+  match e with
+  | Ast.Int_lit n -> Ir.Iconst n
+  | Ast.Var name -> begin
+    match lookup st name with
+    | Si slot -> Ir.Iload slot
+    | Sf _ | Sa _ -> fail "lowering: %s is not an integer" name
+  end
+  | Ast.Neg e -> Ir.Ineg (lower_iexpr st e)
+  | Ast.Bin (((Ast.Add | Ast.Sub | Ast.Mul) as op), a, b) ->
+    Ir.Ibin (op, lower_iexpr st a, lower_iexpr st b)
+  | Ast.Bin (Ast.Div, _, _) -> fail "lowering: integer division in subscript"
+  | Ast.Lit _ | Ast.Index _ | Ast.Call _ ->
+    fail "lowering: non-integer expression in subscript"
+
+(* Floating-point context. *)
+let rec lower_expr st e =
+  match e with
+  | Ast.Lit v -> Ir.Const v
+  | Ast.Int_lit n -> Ir.Const (float_of_int n)
+  | Ast.Var name -> begin
+    match lookup st name with
+    | Sf slot -> Ir.Load slot
+    | Si slot -> Ir.Itof (Ir.Iload slot)
+    | Sa _ -> fail "lowering: array %s used as scalar" name
+  end
+  | Ast.Index (name, idx) -> begin
+    match lookup st name with
+    | Sa slot -> Ir.Load_arr (slot, lower_iexpr st idx)
+    | Sf _ | Si _ -> fail "lowering: %s is not an array" name
+  end
+  | Ast.Neg e -> Ir.Neg (lower_expr st e)
+  | Ast.Bin (op, a, b) -> Ir.Bin (op, lower_expr st a, lower_expr st b)
+  | Ast.Call (fn, args) ->
+    if List.length args <> Ast.math_fn_arity fn then
+      fail "lowering: arity mismatch in %s" (Ast.math_fn_name fn);
+    Ir.Call (fn, List.map (lower_expr st) args)
+
+let expand_compound op current rhs =
+  match op with
+  | Ast.Set -> rhs
+  | Ast.Add_eq -> Ir.Bin (Ast.Add, current, rhs)
+  | Ast.Sub_eq -> Ir.Bin (Ast.Sub, current, rhs)
+  | Ast.Mul_eq -> Ir.Bin (Ast.Mul, current, rhs)
+  | Ast.Div_eq -> Ir.Bin (Ast.Div, current, rhs)
+
+let rec lower_body st body =
+  let saved = st.table in
+  let lowered =
+    List.map
+      (fun s ->
+        match s with
+        | Ast.Decl { name; init } ->
+          let init = lower_expr st init in
+          let slot = fresh_f st in
+          bind st name (Sf slot);
+          Ir.Store (slot, init)
+        | Ast.Assign { lhs; op; rhs } -> begin
+          match lhs with
+          | Ast.Lv_var name -> begin
+            match lookup st name with
+            | Sf slot ->
+              let rhs = lower_expr st rhs in
+              Ir.Store (slot, expand_compound op (Ir.Load slot) rhs)
+            | Si _ -> fail "lowering: assignment to integer %s" name
+            | Sa _ -> fail "lowering: assignment to array %s" name
+          end
+          | Ast.Lv_index (name, idx) -> begin
+            match lookup st name with
+            | Sa slot ->
+              let idx = lower_iexpr st idx in
+              let rhs = lower_expr st rhs in
+              Ir.Store_arr
+                (slot, idx, expand_compound op (Ir.Load_arr (slot, idx)) rhs)
+            | Sf _ | Si _ -> fail "lowering: %s is not an array" name
+          end
+        end
+        | Ast.If { lhs; cmp; rhs; body } ->
+          Ir.If
+            { lhs = lower_expr st lhs;
+              cmp;
+              rhs = lower_expr st rhs;
+              body = lower_body st body }
+        | Ast.For { var; bound; body } ->
+          let islot = fresh_i st in
+          let saved_loop = st.table in
+          bind st var (Si islot);
+          let body = lower_body st body in
+          st.table <- saved_loop;
+          Ir.For { islot; bound; body })
+      body
+  in
+  st.table <- saved;
+  lowered
+
+let program (p : Ast.program) =
+  let st = { table = []; n_fslots = 0; n_islots = 0; arrs = [] } in
+  let comp_slot = fresh_f st in
+  bind st Ast.comp_name (Sf comp_slot);
+  let bindings =
+    List.map
+      (fun prm ->
+        match prm with
+        | Ast.P_fp name ->
+          let slot = fresh_f st in
+          bind st name (Sf slot);
+          Ir.Bind_fp slot
+        | Ast.P_int name ->
+          let slot = fresh_i st in
+          bind st name (Si slot);
+          Ir.Bind_int slot
+        | Ast.P_fp_array (name, len) ->
+          if len <= 0 then fail "lowering: array %s has length %d" name len;
+          let slot = fresh_a st len in
+          bind st name (Sa slot);
+          Ir.Bind_arr (slot, len))
+      p.params
+  in
+  let body = lower_body st p.body in
+  {
+    Ir.precision = p.precision;
+    n_fslots = st.n_fslots;
+    n_islots = st.n_islots;
+    arr_lens = Array.of_list (List.rev st.arrs);
+    bindings;
+    body;
+    comp_slot;
+  }

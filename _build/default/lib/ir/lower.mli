@@ -1,0 +1,18 @@
+(** Lowering from the surface AST to the slot-based IR.
+
+    Identifiers become integer slots (the accumulator [comp] is always
+    slot 0), compound assignments are expanded into explicit
+    load-modify-store trees, and integer-context expressions (array
+    subscripts, promoted integer parameters) move into the {!Ir.iexpr}
+    sub-language. Lowering performs no optimization: the resulting IR
+    evaluates exactly the roundings the strict [-O0 -ffp-contract=off]
+    compilation of the source would.
+
+    Programs must pass {!Analysis.Validate.check} first; lowering raises
+    {!Error} on constructs the validator rejects (e.g. a floating-point
+    expression used as an array subscript). *)
+
+exception Error of string
+
+val program : Lang.Ast.program -> Ir.t
+(** Raises {!Error} on invalid input. *)

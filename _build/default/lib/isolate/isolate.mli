@@ -1,0 +1,79 @@
+(** Statement-level isolation of compiler-induced inconsistencies.
+
+    The paper points to pLiner (Guo et al., SC 2020) and Ciel as the tools
+    that, given a program triggering an inconsistency between two compiler
+    configurations, pinpoint the lines responsible — and names integrating
+    such root-cause analysis as future work (§3.2.2, §4). This module
+    implements that analysis for the simulated toolchain.
+
+    The idea follows pLiner's region search, adapted to our setting: a
+    {e hybrid} compilation of the program under the "suspect"
+    configuration in which a chosen set of top-level statements is kept
+    in strict form — no constant-folding divergence, no contraction, no
+    fast-math rewriting of those statements — while the rest get the full
+    pass pipeline. If strictifying a set of statements makes the suspect
+    binary agree bitwise with the reference configuration, those
+    statements contain the compile-time cause; a delta-debugging-style
+    search then minimizes the set.
+
+    Runtime-level divergence (different math-library bits, FTZ, branch
+    compilation of NaN comparisons) is not a per-statement property, so
+    when even the fully strictified program still disagrees, the verdict
+    is {!verdict.Runtime_divergence} — the analogue of pLiner failing to
+    fix an inconsistency by raising precision, and itself a useful
+    classification (it separates "the optimizer did it" from "the
+    libraries disagree"). *)
+
+type verdict =
+  | No_inconsistency
+      (** the two configurations already agree on these inputs *)
+  | Isolated of int list
+      (** minimal set of top-level statement indices (0-based, in body
+          order) whose strictification makes the outputs agree *)
+  | Runtime_divergence
+      (** strictifying every statement does not help: the divergence is
+          in the runtime (math library, FTZ, branch semantics), not in a
+          per-statement transformation *)
+
+val hybrid_compile :
+  Compiler.Config.t ->
+  Lang.Ast.program ->
+  strict : (int -> bool) ->
+  (Compiler.Driver.binary, string) result
+(** Compile under the configuration, but keep every top-level statement
+    [i] with [strict i = true] in its unoptimized form. Dead-store
+    elimination is disabled so statement positions align. *)
+
+val isolate :
+  program:Lang.Ast.program ->
+  inputs:Irsim.Inputs.t ->
+  suspect:Compiler.Config.t ->
+  reference:Compiler.Config.t ->
+  (verdict, string) result
+(** Run the search. [Error] means one of the configurations failed to
+    compile the program. *)
+
+val verdict_to_string : Lang.Ast.program -> verdict -> string
+(** Human-readable report, quoting the isolated statements. *)
+
+(** {1 Corpus-level classification}
+
+    The paper suggests grouping inconsistency-triggering programs into
+    equivalence classes by root cause (§3.2.2). [classify] applies the
+    isolation analysis across a corpus and tallies the outcomes. *)
+
+type classification = {
+  agree : int;            (** no inconsistency between the two configs *)
+  isolated_one : int;     (** fixed by strictifying a single statement *)
+  isolated_many : int;    (** fixed by strictifying several statements *)
+  runtime : int;          (** runtime-level divergence *)
+  failed : int;           (** compilation failure *)
+}
+
+val classify :
+  suspect:Compiler.Config.t ->
+  reference:Compiler.Config.t ->
+  (Lang.Ast.program * Irsim.Inputs.t) list ->
+  classification
+
+val classification_to_string : classification -> string

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Array Digest Hashtbl List Marshal Option Printf

@@ -1,0 +1,316 @@
+type precision = F32 | F64
+type binop = Add | Sub | Mul | Div
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+type math_fn =
+  | Sin | Cos | Tan | Asin | Acos | Atan
+  | Sinh | Cosh | Tanh
+  | Exp | Exp2 | Expm1
+  | Log | Log2 | Log10 | Log1p
+  | Sqrt | Cbrt
+  | Fabs | Floor | Ceil
+  | Pow | Fmod | Atan2 | Hypot | Fmin | Fmax
+
+type expr =
+  | Lit of float
+  | Int_lit of int
+  | Var of string
+  | Index of string * expr
+  | Neg of expr
+  | Bin of binop * expr * expr
+  | Call of math_fn * expr list
+
+type lvalue = Lv_var of string | Lv_index of string * expr
+
+type assign_op = Set | Add_eq | Sub_eq | Mul_eq | Div_eq
+
+type stmt =
+  | Decl of { name : string; init : expr }
+  | Assign of { lhs : lvalue; op : assign_op; rhs : expr }
+  | If of { lhs : expr; cmp : cmpop; rhs : expr; body : stmt list }
+  | For of { var : string; bound : int; body : stmt list }
+
+type param = P_int of string | P_fp of string | P_fp_array of string * int
+
+type program = {
+  precision : precision;
+  params : param list;
+  body : stmt list;
+}
+
+let comp_name = "comp"
+
+let param_name = function
+  | P_int n | P_fp n | P_fp_array (n, _) -> n
+
+let math_fn_name = function
+  | Sin -> "sin" | Cos -> "cos" | Tan -> "tan"
+  | Asin -> "asin" | Acos -> "acos" | Atan -> "atan"
+  | Sinh -> "sinh" | Cosh -> "cosh" | Tanh -> "tanh"
+  | Exp -> "exp" | Exp2 -> "exp2" | Expm1 -> "expm1"
+  | Log -> "log" | Log2 -> "log2" | Log10 -> "log10" | Log1p -> "log1p"
+  | Sqrt -> "sqrt" | Cbrt -> "cbrt"
+  | Fabs -> "fabs" | Floor -> "floor" | Ceil -> "ceil"
+  | Pow -> "pow" | Fmod -> "fmod" | Atan2 -> "atan2"
+  | Hypot -> "hypot" | Fmin -> "fmin" | Fmax -> "fmax"
+
+let all_math_fns =
+  [| Sin; Cos; Tan; Asin; Acos; Atan; Sinh; Cosh; Tanh;
+     Exp; Exp2; Expm1; Log; Log2; Log10; Log1p; Sqrt; Cbrt;
+     Fabs; Floor; Ceil; Pow; Fmod; Atan2; Hypot; Fmin; Fmax |]
+
+let math_fn_of_name name =
+  Array.find_opt (fun f -> math_fn_name f = name) all_math_fns
+
+let math_fn_arity = function
+  | Pow | Fmod | Atan2 | Hypot | Fmin | Fmax -> 2
+  | Sin | Cos | Tan | Asin | Acos | Atan | Sinh | Cosh | Tanh
+  | Exp | Exp2 | Expm1 | Log | Log2 | Log10 | Log1p | Sqrt | Cbrt
+  | Fabs | Floor | Ceil -> 1
+
+let binop_symbol = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let cmpop_symbol = function
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+
+let assign_op_symbol = function
+  | Set -> "=" | Add_eq -> "+=" | Sub_eq -> "-=" | Mul_eq -> "*=" | Div_eq -> "/="
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let rec expr_size = function
+  | Lit _ | Int_lit _ | Var _ -> 1
+  | Index (_, e) | Neg e -> 1 + expr_size e
+  | Bin (_, a, b) -> 1 + expr_size a + expr_size b
+  | Call (_, args) -> 1 + List.fold_left (fun acc e -> acc + expr_size e) 0 args
+
+let rec expr_depth = function
+  | Lit _ | Int_lit _ | Var _ -> 1
+  | Index (_, e) | Neg e -> 1 + expr_depth e
+  | Bin (_, a, b) -> 1 + max (expr_depth a) (expr_depth b)
+  | Call (_, args) ->
+    1 + List.fold_left (fun acc e -> max acc (expr_depth e)) 0 args
+
+let rec stmt_size = function
+  | Decl { init; _ } -> 1 + expr_size init
+  | Assign { lhs; rhs; _ } ->
+    let lhs_size = match lhs with Lv_var _ -> 1 | Lv_index (_, e) -> 1 + expr_size e in
+    1 + lhs_size + expr_size rhs
+  | If { lhs; rhs; body; _ } ->
+    1 + expr_size lhs + expr_size rhs + body_size body
+  | For { body; _ } -> 2 + body_size body
+
+and body_size body = List.fold_left (fun acc s -> acc + stmt_size s) 0 body
+
+let program_size p = List.length p.params + body_size p.body
+
+let rec stmt_depth = function
+  | Decl _ | Assign _ -> 1
+  | If { body; _ } | For { body; _ } -> 1 + body_depth body
+
+and body_depth body = List.fold_left (fun acc s -> max acc (stmt_depth s)) 0 body
+
+let program_depth p = body_depth p.body
+
+let rec count_stmts pred body =
+  List.fold_left
+    (fun acc s ->
+      let inner =
+        match s with
+        | If { body; _ } | For { body; _ } -> count_stmts pred body
+        | Decl _ | Assign _ -> 0
+      in
+      acc + (if pred s then 1 else 0) + inner)
+    0 body
+
+let loop_count p =
+  count_stmts (function For _ -> true | Decl _ | Assign _ | If _ -> false) p.body
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Lit _ | Int_lit _ | Var _ -> acc
+  | Index (_, e) | Neg e -> fold_expr f acc e
+  | Bin (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Call (_, args) -> List.fold_left (fold_expr f) acc args
+
+let rec fold_stmts fs fe acc body =
+  List.fold_left
+    (fun acc s ->
+      let acc = fs acc s in
+      match s with
+      | Decl { init; _ } -> fold_expr fe acc init
+      | Assign { lhs; rhs; _ } ->
+        let acc =
+          match lhs with
+          | Lv_var _ -> acc
+          | Lv_index (_, e) -> fold_expr fe acc e
+        in
+        fold_expr fe acc rhs
+      | If { lhs; rhs; body; _ } ->
+        let acc = fold_expr fe acc lhs in
+        let acc = fold_expr fe acc rhs in
+        fold_stmts fs fe acc body
+      | For { body; _ } -> fold_stmts fs fe acc body)
+    acc body
+
+let call_count p =
+  fold_stmts
+    (fun acc _ -> acc)
+    (fun acc e -> match e with Call _ -> acc + 1 | _ -> acc)
+    0 p.body
+
+let max_loop_bound p =
+  fold_stmts
+    (fun acc s -> match s with For { bound; _ } -> max acc bound | _ -> acc)
+    (fun acc _ -> acc)
+    0 p.body
+
+let rec map_stmts f body =
+  List.map
+    (fun s ->
+      match s with
+      | Decl { name; init } -> Decl { name; init = f init }
+      | Assign { lhs; op; rhs } ->
+        let lhs =
+          match lhs with
+          | Lv_var _ as lv -> lv
+          | Lv_index (a, e) -> Lv_index (a, f e)
+        in
+        Assign { lhs; op; rhs = f rhs }
+      | If { lhs; cmp; rhs; body } ->
+        If { lhs = f lhs; cmp; rhs = f rhs; body = map_stmts f body }
+      | For { var; bound; body } -> For { var; bound; body = map_stmts f body })
+    body
+
+let map_exprs = map_stmts
+
+(* ------------------------------------------------------------------ *)
+(* Names *)
+
+let add_unique seen order name =
+  if Hashtbl.mem seen name then ()
+  else begin
+    Hashtbl.add seen name ();
+    order := name :: !order
+  end
+
+let declared_names p =
+  let seen = Hashtbl.create 16 and order = ref [] in
+  List.iter (fun prm -> add_unique seen order (param_name prm)) p.params;
+  let rec walk body =
+    List.iter
+      (fun s ->
+        match s with
+        | Decl { name; _ } -> add_unique seen order name
+        | Assign _ -> ()
+        | If { body; _ } -> walk body
+        | For { var; body; _ } ->
+          add_unique seen order var;
+          walk body)
+      body
+  in
+  walk p.body;
+  List.rev !order
+
+let used_names p =
+  let seen = Hashtbl.create 16 and order = ref [] in
+  let note_expr () e =
+    match e with
+    | Var n | Index (n, _) -> add_unique seen order n
+    | Lit _ | Int_lit _ | Neg _ | Bin _ | Call _ -> ()
+  in
+  let note_stmt () s =
+    match s with
+    | Assign { lhs = Lv_var n; _ } | Assign { lhs = Lv_index (n, _); _ } ->
+      add_unique seen order n
+    | Decl _ | If _ | For _ -> ()
+  in
+  fold_stmts note_stmt note_expr () p.body;
+  List.rev !order
+
+let fresh_name p base =
+  let taken = Hashtbl.create 16 in
+  Hashtbl.add taken comp_name ();
+  List.iter (fun n -> Hashtbl.add taken n ()) (declared_names p);
+  List.iter (fun n -> Hashtbl.replace taken n ()) (used_names p);
+  if not (Hashtbl.mem taken base) then base
+  else
+    let rec go i =
+      let candidate = Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem taken candidate then go (i + 1) else candidate
+    in
+    go 1
+
+let rename f p =
+  let f name = if name = comp_name then comp_name else f name in
+  let rec rn_expr e =
+    match e with
+    | Lit _ | Int_lit _ -> e
+    | Var n -> Var (f n)
+    | Index (a, e) -> Index (f a, rn_expr e)
+    | Neg e -> Neg (rn_expr e)
+    | Bin (op, a, b) -> Bin (op, rn_expr a, rn_expr b)
+    | Call (fn, args) -> Call (fn, List.map rn_expr args)
+  in
+  let rec rn_body body =
+    List.map
+      (fun s ->
+        match s with
+        | Decl { name; init } -> Decl { name = f name; init = rn_expr init }
+        | Assign { lhs; op; rhs } ->
+          let lhs =
+            match lhs with
+            | Lv_var n -> Lv_var (f n)
+            | Lv_index (a, e) -> Lv_index (f a, rn_expr e)
+          in
+          Assign { lhs; op; rhs = rn_expr rhs }
+        | If { lhs; cmp; rhs; body } ->
+          If { lhs = rn_expr lhs; cmp; rhs = rn_expr rhs; body = rn_body body }
+        | For { var; bound; body } ->
+          For { var = f var; bound; body = rn_body body })
+      body
+  in
+  let params =
+    List.map
+      (function
+        | P_int n -> P_int (f n)
+        | P_fp n -> P_fp (f n)
+        | P_fp_array (n, len) -> P_fp_array (f n, len))
+      p.params
+  in
+  { p with params; body = rn_body p.body }
+
+let alpha_normalize p =
+  let table = Hashtbl.create 16 in
+  List.iteri
+    (fun i prm -> Hashtbl.replace table (param_name prm) (Printf.sprintf "p%d" i))
+    p.params;
+  let counter = ref 0 in
+  let assign name =
+    if not (Hashtbl.mem table name) then begin
+      Hashtbl.replace table name (Printf.sprintf "v%d" !counter);
+      incr counter
+    end
+  in
+  let rec scan body =
+    List.iter
+      (fun s ->
+        match s with
+        | Decl { name; _ } -> assign name
+        | Assign _ -> ()
+        | If { body; _ } -> scan body
+        | For { var; body; _ } ->
+          assign var;
+          scan body)
+      body
+  in
+  scan p.body;
+  rename (fun n -> Option.value (Hashtbl.find_opt table n) ~default:n) p
+
+let equal (a : program) (b : program) = a = b
+
+let structural_hash p =
+  let normalized = alpha_normalize p in
+  Hashtbl.hash (Digest.string (Marshal.to_string normalized []))

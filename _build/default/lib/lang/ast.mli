@@ -1,0 +1,151 @@
+(** Abstract syntax of the Varity mini-C floating-point language.
+
+    The paper adopts Varity's high-level program structure (§2.2): every
+    test program has exactly two functions, [main] and [compute]. [compute]
+    takes scalar and array floating-point parameters plus integer
+    parameters, performs a sequence of arithmetic statements over a
+    distinguished accumulator variable [comp], and the final value of
+    [comp] is printed by [main]. The internal structure follows the grammar
+    of Figure 2: arithmetic expressions over [+ - * /], parentheses, calls
+    into the C math library, nested counted [for] loops, [if] blocks, and
+    named floating-point temporaries (scalars or array elements). *)
+
+type precision = F32 | F64
+
+type binop = Add | Sub | Mul | Div
+
+type cmpop = Lt | Le | Gt | Ge | Eq | Ne
+
+(** Math-library functions available to generated programs (a practical
+    subset of [math.h] that Varity and the LLM prompts use). Unary unless
+    noted. *)
+type math_fn =
+  | Sin | Cos | Tan | Asin | Acos | Atan
+  | Sinh | Cosh | Tanh
+  | Exp | Exp2 | Expm1
+  | Log | Log2 | Log10 | Log1p
+  | Sqrt | Cbrt
+  | Fabs | Floor | Ceil
+  | Pow   (** binary *)
+  | Fmod  (** binary *)
+  | Atan2 (** binary *)
+  | Hypot (** binary *)
+  | Fmin  (** binary *)
+  | Fmax  (** binary *)
+
+type expr =
+  | Lit of float          (** floating-point literal *)
+  | Int_lit of int        (** integer literal (loop bounds, indices) *)
+  | Var of string         (** scalar variable or loop counter *)
+  | Index of string * expr  (** array element [a\[e\]] *)
+  | Neg of expr           (** unary minus *)
+  | Bin of binop * expr * expr
+  | Call of math_fn * expr list
+
+type lvalue =
+  | Lv_var of string
+  | Lv_index of string * expr
+
+type assign_op = Set | Add_eq | Sub_eq | Mul_eq | Div_eq
+
+type stmt =
+  | Decl of { name : string; init : expr }
+      (** [fp_type name = init;] — a new floating-point temporary *)
+  | Assign of { lhs : lvalue; op : assign_op; rhs : expr }
+  | If of { lhs : expr; cmp : cmpop; rhs : expr; body : stmt list }
+  | For of { var : string; bound : int; body : stmt list }
+      (** [for (int var = 0; var < bound; ++var) { body }] *)
+
+type param =
+  | P_int of string
+  | P_fp of string
+  | P_fp_array of string * int  (** name and allocation length *)
+
+type program = {
+  precision : precision;
+  params : param list;
+  body : stmt list;
+}
+(** The [compute] function. The accumulator [comp] is implicitly declared
+    as [fp_type comp = 0.0;] before [body] and printed by [main]. *)
+
+val comp_name : string
+(** The distinguished accumulator, ["comp"]. *)
+
+val param_name : param -> string
+
+val math_fn_name : math_fn -> string
+(** C spelling for double precision (e.g. ["sin"], ["pow"]). *)
+
+val math_fn_of_name : string -> math_fn option
+(** Inverse of [math_fn_name]. *)
+
+val math_fn_arity : math_fn -> int
+(** 1 or 2. *)
+
+val all_math_fns : math_fn array
+(** Every supported function, in declaration order. *)
+
+val binop_symbol : binop -> string
+val cmpop_symbol : cmpop -> string
+val assign_op_symbol : assign_op -> string
+
+(** {1 Structure metrics} *)
+
+val expr_size : expr -> int
+(** Node count. *)
+
+val expr_depth : expr -> int
+
+val stmt_size : stmt -> int
+val program_size : program -> int
+(** Total AST node count of the body plus parameters. *)
+
+val program_depth : program -> int
+(** Maximum statement-nesting depth (loops/ifs). *)
+
+val loop_count : program -> int
+val call_count : program -> int
+val max_loop_bound : program -> int
+(** 0 when the program has no loop. *)
+
+(** {1 Variable utilities} *)
+
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+(** Pre-order fold over an expression and all sub-expressions. *)
+
+val fold_stmts : ('a -> stmt -> 'a) -> ('a -> expr -> 'a) -> 'a -> stmt list -> 'a
+(** Pre-order fold over statements and every contained expression. *)
+
+val map_exprs : (expr -> expr) -> stmt list -> stmt list
+(** Rewrite every top-level expression position (initializers, right-hand
+    sides, condition operands, index expressions) with [f]. [f] receives
+    whole expressions; it is responsible for its own recursion. *)
+
+val declared_names : program -> string list
+(** Parameter names, loop counters, and declared temporaries, in first-
+    occurrence order (excluding [comp]). *)
+
+val used_names : program -> string list
+(** Names read anywhere in the body, in first-occurrence order. *)
+
+val fresh_name : program -> string -> string
+(** [fresh_name p base] is [base] or [base ^ suffix], distinct from every
+    declared or used name and from [comp]. *)
+
+val rename : (string -> string) -> program -> program
+(** Apply a renaming to every identifier occurrence (parameters,
+    declarations, uses, loop counters). The caller must keep the renaming
+    injective to preserve semantics. *)
+
+val alpha_normalize : program -> program
+(** Canonical consistent renaming: parameters become [p0, p1, ...],
+    temporaries and counters [v0, v1, ...] in declaration order. Two
+    programs equal after [alpha_normalize] are Type-2c clones. *)
+
+val equal : program -> program -> bool
+(** Structural equality. *)
+
+val structural_hash : program -> int
+(** Hash invariant under [alpha_normalize]-equivalence (identifier names
+    and nothing else are ignored); literals are included. *)

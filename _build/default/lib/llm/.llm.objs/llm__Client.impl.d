@@ -1,0 +1,1 @@
+lib/llm/client.ml: Array Ast Corpus Diversity Float Gen Gen_config Generate Hashtbl Lang Lazy List Mutate Pp Printf Prompt Sampler String Util

@@ -1,0 +1,1 @@
+lib/llm/client.mli: Gen Prompt Sampler

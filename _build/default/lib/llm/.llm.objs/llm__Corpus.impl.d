@@ -1,0 +1,1 @@
+lib/llm/corpus.ml: Analysis Array Cparse Hashtbl Lang List Printf String

@@ -1,0 +1,1 @@
+lib/llm/corpus.mli: Lang

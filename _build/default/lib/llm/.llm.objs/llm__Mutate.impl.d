@@ -1,0 +1,1 @@
+lib/llm/mutate.ml: Ast Float Lang List Util

@@ -1,0 +1,1 @@
+lib/llm/mutate.mli: Lang Util

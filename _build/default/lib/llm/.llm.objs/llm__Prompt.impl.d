@@ -1,0 +1,1 @@
+lib/llm/prompt.ml: Lang List Printf String

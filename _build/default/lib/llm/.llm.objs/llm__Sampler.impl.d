@@ -1,0 +1,1 @@
+lib/llm/sampler.ml: Array Float Hashtbl Option Util

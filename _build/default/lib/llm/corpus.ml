@@ -1,0 +1,1210 @@
+type tag =
+  | Reduction
+  | Recurrence
+  | Stencil
+  | Quadrature
+  | Special
+  | Solver
+  | Statistics
+
+type entry = {
+  name : string;
+  tags : tag list;
+  common : bool;
+  source : string;
+}
+
+(* Every kernel is written in the Figure-2 grammar subset: braced blocks,
+   counted loops from zero, single-comparison conditions, math.h calls
+   only. Arrays default to length 8 (the parser's fallback for bare
+   compute functions), so subscripting loops stay within bound 8. *)
+
+let entries =
+  [|
+    {
+      name = "dot_product";
+      tags = [ Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double* xs, double* ys, double scale) {
+  double comp = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    comp += xs[i] * ys[i];
+  }
+  comp *= scale;
+}
+|};
+    };
+    {
+      name = "axpy_accumulate";
+      tags = [ Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double a, double* xs, double* ys) {
+  double comp = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    double t = a * xs[i];
+    comp += t + ys[i];
+  }
+}
+|};
+    };
+    {
+      name = "horner_polynomial";
+      tags = [ Recurrence ];
+      common = true;
+      source =
+        {|
+void compute(double x, double c0, double c1, double c2, double c3) {
+  double comp = 0.0;
+  double acc = c3;
+  acc = acc * x + c2;
+  acc = acc * x + c1;
+  acc = acc * x + c0;
+  comp = acc;
+}
+|};
+    };
+    {
+      name = "running_mean";
+      tags = [ Statistics; Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double* data, double shift) {
+  double comp = 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    sum += data[i] + shift;
+  }
+  comp = sum / 8.0;
+}
+|};
+    };
+    {
+      name = "two_pass_variance";
+      tags = [ Statistics ];
+      common = true;
+      source =
+        {|
+void compute(double* data) {
+  double comp = 0.0;
+  double mean = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    mean += data[i];
+  }
+  mean /= 8.0;
+  double var = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    double d = data[i] - mean;
+    double sq = d * d;
+    var += sq;
+  }
+  comp = var / 7.0;
+}
+|};
+    };
+    {
+      name = "euclidean_norm";
+      tags = [ Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double* v, double eps) {
+  double comp = 0.0;
+  double ss = eps;
+  for (int i = 0; i < 8; ++i) {
+    double sq = v[i] * v[i];
+    ss += sq;
+  }
+  comp = sqrt(ss);
+}
+|};
+    };
+    {
+      name = "kahan_sum";
+      tags = [ Reduction ];
+      common = false;
+      source =
+        {|
+void compute(double* data, double seed) {
+  double comp = 0.0;
+  double sum = seed;
+  double c = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    double y = data[i] - c;
+    double t = sum + y;
+    c = t - sum - y;
+    sum = t;
+  }
+  comp = sum;
+}
+|};
+    };
+    {
+      name = "logistic_map";
+      tags = [ Recurrence ];
+      common = true;
+      source =
+        {|
+void compute(double r, double x0) {
+  double comp = 0.0;
+  double rate = 3.7 + 0.2 * sin(r);
+  double x = 0.2 + 0.6 * fabs(sin(x0));
+  for (int i = 0; i < 48; ++i) {
+    x = rate * x * (1.0 - x);
+  }
+  comp = x;
+}
+|};
+    };
+    {
+      name = "exp_decay_integration";
+      tags = [ Recurrence; Quadrature ];
+      common = true;
+      source =
+        {|
+void compute(double lambda, double dt, double y0) {
+  double comp = 0.0;
+  double y = y0;
+  for (int i = 0; i < 40; ++i) {
+    y = y - lambda * y * dt;
+    comp += y * dt;
+  }
+}
+|};
+    };
+    {
+      name = "trapezoid_rule";
+      tags = [ Quadrature ];
+      common = true;
+      source =
+        {|
+void compute(double a, double b) {
+  double comp = 0.0;
+  double h = (b - a) / 32.0;
+  double sum = 0.5 * (sin(a) + sin(b));
+  for (int i = 0; i < 31; ++i) {
+    double x = a + h * (1.0 + i);
+    sum += sin(x);
+  }
+  comp = sum * h;
+}
+|};
+    };
+    {
+      name = "newton_sqrt";
+      tags = [ Solver ];
+      common = true;
+      source =
+        {|
+void compute(double s, double guess) {
+  double comp = 0.0;
+  double x = fabs(guess) + 1.0;
+  for (int i = 0; i < 12; ++i) {
+    x = 0.5 * (x + s / x);
+  }
+  comp = x;
+}
+|};
+    };
+    {
+      name = "babylonian_cbrt";
+      tags = [ Solver ];
+      common = false;
+      source =
+        {|
+void compute(double s, double x0) {
+  double comp = 0.0;
+  double x = fabs(x0) + 0.5;
+  for (int i = 0; i < 16; ++i) {
+    x = (2.0 * x + s / (x * x)) / 3.0;
+  }
+  comp = x;
+}
+|};
+    };
+    {
+      name = "softmax_denominator";
+      tags = [ Statistics; Special ];
+      common = true;
+      source =
+        {|
+void compute(double* logits, double temperature) {
+  double comp = 0.0;
+  double m = logits[0];
+  for (int i = 0; i < 8; ++i) {
+    m = fmax(m, logits[i]);
+  }
+  double z = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    z += exp((logits[i] - m) / temperature);
+  }
+  comp = log(z) + m;
+}
+|};
+    };
+    {
+      name = "cosine_similarity";
+      tags = [ Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double* u, double* v) {
+  double comp = 0.0;
+  double uv = 0.0;
+  double uu = 1e-12;
+  double vv = 1e-12;
+  for (int i = 0; i < 8; ++i) {
+    uv += u[i] * v[i];
+    uu += u[i] * u[i];
+    vv += v[i] * v[i];
+  }
+  comp = uv / (sqrt(uu) * sqrt(vv));
+}
+|};
+    };
+    {
+      name = "geometric_series";
+      tags = [ Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double ratio, double first) {
+  double comp = 0.0;
+  double term = first;
+  for (int i = 0; i < 30; ++i) {
+    comp += term;
+    term *= ratio;
+  }
+}
+|};
+    };
+    {
+      name = "harmonic_partial_sum";
+      tags = [ Reduction ];
+      common = false;
+      source =
+        {|
+void compute(double scale, double offset) {
+  double comp = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    comp += scale / (offset + 1.0 + i);
+  }
+}
+|};
+    };
+    {
+      name = "leibniz_pi";
+      tags = [ Reduction ];
+      common = false;
+      source =
+        {|
+void compute(double scale) {
+  double comp = 0.0;
+  double sign = 1.0;
+  for (int i = 0; i < 80; ++i) {
+    comp += sign / (2.0 * i + 1.0);
+    sign = -sign;
+  }
+  comp *= 4.0 * scale;
+}
+|};
+    };
+    {
+      name = "stencil_1d_heat";
+      tags = [ Stencil; Recurrence ];
+      common = true;
+      source =
+        {|
+void compute(double* u, double alpha) {
+  double comp = 0.0;
+  for (int step = 0; step < 6; ++step) {
+    for (int i = 0; i < 6; ++i) {
+      u[i + 1] = u[i + 1] + alpha * (u[i] - 2.0 * u[i + 1] + u[i + 2]);
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    comp += u[i];
+  }
+}
+|};
+    };
+    {
+      name = "blur_stencil";
+      tags = [ Stencil ];
+      common = false;
+      source =
+        {|
+void compute(double* img, double w) {
+  double comp = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    double v = w * img[i] + (1.0 - 2.0 * w) * img[i + 1] + w * img[i + 2];
+    comp += v * v;
+  }
+}
+|};
+    };
+    {
+      name = "gaussian_pdf";
+      tags = [ Special ];
+      common = true;
+      source =
+        {|
+void compute(double x, double mu, double sigma) {
+  double comp = 0.0;
+  double z = (x - mu) / sigma;
+  double norm = 1.0 / (sigma * sqrt(2.0 * 3.141592653589793));
+  comp = norm * exp(-0.5 * z * z);
+}
+|};
+    };
+    {
+      name = "sigmoid_chain";
+      tags = [ Special; Recurrence ];
+      common = true;
+      source =
+        {|
+void compute(double x, double gain) {
+  double comp = 0.0;
+  double s = x;
+  for (int i = 0; i < 20; ++i) {
+    s = 1.0 / (1.0 + exp(-gain * s));
+  }
+  comp = s;
+}
+|};
+    };
+    {
+      name = "damped_oscillator";
+      tags = [ Recurrence ];
+      common = true;
+      source =
+        {|
+void compute(double omega0, double zeta0, double dt0) {
+  double comp = 0.0;
+  double omega = 1.0 + fabs(sin(omega0));
+  double zeta = 0.05 * fabs(sin(zeta0));
+  double dt = 0.02 + 0.01 * fabs(sin(dt0));
+  double pos = 1.0;
+  double vel = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    double acc = -2.0 * zeta * omega * vel - omega * omega * pos;
+    vel += acc * dt;
+    pos += vel * dt;
+  }
+  comp = pos;
+}
+|};
+    };
+    {
+      name = "chebyshev_recurrence";
+      tags = [ Recurrence; Special ];
+      common = false;
+      source =
+        {|
+void compute(double x, double c) {
+  double comp = 0.0;
+  double t0 = 1.0;
+  double t1 = x;
+  for (int i = 0; i < 24; ++i) {
+    double t2 = 2.0 * x * t1 - t0;
+    t0 = t1;
+    t1 = t2;
+    comp += c * t2;
+  }
+}
+|};
+    };
+    {
+      name = "continued_fraction";
+      tags = [ Recurrence; Solver ];
+      common = false;
+      source =
+        {|
+void compute(double a, double b) {
+  double comp = 0.0;
+  double f = b;
+  for (int i = 0; i < 24; ++i) {
+    f = b + a / f;
+  }
+  comp = f;
+}
+|};
+    };
+    {
+      name = "log_sum_exp_pair";
+      tags = [ Special; Statistics ];
+      common = true;
+      source =
+        {|
+void compute(double a, double b) {
+  double comp = 0.0;
+  double m = fmax(a, b);
+  comp = m + log(exp(a - m) + exp(b - m));
+}
+|};
+    };
+    {
+      name = "rms_energy";
+      tags = [ Statistics; Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double* signal, double gain) {
+  double comp = 0.0;
+  double energy = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    double s = gain * signal[i];
+    energy += s * s;
+  }
+  comp = sqrt(energy / 8.0);
+}
+|};
+    };
+    {
+      name = "weighted_average";
+      tags = [ Statistics; Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double* values, double* weights) {
+  double comp = 0.0;
+  double num = 0.0;
+  double den = 1e-9;
+  for (int i = 0; i < 8; ++i) {
+    num += values[i] * weights[i];
+    den += weights[i];
+  }
+  comp = num / den;
+}
+|};
+    };
+    {
+      name = "range_normalize";
+      tags = [ Statistics ];
+      common = false;
+      source =
+        {|
+void compute(double* data, double lo, double hi) {
+  double comp = 0.0;
+  double mn = data[0];
+  double mx = data[0];
+  for (int i = 0; i < 8; ++i) {
+    mn = fmin(mn, data[i]);
+    mx = fmax(mx, data[i]);
+  }
+  double span = mx - mn + 1e-12;
+  for (int i = 0; i < 8; ++i) {
+    comp += lo + (hi - lo) * (data[i] - mn) / span;
+  }
+}
+|};
+    };
+    {
+      name = "lorenz_step";
+      tags = [ Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double seed, double x0, double y0, double z0) {
+  double comp = 0.0;
+  double dt = 0.006 + 0.004 * fabs(sin(seed));
+  double x = 1.0 + 0.5 * sin(x0);
+  double y = 1.0 + 0.5 * cos(y0);
+  double z = 20.0 + 5.0 * sin(z0);
+  for (int i = 0; i < 50; ++i) {
+    double dx = 10.0 * (y - x);
+    double dy = x * (28.0 - z) - y;
+    double dz = x * y - 2.6666666666666665 * z;
+    x += dx * dt;
+    y += dy * dt;
+    z += dz * dt;
+  }
+  comp = x + y + z;
+}
+|};
+    };
+    {
+      name = "angle_wrap_series";
+      tags = [ Special; Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double theta, double step) {
+  double comp = 0.0;
+  for (int i = 0; i < 36; ++i) {
+    double phase = theta + step * i;
+    comp += sin(phase) * cos(0.5 * phase);
+  }
+}
+|};
+    };
+    {
+      name = "power_iteration_2x2";
+      tags = [ Solver ];
+      common = false;
+      source =
+        {|
+void compute(double a, double b, double c, double d) {
+  double comp = 0.0;
+  double vx = 1.0;
+  double vy = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    double wx = a * vx + b * vy;
+    double wy = c * vx + d * vy;
+    double n = sqrt(wx * wx + wy * wy) + 1e-30;
+    vx = wx / n;
+    vy = wy / n;
+  }
+  comp = vx * a + vy * b;
+}
+|};
+    };
+    {
+      name = "quadratic_roots";
+      tags = [ Special; Solver ];
+      common = true;
+      source =
+        {|
+void compute(double a, double b, double c) {
+  double comp = 0.0;
+  double disc = b * b - 4.0 * a * c;
+  if (disc >= 0.0) {
+    double root = (-b + sqrt(disc)) / (2.0 * a);
+    comp = root;
+  }
+  if (disc < 0.0) {
+    comp = -b / (2.0 * a);
+  }
+}
+|};
+    };
+    {
+      name = "relativistic_gamma";
+      tags = [ Special ];
+      common = false;
+      source =
+        {|
+void compute(double v, double cap) {
+  double comp = 0.0;
+  double beta = fmin(fabs(v), cap) / 299792458.0;
+  comp = 1.0 / sqrt(1.0 - beta * beta);
+}
+|};
+    };
+    {
+      name = "compound_interest";
+      tags = [ Recurrence ];
+      common = true;
+      source =
+        {|
+void compute(double principal, double rate, double fee) {
+  double comp = 0.0;
+  double balance = principal;
+  for (int i = 0; i < 36; ++i) {
+    balance = balance * (1.0 + rate / 12.0) - fee;
+  }
+  comp = balance;
+}
+|};
+    };
+    {
+      name = "alternating_exponent_mix";
+      tags = [ Special; Reduction ];
+      common = false;
+      source =
+        {|
+void compute(double x, double y) {
+  double comp = 0.0;
+  double t = x;
+  for (int i = 0; i < 28; ++i) {
+    double e = exp2(t * 0.03125) - log2(fabs(y) + 2.0);
+    comp += e / (1.0 + i);
+    t = 0.5 * t + 0.25 * e;
+  }
+}
+|};
+    };
+    {
+      name = "midpoint_ode";
+      tags = [ Quadrature; Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double y0, double dt, double k) {
+  double comp = 0.0;
+  double y = y0;
+  for (int i = 0; i < 32; ++i) {
+    double half = y + 0.5 * dt * (-k * y);
+    y = y + dt * (-k * half);
+    comp += fabs(y);
+  }
+}
+|};
+    };
+    {
+      name = "trig_identity_residual";
+      tags = [ Special; Reduction ];
+      common = false;
+      source =
+        {|
+void compute(double theta, double step, double scale) {
+  double comp = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    double phase = theta + step * i;
+    double s = sin(phase);
+    double c = cos(phase);
+    comp += scale * (s * s + c * c - 1.0);
+  }
+}
+|};
+    };
+    {
+      name = "exp_log_roundtrip";
+      tags = [ Special ];
+      common = true;
+      source =
+        {|
+void compute(double x, double gain) {
+  double comp = 0.0;
+  double v = 0.25 + 0.125 * sin(x * gain);
+  comp = log(exp(v)) - v;
+}
+|};
+    };
+    {
+      name = "sine_wave_energy";
+      tags = [ Special; Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double freq, double amp, double phase) {
+  double comp = 0.0;
+  for (int i = 0; i < 48; ++i) {
+    double t = 0.02 * i;
+    double w = amp * sin(freq * t + phase) + 0.3 * cos(2.0 * freq * t);
+    double energy = w * w;
+    comp += energy;
+  }
+}
+|};
+    };
+    {
+      name = "exp_weighted_dot";
+      tags = [ Reduction; Special ];
+      common = true;
+      source =
+        {|
+void compute(double* xs, double* ys, double beta) {
+  double comp = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    double w = exp(-beta * xs[i] * xs[i]);
+    comp += w * ys[i];
+  }
+}
+|};
+    };
+    {
+      name = "log_product_residual";
+      tags = [ Special ];
+      common = false;
+      source =
+        {|
+void compute(double x, double y) {
+  double comp = 0.0;
+  double px = fabs(x) + 0.5;
+  double py = fabs(y) + 0.5;
+  comp = log(px * py) - log(px) - log(py);
+}
+|};
+    };
+    {
+      name = "taylor_cos_residual";
+      tags = [ Special; Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double x, double scale) {
+  double comp = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    double t = 0.1 * x + 0.05 * i;
+    double t2 = t * t;
+    double approx = 1.0 - t2 / 2.0 + t2 * t2 / 24.0;
+    comp += scale * (cos(t) - approx);
+  }
+}
+|};
+    };
+    {
+      name = "cancellation_ladder";
+      tags = [ Reduction; Statistics ];
+      common = true;
+      source =
+        {|
+void compute(double big, double tiny) {
+  double comp = 0.0;
+  double b = fabs(big) + 1.0;
+  double t = tiny * 1e-12;
+  for (int i = 0; i < 20; ++i) {
+    double s = b + t;
+    comp += (s - b) - t;
+    t *= 1.5;
+  }
+}
+|};
+    };
+    {
+      name = "tanh_activation_chain";
+      tags = [ Special; Recurrence ];
+      common = true;
+      source =
+        {|
+void compute(double x, double w0, double w1) {
+  double comp = 0.0;
+  double h = x;
+  for (int i = 0; i < 30; ++i) {
+    h = tanh(w0 * h + w1);
+    comp += h;
+  }
+}
+|};
+    };
+    {
+      name = "phase_accumulator";
+      tags = [ Special; Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double omega, double dt) {
+  double comp = 0.0;
+  double phase = 0.0;
+  for (int i = 0; i < 96; ++i) {
+    phase += omega * dt;
+    comp += sin(phase) / (1.0 + 0.01 * i);
+  }
+}
+|};
+    };
+    {
+      name = "normalized_entropy_bound";
+      tags = [ Special; Statistics ];
+      common = true;
+      source =
+        {|
+void compute(double p0, double p1) {
+  double comp = 0.0;
+  double max_entropy = log(8.0);
+  double scale = exp(0.5) / sqrt(2.0);
+  double a = 0.1 + 0.8 * fabs(sin(p0));
+  double b = 1.0 - a;
+  double h = -(a * log(a) + b * log(b));
+  comp = scale * h / max_entropy + 0.001 * p1;
+}
+|};
+    };
+    {
+      name = "gamma_correction_lut";
+      tags = [ Special; Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double* pixels, double gamma) {
+  double comp = 0.0;
+  double inv = 1.0 / (fabs(gamma) + 0.8);
+  double norm = pow(255.0, 0.45);
+  for (int i = 0; i < 8; ++i) {
+    double clamped = fmin(fabs(pixels[i]), 255.0);
+    comp += pow(clamped + 1.0, inv) / norm;
+  }
+}
+|};
+    };
+    {
+      name = "henon_map";
+      tags = [ Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double seed_x, double seed_y) {
+  double comp = 0.0;
+  double x = 0.1 * sin(seed_x);
+  double y = 0.1 * cos(seed_y);
+  for (int i = 0; i < 60; ++i) {
+    double xn = 1.0 - 1.4 * x * x + y;
+    y = 0.3 * x;
+    x = xn;
+  }
+  comp = x + y;
+}
+|};
+    };
+    {
+      name = "normalize_then_simulate";
+      tags = [ Reduction; Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double* samples, double drive) {
+  double comp = 0.0;
+  double mean = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    double contribution = samples[i] * 0.125;
+    mean += contribution;
+  }
+  double r = 3.65 + 0.25 * fabs(sin(mean + drive));
+  double x = 0.3 + 0.4 * fabs(sin(mean));
+  for (int i = 0; i < 52; ++i) {
+    x = r * x * (1.0 - x);
+  }
+  comp = x;
+}
+|};
+    };
+    {
+      name = "fir_filter";
+      tags = [ Stencil; Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double* signal, double* taps) {
+  double comp = 0.0;
+  for (int n = 0; n < 6; ++n) {
+    double acc = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      acc += taps[k] * signal[n + k];
+    }
+    comp += acc * acc;
+  }
+}
+|};
+    };
+    {
+      name = "iir_biquad";
+      tags = [ Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double* x, double a1, double a2) {
+  double comp = 0.0;
+  double y1 = 0.0;
+  double y2 = 0.0;
+  for (int n = 0; n < 8; ++n) {
+    double y = x[n] - 0.9 * a1 * y1 - 0.5 * a2 * y2;
+    y2 = y1;
+    y1 = y;
+    comp += y;
+  }
+}
+|};
+    };
+    {
+      name = "black_scholes_d1";
+      tags = [ Special ];
+      common = true;
+      source =
+        {|
+void compute(double spot, double strike, double vol, double t) {
+  double comp = 0.0;
+  double s = fabs(spot) + 50.0;
+  double k = fabs(strike) + 50.0;
+  double sigma = 0.1 + 0.3 * fabs(sin(vol));
+  double tau = 0.25 + fabs(sin(t));
+  double d1 = (log(s / k) + (0.05 + sigma * sigma / 2.0) * tau)
+              / (sigma * sqrt(tau));
+  comp = d1;
+}
+|};
+    };
+    {
+      name = "verlet_spring";
+      tags = [ Recurrence ];
+      common = true;
+      source =
+        {|
+void compute(double k_over_m, double dt0, double x0) {
+  double comp = 0.0;
+  double k = 1.0 + fabs(sin(k_over_m));
+  double dt = 0.05 + 0.02 * fabs(sin(dt0));
+  double x = 1.0 + 0.1 * sin(x0);
+  double x_prev = x;
+  for (int i = 0; i < 64; ++i) {
+    double acc = -k * x;
+    double x_next = 2.0 * x - x_prev + acc * dt * dt;
+    x_prev = x;
+    x = x_next;
+  }
+  comp = x;
+}
+|};
+    };
+    {
+      name = "simpson_rule";
+      tags = [ Quadrature ];
+      common = false;
+      source =
+        {|
+void compute(double a, double width) {
+  double comp = 0.0;
+  double h = (0.5 + fabs(sin(width))) / 16.0;
+  double sum = exp(-a * a);
+  for (int i = 0; i < 15; ++i) {
+    double x = a + h * (1.0 + i);
+    double fx = exp(-x * x);
+    if (comp <= 1e300) {
+      sum += 4.0 * fx;
+    }
+    sum -= 2.0 * fx;
+  }
+  comp = sum * h / 3.0;
+}
+|};
+    };
+    {
+      name = "bisection_step";
+      tags = [ Solver ];
+      common = false;
+      source =
+        {|
+void compute(double lo0, double hi0) {
+  double comp = 0.0;
+  double lo = -2.0 - fabs(lo0);
+  double hi = 2.0 + fabs(hi0);
+  for (int i = 0; i < 40; ++i) {
+    double mid = 0.5 * (lo + hi);
+    double fmid = mid * mid * mid - mid - 2.0;
+    if (fmid < 0.0) {
+      lo = mid;
+    }
+    if (fmid >= 0.0) {
+      hi = mid;
+    }
+  }
+  comp = 0.5 * (lo + hi);
+}
+|};
+    };
+    {
+      name = "secant_method";
+      tags = [ Solver ];
+      common = false;
+      source =
+        {|
+void compute(double s0, double s1) {
+  double comp = 0.0;
+  double x0 = 1.0 + 0.1 * sin(s0);
+  double x1 = 2.0 + 0.1 * sin(s1);
+  double f0 = cos(x0) - x0;
+  for (int i = 0; i < 20; ++i) {
+    double f1 = cos(x1) - x1;
+    double x2 = x1 - f1 * (x1 - x0) / (f1 - f0 + 1e-30);
+    x0 = x1;
+    f0 = f1;
+    x1 = x2;
+  }
+  comp = x1;
+}
+|};
+    };
+    {
+      name = "lagrange_interpolation";
+      tags = [ Special; Reduction ];
+      common = false;
+      source =
+        {|
+void compute(double* ys, double t) {
+  double comp = 0.0;
+  double x = 2.0 * sin(t) + 3.5;
+  for (int i = 0; i < 8; ++i) {
+    double term = ys[i];
+    for (int j = 0; j < 8; ++j) {
+      if (j != i) {
+        term *= (x - j) / (i - j + 1e-30);
+      }
+    }
+    comp += term;
+  }
+}
+|};
+    };
+    {
+      name = "det2x2_chain";
+      tags = [ Reduction; Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double a, double b, double c, double d) {
+  double comp = 0.0;
+  double m00 = 1.0 + 0.01 * a;
+  double m01 = 0.01 * b;
+  double m10 = 0.01 * c;
+  double m11 = 1.0 + 0.01 * d;
+  for (int i = 0; i < 24; ++i) {
+    double n00 = m00 * m00 + m01 * m10;
+    double n01 = m00 * m01 + m01 * m11;
+    double n10 = m10 * m00 + m11 * m10;
+    double n11 = m10 * m01 + m11 * m11;
+    double det = n00 * n11 - n01 * n10;
+    double norm = sqrt(fabs(det)) + 1e-30;
+    m00 = n00 / norm;
+    m01 = n01 / norm;
+    m10 = n10 / norm;
+    m11 = n11 / norm;
+  }
+  comp = m00 + m11;
+}
+|};
+    };
+    {
+      name = "skewness_estimate";
+      tags = [ Statistics ];
+      common = false;
+      source =
+        {|
+void compute(double* data) {
+  double comp = 0.0;
+  double mean = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    mean += data[i];
+  }
+  mean /= 8.0;
+  double m2 = 0.0;
+  double m3 = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    double d = data[i] - mean;
+    double d2 = d * d;
+    m2 += d2;
+    m3 += d2 * d;
+  }
+  m2 /= 8.0;
+  m3 /= 8.0;
+  comp = m3 / (pow(m2, 1.5) + 1e-30);
+}
+|};
+    };
+    {
+      name = "gelu_activation_sum";
+      tags = [ Special; Reduction ];
+      common = true;
+      source =
+        {|
+void compute(double* xs, double gain) {
+  double comp = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    double x = gain * xs[i];
+    double inner = 0.7978845608028654 * (x + 0.044715 * x * x * x);
+    comp += 0.5 * x * (1.0 + tanh(inner));
+  }
+}
+|};
+    };
+    {
+      name = "quaternion_normalize";
+      tags = [ Special ];
+      common = false;
+      source =
+        {|
+void compute(double w, double x, double y, double z) {
+  double comp = 0.0;
+  double qw = 1.0 + 0.1 * sin(w);
+  double qx = 0.1 * cos(x);
+  double qy = 0.1 * sin(y);
+  double qz = 0.1 * cos(z);
+  for (int i = 0; i < 16; ++i) {
+    double n = sqrt(qw * qw + qx * qx + qy * qy + qz * qz);
+    qw = (qw + 0.001) / n;
+    qx = (qx + 0.001) / n;
+    qy = (qy - 0.001) / n;
+    qz = (qz - 0.001) / n;
+  }
+  comp = qw + qx + qy + qz;
+}
+|};
+    };
+    {
+      name = "softplus_chain";
+      tags = [ Special; Recurrence ];
+      common = false;
+      source =
+        {|
+void compute(double x0, double beta) {
+  double comp = 0.0;
+  double x = sin(x0);
+  double b = 0.5 + fabs(sin(beta));
+  for (int i = 0; i < 24; ++i) {
+    x = log1p(exp(b * x)) - 0.5;
+    comp += x;
+  }
+}
+|};
+    };
+    {
+      name = "mandelbrot_escape";
+      tags = [ Recurrence ];
+      common = true;
+      source =
+        {|
+void compute(double cr0, double ci0) {
+  double comp = 0.0;
+  double cr = -0.75 + 0.1 * sin(cr0);
+  double ci = 0.1 * cos(ci0);
+  double zr = 0.0;
+  double zi = 0.0;
+  for (int i = 0; i < 80; ++i) {
+    double zr2 = zr * zr - zi * zi + cr;
+    double zi2 = 2.0 * zr * zi + ci;
+    zr = zr2;
+    zi = zi2;
+    if (zr * zr + zi * zi < 4.0) {
+      comp += 1.0;
+    }
+  }
+  comp += zr * zr + zi * zi;
+}
+|};
+    };
+    {
+      name = "planck_radiance";
+      tags = [ Special ];
+      common = false;
+      source =
+        {|
+void compute(double wavelength, double temperature) {
+  double comp = 0.0;
+  double x = 0.0143877 / (fabs(wavelength) + 1e-9) / (fabs(temperature) + 1.0);
+  comp = 1.0 / (expm1(x) + 1e-300);
+}
+|};
+    };
+  |]
+
+let table : (string, Lang.Ast.program) Hashtbl.t = Hashtbl.create 64
+
+let program entry =
+  match Hashtbl.find_opt table entry.name with
+  | Some p -> p
+  | None ->
+    let p =
+      match Cparse.Parse.program entry.source with
+      | Ok p -> p
+      | Error msg ->
+        failwith (Printf.sprintf "corpus %s does not parse: %s" entry.name msg)
+    in
+    (match Analysis.Validate.check p with
+     | Ok () -> ()
+     | Error issues ->
+       failwith
+         (Printf.sprintf "corpus %s invalid: %s" entry.name
+            (String.concat "; "
+               (List.map Analysis.Validate.issue_to_string issues))));
+    Hashtbl.replace table entry.name p;
+    p
+
+let common_entries =
+  Array.of_list (List.filter (fun e -> e.common) (Array.to_list entries))
+
+let by_tag tag =
+  Array.of_list
+    (List.filter (fun e -> List.mem tag e.tags) (Array.to_list entries))

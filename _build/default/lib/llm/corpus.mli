@@ -1,0 +1,42 @@
+(** The mock LLM's prior knowledge: a corpus of idiomatic HPC
+    floating-point kernels.
+
+    The paper's insight is that an LLM "implicitly captures rich prior
+    domain knowledge from a vast amount of source code seen during
+    training", which lets it produce meaningful floating-point operations
+    and code patterns random generators miss (§1). Our substitute makes
+    that prior explicit: a library of small numerical kernels — reductions,
+    recurrences, stencils, quadrature, special-function evaluations,
+    iterative solvers — written as mini-C [compute] functions, parsed by
+    the project's own front end at first use.
+
+    Each entry carries topic tags so the sampler can model an LLM's
+    clustered generation behaviour (a "safe and common" subset dominates
+    unconstrained prompting, per the paper's Direct-Prompt analysis). *)
+
+type tag =
+  | Reduction      (** accumulation loops: sums, dot products, norms *)
+  | Recurrence     (** loop-carried feedback: maps, ODE steps, series *)
+  | Stencil        (** array neighborhoods *)
+  | Quadrature     (** numerical integration *)
+  | Special        (** transcendental-heavy formulas *)
+  | Solver         (** iterative refinement: Newton, Babylonian *)
+  | Statistics     (** mean/variance/normalization *)
+
+type entry = {
+  name : string;
+  tags : tag list;
+  common : bool;
+      (** part of the "safe" subset an unconstrained LLM overuses *)
+  source : string;  (** mini-C text of the compute function *)
+}
+
+val entries : entry array
+(** The whole corpus (at least 30 kernels). *)
+
+val program : entry -> Lang.Ast.program
+(** Parsed and validated AST (memoized). Raises [Failure] if the corpus
+    text is broken — the test suite parses every entry. *)
+
+val common_entries : entry array
+val by_tag : tag -> entry array

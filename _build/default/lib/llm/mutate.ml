@@ -1,0 +1,385 @@
+open Lang
+
+type strategy =
+  | Reorder_or_nest
+  | Change_constants
+  | Add_control_flow
+  | Swap_math_fn
+  | Insert_intermediates
+
+let all =
+  [| Reorder_or_nest; Change_constants; Add_control_flow; Swap_math_fn;
+     Insert_intermediates |]
+
+let name = function
+  | Reorder_or_nest -> "reorder-or-nest"
+  | Change_constants -> "change-constants"
+  | Add_control_flow -> "add-control-flow"
+  | Swap_math_fn -> "swap-math-fn"
+  | Insert_intermediates -> "insert-intermediates"
+
+(* ----------------------------------------------------------------- *)
+(* Generic k-th-candidate expression rewriting. [pred] marks candidate
+   nodes; the [k]-th one (pre-order across the whole body) is rewritten
+   with [f]. Returns the new body and whether a rewrite happened. *)
+
+let rewrite_kth_expr pred f k body =
+  let counter = ref k in
+  let changed = ref false in
+  let rec visit e =
+    if !changed then e
+    else if pred e then begin
+      if !counter = 0 then begin
+        let e' = f e in
+        (* swapping syntactically symmetric operands is a no-op; only
+           report a change when the tree actually differs *)
+        changed := e' <> e;
+        if !changed then e'
+        else begin
+          counter := max_int; (* stop trying; nothing to do here *)
+          e
+        end
+      end
+      else begin
+        decr counter;
+        visit_children e
+      end
+    end
+    else visit_children e
+  and visit_children e =
+    match e with
+    | Ast.Lit _ | Ast.Int_lit _ | Ast.Var _ | Ast.Index _ -> e
+    | Ast.Neg inner -> Ast.Neg (visit inner)
+    | Ast.Bin (op, a, b) ->
+      let a = visit a in
+      let b = visit b in
+      Ast.Bin (op, a, b)
+    | Ast.Call (fn, args) -> Ast.Call (fn, List.map visit args)
+  in
+  (* Walk value positions only: array subscripts stay integer-typed, so
+     they are never rewritten. *)
+  let rec walk body =
+    List.map
+      (fun s ->
+        match s with
+        | Ast.Decl { name; init } -> Ast.Decl { name; init = visit init }
+        | Ast.Assign { lhs; op; rhs } -> Ast.Assign { lhs; op; rhs = visit rhs }
+        | Ast.If { lhs; cmp; rhs; body } ->
+          Ast.If { lhs = visit lhs; cmp; rhs = visit rhs; body = walk body }
+        | Ast.For r -> Ast.For { r with body = walk r.body })
+      body
+  in
+  let body = walk body in
+  (body, !changed)
+
+(* Counts must mirror [rewrite_kth_expr]'s traversal (array subscripts
+   and assignment targets are not visited), or the k-th candidate could
+   be unreachable. *)
+let count_exprs pred body =
+  let rec count acc e =
+    let acc = if pred e then acc + 1 else acc in
+    match e with
+    | Ast.Lit _ | Ast.Int_lit _ | Ast.Var _ | Ast.Index _ -> acc
+    | Ast.Neg inner -> count acc inner
+    | Ast.Bin (_, a, b) -> count (count acc a) b
+    | Ast.Call (_, args) -> List.fold_left count acc args
+  in
+  let rec walk acc body =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Ast.Decl { init; _ } -> count acc init
+        | Ast.Assign { rhs; _ } -> count acc rhs
+        | Ast.If { lhs; rhs; body; _ } -> walk (count (count acc lhs) rhs) body
+        | Ast.For { body; _ } -> walk acc body)
+      acc body
+  in
+  walk 0 body
+
+(* ----------------------------------------------------------------- *)
+
+let is_commutative = function
+  | Ast.Bin ((Ast.Add | Ast.Mul), _, _) -> true
+  | _ -> false
+
+let reorder_or_nest rng (p : Ast.program) =
+  let n = count_exprs is_commutative p.body in
+  if n = 0 then (p, false)
+  else begin
+    let k = Util.Rng.int rng n in
+    let rewrite e =
+      match e with
+      | Ast.Bin (op, Ast.Bin (op2, a, b), c) when op = op2 && Util.Rng.bool rng ->
+        (* associativity rotation: (a op b) op c -> a op (b op c) *)
+        Ast.Bin (op, a, Ast.Bin (op, b, c))
+      | Ast.Bin (op, a, b) -> Ast.Bin (op, b, a)
+      | e -> e
+    in
+    let body, changed = rewrite_kth_expr is_commutative rewrite k p.body in
+    ({ p with body }, changed)
+  end
+
+let jitter_literal rng v =
+  let factor =
+    Util.Rng.choose rng
+      [| 0.5; 2.0; 1.5; 0.75; 1.0 +. 1e-3; 1.0 -. 1e-3; 3.0; 0.1 |]
+  in
+  let v' = v *. factor in
+  if Float.is_finite v' && v' <> 0.0 then v' else v +. 1.0
+
+let change_constants rng (p : Ast.program) =
+  let changed = ref false in
+  let rec visit e =
+    match e with
+    | Ast.Lit v when Util.Rng.chance rng 0.4 ->
+      changed := true;
+      Ast.Lit (jitter_literal rng v)
+    | Ast.Lit _ | Ast.Int_lit _ | Ast.Var _ | Ast.Index _ -> e
+    | Ast.Neg inner -> Ast.Neg (visit inner)
+    | Ast.Bin (op, a, b) -> Ast.Bin (op, visit a, visit b)
+    | Ast.Call (fn, args) -> Ast.Call (fn, List.map visit args)
+  in
+  let rec shrink_bounds body =
+    List.map
+      (fun s ->
+        match s with
+        | Ast.For { var; bound; body } when bound > 2 && Util.Rng.chance rng 0.3 ->
+          changed := true;
+          Ast.For
+            { var;
+              bound = bound - 1 - Util.Rng.int rng (min 3 (bound - 2));
+              body = shrink_bounds body }
+        | Ast.For { var; bound; body } ->
+          Ast.For { var; bound; body = shrink_bounds body }
+        | Ast.If r -> Ast.If { r with body = shrink_bounds r.body }
+        | Ast.Decl _ | Ast.Assign _ -> s)
+      body
+  in
+  let body = Ast.map_exprs visit p.body in
+  let body = shrink_bounds body in
+  ({ p with body }, !changed)
+
+let swap_groups =
+  [
+    [ Ast.Sin; Ast.Cos; Ast.Tan ];
+    [ Ast.Asin; Ast.Acos; Ast.Atan ];
+    [ Ast.Sinh; Ast.Cosh; Ast.Tanh ];
+    [ Ast.Exp; Ast.Exp2; Ast.Expm1 ];
+    [ Ast.Log; Ast.Log2; Ast.Log10; Ast.Log1p ];
+    [ Ast.Sqrt; Ast.Cbrt; Ast.Fabs ];
+    [ Ast.Floor; Ast.Ceil ];
+    [ Ast.Pow; Ast.Atan2; Ast.Hypot; Ast.Fmod ];
+    [ Ast.Fmin; Ast.Fmax ];
+  ]
+
+let swap_candidates fn =
+  match List.find_opt (fun group -> List.mem fn group) swap_groups with
+  | None -> []
+  | Some group -> List.filter (fun g -> g <> fn) group
+
+let is_call = function Ast.Call _ -> true | _ -> false
+
+(* When the program is call-free, "use different math library functions"
+   means introducing one: wrap a non-trivial multiplicative subexpression
+   in a unary transcendental. *)
+let introduce_call rng (p : Ast.program) =
+  let eligible = function
+    | Ast.Bin ((Ast.Mul | Ast.Add), _, _) -> true
+    | _ -> false
+  in
+  let n = count_exprs eligible p.body in
+  if n = 0 then (p, false)
+  else begin
+    let k = Util.Rng.int rng n in
+    let fn =
+      Util.Rng.choose rng
+        [| Ast.Sin; Ast.Cos; Ast.Tanh; Ast.Atan; Ast.Expm1; Ast.Cbrt |]
+    in
+    let rewrite e = Ast.Call (fn, [ e ]) in
+    let body, changed = rewrite_kth_expr eligible rewrite k p.body in
+    ({ p with body }, changed)
+  end
+
+let swap_math_fn rng (p : Ast.program) =
+  let n = count_exprs is_call p.body in
+  if n = 0 then introduce_call rng p
+  else begin
+    let k = Util.Rng.int rng n in
+    let rewrite e =
+      match e with
+      | Ast.Call (fn, args) -> begin
+        match swap_candidates fn with
+        | [] -> e
+        | options -> Ast.Call (Util.Rng.choose_list rng options, args)
+      end
+      | e -> e
+    in
+    let body, changed = rewrite_kth_expr is_call rewrite k p.body in
+    ({ p with body }, changed)
+  end
+
+(* Wrap a random top-level assignment in a small fresh loop or an if
+   block guarded by a parameter. *)
+let add_control_flow rng (p : Ast.program) =
+  let indices =
+    List.filteri (fun _ s -> match s with Ast.Assign _ -> true | _ -> false)
+      p.body
+    |> List.length
+  in
+  if indices = 0 then (p, false)
+  else begin
+    let target = Util.Rng.int rng indices in
+    let scalar_params =
+      List.filter_map
+        (function Ast.P_fp name -> Some name | _ -> None)
+        p.params
+    in
+    let seen = ref (-1) in
+    let body =
+      List.map
+        (fun s ->
+          match s with
+          | Ast.Assign _ ->
+            incr seen;
+            if !seen <> target then s
+            else if Util.Rng.bool rng || scalar_params = [] then begin
+              let var = Ast.fresh_name p "k" in
+              Ast.For
+                { var; bound = Util.Rng.int_in rng 2 9; body = [ s ] }
+            end
+            else begin
+              let guard = Util.Rng.choose_list rng scalar_params in
+              Ast.If
+                {
+                  lhs = Ast.Var guard;
+                  cmp = Util.Rng.choose rng [| Ast.Lt; Ast.Ge |];
+                  rhs = Ast.Lit (Util.Rng.float_in rng (-5.0) 5.0);
+                  body = [ s ];
+                }
+            end
+          | s -> s)
+        p.body
+    in
+    ({ p with body }, true)
+  end
+
+(* Hoist an interesting subexpression of some statement into a named
+   temporary declared immediately before it. Works at any block depth. *)
+let insert_intermediates rng (p : Ast.program) =
+  let interesting e =
+    match e with
+    | Ast.Bin (Ast.Mul, _, _) | Ast.Call _ -> Ast.expr_size e >= 3
+    | _ -> false
+  in
+  (* Count candidate statements: those whose rhs/init contains an
+     interesting strict subexpression. *)
+  let stmt_has s =
+    match s with
+    | Ast.Decl { init = e; _ } | Ast.Assign { rhs = e; _ } ->
+      Ast.fold_expr (fun acc sub -> acc || (sub != e && interesting sub)) false e
+    | Ast.If _ | Ast.For _ -> false
+  in
+  let rec count body =
+    List.fold_left
+      (fun acc s ->
+        let nested =
+          match s with
+          | Ast.If { body; _ } | Ast.For { body; _ } -> count body
+          | Ast.Decl _ | Ast.Assign _ -> 0
+        in
+        acc + (if stmt_has s then 1 else 0) + nested)
+      0 body
+  in
+  let total = count p.body in
+  if total = 0 then (p, false)
+  else begin
+    let target = ref (Util.Rng.int rng total) in
+    let fresh = Ast.fresh_name p "part" in
+    let hoist_in_expr e =
+      (* choose one interesting strict subexpression occurrence *)
+      let subs =
+        Ast.fold_expr
+          (fun acc sub -> if sub != e && interesting sub then sub :: acc else acc)
+          [] e
+      in
+      match subs with
+      | [] -> None
+      | subs ->
+        let chosen = Util.Rng.choose_list rng subs in
+        let replaced = ref false in
+        let rec replace cur =
+          if !replaced then cur
+          else if cur == chosen then begin
+            replaced := true;
+            Ast.Var fresh
+          end
+          else
+            match cur with
+            | Ast.Lit _ | Ast.Int_lit _ | Ast.Var _ | Ast.Index _ -> cur
+            | Ast.Neg inner -> Ast.Neg (replace inner)
+            | Ast.Bin (op, a, b) ->
+              let a = replace a in
+              let b = replace b in
+              Ast.Bin (op, a, b)
+            | Ast.Call (fn, args) -> Ast.Call (fn, List.map replace args)
+        in
+        let e' = replace e in
+        if !replaced then Some (chosen, e') else None
+    in
+    let changed = ref false in
+    let rec walk body =
+      List.concat_map
+        (fun s ->
+          if !changed then [ recurse s ]
+          else if stmt_has s then begin
+            if !target > 0 then begin
+              decr target;
+              [ recurse s ]
+            end
+            else begin
+              match s with
+              | Ast.Decl { name; init } -> begin
+                match hoist_in_expr init with
+                | None -> [ s ]
+                | Some (sub, init') ->
+                  changed := true;
+                  [ Ast.Decl { name = fresh; init = sub };
+                    Ast.Decl { name; init = init' } ]
+              end
+              | Ast.Assign { lhs; op; rhs } -> begin
+                match hoist_in_expr rhs with
+                | None -> [ s ]
+                | Some (sub, rhs') ->
+                  changed := true;
+                  [ Ast.Decl { name = fresh; init = sub };
+                    Ast.Assign { lhs; op; rhs = rhs' } ]
+              end
+              | Ast.If _ | Ast.For _ -> [ s ]
+            end
+          end
+          else [ recurse s ])
+        body
+    and recurse s =
+      match s with
+      | Ast.If r -> Ast.If { r with body = walk r.body }
+      | Ast.For r -> Ast.For { r with body = walk r.body }
+      | Ast.Decl _ | Ast.Assign _ -> s
+    in
+    let body = walk p.body in
+    ({ p with body }, !changed)
+  end
+
+let apply rng strategy p =
+  match strategy with
+  | Reorder_or_nest -> reorder_or_nest rng p
+  | Change_constants -> change_constants rng p
+  | Add_control_flow -> add_control_flow rng p
+  | Swap_math_fn -> swap_math_fn rng p
+  | Insert_intermediates -> insert_intermediates rng p
+
+let apply_n rng strategies p =
+  List.fold_left
+    (fun (p, n) strategy ->
+      let p, changed = apply rng strategy p in
+      (p, if changed then n + 1 else n))
+    (p, 0) strategies

@@ -1,0 +1,28 @@
+(** The five mutation strategies of Feedback-Based Mutation (§2.3.2).
+
+    Each strategy is a semantic-changing AST transform ("change a given
+    floating-point C program to create a new one that behaves
+    differently"). All transforms preserve validity: the result passes
+    {!Analysis.Validate.check} whenever the input does. When a strategy
+    finds no applicable site it returns the program unchanged; {!apply_n}
+    reports whether anything changed so the client can retry. *)
+
+type strategy =
+  | Reorder_or_nest     (** swap commutative operands / rotate association *)
+  | Change_constants    (** jitter literals and loop bounds *)
+  | Add_control_flow    (** wrap a statement in a new loop or conditional *)
+  | Swap_math_fn        (** replace a call with a same-arity neighbour *)
+  | Insert_intermediates
+      (** hoist a subexpression into a named temporary — the
+          split-multiply-add maker *)
+
+val all : strategy array
+val name : strategy -> string
+
+val apply :
+  Util.Rng.t -> strategy -> Lang.Ast.program -> Lang.Ast.program * bool
+(** The boolean reports whether the program changed. *)
+
+val apply_n :
+  Util.Rng.t -> strategy list -> Lang.Ast.program -> Lang.Ast.program * int
+(** Apply strategies in order; returns the number that had an effect. *)

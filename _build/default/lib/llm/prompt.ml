@@ -1,0 +1,77 @@
+type t =
+  | Direct of { precision : Lang.Ast.precision }
+  | Grammar of { precision : Lang.Ast.precision }
+  | Mutate of { precision : Lang.Ast.precision; example : Lang.Ast.program }
+
+let guidelines =
+  [
+    "Use only the headers stdio.h, stdlib.h and math.h.";
+    "The program must contain exactly two functions: main and compute.";
+    "compute takes scalar/array floating-point and integer parameters, \
+     performs a sequence of arithmetic operations, and prints a single \
+     scalar result to standard output.";
+    "Initialize every variable before use.";
+    "Avoid undefined behavior: no out-of-bounds accesses, no \
+     uninitialized reads, no integer division by zero.";
+    "Output plain code only, with no formatting or explanation.";
+  ]
+
+let mutation_strategy_names =
+  [
+    "reorder or deeply nest arithmetic expressions";
+    "change numeric constants";
+    "introduce new control flow such as nested loops or conditionals";
+    "use different math library functions";
+    "insert intermediate computations";
+  ]
+
+let grammar_text =
+  {|<function>   ::= "void" "compute" "(" <param-list> ")" "{" <block> "}"
+<param-decl> ::= "int" <id> | <fp-type> <id> | <fp-type> "*" <id>
+<assignment> ::= "comp" <assign-op> <expression> ";"
+               | <fp-type> <id> <assign-op> <expression> ";"
+<expression> ::= <term> | "(" <expression> ")"
+               | <expression> <op> <expression>
+<term>       ::= <identifier> | <fp-numeral>
+<block>      ::= {<assignment>}+ | <if-block> <block> | <for-block> <block>
+<if-block>   ::= "if" "(" <bool-expression> ")" "{" <block> "}"
+<for-block>  ::= "for" "(" "int" <id> "=" "0" ";" <id> "<" <int-numeral>
+                 ";" "++" <id> ")" "{" <block> "}"|}
+
+let precision_name = function
+  | Lang.Ast.F64 -> "double"
+  | Lang.Ast.F32 -> "single (float)"
+
+let bullet lines = String.concat "\n" (List.map (fun l -> "- " ^ l) lines)
+
+let render = function
+  | Direct { precision } ->
+    Printf.sprintf
+      "Create a random but valid floating-point C program.\n\
+       Use %s precision for all floating-point variables.\n\
+       Guidelines:\n%s\n"
+      (precision_name precision) (bullet guidelines)
+  | Grammar { precision } ->
+    Printf.sprintf
+      "Create a random but valid floating-point C program.\n\
+       Use %s precision for all floating-point variables.\n\
+       The compute function must follow this grammar:\n%s\n\
+       Guidelines:\n%s\n"
+      (precision_name precision) grammar_text (bullet guidelines)
+  | Mutate { precision; example } ->
+    Printf.sprintf
+      "Change the following floating-point C program to create a new one \
+       that behaves differently.\n\
+       Use %s precision for all floating-point variables.\n\
+       Guidelines:\n%s\n\
+       Consider these mutation strategies:\n%s\n\
+       Program to mutate:\n%s\n"
+      (precision_name precision) (bullet guidelines)
+      (bullet mutation_strategy_names)
+      (Lang.Pp.compute_to_string example)
+
+let token_count s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.filter (fun w -> w <> "")
+  |> List.length

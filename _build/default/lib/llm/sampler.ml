@@ -1,0 +1,42 @@
+type params = {
+  temperature : float;
+  frequency_penalty : float;
+  presence_penalty : float;
+}
+
+let paper_params =
+  { temperature = 1.2; frequency_penalty = 0.5; presence_penalty = 0.6 }
+
+type t = { p : params; counts : (string, int) Hashtbl.t }
+
+let create p =
+  if p.temperature <= 0.0 then invalid_arg "Sampler.create: temperature";
+  { p; counts = Hashtbl.create 64 }
+
+let params t = t.p
+
+let usage t key = Option.value (Hashtbl.find_opt t.counts key) ~default:0
+
+let pick t rng items =
+  if Array.length items = 0 then invalid_arg "Sampler.pick: no items";
+  let logits =
+    Array.map
+      (fun (key, w, _) ->
+        if w <= 0.0 then invalid_arg "Sampler.pick: non-positive weight";
+        let n = usage t key in
+        (* The frequency discount saturates: a real API penalizes tokens
+           within its context window, not over an unbounded session, so
+           long campaigns must not wash out all prior weighting. *)
+        (log w /. t.p.temperature)
+        -. (t.p.frequency_penalty *. float_of_int (min n 4))
+        -. (if n > 0 then t.p.presence_penalty else 0.0))
+      items
+  in
+  let m = Array.fold_left Float.max neg_infinity logits in
+  let weights = Array.map (fun l -> exp (l -. m)) logits in
+  let choices =
+    Array.mapi (fun i (key, _, v) -> (weights.(i), (key, v))) items
+  in
+  let key, value = Util.Rng.weighted rng choices in
+  Hashtbl.replace t.counts key (usage t key + 1);
+  value

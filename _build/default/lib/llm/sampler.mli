@@ -1,0 +1,35 @@
+(** Temperature / penalty sampling over a discrete pattern vocabulary.
+
+    The paper configures GPT-4.1-mini with temperature 1.2,
+    frequency_penalty 0.5 and presence_penalty 0.6 (§3.1.4). Our mock LLM
+    gives those hyperparameters the same meaning they have for token
+    sampling, applied to its pattern choices (corpus kernels, mutation
+    strategies, naming schemes): a softmax over item log-weights scaled
+    by temperature, with logits discounted per prior usage count
+    (frequency penalty) and once-off for any prior usage (presence
+    penalty). Usage counts live in the session and persist across calls,
+    so repetition is discouraged over a whole campaign, as with a real
+    API session log. *)
+
+type params = {
+  temperature : float;
+  frequency_penalty : float;
+  presence_penalty : float;
+}
+
+val paper_params : params
+(** temperature 1.2, frequency_penalty 0.5, presence_penalty 0.6. *)
+
+type t
+(** Mutable usage history. *)
+
+val create : params -> t
+val params : t -> params
+
+val pick : t -> Util.Rng.t -> (string * float * 'a) array -> 'a
+(** [pick t rng items] samples one [(key, base_weight, value)] item.
+    Base weights must be positive. The sampled item's usage count is
+    recorded under its key. *)
+
+val usage : t -> string -> int
+(** How often a key has been sampled so far. *)

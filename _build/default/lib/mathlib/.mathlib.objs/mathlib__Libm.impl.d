@@ -1,0 +1,1 @@
+lib/mathlib/libm.ml: Ast Lang Perturb Poly Reference

@@ -1,0 +1,1 @@
+lib/mathlib/libm.mli: Lang

@@ -1,0 +1,1 @@
+lib/mathlib/perturb.ml: Array Float Fp Int64 Lang List Reference

@@ -1,0 +1,1 @@
+lib/mathlib/perturb.mli: Lang

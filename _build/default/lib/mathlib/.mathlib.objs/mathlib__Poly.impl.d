@@ -1,0 +1,1 @@
+lib/mathlib/poly.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/mathlib/reference.ml: Ast Float Lang

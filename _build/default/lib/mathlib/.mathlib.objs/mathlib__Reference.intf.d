@@ -1,0 +1,1 @@
+lib/mathlib/reference.mli: Lang

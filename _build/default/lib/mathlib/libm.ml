@@ -1,0 +1,108 @@
+open Lang
+
+type flavor =
+  | Glibc
+  | Mpfr_fold
+  | Llvm_fold
+  | Cuda
+  | Gcc_fast
+  | Clang_fast
+  | Cuda_fast
+
+let flavor_name = function
+  | Glibc -> "glibc"
+  | Mpfr_fold -> "mpfr-fold"
+  | Llvm_fold -> "llvm-fold"
+  | Cuda -> "cuda-libm"
+  | Gcc_fast -> "gcc-fastmath"
+  | Clang_fast -> "clang-fastmath"
+  | Cuda_fast -> "cuda-fastmath"
+
+(* Divergence profiles. Probabilities are per (function, argument) and were
+   calibrated so campaign-level inconsistency rates land in the paper's
+   regime (see EXPERIMENTS.md): real libms agree on the overwhelming
+   majority of arguments, so per-call divergence is rare even though
+   almost every long-running program eventually observes one. *)
+
+let mpfr_profile = Perturb.profile ~salt:0x6D70667231L ~prob:0.04 ~max_ulps:1
+let llvm_fold_profile = Perturb.profile ~salt:0x6C6C766DL ~prob:0.04 ~max_ulps:1
+let cuda_profile = Perturb.profile ~salt:0x63756461L ~prob:0.5 ~max_ulps:1
+
+(* pow/tan/hypot-class functions have larger vendor spreads. *)
+let cuda_hard_profile = Perturb.profile ~salt:0x63756461FFL ~prob:0.65 ~max_ulps:2
+
+let gcc_fast_profile = Perturb.profile ~salt:0x676363L ~prob:0.10 ~max_ulps:2
+let clang_fast_profile = Perturb.profile ~salt:0x636C616E67L ~prob:0.10 ~max_ulps:2
+let cuda_fast_other_profile = Perturb.profile ~salt:0x637564616646L ~prob:0.30 ~max_ulps:4
+
+let is_hard = function
+  | Ast.Pow | Ast.Tan | Ast.Sinh | Ast.Cosh | Ast.Expm1 | Ast.Log1p
+  | Ast.Hypot | Ast.Atan2 ->
+    true
+  | _ -> false
+
+(* Fast-math min/max lowering. C's fmin/fmax treat NaN as "missing", but
+   under fast math compilers are free to emit a bare compare-and-select.
+   gcc selects `a < b ? a : b`, clang the symmetric `b < a ? b : a`, so a
+   NaN operand comes out differently per compiler; nvcc's device fast
+   path keeps the IEEE number-favoring semantics. *)
+let fast_minmax flavor fn args =
+  match (flavor, fn, args) with
+  | Gcc_fast, Ast.Fmin, [ a; b ] -> Some (if a < b then a else b)
+  | Gcc_fast, Ast.Fmax, [ a; b ] -> Some (if a > b then a else b)
+  | Clang_fast, Ast.Fmin, [ a; b ] -> Some (if b < a then b else a)
+  | Clang_fast, Ast.Fmax, [ a; b ] -> Some (if b > a then b else a)
+  | _ -> None
+
+(* The float intrinsics (__sinf and friends) are a few float-ulps off;
+   on the F32 grid the divergence profile is correspondingly coarser. *)
+let cuda_fast32_profile = Perturb.profile ~salt:0x5F5F66L ~prob:0.6 ~max_ulps:3
+
+let call ?(precision = Ast.F64) flavor fn args =
+  let grid =
+    match precision with Ast.F64 -> Perturb.F64 | Ast.F32 -> Perturb.F32
+  in
+  match fast_minmax flavor fn args with
+  | Some v -> v
+  | None ->
+  let base = Reference.eval fn args in
+  match flavor with
+  | Glibc -> base
+  | Mpfr_fold -> Perturb.apply ~grid mpfr_profile fn args base
+  | Llvm_fold -> Perturb.apply ~grid llvm_fold_profile fn args base
+  | Cuda ->
+    let p = if is_hard fn then cuda_hard_profile else cuda_profile in
+    Perturb.apply ~grid p fn args base
+  | Gcc_fast -> Perturb.apply ~grid gcc_fast_profile fn args base
+  | Clang_fast -> Perturb.apply ~grid clang_fast_profile fn args base
+  | Cuda_fast -> begin
+    let polynomial =
+      match (fn, args) with
+      | Ast.Sin, [ x ] -> Some (Poly.sin_fast x)
+      | Ast.Cos, [ x ] -> Some (Poly.cos_fast x)
+      | Ast.Tan, [ x ] -> Some (Poly.tan_fast x)
+      | Ast.Exp, [ x ] -> Some (Poly.exp_fast x)
+      | Ast.Exp2, [ x ] -> Some (Poly.exp2_fast x)
+      | Ast.Log, [ x ] -> Some (Poly.log_fast x)
+      | Ast.Log2, [ x ] -> Some (Poly.log2_fast x)
+      | Ast.Log10, [ x ] -> Some (Poly.log10_fast x)
+      | Ast.Pow, [ x; y ] -> Some (Poly.pow_fast x y)
+      | _ -> None
+    in
+    match (polynomial, precision) with
+    | Some v, Ast.F64 -> v
+    | Some v, Ast.F32 ->
+      (* the __foof intrinsics carry their own float-ulp error *)
+      Perturb.apply ~grid cuda_fast32_profile fn args v
+    | None, _ -> Perturb.apply ~grid cuda_fast_other_profile fn args base
+  end
+
+let call1 ?precision flavor fn x = call ?precision flavor fn [ x ]
+let call2 ?precision flavor fn x y = call ?precision flavor fn [ x; y ]
+
+let profiles_doc =
+  "glibc: baseline (identity). mpfr-fold: p=0.04, <=1 ulp. llvm-fold: \
+   p=0.04, <=1 ulp, distinct salt. cuda-libm: p=0.5 (hard fns 0.65), \
+   <=1-2 ulp. gcc/clang-fastmath: p=0.10, <=2 ulp, distinct salts. \
+   cuda-fastmath: polynomial kernels for sin/cos/tan/exp/log/pow (~1e-12 \
+   rel. err.), p=0.30 <=4 ulp elsewhere."

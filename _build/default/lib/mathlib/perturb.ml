@@ -1,0 +1,43 @@
+type profile = { salt : int64; prob : float; max_ulps : int }
+
+let profile ~salt ~prob ~max_ulps =
+  if prob < 0.0 || prob > 1.0 then invalid_arg "Perturb.profile: prob";
+  if max_ulps < 1 then invalid_arg "Perturb.profile: max_ulps";
+  { salt; prob; max_ulps }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let fn_tag fn =
+  let rec index i =
+    if Lang.Ast.all_math_fns.(i) == fn || Lang.Ast.all_math_fns.(i) = fn then i
+    else index (i + 1)
+  in
+  Int64.of_int (index 0)
+
+let key profile fn args =
+  let h = ref (mix profile.salt) in
+  h := mix (Int64.add !h (fn_tag fn));
+  List.iter (fun a -> h := mix (Int64.logxor !h (Int64.bits_of_float a))) args;
+  !h
+
+let unit_float h =
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1.0p-53
+
+type grid = F64 | F32
+
+let apply ?(grid = F64) profile fn args base =
+  if Reference.is_exactly_rounded fn then base
+  else if (not (Float.is_finite base)) || base = 0.0 then base
+  else
+    let h = key profile fn args in
+    if unit_float h >= profile.prob then base
+    else
+      let h2 = mix h in
+      let magnitude = 1 + Int64.to_int (Int64.rem (Int64.shift_right_logical h2 2) (Int64.of_int profile.max_ulps)) in
+      let direction = if Int64.logand h2 1L = 0L then magnitude else -magnitude in
+      match grid with
+      | F64 -> Fp.Bits.nudge_ulps base direction
+      | F32 -> Fp.Bits.nudge_ulps32 base direction

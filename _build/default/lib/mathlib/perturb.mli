@@ -1,0 +1,30 @@
+(** Deterministic last-ulp divergence between math-library vendors.
+
+    Different libms agree to within an ulp or two on transcendental
+    functions but round differently on a fraction of arguments; this is
+    the root cause of the paper's host-vs-device inconsistencies at every
+    optimization level. We model it as a pure function of
+    (salt, function, argument bits): a keyed hash decides, per call site
+    value, whether this vendor's result deviates from the baseline and by
+    how many ulps. The same vendor always returns the same value for the
+    same arguments (libraries are deterministic), and different salts give
+    uncorrelated divergence patterns (different libraries disagree on
+    different arguments). *)
+
+type profile = {
+  salt : int64;       (** vendor identity *)
+  prob : float;       (** probability a given argument diverges *)
+  max_ulps : int;     (** largest divergence magnitude, >= 1 *)
+}
+
+val profile : salt:int64 -> prob:float -> max_ulps:int -> profile
+
+type grid = F64 | F32
+
+val apply :
+  ?grid:grid -> profile -> Lang.Ast.math_fn -> float list -> float -> float
+(** [apply p fn args base] nudges [base] according to the profile, on the
+    binary64 grid by default or the binary32 grid for single-precision
+    library calls. Exactly rounded functions
+    ({!Reference.is_exactly_rounded}), non-finite bases, and zero bases
+    are returned unchanged. *)

@@ -1,0 +1,117 @@
+(* Cody–Waite two-constant split of pi/2: pi/2 = dp1 + dp2 with dp1 having
+   trailing zero bits, so k*dp1 subtracts exactly for moderate k. *)
+let dp1 = 1.5707963267341256e0 (* high part of pi/2 *)
+let dp2 = 6.077100506506192e-11 (* low part *)
+
+let poly coeffs x =
+  Array.fold_left (fun acc c -> (acc *. x) +. c) 0.0 coeffs
+
+(* Truncated Taylor kernels on |r| <= pi/4; the missing higher terms are
+   exactly the fast-math accuracy loss. *)
+let sin_kernel r =
+  let r2 = r *. r in
+  r
+  *. poly
+       [| -2.505210838544172e-8; 2.7557319223985893e-6;
+          -1.984126984126984e-4; 8.333333333333333e-3;
+          -0.16666666666666666; 1.0 |]
+       r2
+
+let cos_kernel r =
+  let r2 = r *. r in
+  poly
+    [| -2.7557319223985888e-7; 2.48015873015873e-5; -1.3888888888888889e-3;
+       4.1666666666666664e-2; -0.5; 1.0 |]
+    r2
+
+let reduce x =
+  (* x = k * pi/2 + r, r in [-pi/4, pi/4]; k reduced mod 4. *)
+  let k = Float.round (x /. 1.5707963267948966) in
+  let r = x -. (k *. dp1) -. (k *. dp2) in
+  let q = Int64.to_int (Int64.rem (Int64.of_float k) 4L) in
+  let q = if q < 0 then q + 4 else q in
+  (q, r)
+
+let sin_fast x =
+  if not (Float.is_finite x) then Float.nan
+  else if Float.abs x > 1e15 then 0.0 (* fast reduction gives up *)
+  else
+    let q, r = reduce x in
+    match q with
+    | 0 -> sin_kernel r
+    | 1 -> cos_kernel r
+    | 2 -> -.sin_kernel r
+    | _ -> -.cos_kernel r
+
+let cos_fast x =
+  if not (Float.is_finite x) then Float.nan
+  else if Float.abs x > 1e15 then 1.0
+  else
+    let q, r = reduce x in
+    match q with
+    | 0 -> cos_kernel r
+    | 1 -> -.sin_kernel r
+    | 2 -> -.cos_kernel r
+    | _ -> sin_kernel r
+
+let tan_fast x =
+  let s = sin_fast x and c = cos_fast x in
+  s /. c
+
+let log2_e = 1.4426950408889634
+
+(* 2^f on f in [-0.5, 0.5], truncated expansion of exp(f ln 2). *)
+let exp2_kernel f =
+  let ln2 = 0.6931471805599453 in
+  let t = f *. ln2 in
+  poly
+    [| 2.505210838544172e-8; 2.7557319223985893e-6; 2.48015873015873e-5;
+       1.984126984126984e-4; 1.3888888888888889e-3; 8.333333333333333e-3;
+       4.1666666666666664e-2; 0.16666666666666666; 0.5; 1.0; 1.0 |]
+    t
+
+let exp2_fast x =
+  if Float.is_nan x then Float.nan
+  else if x > 1024.0 then Float.infinity
+  else if x < -1075.0 then 0.0
+  else
+    let k = Float.round x in
+    let f = x -. k in
+    ldexp (exp2_kernel f) (int_of_float k)
+
+let exp_fast x = exp2_fast (x *. log2_e)
+
+(* log2(m) for m in [1, 2) via atanh series: log(m) = 2 atanh((m-1)/(m+1)). *)
+let log2_kernel m =
+  let t = (m -. 1.0) /. (m +. 1.0) in
+  let t2 = t *. t in
+  let atanh_t =
+    t
+    *. poly
+         [| 1.0 /. 13.0; 1.0 /. 11.0; 1.0 /. 9.0; 1.0 /. 7.0; 0.2;
+            1.0 /. 3.0; 1.0 |]
+         t2
+  in
+  2.0 *. atanh_t *. log2_e
+
+let log2_fast x =
+  if Float.is_nan x then Float.nan
+  else if x < 0.0 then Float.nan
+  else if x = 0.0 then Float.neg_infinity
+  else if x = Float.infinity then Float.infinity
+  else
+    let m, e = Float.frexp x in
+    (* frexp gives m in [0.5, 1); rescale to [1, 2). *)
+    let m = m *. 2.0 and e = e - 1 in
+    float_of_int e +. log2_kernel m
+
+let ln2 = 0.6931471805599453
+let log_fast x = log2_fast x *. ln2
+let log10_fast x = log2_fast x *. 0.30102999566398120
+
+let pow_fast x y =
+  if y = 0.0 then 1.0
+  else if x = 1.0 then 1.0
+  else if x < 0.0 then Float.nan
+  else if x = 0.0 then if y > 0.0 then 0.0 else Float.infinity
+  else exp2_fast (y *. log2_fast x)

@@ -1,0 +1,24 @@
+(** Reduced-accuracy math kernels for device fast math.
+
+    nvcc's [-use_fast_math] replaces math-library calls with faster, less
+    accurate implementations. We implement that behaviour with real
+    numerics rather than noise: Cody–Waite range reduction plus truncated
+    polynomial kernels, giving relative errors around 1e-12..1e-14 — a few
+    ulps off the precise library, deterministically, and in a pattern that
+    is genuinely argument-dependent (as on real hardware).
+
+    All kernels are total: they follow IEEE special-case conventions
+    loosely (fast-math does not guarantee them), e.g. [log_fast] of a
+    negative number is NaN, [exp_fast] overflows to infinity. *)
+
+val sin_fast : float -> float
+val cos_fast : float -> float
+val tan_fast : float -> float
+val exp_fast : float -> float
+val log_fast : float -> float
+val exp2_fast : float -> float
+val log2_fast : float -> float
+val log10_fast : float -> float
+val pow_fast : float -> float -> float
+(** [pow_fast x y] via [exp2_fast (y * log2_fast x)]; negative bases give
+    NaN (fast math does not special-case integer exponents). *)

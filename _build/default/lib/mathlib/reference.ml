@@ -1,0 +1,53 @@
+open Lang
+
+let eval1 fn x =
+  match fn with
+  | Ast.Sin -> sin x
+  | Ast.Cos -> cos x
+  | Ast.Tan -> tan x
+  | Ast.Asin -> asin x
+  | Ast.Acos -> acos x
+  | Ast.Atan -> atan x
+  | Ast.Sinh -> sinh x
+  | Ast.Cosh -> cosh x
+  | Ast.Tanh -> tanh x
+  | Ast.Exp -> exp x
+  | Ast.Exp2 -> Float.exp2 x
+  | Ast.Expm1 -> expm1 x
+  | Ast.Log -> log x
+  | Ast.Log2 -> Float.log2 x
+  | Ast.Log10 -> log10 x
+  | Ast.Log1p -> log1p x
+  | Ast.Sqrt -> sqrt x
+  | Ast.Cbrt -> Float.cbrt x
+  | Ast.Fabs -> Float.abs x
+  | Ast.Floor -> floor x
+  | Ast.Ceil -> ceil x
+  | Ast.Pow | Ast.Fmod | Ast.Atan2 | Ast.Hypot | Ast.Fmin | Ast.Fmax ->
+    invalid_arg "Reference.eval1: binary function"
+
+let eval2 fn x y =
+  match fn with
+  | Ast.Pow -> Float.pow x y
+  | Ast.Fmod -> Float.rem x y
+  | Ast.Atan2 -> Float.atan2 x y
+  | Ast.Hypot -> Float.hypot x y
+  | Ast.Fmin -> Float.min_num x y
+  | Ast.Fmax -> Float.max_num x y
+  | _ -> invalid_arg "Reference.eval2: unary function"
+
+let eval fn args =
+  match (Ast.math_fn_arity fn, args) with
+  | 1, [ x ] -> eval1 fn x
+  | 2, [ x; y ] -> eval2 fn x y
+  | _ -> invalid_arg "Reference.eval: arity mismatch"
+
+let is_exactly_rounded = function
+  | Ast.Sqrt | Ast.Fabs | Ast.Floor | Ast.Ceil | Ast.Fmin | Ast.Fmax
+  | Ast.Fmod ->
+    true
+  | Ast.Sin | Ast.Cos | Ast.Tan | Ast.Asin | Ast.Acos | Ast.Atan
+  | Ast.Sinh | Ast.Cosh | Ast.Tanh | Ast.Exp | Ast.Exp2 | Ast.Expm1
+  | Ast.Log | Ast.Log2 | Ast.Log10 | Ast.Log1p | Ast.Cbrt | Ast.Pow
+  | Ast.Atan2 | Ast.Hypot ->
+    false

@@ -1,0 +1,1 @@
+lib/parser/lex.ml: Array Buffer Hashtbl Lang List Printf String

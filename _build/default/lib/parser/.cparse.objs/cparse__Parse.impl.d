@@ -1,0 +1,1 @@
+lib/parser/parse.ml: Array Ast Hashtbl Lang Lex List Option Printf Result String

@@ -1,0 +1,176 @@
+type token =
+  | Int_tok of int
+  | Float_tok of float
+  | Ident of string
+  | Lparen | Rparen
+  | Lbrace | Rbrace
+  | Lbracket | Rbracket
+  | Plus | Minus | Star | Slash
+  | Comma | Semi
+  | Assign | Plus_eq | Minus_eq | Star_eq | Slash_eq
+  | Lt | Le | Gt | Ge | Eq_eq | Ne
+  | Plus_plus
+  | Amp
+  | String_lit of string
+  | Lshift
+  | Rshift
+
+exception Error of string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokens src =
+  let n = String.length src in
+  let line = ref 1 in
+  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  let out = ref [] in
+  let emit tok = out := tok :: !out in
+  let peek i = if i < n then Some src.[i] else None in
+  let rec skip_line i =
+    if i >= n then i
+    else if src.[i] = '\n' then begin incr line; i + 1 end
+    else skip_line (i + 1)
+  in
+  let rec skip_block i =
+    if i + 1 >= n then fail "unterminated block comment"
+    else if src.[i] = '*' && src.[i + 1] = '/' then i + 2
+    else begin
+      if src.[i] = '\n' then incr line;
+      skip_block (i + 1)
+    end
+  in
+  let lex_number i =
+    let j = ref i in
+    let is_float = ref false in
+    while !j < n && is_digit src.[!j] do incr j done;
+    if !j < n && src.[!j] = '.' then begin
+      is_float := true;
+      incr j;
+      while !j < n && is_digit src.[!j] do incr j done
+    end;
+    if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+      let k = !j + 1 in
+      let k = match peek k with Some ('+' | '-') -> k + 1 | _ -> k in
+      if k < n && is_digit src.[k] then begin
+        is_float := true;
+        j := k;
+        while !j < n && is_digit src.[!j] do incr j done
+      end
+    end;
+    let text = String.sub src i (!j - i) in
+    (* Consume an optional float suffix. *)
+    let j = match peek !j with Some ('f' | 'F') -> is_float := true; !j + 1 | _ -> !j in
+    let tok =
+      if !is_float then Float_tok (float_of_string text)
+      else
+        match int_of_string_opt text with
+        | Some v -> Int_tok v
+        | None -> Float_tok (float_of_string text)
+    in
+    (tok, j)
+  in
+  let lex_string i =
+    let buf = Buffer.create 16 in
+    let rec go i =
+      if i >= n then fail "unterminated string literal"
+      else
+        match src.[i] with
+        | '"' -> (String_lit (Buffer.contents buf), i + 1)
+        | '\\' when i + 1 < n ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf src.[i + 1];
+          go (i + 2)
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+    in
+    go i
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' -> incr line; go (i + 1)
+      | '#' -> go (skip_line (i + 1))
+      | '/' when peek (i + 1) = Some '/' -> go (skip_line (i + 2))
+      | '/' when peek (i + 1) = Some '*' -> go (skip_block (i + 2))
+      | '/' when peek (i + 1) = Some '=' -> emit Slash_eq; go (i + 2)
+      | '/' -> emit Slash; go (i + 1)
+      | '+' when peek (i + 1) = Some '+' -> emit Plus_plus; go (i + 2)
+      | '+' when peek (i + 1) = Some '=' -> emit Plus_eq; go (i + 2)
+      | '+' -> emit Plus; go (i + 1)
+      | '-' when peek (i + 1) = Some '=' -> emit Minus_eq; go (i + 2)
+      | '-' -> emit Minus; go (i + 1)
+      | '*' when peek (i + 1) = Some '=' -> emit Star_eq; go (i + 2)
+      | '*' -> emit Star; go (i + 1)
+      | '(' -> emit Lparen; go (i + 1)
+      | ')' -> emit Rparen; go (i + 1)
+      | '{' -> emit Lbrace; go (i + 1)
+      | '}' -> emit Rbrace; go (i + 1)
+      | '[' -> emit Lbracket; go (i + 1)
+      | ']' -> emit Rbracket; go (i + 1)
+      | ',' -> emit Comma; go (i + 1)
+      | ';' -> emit Semi; go (i + 1)
+      | '&' -> emit Amp; go (i + 1)
+      | '"' ->
+        let tok, j = lex_string (i + 1) in
+        emit tok;
+        go j
+      | '<' when peek (i + 1) = Some '<' -> emit Lshift; go (i + 2)
+      | '<' when peek (i + 1) = Some '=' -> emit Le; go (i + 2)
+      | '<' -> emit Lt; go (i + 1)
+      | '>' when peek (i + 1) = Some '>' -> emit Rshift; go (i + 2)
+      | '>' when peek (i + 1) = Some '=' -> emit Ge; go (i + 2)
+      | '>' -> emit Gt; go (i + 1)
+      | '=' when peek (i + 1) = Some '=' -> emit Eq_eq; go (i + 2)
+      | '=' -> emit Assign; go (i + 1)
+      | '!' when peek (i + 1) = Some '=' -> emit Ne; go (i + 2)
+      | c when is_digit c || (c = '.' && (match peek (i + 1) with Some d -> is_digit d | None -> false)) ->
+        let tok, j = lex_number i in
+        emit tok;
+        go j
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        emit (Ident (String.sub src i (!j - i)));
+        go !j
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !out
+
+let keywords =
+  [ "void"; "int"; "float"; "double"; "for"; "if"; "else"; "while"; "return";
+    "const"; "sizeof"; "__global__"; "printf"; "atof"; "atoi"; "main";
+    "compute" ]
+
+let keyword_table =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) keywords;
+  Array.iter
+    (fun fn -> Hashtbl.replace tbl (Lang.Ast.math_fn_name fn) ())
+    Lang.Ast.all_math_fns;
+  tbl
+
+let is_keyword s = Hashtbl.mem keyword_table s
+
+let to_string = function
+  | Int_tok v -> string_of_int v
+  | Float_tok v -> Printf.sprintf "%.17g" v
+  | Ident s -> s
+  | Lparen -> "(" | Rparen -> ")"
+  | Lbrace -> "{" | Rbrace -> "}"
+  | Lbracket -> "[" | Rbracket -> "]"
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/"
+  | Comma -> "," | Semi -> ";"
+  | Assign -> "=" | Plus_eq -> "+=" | Minus_eq -> "-=" | Star_eq -> "*="
+  | Slash_eq -> "/="
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq_eq -> "==" | Ne -> "!="
+  | Plus_plus -> "++"
+  | Amp -> "&"
+  | String_lit s -> "\"" ^ s ^ "\""
+  | Lshift -> "<<"
+  | Rshift -> ">>"

@@ -1,0 +1,364 @@
+open Lang
+
+exception Error of string
+
+type state = {
+  toks : Lex.token array;
+  mutable pos : int;
+  mutable precision : Ast.precision;
+  array_lens : (string, int) Hashtbl.t;
+  default_array_len : int;
+}
+
+let fail st msg =
+  let context =
+    let lo = max 0 (st.pos - 3) in
+    let hi = min (Array.length st.toks) (st.pos + 4) in
+    Array.sub st.toks lo (hi - lo)
+    |> Array.to_list
+    |> List.map Lex.to_string
+    |> String.concat " "
+  in
+  raise (Error (Printf.sprintf "%s (near: %s)" msg context))
+
+let peek st = if st.pos < Array.length st.toks then Some st.toks.(st.pos) else None
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then Some st.toks.(st.pos + 1) else None
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok what =
+  match peek st with
+  | Some t when t = tok -> advance st
+  | _ -> fail st (Printf.sprintf "expected %s" what)
+
+let expect_ident st =
+  match peek st with
+  | Some (Lex.Ident name) -> advance st; name
+  | _ -> fail st "expected identifier"
+
+let is_fp_type = function "float" | "double" -> true | _ -> false
+
+let fp_precision = function
+  | "float" -> Ast.F32
+  | "double" -> Ast.F64
+  | s -> invalid_arg ("not an fp type: " ^ s)
+
+(* --------------------------------------------------------------- *)
+(* Expressions *)
+
+let strip_f_suffix name =
+  let n = String.length name in
+  if n > 1 && name.[n - 1] = 'f' then String.sub name 0 (n - 1) else name
+
+let lookup_math_fn name =
+  match Ast.math_fn_of_name name with
+  | Some fn -> Some fn
+  | None -> Ast.math_fn_of_name (strip_f_suffix name)
+
+let rec parse_expr st = parse_additive st
+
+and parse_additive st =
+  let rec loop acc =
+    match peek st with
+    | Some Lex.Plus ->
+      advance st;
+      loop (Ast.Bin (Ast.Add, acc, parse_multiplicative st))
+    | Some Lex.Minus ->
+      advance st;
+      loop (Ast.Bin (Ast.Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match peek st with
+    | Some Lex.Star ->
+      advance st;
+      loop (Ast.Bin (Ast.Mul, acc, parse_unary st))
+    | Some Lex.Slash ->
+      advance st;
+      loop (Ast.Bin (Ast.Div, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Some Lex.Minus -> begin
+    advance st;
+    (* A numeral directly after '-' folds into a negative literal; anything
+       else keeps an explicit Neg node (see Pp for the inverse). *)
+    match peek st with
+    | Some (Lex.Float_tok v) -> advance st; Ast.Lit (-.v)
+    | Some (Lex.Int_tok v) -> advance st; Ast.Int_lit (-v)
+    | _ -> Ast.Neg (parse_unary st)
+  end
+  | Some Lex.Plus -> advance st; parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Some (Lex.Float_tok v) -> advance st; Ast.Lit v
+  | Some (Lex.Int_tok v) -> advance st; Ast.Int_lit v
+  | Some Lex.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lex.Rparen "')'";
+    e
+  | Some (Lex.Ident name) -> begin
+    advance st;
+    match peek st with
+    | Some Lex.Lparen -> begin
+      match lookup_math_fn name with
+      | None -> fail st (Printf.sprintf "unknown function %s" name)
+      | Some fn ->
+        advance st;
+        let rec args acc =
+          let e = parse_expr st in
+          match peek st with
+          | Some Lex.Comma -> advance st; args (e :: acc)
+          | Some Lex.Rparen -> advance st; List.rev (e :: acc)
+          | _ -> fail st "expected ',' or ')' in call"
+        in
+        let actual = args [] in
+        if List.length actual <> Ast.math_fn_arity fn then
+          fail st (Printf.sprintf "%s expects %d argument(s)" name
+                     (Ast.math_fn_arity fn));
+        Ast.Call (fn, actual)
+    end
+    | Some Lex.Lbracket ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Lex.Rbracket "']'";
+      Ast.Index (name, idx)
+    | _ -> Ast.Var name
+  end
+  | _ -> fail st "expected expression"
+
+let parse_cmpop st =
+  match peek st with
+  | Some Lex.Lt -> advance st; Ast.Lt
+  | Some Lex.Le -> advance st; Ast.Le
+  | Some Lex.Gt -> advance st; Ast.Gt
+  | Some Lex.Ge -> advance st; Ast.Ge
+  | Some Lex.Eq_eq -> advance st; Ast.Eq
+  | Some Lex.Ne -> advance st; Ast.Ne
+  | _ -> fail st "expected comparison operator"
+
+(* --------------------------------------------------------------- *)
+(* Statements *)
+
+let parse_assign_op st =
+  match peek st with
+  | Some Lex.Assign -> advance st; Ast.Set
+  | Some Lex.Plus_eq -> advance st; Ast.Add_eq
+  | Some Lex.Minus_eq -> advance st; Ast.Sub_eq
+  | Some Lex.Star_eq -> advance st; Ast.Mul_eq
+  | Some Lex.Slash_eq -> advance st; Ast.Div_eq
+  | _ -> fail st "expected assignment operator"
+
+let rec parse_block st =
+  expect st Lex.Lbrace "'{'";
+  let rec loop acc =
+    match peek st with
+    | Some Lex.Rbrace -> advance st; List.rev acc
+    | Some _ -> begin
+      match parse_stmt st with
+      | Some s -> loop (s :: acc)
+      | None -> loop acc
+    end
+    | None -> fail st "unterminated block"
+  in
+  loop []
+
+and parse_stmt st : Ast.stmt option =
+  match peek st with
+  | Some (Lex.Ident ty) when is_fp_type ty -> begin
+    advance st;
+    let name = expect_ident st in
+    expect st Lex.Assign "'=' in declaration";
+    let init = parse_expr st in
+    expect st Lex.Semi "';'";
+    if name = Ast.comp_name then
+      (* The accumulator is implicitly declared; a redundant `comp = 0.0`
+         initializer is dropped, anything else becomes an assignment. *)
+      if init = Ast.Lit 0.0 then None
+      else Some (Ast.Assign { lhs = Ast.Lv_var name; op = Ast.Set; rhs = init })
+    else Some (Ast.Decl { name; init })
+  end
+  | Some (Lex.Ident "printf") ->
+    (* Result printing is part of the fixed scaffold, not of the body. *)
+    let rec skip () =
+      match peek st with
+      | Some Lex.Semi -> advance st
+      | Some _ -> advance st; skip ()
+      | None -> fail st "unterminated printf"
+    in
+    skip ();
+    None
+  | Some (Lex.Ident "if") ->
+    advance st;
+    expect st Lex.Lparen "'(' after if";
+    let lhs = parse_expr st in
+    let cmp = parse_cmpop st in
+    let rhs = parse_expr st in
+    expect st Lex.Rparen "')' after condition";
+    let body = parse_block st in
+    if peek st = Some (Lex.Ident "else") then fail st "else blocks are not in the grammar";
+    Some (Ast.If { lhs; cmp; rhs; body })
+  | Some (Lex.Ident "for") ->
+    advance st;
+    expect st Lex.Lparen "'(' after for";
+    expect st (Lex.Ident "int") "'int' in loop header";
+    let var = expect_ident st in
+    expect st Lex.Assign "'=' in loop header";
+    expect st (Lex.Int_tok 0) "loop start 0";
+    expect st Lex.Semi "';' in loop header";
+    let var2 = expect_ident st in
+    if var2 <> var then fail st "loop condition must test the counter";
+    expect st Lex.Lt "'<' in loop condition";
+    let bound =
+      match peek st with
+      | Some (Lex.Int_tok b) -> advance st; b
+      | _ -> fail st "loop bound must be an integer literal"
+    in
+    expect st Lex.Semi "';' after loop condition";
+    (match (peek st, peek2 st) with
+     | Some Lex.Plus_plus, Some (Lex.Ident v) when v = var ->
+       advance st; advance st
+     | Some (Lex.Ident v), Some Lex.Plus_plus when v = var ->
+       advance st; advance st
+     | _ -> fail st "loop increment must be ++counter");
+    expect st Lex.Rparen "')' after loop header";
+    let body = parse_block st in
+    Some (Ast.For { var; bound; body })
+  | Some (Lex.Ident name) -> begin
+    advance st;
+    match peek st with
+    | Some Lex.Lbracket ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Lex.Rbracket "']'";
+      let op = parse_assign_op st in
+      let rhs = parse_expr st in
+      expect st Lex.Semi "';'";
+      Some (Ast.Assign { lhs = Ast.Lv_index (name, idx); op; rhs })
+    | _ ->
+      let op = parse_assign_op st in
+      let rhs = parse_expr st in
+      expect st Lex.Semi "';'";
+      Some (Ast.Assign { lhs = Ast.Lv_var name; op; rhs })
+  end
+  | _ -> fail st "expected statement"
+
+(* --------------------------------------------------------------- *)
+(* Program structure *)
+
+(* Array parameter lengths live in main's declarations (`double a[8];`);
+   recover them with a pre-scan so signatures can be reconstructed. *)
+let scan_array_lens toks =
+  let tbl = Hashtbl.create 8 in
+  let arr = Array.of_list toks in
+  let n = Array.length arr in
+  for i = 0 to n - 5 do
+    match (arr.(i), arr.(i + 1), arr.(i + 2), arr.(i + 3), arr.(i + 4)) with
+    | ( Lex.Ident ty, Lex.Ident name, Lex.Lbracket, Lex.Int_tok len,
+        Lex.Rbracket )
+      when is_fp_type ty ->
+      Hashtbl.replace tbl name len
+    | _ -> ()
+  done;
+  tbl
+
+let parse_params st =
+  expect st Lex.Lparen "'(' after compute";
+  if peek st = Some Lex.Rparen then begin advance st; [] end
+  else
+    let rec loop acc =
+      let param =
+        match peek st with
+        | Some (Lex.Ident "int") ->
+          advance st;
+          Ast.P_int (expect_ident st)
+        | Some (Lex.Ident ty) when is_fp_type ty -> begin
+          st.precision <- fp_precision ty;
+          advance st;
+          match peek st with
+          | Some Lex.Star ->
+            advance st;
+            let name = expect_ident st in
+            let len =
+              Option.value
+                (Hashtbl.find_opt st.array_lens name)
+                ~default:st.default_array_len
+            in
+            Ast.P_fp_array (name, len)
+          | _ -> Ast.P_fp (expect_ident st)
+        end
+        | _ -> fail st "expected parameter declaration"
+      in
+      match peek st with
+      | Some Lex.Comma -> advance st; loop (param :: acc)
+      | Some Lex.Rparen -> advance st; List.rev (param :: acc)
+      | _ -> fail st "expected ',' or ')' in parameter list"
+    in
+    loop []
+
+let seek_compute st =
+  let n = Array.length st.toks in
+  let rec go i =
+    if i + 1 >= n then fail st "no compute function found"
+    else
+      match (st.toks.(i), st.toks.(i + 1)) with
+      | Lex.Ident "compute", Lex.Lparen
+        when i >= 1
+             && (st.toks.(i - 1) = Lex.Ident "void"
+                || st.toks.(i - 1) = Lex.Star) ->
+        st.pos <- i + 1
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let program ?(default_array_len = 8) src =
+  match
+    let toks = Lex.tokens src in
+    let st =
+      { toks = Array.of_list toks;
+        pos = 0;
+        precision = Ast.F64;
+        array_lens = scan_array_lens toks;
+        default_array_len }
+    in
+    seek_compute st;
+    let params = parse_params st in
+    let body = parse_block st in
+    ({ Ast.precision = st.precision; params; body } : Ast.program)
+  with
+  | p -> Ok p
+  | exception Error msg -> Result.error ("parse error: " ^ msg)
+  | exception Lex.Error msg -> Result.error ("lex error: " ^ msg)
+
+let program_exn ?default_array_len src =
+  match program ?default_array_len src with
+  | Ok p -> p
+  | Error msg -> failwith msg
+
+let expr src =
+  match
+    let toks = Lex.tokens src in
+    let st =
+      { toks = Array.of_list toks;
+        pos = 0;
+        precision = Ast.F64;
+        array_lens = Hashtbl.create 1;
+        default_array_len = 8 }
+    in
+    let e = parse_expr st in
+    if st.pos <> Array.length st.toks then fail st "trailing tokens";
+    e
+  with
+  | e -> Ok e
+  | exception Error msg -> Result.error ("parse error: " ^ msg)
+  | exception Lex.Error msg -> Result.error ("lex error: " ^ msg)

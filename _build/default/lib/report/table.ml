@@ -1,0 +1,72 @@
+type align = Left | Right
+
+let pad align width s =
+  match align with
+  | Left -> Util.Text.pad_right width s
+  | Right -> Util.Text.pad_left width s
+
+let render ?title ~header ?align rows =
+  let n_cols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= n_cols then row
+    else row @ List.init (n_cols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let alignments =
+    match align with
+    | Some a when List.length a = n_cols -> a
+    | _ -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let rec rstrip s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = ' ' then rstrip (String.sub s 0 (n - 1)) else s
+  in
+  let render_row row =
+    List.map2
+      (fun (cell, a) w -> pad a w cell)
+      (List.combine row alignments)
+      widths
+    |> String.concat "  "
+    |> rstrip
+  in
+  let separator =
+    List.map (fun w -> String.make w '-') widths |> String.concat "  "
+  in
+  let body = List.map render_row rows in
+  let lines = (render_row header :: separator :: body) in
+  let lines = match title with None -> lines | Some t -> t :: lines in
+  String.concat "\n" lines ^ "\n"
+
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+let pct1 x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let commas n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv ~header rows =
+  (header :: rows)
+  |> List.map (fun row -> String.concat "," (List.map csv_cell row))
+  |> String.concat "\n"
+  |> fun s -> s ^ "\n"

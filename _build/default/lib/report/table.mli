@@ -1,0 +1,26 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align = Left | Right
+
+val render :
+  ?title:string ->
+  header:string list ->
+  ?align:align list ->
+  string list list ->
+  string
+(** Column widths fit the widest cell; alignment defaults to [Left] for
+    the first column and [Right] for the rest. Rows shorter than the
+    header are padded with empty cells. *)
+
+val pct : float -> string
+(** [pct 0.2656 = "26.56%"]. *)
+
+val pct1 : float -> string
+(** One decimal: ["26.6%"]. *)
+
+val commas : int -> string
+(** Thousands separators: [commas 4781 = "4,781"]. *)
+
+val to_csv : header:string list -> string list list -> string
+(** The same data as comma-separated values (cells containing commas or
+    quotes are quoted). *)

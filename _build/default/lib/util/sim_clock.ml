@@ -1,0 +1,17 @@
+type t = { mutable seconds : float }
+
+let create () = { seconds = 0.0 }
+
+let advance t s =
+  if s < 0.0 then invalid_arg "Sim_clock.advance: negative duration";
+  t.seconds <- t.seconds +. s
+
+let elapsed t = t.seconds
+let reset t = t.seconds <- 0.0
+
+let hms seconds =
+  let total = int_of_float (Float.round seconds) in
+  let h = total / 3600 and m = total / 60 mod 60 and s = total mod 60 in
+  Printf.sprintf "%02d:%02d:%02d" h m s
+
+let pp fmt t = Format.pp_print_string fmt (hms t.seconds)

@@ -1,0 +1,31 @@
+(** Simulated wall clock for time-cost accounting.
+
+    The paper's Table 2 reports end-to-end campaign durations in which LLM
+    API latency accounts for ~30% of the total. Re-incurring network latency
+    is neither possible (sealed container) nor useful, so campaigns charge
+    modelled costs — API latency, compile time, execution time — to a
+    simulated clock and report the accumulated duration. Real measured
+    compute time can be charged too, so the reported figure is a hybrid of
+    model and measurement, as documented in EXPERIMENTS.md. *)
+
+type t
+(** Mutable accumulator of simulated seconds. *)
+
+val create : unit -> t
+(** A clock at zero. *)
+
+val advance : t -> float -> unit
+(** [advance clock seconds] charges a cost. Negative costs are rejected. *)
+
+val elapsed : t -> float
+(** Total simulated seconds charged so far. *)
+
+val reset : t -> unit
+(** Back to zero. *)
+
+val hms : float -> string
+(** [hms seconds] renders ["hh:mm:ss"] (rounded to the nearest second), the
+    format used by the paper's Table 2. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the elapsed time as [hms]. *)

@@ -1,0 +1,39 @@
+let lines s =
+  let parts = String.split_on_char '\n' s in
+  match List.rev parts with
+  | "" :: rest -> List.rev rest
+  | _ -> parts
+
+let unlines xs = String.concat "\n" xs ^ "\n"
+
+let indent n s =
+  let pad = String.make n ' ' in
+  lines s
+  |> List.map (fun line -> if line = "" then line else pad ^ line)
+  |> String.concat "\n"
+
+let pad_right width s =
+  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+
+let pad_left width s =
+  if String.length s >= width then s else String.make (width - String.length s) ' ' ^ s
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec scan i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else scan (i + 1)
+    in
+    scan 0
+
+let common_prefix_len a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0

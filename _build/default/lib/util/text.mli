@@ -1,0 +1,26 @@
+(** Small string utilities shared across the framework. *)
+
+val lines : string -> string list
+(** Split on ['\n'], dropping a trailing empty line. *)
+
+val unlines : string list -> string
+(** Join with ['\n'] and a trailing newline. *)
+
+val indent : int -> string -> string
+(** [indent n s] prefixes every non-empty line of [s] with [n] spaces. *)
+
+val pad_right : int -> string -> string
+(** Pad with spaces on the right to at least the given width. *)
+
+val pad_left : int -> string -> string
+(** Pad with spaces on the left to at least the given width. *)
+
+val starts_with : prefix:string -> string -> bool
+(** Prefix test (available for OCaml < 4.13 compatibility of callers). *)
+
+val contains_sub : string -> string -> bool
+(** [contains_sub haystack needle] is true when [needle] occurs in
+    [haystack]. The empty needle always occurs. *)
+
+val common_prefix_len : string -> string -> int
+(** Length of the longest common prefix. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Ast Cparse Gen Lang List Llm QCheck QCheck_alcotest String Util

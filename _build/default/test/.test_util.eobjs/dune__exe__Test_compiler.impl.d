@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Compiler Cparse Either Gen Irsim Lang List Mathlib QCheck QCheck_alcotest Result Util

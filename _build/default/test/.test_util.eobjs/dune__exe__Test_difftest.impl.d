@@ -1,0 +1,1 @@
+test/test_difftest.ml: Alcotest Array Compiler Cparse Difftest Fp Irsim List Util

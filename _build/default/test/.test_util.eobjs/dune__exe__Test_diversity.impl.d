@@ -1,0 +1,1 @@
+test/test_diversity.ml: Alcotest Cparse Diversity Gen Lang List QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_fp.ml: Alcotest Float Fp Int32 Int64 Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Analysis Array Float Gen Irsim Lang List Llm QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Difftest Float Harness Lang Lazy List String Util

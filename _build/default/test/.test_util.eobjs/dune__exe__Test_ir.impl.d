@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast Compiler Cparse Float Format Gen Int64 Irsim Lang List Mathlib Pp QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_isolate.ml: Alcotest Compiler Cparse Gen Harness Irsim Isolate Lang List Mathlib QCheck QCheck_alcotest String Util

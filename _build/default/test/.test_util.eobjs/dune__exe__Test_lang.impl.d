@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Float Gen Lang List Pp QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_llm.ml: Alcotest Analysis Array Compiler Cparse Either Gen Lang List Llm QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_mathlib.ml: Alcotest Ast Float Fp Int32 Lang List Mathlib Util

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Cparse Gen Lang List Pp QCheck QCheck_alcotest Result Util

@@ -1,0 +1,241 @@
+(* Tests for lib/difftest: differential testing and statistics. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse = Cparse.Parse.program_exn
+
+(* A program designed to diverge: a chaotic recurrence seeded by a
+   transcendental, so the CUDA libm's ulp divergence amplifies. *)
+let chaotic = {|
+void compute(double r, double x0) {
+  double comp = 0.0;
+  double rate = 3.7 + 0.2 * sin(r);
+  double x = 0.2 + 0.6 * fabs(sin(x0));
+  for (int i = 0; i < 48; ++i) {
+    x = rate * x * (1.0 - x);
+  }
+  comp = x;
+}
+|}
+
+(* A program that cannot diverge anywhere: a single addition. *)
+let inert = "void compute(double x, double y) { double comp = 0.0; comp = x + y; }"
+
+let test_comparison_counts () =
+  let result = Difftest.Run.test (parse inert) Irsim.Inputs.[ Fp 1.0; Fp 2.0 ] in
+  check_int "18 configurations" 18 (List.length result.Difftest.Run.outputs);
+  check_int "no failures" 0 (List.length result.Difftest.Run.failures);
+  check_int "18 cross comparisons" 18 (List.length result.Difftest.Run.cross);
+  check_int "15 within comparisons" 15 (List.length result.Difftest.Run.within)
+
+let test_inert_program_consistent () =
+  let result = Difftest.Run.test (parse inert) Irsim.Inputs.[ Fp 1.5; Fp 2.5 ] in
+  check_int "no inconsistencies" 0 (Difftest.Run.cross_inconsistencies result);
+  check_bool "not successful" false (Difftest.Run.has_inconsistency result)
+
+let test_chaotic_program_diverges () =
+  (* sweep seeds until the libm divergence fires (probability ~0.9 per
+     seed with two sin calls at p=0.45) *)
+  let rng = Util.Rng.of_int 77 in
+  let found = ref false in
+  let max_digits = ref 0 in
+  for _ = 1 to 10 do
+    let inputs =
+      Irsim.Inputs.[ Fp (Util.Rng.float_in rng (-5.0) 5.0);
+                     Fp (Util.Rng.float_in rng (-5.0) 5.0) ]
+    in
+    let result = Difftest.Run.test (parse chaotic) inputs in
+    if Difftest.Run.has_inconsistency result then begin
+      found := true;
+      List.iter
+        (fun (_, (c : Difftest.Run.comparison)) ->
+          max_digits := max !max_digits c.Difftest.Run.digits)
+        result.Difftest.Run.cross
+    end
+  done;
+  check_bool "divergence found" true !found;
+  (* chaos amplifies a seed-value ulp into most printed digits *)
+  check_bool "heavily amplified somewhere" true (!max_digits >= 10)
+
+let test_comparison_fields () =
+  let result = Difftest.Run.test (parse inert) Irsim.Inputs.[ Fp 0.5; Fp 0.25 ] in
+  List.iter
+    (fun ((a, b), (c : Difftest.Run.comparison)) ->
+      check_bool "pair ordered" true (a < b);
+      check_bool "same level compared" true
+        (c.Difftest.Run.left.Difftest.Run.config.Compiler.Config.level
+        = c.Difftest.Run.right.Difftest.Run.config.Compiler.Config.level);
+      check_bool "consistent means zero digits" true
+        (c.Difftest.Run.inconsistent || c.Difftest.Run.digits = 0))
+    result.Difftest.Run.cross
+
+let test_within_baseline_is_nofma () =
+  let result = Difftest.Run.test (parse inert) Irsim.Inputs.[ Fp 0.5; Fp 0.25 ] in
+  List.iter
+    (fun (_, (c : Difftest.Run.comparison)) ->
+      check_bool "left side at 00_nofma" true
+        (c.Difftest.Run.left.Difftest.Run.config.Compiler.Config.level
+        = Compiler.Optlevel.O0_nofma);
+      check_bool "right side labelled" true
+        (c.Difftest.Run.level <> Compiler.Optlevel.O0_nofma))
+    result.Difftest.Run.within
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let run_one stats src inputs =
+  Difftest.Stats.add stats (Difftest.Run.test (parse src) inputs)
+
+let test_stats_denominators () =
+  let stats = Difftest.Stats.create () in
+  run_one stats inert Irsim.Inputs.[ Fp 1.0; Fp 2.0 ];
+  run_one stats inert Irsim.Inputs.[ Fp 3.0; Fp 4.0 ];
+  Difftest.Stats.add_generation_failure stats;
+  check_int "programs include failures" 3 (Difftest.Stats.n_programs stats);
+  check_int "total comparisons" (3 * 18) (Difftest.Stats.total_comparisons stats);
+  check_int "performed excludes failures" (2 * 18)
+    (Difftest.Stats.performed_comparisons stats);
+  check_int "within denominator" (3 * 15) (Difftest.Stats.within_comparisons stats);
+  check_int "compile failures" 1 (Difftest.Stats.compile_failures stats)
+
+let test_stats_rate () =
+  let stats = Difftest.Stats.create () in
+  run_one stats inert Irsim.Inputs.[ Fp 1.0; Fp 2.0 ];
+  Alcotest.(check (float 1e-9)) "zero rate" 0.0
+    (Difftest.Stats.inconsistency_rate stats);
+  check_int "zero total" 0 (Difftest.Stats.total_inconsistencies stats)
+
+let test_stats_aggregation_with_divergence () =
+  let stats = Difftest.Stats.create () in
+  let rng = Util.Rng.of_int 78 in
+  for _ = 1 to 10 do
+    let inputs =
+      Irsim.Inputs.[ Fp (Util.Rng.float_in rng (-5.0) 5.0);
+                     Fp (Util.Rng.float_in rng (-5.0) 5.0) ]
+    in
+    run_one stats chaotic inputs
+  done;
+  let total = Difftest.Stats.total_inconsistencies stats in
+  check_bool "divergences found" true (total > 0);
+  (* cross counts per pair/level sum to the total *)
+  let sum = ref 0 in
+  List.iteri
+    (fun pair _ ->
+      Array.iter
+        (fun level ->
+          sum := !sum + Difftest.Stats.cross_count stats ~pair ~level)
+        Compiler.Optlevel.all)
+    Compiler.Personality.pairs;
+  check_int "cell sum = total" total !sum;
+  (* pair totals likewise *)
+  let pair_sum =
+    List.fold_left ( + ) 0
+      (List.mapi (fun pair _ -> Difftest.Stats.pair_total stats ~pair)
+         Compiler.Personality.pairs)
+  in
+  check_int "pair totals sum" total pair_sum;
+  (* class pairs: all inconsistencies are classified *)
+  let class_sum =
+    List.fold_left
+      (fun acc pair -> acc + Difftest.Stats.class_pair_count stats pair)
+      0 (Difftest.Stats.class_pairs_present stats)
+  in
+  check_int "classes cover all" total class_sum;
+  (* digit accumulators align with counts *)
+  List.iteri
+    (fun pair _ ->
+      Array.iter
+        (fun level ->
+          check_int "digit acc count matches"
+            (Difftest.Stats.cross_count stats ~pair ~level)
+            (Fp.Digits.Acc.count (Difftest.Stats.cross_digits stats ~pair ~level)))
+        Compiler.Optlevel.all)
+    Compiler.Personality.pairs
+
+let test_stats_class_filter_by_level () =
+  let stats = Difftest.Stats.create () in
+  let rng = Util.Rng.of_int 79 in
+  for _ = 1 to 5 do
+    let inputs =
+      Irsim.Inputs.[ Fp (Util.Rng.float_in rng (-5.0) 5.0);
+                     Fp (Util.Rng.float_in rng (-5.0) 5.0) ]
+    in
+    run_one stats chaotic inputs
+  done;
+  let rr = (Fp.Bits.Real, Fp.Bits.Real) in
+  let total = Difftest.Stats.class_pair_count stats rr in
+  let by_level =
+    Array.fold_left
+      (fun acc level -> acc + Difftest.Stats.class_pair_count stats ~level rr)
+      0 Compiler.Optlevel.all
+  in
+  check_int "level breakdown sums" total by_level
+
+(* Cross-check: Run.test's outputs must equal compiling and running each
+   configuration by hand. *)
+let test_run_matches_manual_driver () =
+  let p = parse chaotic in
+  let inputs = Irsim.Inputs.[ Fp 1.25; Fp (-2.5) ] in
+  let result = Difftest.Run.test p inputs in
+  List.iter
+    (fun (o : Difftest.Run.output) ->
+      match Compiler.Driver.compile o.Difftest.Run.config p with
+      | Error m -> Alcotest.fail m
+      | Ok bin ->
+        Alcotest.(check string) "hex agrees with manual compile+run"
+          (Compiler.Driver.run_hex bin inputs)
+          o.Difftest.Run.hex)
+    result.Difftest.Run.outputs
+
+let test_run_idempotent () =
+  let p = parse chaotic in
+  let inputs = Irsim.Inputs.[ Fp 0.5; Fp 3.25 ] in
+  let hexes r =
+    List.map (fun (o : Difftest.Run.output) -> o.Difftest.Run.hex)
+      r.Difftest.Run.outputs
+  in
+  check_bool "two runs identical" true
+    (hexes (Difftest.Run.test p inputs) = hexes (Difftest.Run.test p inputs))
+
+let test_custom_config_list () =
+  let p = parse inert in
+  let configs =
+    [ Compiler.Config.make Compiler.Personality.Gcc Compiler.Optlevel.O0;
+      Compiler.Config.make Compiler.Personality.Clang Compiler.Optlevel.O0 ]
+  in
+  let r = Difftest.Run.test ~configs p Irsim.Inputs.[ Fp 1.0; Fp 2.0 ] in
+  check_int "two outputs" 2 (List.length r.Difftest.Run.outputs);
+  check_int "one comparable pair-level cell" 1 (List.length r.Difftest.Run.cross);
+  check_int "no within pairs without baselines" 0
+    (List.length r.Difftest.Run.within)
+
+let test_pair_index () =
+  check_int "gcc-clang first" 0
+    (Difftest.Stats.pair_index (Compiler.Personality.Gcc, Compiler.Personality.Clang));
+  check_int "clang-nvcc last" 2
+    (Difftest.Stats.pair_index (Compiler.Personality.Clang, Compiler.Personality.Nvcc))
+
+let () =
+  Alcotest.run "difftest"
+    [
+      ( "run",
+        [
+          Alcotest.test_case "comparison counts" `Quick test_comparison_counts;
+          Alcotest.test_case "inert consistent" `Quick test_inert_program_consistent;
+          Alcotest.test_case "chaotic diverges" `Quick test_chaotic_program_diverges;
+          Alcotest.test_case "comparison fields" `Quick test_comparison_fields;
+          Alcotest.test_case "within baseline" `Quick test_within_baseline_is_nofma;
+          Alcotest.test_case "matches manual driver" `Quick test_run_matches_manual_driver;
+          Alcotest.test_case "idempotent" `Quick test_run_idempotent;
+          Alcotest.test_case "custom config list" `Quick test_custom_config_list;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "denominators" `Quick test_stats_denominators;
+          Alcotest.test_case "rate" `Quick test_stats_rate;
+          Alcotest.test_case "aggregation" `Quick test_stats_aggregation_with_divergence;
+          Alcotest.test_case "class level filter" `Quick test_stats_class_filter_by_level;
+          Alcotest.test_case "pair index" `Quick test_pair_index;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Tests for lib/harness: campaigns, time model, experiment rendering. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_budget = 25
+
+let campaign approach = Harness.Campaign.run ~budget:small_budget ~seed:4242 approach
+
+let test_campaign_accounting () =
+  Array.iter
+    (fun approach ->
+      let o = campaign approach in
+      check_int "budget consumed" small_budget
+        (Difftest.Stats.n_programs o.Harness.Campaign.stats);
+      check_int "programs + failures = budget" small_budget
+        (List.length o.Harness.Campaign.programs
+        + o.Harness.Campaign.generation_failures);
+      check_bool "clock advanced" true (o.Harness.Campaign.sim_seconds > 0.0))
+    Harness.Approach.all
+
+let test_campaign_deterministic () =
+  let a = campaign Harness.Approach.Llm4fp in
+  let b = campaign Harness.Approach.Llm4fp in
+  check_int "same inconsistencies"
+    (Difftest.Stats.total_inconsistencies a.Harness.Campaign.stats)
+    (Difftest.Stats.total_inconsistencies b.Harness.Campaign.stats);
+  check_bool "same programs" true
+    (List.for_all2 Lang.Ast.equal a.Harness.Campaign.programs
+       b.Harness.Campaign.programs);
+  check_bool "same simulated time" true
+    (a.Harness.Campaign.sim_seconds = b.Harness.Campaign.sim_seconds)
+
+let test_campaign_seed_sensitivity () =
+  let a = Harness.Campaign.run ~budget:small_budget ~seed:1 Harness.Approach.Varity in
+  let b = Harness.Campaign.run ~budget:small_budget ~seed:2 Harness.Approach.Varity in
+  check_bool "different seeds differ" false
+    (List.for_all2 Lang.Ast.equal a.Harness.Campaign.programs
+       b.Harness.Campaign.programs)
+
+let test_varity_no_llm () =
+  let o = campaign Harness.Approach.Varity in
+  check_bool "no llm latency" true (o.Harness.Campaign.llm_seconds = 0.0);
+  check_int "no generation failures" 0 o.Harness.Campaign.generation_failures
+
+let test_llm_has_latency () =
+  let o = campaign Harness.Approach.Grammar_guided in
+  check_bool "latency charged" true (o.Harness.Campaign.llm_seconds > 0.0);
+  check_bool "llm time within total" true
+    (o.Harness.Campaign.llm_seconds <= o.Harness.Campaign.sim_seconds)
+
+let test_feedback_set_only_llm4fp () =
+  check_int "grammar-guided has no feedback" 0
+    (campaign Harness.Approach.Grammar_guided).Harness.Campaign.successful
+
+let test_approach_names () =
+  check_bool "paper spellings" true
+    (Array.to_list (Array.map Harness.Approach.name Harness.Approach.all)
+    = [ "VARITY"; "DIRECT-PROMPT"; "GRAMMAR-GUIDED"; "LLM4FP" ]);
+  check_bool "of_name roundtrip" true
+    (Array.for_all
+       (fun a -> Harness.Approach.of_name (Harness.Approach.name a) = Some a)
+       Harness.Approach.all);
+  check_bool "case insensitive" true
+    (Harness.Approach.of_name "llm4fp" = Some Harness.Approach.Llm4fp)
+
+let test_time_model_monotonic () =
+  let clock = Util.Sim_clock.create () in
+  Harness.Time_model.charge_program clock ~work:100 ~ops:1000 ~configs:18;
+  let small = Util.Sim_clock.elapsed clock in
+  Util.Sim_clock.reset clock;
+  Harness.Time_model.charge_program clock ~work:1000 ~ops:10000 ~configs:18;
+  check_bool "bigger program costs more" true (Util.Sim_clock.elapsed clock > small)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments *)
+
+let suite = lazy (Harness.Experiments.run_suite ~budget:30 ~seed:90125 ())
+
+let test_tables_render () =
+  let tables = Harness.Experiments.all_tables ~max_pairs:500 (Lazy.force suite) in
+  check_int "nine sections" 9 (List.length tables);
+  List.iter
+    (fun (name, text) ->
+      check_bool (name ^ " non-empty") true (String.length text > 40))
+    tables
+
+let test_table1_is_configuration () =
+  let t = Harness.Experiments.table1 () in
+  List.iter
+    (fun needle -> check_bool needle true (Util.Text.contains_sub t needle))
+    [ "00_nofma"; "-ffp-contract=off"; "-fmad=false"; "-use_fast_math";
+      "-ffast-math" ]
+
+let test_table2_mentions_all_approaches () =
+  let t = Harness.Experiments.table2 (Lazy.force suite) in
+  List.iter
+    (fun needle -> check_bool needle true (Util.Text.contains_sub t needle))
+    [ "VARITY"; "DIRECT-PROMPT"; "GRAMMAR-GUIDED"; "LLM4FP"; "%" ]
+
+let test_table5_has_pairs () =
+  let t = Harness.Experiments.table5 (Lazy.force suite) in
+  List.iter
+    (fun needle -> check_bool needle true (Util.Text.contains_sub t needle))
+    [ "gcc, clang"; "gcc, nvcc"; "clang, nvcc"; "03_fastmath"; "Total" ]
+
+let test_table6_within_compilers () =
+  let t = Harness.Experiments.table6 (Lazy.force suite) in
+  check_bool "no baseline row" false (Util.Text.contains_sub t "00_nofma  ");
+  List.iter
+    (fun needle -> check_bool needle true (Util.Text.contains_sub t needle))
+    [ "V: gcc"; "L: nvcc"; "Total" ]
+
+let test_outcome_accessor () =
+  let s = Lazy.force suite in
+  Array.iter
+    (fun a ->
+      check_bool "accessor matches" true
+        ((Harness.Experiments.outcome s a).Harness.Campaign.approach = a))
+    Harness.Approach.all
+
+let test_fp32_campaign () =
+  let o =
+    Harness.Campaign.run ~budget:15 ~precision:Lang.Ast.F32 ~seed:55
+      Harness.Approach.Llm4fp
+  in
+  check_bool "programs are single precision" true
+    (List.for_all
+       (fun (p : Lang.Ast.program) -> p.Lang.Ast.precision = Lang.Ast.F32)
+       o.Harness.Campaign.programs);
+  check_int "budget consumed" 15 (Difftest.Stats.n_programs o.Harness.Campaign.stats)
+
+let test_fp32_varity_campaign () =
+  let o =
+    Harness.Campaign.run ~budget:15 ~precision:Lang.Ast.F32 ~seed:56
+      Harness.Approach.Varity
+  in
+  check_bool "varity programs are single precision" true
+    (List.for_all
+       (fun (p : Lang.Ast.program) -> p.Lang.Ast.precision = Lang.Ast.F32)
+       o.Harness.Campaign.programs)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation *)
+
+let test_ablation_variants_shape () =
+  let variants = Harness.Ablation.variants () in
+  check_int "five variants" 5 (List.length variants);
+  check_bool "full first" true ((List.hd variants).Harness.Ablation.name = "full");
+  List.iter
+    (fun (v : Harness.Ablation.variant) ->
+      check_int "18 configs each" 18 (List.length v.Harness.Ablation.configs))
+    variants
+
+let test_ablation_replay_reduces () =
+  let outcome = Harness.Campaign.run ~budget:40 ~seed:777 Harness.Approach.Llm4fp in
+  let cases = outcome.Harness.Campaign.cases in
+  let rate name =
+    let v =
+      List.find
+        (fun (v : Harness.Ablation.variant) -> v.Harness.Ablation.name = name)
+        (Harness.Ablation.variants ())
+    in
+    Difftest.Stats.inconsistency_rate (Harness.Ablation.replay v cases)
+  in
+  let full = rate "full" in
+  check_bool "full replay matches campaign" true
+    (Float.abs (full -. Difftest.Stats.inconsistency_rate outcome.Harness.Campaign.stats)
+    < 1e-9);
+  check_bool "removing the cuda libm lowers the rate" true
+    (rate "no-cuda-libm" < full);
+  check_bool "removing fast math cannot raise the rate much" true
+    (rate "no-fastmath" <= full +. 1e-9)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "accounting" `Slow test_campaign_accounting;
+          Alcotest.test_case "deterministic" `Slow test_campaign_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_campaign_seed_sensitivity;
+          Alcotest.test_case "varity no llm" `Quick test_varity_no_llm;
+          Alcotest.test_case "llm latency" `Quick test_llm_has_latency;
+          Alcotest.test_case "feedback set" `Quick test_feedback_set_only_llm4fp;
+          Alcotest.test_case "approach names" `Quick test_approach_names;
+          Alcotest.test_case "time model" `Quick test_time_model_monotonic;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "tables render" `Slow test_tables_render;
+          Alcotest.test_case "table1 config" `Quick test_table1_is_configuration;
+          Alcotest.test_case "table2 approaches" `Slow test_table2_mentions_all_approaches;
+          Alcotest.test_case "table5 pairs" `Slow test_table5_has_pairs;
+          Alcotest.test_case "table6 within" `Slow test_table6_within_compilers;
+          Alcotest.test_case "outcome accessor" `Slow test_outcome_accessor;
+        ] );
+      ( "precision",
+        [
+          Alcotest.test_case "fp32 llm4fp" `Slow test_fp32_campaign;
+          Alcotest.test_case "fp32 varity" `Quick test_fp32_varity_campaign;
+        ] );
+      ( "stability",
+        [
+          Alcotest.test_case "seed table renders" `Slow (fun () ->
+              let t =
+                Harness.Experiments.seed_stability ~budget:20 ~seeds:[ 1; 2 ] ()
+              in
+              check_bool "mentions approaches" true
+                (Util.Text.contains_sub t "LLM4FP"
+                && Util.Text.contains_sub t "mean"));
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "variants shape" `Quick test_ablation_variants_shape;
+          Alcotest.test_case "replay semantics" `Slow test_ablation_replay_reduces;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* Tests for lib/parser (cparse): lexing and parsing of the mini-C subset. *)
+
+open Lang
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let arbitrary_program =
+  QCheck.make
+    ~print:(fun p -> Pp.to_c p)
+    (QCheck.Gen.map
+       (fun seed -> Gen.Varity.generate (Util.Rng.of_int seed))
+       QCheck.Gen.int)
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_tokens_basic () =
+  let toks = Cparse.Lex.tokens "x += 3.5 * y[i];" in
+  check_int "token count" 9 (List.length toks);
+  check_bool "first ident" true (List.hd toks = Cparse.Lex.Ident "x")
+
+let test_tokens_numbers () =
+  check_bool "int" true (Cparse.Lex.tokens "42" = [ Cparse.Lex.Int_tok 42 ]);
+  check_bool "float dot" true (Cparse.Lex.tokens "4.5" = [ Cparse.Lex.Float_tok 4.5 ]);
+  check_bool "exponent" true
+    (Cparse.Lex.tokens "1e-3" = [ Cparse.Lex.Float_tok 1e-3 ]);
+  check_bool "suffix f" true
+    (Cparse.Lex.tokens "2.5f" = [ Cparse.Lex.Float_tok 2.5 ]);
+  check_bool "leading dot" true
+    (Cparse.Lex.tokens ".5" = [ Cparse.Lex.Float_tok 0.5 ])
+
+let test_tokens_comments () =
+  check_bool "line comment" true
+    (Cparse.Lex.tokens "a // comment\nb" = [ Cparse.Lex.Ident "a"; Cparse.Lex.Ident "b" ]);
+  check_bool "block comment" true
+    (Cparse.Lex.tokens "a /* x\ny */ b" = [ Cparse.Lex.Ident "a"; Cparse.Lex.Ident "b" ]);
+  check_bool "preprocessor" true
+    (Cparse.Lex.tokens "#include <stdio.h>\nx" = [ Cparse.Lex.Ident "x" ])
+
+let test_tokens_operators () =
+  let open Cparse.Lex in
+  check_bool "compound" true (tokens "+= -= *= /=" = [ Plus_eq; Minus_eq; Star_eq; Slash_eq ]);
+  check_bool "comparisons" true (tokens "< <= > >= == !=" = [ Lt; Le; Gt; Ge; Eq_eq; Ne ]);
+  check_bool "launch" true (tokens "<<<" = [ Lshift; Lt ]);
+  check_bool "increment" true (tokens "++i" = [ Plus_plus; Ident "i" ])
+
+let test_tokens_string_literal () =
+  match Cparse.Lex.tokens {|printf("%.17g\n", comp);|} with
+  | Cparse.Lex.Ident "printf" :: Cparse.Lex.Lparen :: Cparse.Lex.String_lit s :: _ ->
+    check_bool "escape kept" true (Util.Text.contains_sub s "17g")
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lex_error () =
+  check_bool "raises" true
+    (match Cparse.Lex.tokens "a $ b" with
+     | exception Cparse.Lex.Error msg -> Util.Text.contains_sub msg "line 1"
+     | _ -> false)
+
+let test_is_keyword () =
+  check_bool "double" true (Cparse.Lex.is_keyword "double");
+  check_bool "sin" true (Cparse.Lex.is_keyword "sin");
+  check_bool "user ident" false (Cparse.Lex.is_keyword "alpha")
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let parse_expr_exn s =
+  match Cparse.Parse.expr s with Ok e -> e | Error m -> failwith m
+
+let test_expr_precedence () =
+  check_bool "mul binds tighter" true
+    (parse_expr_exn "a + b * c"
+    = Ast.Bin (Ast.Add, Ast.Var "a", Ast.Bin (Ast.Mul, Ast.Var "b", Ast.Var "c")));
+  check_bool "left assoc" true
+    (parse_expr_exn "a - b - c"
+    = Ast.Bin (Ast.Sub, Ast.Bin (Ast.Sub, Ast.Var "a", Ast.Var "b"), Ast.Var "c"));
+  check_bool "parens override" true
+    (parse_expr_exn "(a + b) * c"
+    = Ast.Bin (Ast.Mul, Ast.Bin (Ast.Add, Ast.Var "a", Ast.Var "b"), Ast.Var "c"))
+
+let test_expr_unary_minus () =
+  check_bool "fold into literal" true (parse_expr_exn "-3.5" = Ast.Lit (-3.5));
+  check_bool "neg of var" true (parse_expr_exn "-x" = Ast.Neg (Ast.Var "x"));
+  check_bool "neg of parens" true
+    (parse_expr_exn "-(3.5)" = Ast.Neg (Ast.Lit 3.5));
+  check_bool "binds tighter than mul" true
+    (parse_expr_exn "-x * y"
+    = Ast.Bin (Ast.Mul, Ast.Neg (Ast.Var "x"), Ast.Var "y"))
+
+let test_expr_calls () =
+  check_bool "unary call" true
+    (parse_expr_exn "sin(x)" = Ast.Call (Ast.Sin, [ Ast.Var "x" ]));
+  check_bool "binary call" true
+    (parse_expr_exn "pow(x, 2.0)" = Ast.Call (Ast.Pow, [ Ast.Var "x"; Ast.Lit 2.0 ]));
+  check_bool "f32 suffix accepted" true
+    (parse_expr_exn "sinf(x)" = Ast.Call (Ast.Sin, [ Ast.Var "x" ]));
+  check_bool "unknown fn rejected" true (Result.is_error (Cparse.Parse.expr "erf(x)"));
+  check_bool "arity enforced" true (Result.is_error (Cparse.Parse.expr "pow(x)"))
+
+let test_expr_index () =
+  check_bool "subscript" true
+    (parse_expr_exn "a[i + 1]"
+    = Ast.Index ("a", Ast.Bin (Ast.Add, Ast.Var "i", Ast.Int_lit 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Programs *)
+
+let minimal = {|
+void compute(double x) {
+  double comp = 0.0;
+  comp = x * 2.0;
+}
+|}
+
+let test_parse_minimal () =
+  let p = Cparse.Parse.program_exn minimal in
+  check_int "one param" 1 (List.length p.Ast.params);
+  check_int "comp decl dropped, one stmt" 1 (List.length p.Ast.body)
+
+let test_parse_skips_printf_and_main () =
+  let src = {|
+#include <stdio.h>
+void compute(double x) {
+  double comp = 0.0;
+  comp += x;
+  printf("%.17g\n", comp);
+}
+int main(int argc, char* argv[]) {
+  double x = atof(argv[1]);
+  compute(x);
+  return 0;
+}
+|} in
+  let p = Cparse.Parse.program_exn src in
+  check_int "printf skipped" 1 (List.length p.Ast.body)
+
+let test_array_length_recovery () =
+  let src = {|
+void compute(double* buf) {
+  double comp = 0.0;
+  comp += buf[11];
+}
+int main(int argc, char* argv[]) {
+  double buf[12];
+  compute(buf);
+  return 0;
+}
+|} in
+  let p = Cparse.Parse.program_exn src in
+  check_bool "length 12 recovered" true
+    (p.Ast.params = [ Ast.P_fp_array ("buf", 12) ])
+
+let test_array_length_default () =
+  let src = "void compute(double* buf) { double comp = 0.0; comp += buf[0]; }" in
+  let p = Cparse.Parse.program_exn ~default_array_len:8 src in
+  check_bool "default 8" true (p.Ast.params = [ Ast.P_fp_array ("buf", 8) ])
+
+let test_nonzero_comp_init_becomes_assign () =
+  let src = "void compute(double x) { double comp = x + 1.0; comp *= 2.0; }" in
+  let p = Cparse.Parse.program_exn src in
+  check_int "two statements" 2 (List.length p.Ast.body);
+  match List.hd p.Ast.body with
+  | Ast.Assign { lhs = Ast.Lv_var "comp"; op = Ast.Set; _ } -> ()
+  | _ -> Alcotest.fail "expected comp assignment"
+
+let test_f32_detection () =
+  let src = "void compute(float x) { float comp = 0.0; comp = sinf(x); }" in
+  let p = Cparse.Parse.program_exn src in
+  check_bool "precision F32" true (p.Ast.precision = Ast.F32)
+
+let test_loop_forms () =
+  let src = {|
+void compute(double x) {
+  double comp = 0.0;
+  for (int i = 0; i < 10; i++) {
+    comp += x;
+  }
+}
+|} in
+  let p = Cparse.Parse.program_exn src in
+  check_bool "postfix ++ accepted" true (Ast.loop_count p = 1)
+
+let test_rejections () =
+  let rejected src = Result.is_error (Cparse.Parse.program src) in
+  check_bool "no compute" true (rejected "int main() { return 0; }");
+  check_bool "else rejected" true
+    (rejected
+       "void compute(double x) { double comp = 0.0; if (x > 0.0) { comp = \
+        1.0; } else { comp = 2.0; } }");
+  check_bool "nonzero loop start" true
+    (rejected
+       "void compute(double x) { double comp = 0.0; for (int i = 1; i < 4; \
+        ++i) { comp += x; } }");
+  check_bool "wrong counter in condition" true
+    (rejected
+       "void compute(double x) { double comp = 0.0; for (int i = 0; j < 4; \
+        ++i) { comp += x; } }");
+  check_bool "uninitialized declaration" true
+    (rejected "void compute(double x) { double comp = 0.0; double y; comp = x; }");
+  check_bool "while rejected" true
+    (rejected
+       "void compute(double x) { double comp = 0.0; while (x > 0.0) { comp \
+        = 1.0; } }")
+
+let test_cuda_roundtrip () =
+  let p = Gen.Varity.generate (Util.Rng.of_int 2024) in
+  match Cparse.Parse.program (Pp.to_cuda p) with
+  | Ok p2 -> check_bool "cuda parses to same program" true (Ast.equal p p2)
+  | Error m -> Alcotest.fail m
+
+let qcheck_c_roundtrip =
+  QCheck.Test.make ~name:"parse (print p) = p for random programs" ~count:300
+    arbitrary_program (fun p ->
+      match Cparse.Parse.program (Pp.to_c p) with
+      | Ok p2 -> Ast.equal p p2
+      | Error _ -> false)
+
+let qcheck_cuda_roundtrip =
+  QCheck.Test.make ~name:"CUDA translation parses back to same program"
+    ~count:150 arbitrary_program (fun p ->
+      match Cparse.Parse.program (Pp.to_cuda p) with
+      | Ok p2 -> Ast.equal p p2
+      | Error _ -> false)
+
+let qcheck_expr_roundtrip =
+  QCheck.Test.make ~name:"expression print/parse roundtrip" ~count:300
+    arbitrary_program (fun p ->
+      (* take every top-level rhs of the program and round-trip it *)
+      let ok = ref true in
+      ignore
+        (Ast.map_exprs
+           (fun e ->
+             (match Cparse.Parse.expr (Pp.expr_to_string Ast.F64 e) with
+              | Ok e2 when e2 = e -> ()
+              | _ -> ok := false);
+             e)
+           p.Ast.body);
+      !ok)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic tokens" `Quick test_tokens_basic;
+          Alcotest.test_case "numbers" `Quick test_tokens_numbers;
+          Alcotest.test_case "comments" `Quick test_tokens_comments;
+          Alcotest.test_case "operators" `Quick test_tokens_operators;
+          Alcotest.test_case "string literal" `Quick test_tokens_string_literal;
+          Alcotest.test_case "error position" `Quick test_lex_error;
+          Alcotest.test_case "keywords" `Quick test_is_keyword;
+        ] );
+      ( "expressions",
+        [
+          Alcotest.test_case "precedence" `Quick test_expr_precedence;
+          Alcotest.test_case "unary minus" `Quick test_expr_unary_minus;
+          Alcotest.test_case "calls" `Quick test_expr_calls;
+          Alcotest.test_case "indexing" `Quick test_expr_index;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "minimal" `Quick test_parse_minimal;
+          Alcotest.test_case "skips printf/main" `Quick test_parse_skips_printf_and_main;
+          Alcotest.test_case "array length recovery" `Quick test_array_length_recovery;
+          Alcotest.test_case "array length default" `Quick test_array_length_default;
+          Alcotest.test_case "comp init" `Quick test_nonzero_comp_init_becomes_assign;
+          Alcotest.test_case "f32 detection" `Quick test_f32_detection;
+          Alcotest.test_case "loop forms" `Quick test_loop_forms;
+          Alcotest.test_case "rejections" `Quick test_rejections;
+          Alcotest.test_case "cuda roundtrip (single)" `Quick test_cuda_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_c_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_cuda_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_expr_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,82 @@
+(* Tests for lib/report: table rendering and export. *)
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_render_alignment () =
+  let out =
+    Report.Table.render ~header:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "longer"; "23" ] ]
+  in
+  let lines = Util.Text.lines out in
+  check_bool "header" true (List.nth lines 0 = "name    value");
+  check_bool "separator" true (List.nth lines 1 = "------  -----");
+  check_bool "right aligned number" true (List.nth lines 2 = "a           1");
+  check_bool "no trailing spaces" true
+    (List.for_all
+       (fun l -> l = "" || l.[String.length l - 1] <> ' ')
+       lines)
+
+let test_render_title_and_padding () =
+  let out =
+    Report.Table.render ~title:"T" ~header:[ "a"; "b"; "c" ] [ [ "x" ] ]
+  in
+  let lines = Util.Text.lines out in
+  check_string "title first" "T" (List.hd lines);
+  check_bool "short row padded" true (List.length lines = 4)
+
+let test_render_explicit_alignment () =
+  let out =
+    Report.Table.render ~header:[ "l"; "r" ]
+      ~align:[ Report.Table.Right; Report.Table.Left ]
+      [ [ "x"; "yy" ] ]
+  in
+  check_bool "right-aligns first col" true
+    (Util.Text.contains_sub out "x  yy")
+
+let test_pct () =
+  check_string "two decimals" "26.56%" (Report.Table.pct 0.2656);
+  check_string "one decimal" "26.6%" (Report.Table.pct1 0.2656);
+  check_string "zero" "0.00%" (Report.Table.pct 0.0)
+
+let test_commas () =
+  check_string "small" "1" (Report.Table.commas 1);
+  check_string "thousands" "4,781" (Report.Table.commas 4781);
+  check_string "millions" "12,345,678" (Report.Table.commas 12345678);
+  check_string "negative" "-1,000" (Report.Table.commas (-1000))
+
+let test_csv () =
+  let out =
+    Report.Table.to_csv ~header:[ "a"; "b" ]
+      [ [ "plain"; "with,comma" ]; [ "with\"quote"; "x" ] ]
+  in
+  check_string "csv"
+    "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n" out
+
+let qcheck_render_line_count =
+  QCheck.Test.make ~name:"render emits header + separator + one line per row"
+    ~count:100
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 10) (string_of_size (QCheck.Gen.int_range 0 8)))
+              small_nat)
+    (fun (row, extra) ->
+      QCheck.assume (row <> []);
+      let row = List.map (String.map (fun c -> if c = '\n' then '.' else c)) row in
+      let header = List.mapi (fun i _ -> Printf.sprintf "h%d" i) row in
+      let rows = List.init (1 + (extra mod 5)) (fun _ -> row) in
+      let out = Report.Table.render ~header rows in
+      List.length (Util.Text.lines out) = 2 + List.length rows)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "alignment" `Quick test_render_alignment;
+          Alcotest.test_case "title and padding" `Quick test_render_title_and_padding;
+          Alcotest.test_case "explicit alignment" `Quick test_render_explicit_alignment;
+          Alcotest.test_case "percentages" `Quick test_pct;
+          Alcotest.test_case "thousands" `Quick test_commas;
+          Alcotest.test_case "csv export" `Quick test_csv;
+          QCheck_alcotest.to_alcotest qcheck_render_line_count;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+(* Tests for lib/util: deterministic RNG, simulated clock, text helpers. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_determinism () =
+  let a = Util.Rng.of_int 42 and b = Util.Rng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.bits64 a) (Util.Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Util.Rng.of_int 1 and b = Util.Rng.of_int 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Util.Rng.bits64 a <> Util.Rng.bits64 b then differs := true
+  done;
+  check_bool "different seeds differ" true !differs
+
+let test_copy_replays () =
+  let a = Util.Rng.of_int 7 in
+  ignore (Util.Rng.bits64 a);
+  let b = Util.Rng.copy a in
+  check_bool "copy replays" (Util.Rng.bits64 a = Util.Rng.bits64 b) true
+
+let test_split_decorrelated () =
+  let a = Util.Rng.of_int 7 in
+  let child = Util.Rng.split a in
+  let equal = ref 0 in
+  for _ = 1 to 64 do
+    if Util.Rng.bits64 a = Util.Rng.bits64 child then incr equal
+  done;
+  check_int "streams don't coincide" 0 !equal
+
+let test_int_bounds () =
+  let rng = Util.Rng.of_int 3 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int rng 17 in
+    check_bool "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_bounds () =
+  let rng = Util.Rng.of_int 4 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int_in rng (-5) 9 in
+    check_bool "in [-5,9]" true (v >= -5 && v <= 9)
+  done
+
+let test_int_in_covers_endpoints () =
+  let rng = Util.Rng.of_int 5 in
+  let lo = ref false and hi = ref false in
+  for _ = 1 to 2000 do
+    match Util.Rng.int_in rng 0 3 with
+    | 0 -> lo := true
+    | 3 -> hi := true
+    | _ -> ()
+  done;
+  check_bool "0 reached" true !lo;
+  check_bool "3 reached" true !hi
+
+let test_int_invalid () =
+  let rng = Util.Rng.of_int 6 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Util.Rng.int rng 0))
+
+let test_float_bounds () =
+  let rng = Util.Rng.of_int 8 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.float rng 2.5 in
+    check_bool "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_chance_extremes () =
+  let rng = Util.Rng.of_int 9 in
+  check_bool "p=0 never" false (Util.Rng.chance rng 0.0);
+  check_bool "p=1 always" true (Util.Rng.chance rng 1.0)
+
+let test_chance_rate () =
+  let rng = Util.Rng.of_int 10 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Util.Rng.chance rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check_bool "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_choose_uniform () =
+  let rng = Util.Rng.of_int 11 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 8000 do
+    let v = Util.Rng.choose rng [| 0; 1; 2; 3 |] in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check_bool "roughly uniform" true (c > 1700 && c < 2300))
+    counts
+
+let test_weighted_bias () =
+  let rng = Util.Rng.of_int 12 in
+  let heavy = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Util.Rng.weighted rng [| (9.0, `H); (1.0, `L) |] = `H then incr heavy
+  done;
+  let rate = float_of_int !heavy /. float_of_int n in
+  check_bool "9:1 weighting" true (Float.abs (rate -. 0.9) < 0.02)
+
+let test_weighted_zero_weight_excluded () =
+  let rng = Util.Rng.of_int 13 in
+  for _ = 1 to 200 do
+    check_bool "never the 0-weight item" true
+      (Util.Rng.weighted rng [| (0.0, `Never); (1.0, `Always) |] = `Always)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Util.Rng.of_int 14 in
+  let arr = Array.init 20 Fun.id in
+  Util.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 20 Fun.id) sorted
+
+let test_sample_distinct () =
+  let rng = Util.Rng.of_int 15 in
+  let s = Util.Rng.sample rng [ 1; 2; 3; 4; 5 ] 3 in
+  check_int "3 drawn" 3 (List.length s);
+  check_int "distinct" 3 (List.length (List.sort_uniq compare s))
+
+let test_sample_overdraw () =
+  let rng = Util.Rng.of_int 16 in
+  check_int "clamped to population" 2
+    (List.length (Util.Rng.sample rng [ 1; 2 ] 10))
+
+let test_gaussian_moments () =
+  let rng = Util.Rng.of_int 17 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Util.Rng.gaussian rng in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check_bool "mean ~ 0" true (Float.abs mean < 0.05);
+  check_bool "var ~ 1" true (Float.abs (var -. 1.0) < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Sim_clock *)
+
+let test_clock_accumulates () =
+  let c = Util.Sim_clock.create () in
+  Util.Sim_clock.advance c 1.5;
+  Util.Sim_clock.advance c 2.25;
+  Alcotest.(check (float 1e-9)) "sum" 3.75 (Util.Sim_clock.elapsed c)
+
+let test_clock_rejects_negative () =
+  let c = Util.Sim_clock.create () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Sim_clock.advance: negative duration") (fun () ->
+      Util.Sim_clock.advance c (-1.0))
+
+let test_clock_reset () =
+  let c = Util.Sim_clock.create () in
+  Util.Sim_clock.advance c 10.0;
+  Util.Sim_clock.reset c;
+  Alcotest.(check (float 0.0)) "zero" 0.0 (Util.Sim_clock.elapsed c)
+
+let test_hms () =
+  check_string "zero" "00:00:00" (Util.Sim_clock.hms 0.0);
+  check_string "round" "00:00:02" (Util.Sim_clock.hms 1.6);
+  check_string "half hour" "00:30:42" (Util.Sim_clock.hms 1842.0);
+  check_string "hours" "03:22:00" (Util.Sim_clock.hms 12120.0)
+
+(* ------------------------------------------------------------------ *)
+(* Text *)
+
+let test_lines_unlines () =
+  check_bool "split" true (Util.Text.lines "a\nb\nc\n" = [ "a"; "b"; "c" ]);
+  check_string "join" "a\nb\n" (Util.Text.unlines [ "a"; "b" ])
+
+let test_indent () =
+  check_string "indents non-empty lines" "  a\n\n  b"
+    (Util.Text.indent 2 "a\n\nb")
+
+let test_padding () =
+  check_string "right" "ab " (Util.Text.pad_right 3 "ab");
+  check_string "left" " ab" (Util.Text.pad_left 3 "ab");
+  check_string "no-op" "abcd" (Util.Text.pad_left 2 "abcd")
+
+let test_contains_sub () =
+  check_bool "found" true (Util.Text.contains_sub "hello world" "lo wo");
+  check_bool "missing" false (Util.Text.contains_sub "hello" "z");
+  check_bool "empty needle" true (Util.Text.contains_sub "x" "")
+
+let test_common_prefix () =
+  check_int "shared" 3 (Util.Text.common_prefix_len "abcx" "abcy");
+  check_int "none" 0 (Util.Text.common_prefix_len "x" "y")
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_int_in =
+  QCheck.Test.make ~name:"int_in always within range" ~count:500
+    QCheck.(triple small_int small_int small_int)
+    (fun (seed, a, b) ->
+      let lo = min a b and hi = max a b in
+      let rng = Util.Rng.of_int seed in
+      let v = Util.Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let qcheck_float_in =
+  QCheck.Test.make ~name:"float_in always within range" ~count:500
+    QCheck.(triple small_int (float_bound_exclusive 100.0) (float_bound_exclusive 100.0))
+    (fun (seed, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      QCheck.assume (lo < hi);
+      let rng = Util.Rng.of_int seed in
+      let v = Util.Rng.float_in rng lo hi in
+      v >= lo && v <= hi)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy replays" `Quick test_copy_replays;
+          Alcotest.test_case "split decorrelated" `Quick test_split_decorrelated;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+          Alcotest.test_case "int_in endpoints" `Quick test_int_in_covers_endpoints;
+          Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+          Alcotest.test_case "float bounds" `Quick test_float_bounds;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "chance rate" `Quick test_chance_rate;
+          Alcotest.test_case "choose uniform" `Quick test_choose_uniform;
+          Alcotest.test_case "weighted bias" `Quick test_weighted_bias;
+          Alcotest.test_case "weighted zero excluded" `Quick
+            test_weighted_zero_weight_excluded;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
+          Alcotest.test_case "sample overdraw" `Quick test_sample_overdraw;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          QCheck_alcotest.to_alcotest qcheck_int_in;
+          QCheck_alcotest.to_alcotest qcheck_float_in;
+        ] );
+      ( "sim_clock",
+        [
+          Alcotest.test_case "accumulates" `Quick test_clock_accumulates;
+          Alcotest.test_case "rejects negative" `Quick test_clock_rejects_negative;
+          Alcotest.test_case "reset" `Quick test_clock_reset;
+          Alcotest.test_case "hms format" `Quick test_hms;
+        ] );
+      ( "text",
+        [
+          Alcotest.test_case "lines/unlines" `Quick test_lines_unlines;
+          Alcotest.test_case "indent" `Quick test_indent;
+          Alcotest.test_case "padding" `Quick test_padding;
+          Alcotest.test_case "contains_sub" `Quick test_contains_sub;
+          Alcotest.test_case "common prefix" `Quick test_common_prefix;
+        ] );
+    ]
