@@ -18,7 +18,11 @@
      LLM4FP_SKIP_TABLES=1  skip the campaign half
      LLM4FP_SKIP_ABLATION=1  skip the mechanism-ablation study
      LLM4FP_ABLATION_BUDGET  corpus size for ablation/FP32 (default 300)
-     LLM4FP_SKIP_FP32=1    skip the FP32-vs-FP64 extension *)
+     LLM4FP_SKIP_FP32=1    skip the FP32-vs-FP64 extension
+     LLM4FP_JSON_OUT=FILE  also write a machine-readable summary (totals
+                           plus per-phase Obs.Span aggregates, so
+                           BENCH_*.json files track the phase-level
+                           trajectory, not just end-to-end seconds) *)
 
 open Bechamel
 open Toolkit
@@ -85,7 +89,7 @@ let micro_tests =
       (Staged.stage (fun () -> Diversity.Clones.type2_key llm_program));
   ]
 
-let run_micro () =
+let run_micro () : (string * float) list =
   print_endline "== micro-benchmarks (bechamel, monotonic clock) ==";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let instance = Instance.monotonic_clock in
@@ -120,7 +124,8 @@ let run_micro () =
             in
             [ name; rendered ])
           rows));
-  print_newline ()
+  print_newline ();
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Table/figure regeneration. *)
@@ -138,8 +143,9 @@ let run_tables () =
   List.iter
     (fun (name, text) -> Printf.printf "== %s ==\n%s\n" name text)
     (Harness.Experiments.all_tables ~max_pairs suite);
-  Printf.printf "(real compute for all campaigns + tables: %.1fs)\n"
-    (Unix.gettimeofday () -. t0)
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "(real compute for all campaigns + tables: %.1fs)\n" elapsed;
+  elapsed
 
 let run_ablation () =
   let budget = env_int "LLM4FP_ABLATION_BUDGET" 300 in
@@ -155,8 +161,60 @@ let run_fp32 () =
   print_string (Harness.Experiments.precision_comparison ~budget ~seed ());
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summary: per-phase span aggregates next to the
+   end-to-end totals, so stored BENCH_*.json files can track where the
+   time goes (generation / compile / interp / compare / CodeBLEU), not
+   just how much of it there is. *)
+
+let json_summary ~budget ~seed ~tables_seconds ~micro =
+  let phase (r : Obs.Span.row) =
+    Obs.Json.Obj
+      [ ("label", Obs.Json.String r.Obs.Span.label);
+        ("count", Obs.Json.Int r.Obs.Span.count);
+        ("total_s", Obs.Json.Float r.Obs.Span.total_s);
+        ("mean_s", Obs.Json.Float r.Obs.Span.mean_s);
+        ("max_s", Obs.Json.Float r.Obs.Span.max_s);
+        ("sim_s", Obs.Json.Float r.Obs.Span.sim_s) ]
+  in
+  Obs.Json.Obj
+    ([ ("schema", Obs.Json.String "llm4fp-bench/2");
+       ("budget", Obs.Json.Int budget);
+       ("seed", Obs.Json.Int seed) ]
+    @ (match tables_seconds with
+      | None -> []
+      | Some s -> [ ("tables_seconds", Obs.Json.Float s) ])
+    @ [ ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
+    @
+    match micro with
+    | None -> []
+    | Some rows ->
+      [ ( "micro_ns_per_call",
+          Obs.Json.Obj
+            (List.map (fun (name, ns) -> (name, Obs.Json.Float ns)) rows) ) ])
+
 let () =
-  if not (env_flag "LLM4FP_SKIP_MICRO") then run_micro ();
-  if not (env_flag "LLM4FP_SKIP_TABLES") then run_tables ();
+  let micro =
+    if not (env_flag "LLM4FP_SKIP_MICRO") then Some (run_micro ()) else None
+  in
+  (* Span timing for the campaign half: phase aggregates end up in the
+     JSON summary (and cost a few ns per span while enabled). *)
+  Obs.Span.set_enabled true;
+  let tables_seconds =
+    if not (env_flag "LLM4FP_SKIP_TABLES") then Some (run_tables ()) else None
+  in
   if not (env_flag "LLM4FP_SKIP_ABLATION") then run_ablation ();
-  if not (env_flag "LLM4FP_SKIP_FP32") then run_fp32 ()
+  if not (env_flag "LLM4FP_SKIP_FP32") then run_fp32 ();
+  match Sys.getenv_opt "LLM4FP_JSON_OUT" with
+  | None -> ()
+  | Some path ->
+    let budget = env_int "LLM4FP_BUDGET" 1000 in
+    let seed = env_int "LLM4FP_SEED" 20250704 in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc
+          (Obs.Json.to_string (json_summary ~budget ~seed ~tables_seconds ~micro));
+        output_char oc '\n');
+    Printf.printf "(wrote JSON summary to %s)\n" path

@@ -5,6 +5,7 @@
      matrix     compile & run one program under all 18 configurations
      campaign   run a full campaign for one approach and print statistics
      tables     run all four campaigns and print every paper table/figure
+     profile    run a small campaign with span timing and print the profile
      corpus     list or show the mock LLM's kernel corpus *)
 
 open Cmdliner
@@ -16,6 +17,39 @@ let seed_arg =
 let budget_arg =
   Arg.(value & opt int 1000 & info [ "b"; "budget" ] ~docv:"N"
          ~doc:"Number of generated programs per approach (paper: 1000).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a JSONL event trace of the run to $(docv) (one \
+                 event object per line; byte-reproducible for a fixed \
+                 seed).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the metrics-registry snapshot after the run.")
+
+(* Bracket [f] with a JSONL trace sink on [path], when given. *)
+let with_trace path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+    let oc =
+      try open_out path
+      with Sys_error msg ->
+        prerr_endline ("cannot open trace file: " ^ msg);
+        exit 1
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Obs.Trace.with_sink (Obs.Sink.jsonl oc) f)
+
+let print_metrics_if requested =
+  if requested then begin
+    print_newline ();
+    print_string (Obs.Metrics.render_table ())
+  end
 
 let approach_arg =
   let parse s =
@@ -72,10 +106,9 @@ let cmd_matrix =
       match file with
       | Some path ->
         let ic = open_in path in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        s
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
       | None ->
         let client = Llm.Client.create ~seed () in
         (Llm.Client.generate client (Llm.Prompt.Grammar { precision = Lang.Ast.F64 }))
@@ -127,9 +160,12 @@ let cmd_campaign =
     Arg.(value & flag
          & info [ "fp32" ] ~doc:"Generate and test single-precision programs.")
   in
-  let run seed budget approach fp32 =
+  let run seed budget approach fp32 trace metrics =
     let precision = if fp32 then Lang.Ast.F32 else Lang.Ast.F64 in
-    let o = Harness.Campaign.run ~budget ~precision ~seed approach in
+    let o =
+      with_trace trace (fun () ->
+          Harness.Campaign.run ~budget ~precision ~seed approach)
+    in
     let stats = o.Harness.Campaign.stats in
     Printf.printf "%s: budget %d, seed %d\n" (Harness.Approach.name approach)
       budget seed;
@@ -145,10 +181,12 @@ let cmd_campaign =
     Printf.printf "  simulated time     : %s (llm %s)\n"
       (Util.Sim_clock.hms o.Harness.Campaign.sim_seconds)
       (Util.Sim_clock.hms o.Harness.Campaign.llm_seconds);
-    Printf.printf "  real compute       : %.2fs\n" o.Harness.Campaign.real_seconds
+    Printf.printf "  real compute       : %.2fs\n" o.Harness.Campaign.real_seconds;
+    print_metrics_if metrics
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run one approach's full campaign")
-    Term.(const run $ seed_arg $ budget_arg $ approach $ fp32)
+    Term.(const run $ seed_arg $ budget_arg $ approach $ fp32 $ trace_arg
+          $ metrics_arg)
 
 let cmd_tables =
   let only =
@@ -161,10 +199,13 @@ let cmd_tables =
     Arg.(value & opt int 50_000 & info [ "max-pairs" ] ~docv:"N"
            ~doc:"CodeBLEU pair-sample bound per approach.")
   in
-  let run seed budget only max_pairs =
-    let suite = Harness.Experiments.run_suite ~budget ~seed () in
-    let tables = Harness.Experiments.all_tables ~max_pairs suite in
-    match only with
+  let run seed budget only max_pairs trace metrics =
+    let tables =
+      with_trace trace (fun () ->
+          let suite = Harness.Experiments.run_suite ~budget ~seed () in
+          Harness.Experiments.all_tables ~max_pairs suite)
+    in
+    (match only with
     | None ->
       List.iter (fun (name, text) -> Printf.printf "== %s ==\n%s\n" name text) tables
     | Some name -> begin
@@ -173,12 +214,14 @@ let cmd_tables =
       | None ->
         prerr_endline ("unknown section " ^ name);
         exit 1
-    end
+    end);
+    print_metrics_if metrics
   in
   Cmd.v
     (Cmd.info "tables"
        ~doc:"Run all four campaigns and print every paper table and figure")
-    Term.(const run $ seed_arg $ budget_arg $ only $ max_pairs)
+    Term.(const run $ seed_arg $ budget_arg $ only $ max_pairs $ trace_arg
+          $ metrics_arg)
 
 let cmd_corpus =
   let kernel_name =
@@ -228,6 +271,38 @@ let cmd_fp32 =
           $ Arg.(value & opt int 300
                  & info [ "b"; "budget" ] ~docv:"N" ~doc:"Budget per campaign."))
 
+let cmd_profile =
+  let approach =
+    Arg.(value & opt approach_arg Harness.Approach.Llm4fp
+         & info [ "a"; "approach" ] ~docv:"APPROACH"
+             ~doc:"varity | direct-prompt | grammar-guided | llm4fp")
+  in
+  let budget =
+    Arg.(value & opt int 100
+         & info [ "b"; "budget" ] ~docv:"N"
+             ~doc:"Campaign size for the profiling run.")
+  in
+  let run seed budget approach trace metrics =
+    Obs.Span.set_enabled true;
+    let o =
+      with_trace trace (fun () -> Harness.Campaign.run ~budget ~seed approach)
+    in
+    Printf.printf
+      "%s: budget %d, seed %d — %s inconsistencies, real compute %.2fs\n\n"
+      (Harness.Approach.name approach)
+      budget seed
+      (Report.Table.commas
+         (Difftest.Stats.total_inconsistencies o.Harness.Campaign.stats))
+      o.Harness.Campaign.real_seconds;
+    print_string (Obs.Span.render ());
+    print_metrics_if metrics
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a small campaign with span timing enabled and print the \
+             per-stage hot-path profile")
+    Term.(const run $ seed_arg $ budget $ approach $ trace_arg $ metrics_arg)
+
 let cmd_stability =
   let seeds =
     Arg.(value & opt (list int) [ 11; 22; 33 ]
@@ -252,5 +327,5 @@ let () =
           (Cmd.info "llm4fp" ~version:"1.0.0"
              ~doc:"LLM-guided floating-point differential compiler testing \
                    (SC'25 reproduction)")
-          [ cmd_generate; cmd_matrix; cmd_campaign; cmd_tables; cmd_corpus;
-            cmd_ablation; cmd_fp32; cmd_stability ]))
+          [ cmd_generate; cmd_matrix; cmd_campaign; cmd_tables; cmd_profile;
+            cmd_corpus; cmd_ablation; cmd_fp32; cmd_stability ]))

@@ -5,6 +5,12 @@ type binary = {
   work : int;
 }
 
+let m_compile_ok = Obs.Metrics.counter "compiler.compile.ok"
+let m_compile_error = Obs.Metrics.counter "compiler.compile.error"
+let m_work = Obs.Metrics.counter "compiler.work"
+let m_runs = Obs.Metrics.counter "compiler.runs"
+let m_fp_ops = Obs.Metrics.counter "compiler.fp_ops"
+
 let rec body_size body =
   List.fold_left
     (fun acc (s : Irsim.Ir.stmt) ->
@@ -29,6 +35,7 @@ let pipeline (config : Config.t) ir =
   if config.dce then Irsim.Dce.run ir else ir
 
 let compile (config : Config.t) (program : Lang.Ast.program) =
+  Obs.Span.with_span "compiler.compile" @@ fun () ->
   (* Emit the translation unit for the target, then run the front end on
      that text: the device path really goes through the C-to-CUDA
      translation. *)
@@ -36,27 +43,69 @@ let compile (config : Config.t) (program : Lang.Ast.program) =
     if Personality.is_host config.personality then Lang.Pp.to_c program
     else Lang.Pp.to_cuda program
   in
-  match Cparse.Parse.program source with
-  | Error msg -> Error (Printf.sprintf "%s: front end: %s" (Config.name config) msg)
-  | Ok parsed -> begin
-    match Analysis.Validate.check parsed with
-    | Error issues ->
-      Error
-        (Printf.sprintf "%s: %s" (Config.name config)
-           (String.concat "; "
-              (List.map Analysis.Validate.issue_to_string issues)))
-    | Ok () -> begin
-      match Irsim.Lower.program parsed with
-      | exception Irsim.Lower.Error msg ->
-        Error (Printf.sprintf "%s: lowering: %s" (Config.name config) msg)
-      | ir ->
-        let applied = Config.effective config parsed.Lang.Ast.precision in
-        let ir = pipeline applied ir in
-        Ok { config = applied; source; ir; work = body_size ir.body }
+  let result =
+    match Cparse.Parse.program source with
+    | Error msg ->
+      Error (Printf.sprintf "%s: front end: %s" (Config.name config) msg)
+    | Ok parsed -> begin
+      match Analysis.Validate.check parsed with
+      | Error issues ->
+        Error
+          (Printf.sprintf "%s: %s" (Config.name config)
+             (String.concat "; "
+                (List.map Analysis.Validate.issue_to_string issues)))
+      | Ok () -> begin
+        match Irsim.Lower.program parsed with
+        | exception Irsim.Lower.Error msg ->
+          Error (Printf.sprintf "%s: lowering: %s" (Config.name config) msg)
+        | ir ->
+          let applied = Config.effective config parsed.Lang.Ast.precision in
+          let ir = pipeline applied ir in
+          Ok { config = applied; source; ir; work = body_size ir.body }
+      end
     end
-  end
+  in
+  (match result with
+  | Ok binary ->
+    Obs.Metrics.incr m_compile_ok;
+    Obs.Metrics.incr ~by:binary.work m_work;
+    if Obs.Trace.on () then
+      Obs.Trace.emit
+        (Obs.Event.Compiled
+           {
+             slot = Obs.Trace.current_slot ();
+             config = Config.name config;
+             ok = true;
+             work = binary.work;
+           })
+  | Error _ ->
+    Obs.Metrics.incr m_compile_error;
+    if Obs.Trace.on () then
+      Obs.Trace.emit
+        (Obs.Event.Compiled
+           {
+             slot = Obs.Trace.current_slot ();
+             config = Config.name config;
+             ok = false;
+             work = 0;
+           }));
+  result
 
-let run binary inputs = Irsim.Interp.run (Config.runtime binary.config) binary.ir inputs
+let run binary inputs =
+  Obs.Span.with_span "compiler.interp" @@ fun () ->
+  let out = Irsim.Interp.run (Config.runtime binary.config) binary.ir inputs in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.incr ~by:out.Irsim.Interp.fp_ops m_fp_ops;
+  if Obs.Trace.on () then
+    Obs.Trace.emit
+      (Obs.Event.Executed
+         {
+           slot = Obs.Trace.current_slot ();
+           config = Config.name binary.config;
+           hex = Fp.Bits.hex_of_double out.Irsim.Interp.result;
+           ops = out.Irsim.Interp.fp_ops;
+         });
+  out
 
 let run_hex binary inputs = Fp.Bits.hex_of_double (run binary inputs).result
 

@@ -25,6 +25,16 @@ type result = {
   total_ops : int;
 }
 
+let m_programs = Obs.Metrics.counter "difftest.programs"
+let m_cross = Obs.Metrics.counter "difftest.comparisons.cross"
+let m_within = Obs.Metrics.counter "difftest.comparisons.within"
+let m_cross_incons = Obs.Metrics.counter "difftest.inconsistencies.cross"
+let m_within_incons = Obs.Metrics.counter "difftest.inconsistencies.within"
+
+let m_digits =
+  Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0; 8.0; 12.0; 17.0 |]
+    "difftest.digit_diffs"
+
 let compare_outputs level (left : output) (right : output) =
   let inconsistent = left.hex <> right.hex in
   {
@@ -63,41 +73,94 @@ let test ?configs program inputs =
         })
       compiled
   in
-  let find personality level =
-    List.find_opt
-      (fun o ->
-        o.config.Compiler.Config.personality = personality
-        && o.config.Compiler.Config.level = level)
-      outputs
-  in
-  let cross =
-    List.concat_map
-      (fun level ->
-        List.filter_map
-          (fun (a, b) ->
-            match (find a level, find b level) with
-            | Some left, Some right ->
-              Some ((a, b), compare_outputs level left right)
-            | _ -> None)
-          Compiler.Personality.pairs)
-      (Array.to_list Compiler.Optlevel.all)
-  in
-  let within =
-    List.concat_map
-      (fun personality ->
-        List.filter_map
-          (fun level ->
-            if level = Compiler.Optlevel.O0_nofma then None
-            else
-              match
-                (find personality Compiler.Optlevel.O0_nofma, find personality level)
-              with
-              | Some baseline, Some other ->
-                Some (personality, compare_outputs level baseline other)
+  (* One O(n) pass instead of an O(configs) scan per lookup: the
+     comparison stage below performs 2 lookups per (pair, level) plus 2
+     per (personality, level), which made the old List.find_opt
+     quadratic in the number of configurations. *)
+  let by_config = Hashtbl.create 32 in
+  List.iter
+    (fun o ->
+      Hashtbl.replace by_config
+        (o.config.Compiler.Config.personality, o.config.Compiler.Config.level)
+        o)
+    outputs;
+  let find personality level = Hashtbl.find_opt by_config (personality, level) in
+  let cross, within =
+    Obs.Span.with_span "difftest.compare" @@ fun () ->
+    let cross =
+      List.concat_map
+        (fun level ->
+          List.filter_map
+            (fun (a, b) ->
+              match (find a level, find b level) with
+              | Some left, Some right ->
+                Some ((a, b), compare_outputs level left right)
               | _ -> None)
-          (Array.to_list Compiler.Optlevel.all))
-      (Array.to_list Compiler.Personality.all)
+            Compiler.Personality.pairs)
+        (Array.to_list Compiler.Optlevel.all)
+    in
+    let within =
+      List.concat_map
+        (fun personality ->
+          List.filter_map
+            (fun level ->
+              if level = Compiler.Optlevel.O0_nofma then None
+              else
+                match
+                  ( find personality Compiler.Optlevel.O0_nofma,
+                    find personality level )
+                with
+                | Some baseline, Some other ->
+                  Some (personality, compare_outputs level baseline other)
+                | _ -> None)
+            (Array.to_list Compiler.Optlevel.all))
+        (Array.to_list Compiler.Personality.all)
+    in
+    (cross, within)
   in
+  let cross_hits =
+    List.fold_left (fun acc (_, c) -> if c.inconsistent then acc + 1 else acc)
+      0 cross
+  in
+  Obs.Metrics.incr m_programs;
+  Obs.Metrics.incr ~by:(List.length cross) m_cross;
+  Obs.Metrics.incr ~by:(List.length within) m_within;
+  Obs.Metrics.incr ~by:cross_hits m_cross_incons;
+  Obs.Metrics.incr
+    ~by:
+      (List.fold_left
+         (fun acc (_, c) -> if c.inconsistent then acc + 1 else acc)
+         0 within)
+    m_within_incons;
+  List.iter
+    (fun (_, c) ->
+      if c.inconsistent then Obs.Metrics.observe m_digits (float_of_int c.digits))
+    cross;
+  if Obs.Trace.on () then begin
+    let slot = Obs.Trace.current_slot () in
+    List.iter
+      (fun (pair, c) ->
+        if c.inconsistent then
+          Obs.Trace.emit
+            (Obs.Event.Inconsistency_found
+               {
+                 slot;
+                 pair = Compiler.Personality.pair_name pair;
+                 level = Compiler.Optlevel.name c.level;
+                 left_hex = c.left.hex;
+                 right_hex = c.right.hex;
+                 digits = c.digits;
+               }))
+      cross;
+    Obs.Trace.emit
+      (Obs.Event.Compared
+         {
+           slot;
+           cross = List.length cross;
+           within = List.length within;
+           inconsistent = cross_hits;
+         })
+  end;
   {
     outputs;
     failures;

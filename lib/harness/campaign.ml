@@ -13,17 +13,30 @@ type outcome = {
 
 let strategy_mix_probability = 0.5
 
+let m_slots = Obs.Metrics.counter "campaign.slots"
+let m_generation_failures = Obs.Metrics.counter "campaign.generation_failures"
+let m_feedback_size = Obs.Metrics.gauge "campaign.feedback_size"
+let m_sim_seconds = Obs.Metrics.gauge "campaign.sim_seconds"
+
+let precision_name = function Lang.Ast.F64 -> "fp64" | Lang.Ast.F32 -> "fp32"
+
 (* A generated candidate: either a program that made it through the front
-   end and validator, or the reason it did not. *)
+   end and validator, or the stage that rejected it and why. *)
 let admit source =
-  match Cparse.Parse.program source with
-  | Error msg -> Error msg
+  match
+    Obs.Span.with_span "frontend.parse" (fun () -> Cparse.Parse.program source)
+  with
+  | Error msg -> Error (`Parse msg)
   | Ok program -> begin
-    match Analysis.Validate.check program with
+    match
+      Obs.Span.with_span "frontend.validate" (fun () ->
+          Analysis.Validate.check program)
+    with
     | Error issues ->
       Error
-        (String.concat "; "
-           (List.map Analysis.Validate.issue_to_string issues))
+        (`Validate
+          (String.concat "; "
+             (List.map Analysis.Validate.issue_to_string issues)))
     | Ok () -> Ok program
   end
 
@@ -44,22 +57,32 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ~seed approach =
     Time_model.charge_llm clock response.Llm.Client.latency;
     admit response.Llm.Client.source
   in
-  let generate () : (Lang.Ast.program, string) result =
+  (* The per-slot strategy is drawn first (same RNG order as ever) so it
+     can be traced even when generation subsequently fails. *)
+  let choose_strategy () =
     match approach with
-    | Approach.Varity ->
-      Ok { (Gen.Varity.generate rng) with Lang.Ast.precision }
-    | Approach.Direct_prompt ->
-      llm_generate (Llm.Prompt.Direct { precision })
-    | Approach.Grammar_guided ->
-      llm_generate (Llm.Prompt.Grammar { precision })
+    | Approach.Varity -> `Varity
+    | Approach.Direct_prompt -> `Direct
+    | Approach.Grammar_guided -> `Grammar
     | Approach.Llm4fp ->
-      if
-        !successful <> []
-        && Util.Rng.chance rng strategy_mix_probability
-      then
-        let example = Util.Rng.choose_list rng !successful in
-        llm_generate (Llm.Prompt.Mutate { precision; example })
-      else llm_generate (Llm.Prompt.Grammar { precision })
+      if !successful <> [] && Util.Rng.chance rng strategy_mix_probability
+      then `Mutate
+      else `Grammar
+  in
+  let strategy_name = function
+    | `Varity -> "varity"
+    | `Direct -> "direct"
+    | `Grammar -> "grammar"
+    | `Mutate -> "mutate"
+  in
+  let generate strategy : (Lang.Ast.program, _) result =
+    match strategy with
+    | `Varity -> Ok { (Gen.Varity.generate rng) with Lang.Ast.precision }
+    | `Direct -> llm_generate (Llm.Prompt.Direct { precision })
+    | `Grammar -> llm_generate (Llm.Prompt.Grammar { precision })
+    | `Mutate ->
+      let example = Util.Rng.choose_list rng !successful in
+      llm_generate (Llm.Prompt.Mutate { precision; example })
   in
   let input_config =
     match approach with
@@ -71,29 +94,88 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ~seed approach =
     if Approach.uses_llm approach then Time_model.framework_llm
     else Time_model.framework
   in
-  for _ = 1 to budget do
-    Util.Sim_clock.advance clock framework_cost;
-    match generate () with
-    | Error _ ->
-      incr generation_failures;
-      Difftest.Stats.add_generation_failure stats
-    | Ok program ->
-      programs := program :: !programs;
-      let inputs = Gen.Generate.gen_inputs input_rng input_config program in
-      cases := (program, inputs) :: !cases;
-      let result = Difftest.Run.test program inputs in
-      Difftest.Stats.add stats result;
-      Time_model.charge_program clock ~work:result.Difftest.Run.total_work
-        ~ops:result.Difftest.Run.total_ops
-        ~configs:(List.length result.Difftest.Run.outputs);
-      if
-        approach = Approach.Llm4fp
-        && Difftest.Run.has_inconsistency result
-      then begin
-        successful := program :: !successful;
-        incr n_successful
-      end
-  done;
+  if Obs.Trace.on () then
+    Obs.Trace.emit
+      (Obs.Event.Campaign_started
+         {
+           approach = Approach.name approach;
+           budget;
+           seed;
+           precision = precision_name precision;
+         });
+  Obs.Span.with_clock clock (fun () ->
+      for slot = 1 to budget do
+        Obs.Trace.with_slot slot @@ fun () ->
+        Util.Sim_clock.advance clock framework_cost;
+        Obs.Metrics.incr m_slots;
+        let strategy = choose_strategy () in
+        if Obs.Trace.on () then
+          Obs.Trace.emit
+            (Obs.Event.Slot_started
+               { slot; strategy = strategy_name strategy });
+        match
+          Obs.Span.with_span "campaign.generate" (fun () -> generate strategy)
+        with
+        | Error failure ->
+          incr generation_failures;
+          Obs.Metrics.incr m_generation_failures;
+          Difftest.Stats.add_generation_failure stats;
+          if Obs.Trace.on () then begin
+            (match failure with
+            | `Parse reason ->
+              Obs.Trace.emit (Obs.Event.Parse_failed { slot; reason })
+            | `Validate reason ->
+              Obs.Trace.emit (Obs.Event.Validation_failed { slot; reason }));
+            Obs.Trace.emit
+              (Obs.Event.Slot_finished { slot; outcome = "generation_failed" })
+          end
+        | Ok program ->
+          programs := program :: !programs;
+          let inputs =
+            Gen.Generate.gen_inputs input_rng input_config program
+          in
+          cases := (program, inputs) :: !cases;
+          let result =
+            Obs.Span.with_span "campaign.difftest" (fun () ->
+                let result = Difftest.Run.test program inputs in
+                Time_model.charge_program clock
+                  ~work:result.Difftest.Run.total_work
+                  ~ops:result.Difftest.Run.total_ops
+                  ~configs:(List.length result.Difftest.Run.outputs);
+                result)
+          in
+          Difftest.Stats.add stats result;
+          let inconsistent = Difftest.Run.has_inconsistency result in
+          if approach = Approach.Llm4fp && inconsistent then begin
+            successful := program :: !successful;
+            incr n_successful;
+            if Obs.Trace.on () then
+              Obs.Trace.emit
+                (Obs.Event.Feedback_added
+                   { slot; feedback_size = !n_successful })
+          end;
+          if Obs.Trace.on () then
+            Obs.Trace.emit
+              (Obs.Event.Slot_finished
+                 {
+                   slot;
+                   outcome = (if inconsistent then "inconsistent" else "consistent");
+                 })
+      done);
+  Obs.Metrics.set m_feedback_size (float_of_int !n_successful);
+  Obs.Metrics.add m_sim_seconds (Util.Sim_clock.elapsed clock);
+  if Obs.Trace.on () then
+    Obs.Trace.emit
+      (Obs.Event.Campaign_finished
+         {
+           approach = Approach.name approach;
+           valid = List.length !programs;
+           generation_failures = !generation_failures;
+           inconsistencies = Difftest.Stats.total_inconsistencies stats;
+           comparisons = Difftest.Stats.total_comparisons stats;
+           sim_seconds = Util.Sim_clock.elapsed clock;
+           llm_seconds = Llm.Client.total_latency client;
+         });
   {
     approach;
     budget;

@@ -9,13 +9,18 @@ type suite = {
 
 let run_suite ?(budget = 1000) ~seed () =
   let sub k = seed + (k * 7919) in
+  let campaign k approach =
+    Obs.Span.with_span
+      ("campaign." ^ String.lowercase_ascii (Approach.name approach))
+      (fun () -> Campaign.run ~budget ~seed:(sub k) approach)
+  in
   {
     budget;
     seed;
-    varity = Campaign.run ~budget ~seed:(sub 1) Approach.Varity;
-    direct = Campaign.run ~budget ~seed:(sub 2) Approach.Direct_prompt;
-    grammar = Campaign.run ~budget ~seed:(sub 3) Approach.Grammar_guided;
-    llm4fp = Campaign.run ~budget ~seed:(sub 4) Approach.Llm4fp;
+    varity = campaign 1 Approach.Varity;
+    direct = campaign 2 Approach.Direct_prompt;
+    grammar = campaign 3 Approach.Grammar_guided;
+    llm4fp = campaign 4 Approach.Llm4fp;
   }
 
 let outcome suite = function
@@ -63,8 +68,9 @@ let table3 ?(max_pairs = 50_000) suite =
     outcomes suite
     |> List.map (fun (o : Campaign.outcome) ->
            let codebleu =
-             Diversity.Codebleu.corpus_mean ~max_pairs ~seed:suite.seed
-               o.programs
+             Obs.Span.with_span "diversity.codebleu" (fun () ->
+                 Diversity.Codebleu.corpus_mean ~max_pairs ~seed:suite.seed
+                   o.programs)
            in
            let clones = Diversity.Clones.analyze o.programs in
            [ Approach.name o.approach;

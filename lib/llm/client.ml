@@ -444,12 +444,21 @@ let rtt = 0.5
 let input_rate = 500.0
 let output_rate = 55.0
 
+let m_calls = Obs.Metrics.counter "llm.calls"
+let m_prompt_tokens = Obs.Metrics.counter "llm.prompt_tokens"
+let m_output_tokens = Obs.Metrics.counter "llm.output_tokens"
+
+let m_latency =
+  Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]
+    "llm.latency_s"
+
 let prompt_precision = function
   | Prompt.Direct { precision } | Prompt.Grammar { precision }
   | Prompt.Mutate { precision; _ } ->
     precision
 
 let generate t prompt =
+  Obs.Span.with_span "llm.generate" @@ fun () ->
   let program =
     match prompt with
     | Prompt.Direct _ -> avoid_repeats t (fun () -> direct_generate t)
@@ -472,4 +481,18 @@ let generate t prompt =
   in
   t.calls <- t.calls + 1;
   t.total_latency <- t.total_latency +. latency;
+  Obs.Metrics.incr m_calls;
+  Obs.Metrics.incr ~by:prompt_tokens m_prompt_tokens;
+  Obs.Metrics.incr ~by:output_tokens m_output_tokens;
+  Obs.Metrics.observe m_latency latency;
+  if Obs.Trace.on () then
+    Obs.Trace.emit
+      (Obs.Event.Generated
+         {
+           slot = Obs.Trace.current_slot ();
+           prompt = Prompt.kind prompt;
+           latency_s = latency;
+           prompt_tokens;
+           output_tokens;
+         });
   { source; latency; prompt_tokens; output_tokens }

@@ -3,6 +3,11 @@ type t =
   | Grammar of { precision : Lang.Ast.precision }
   | Mutate of { precision : Lang.Ast.precision; example : Lang.Ast.program }
 
+let kind = function
+  | Direct _ -> "direct"
+  | Grammar _ -> "grammar"
+  | Mutate _ -> "mutate"
+
 let guidelines =
   [
     "Use only the headers stdio.h, stdlib.h and math.h.";

@@ -19,6 +19,10 @@ type t =
   | Grammar of { precision : Lang.Ast.precision }
   | Mutate of { precision : Lang.Ast.precision; example : Lang.Ast.program }
 
+val kind : t -> string
+(** ["direct"], ["grammar"] or ["mutate"] — the label trace events and
+    metrics use for the prompt shape. *)
+
 val guidelines : string list
 (** The robustness/code-quality guidelines shared by all prompts
     (§2.3.1): allowed headers, initialization, no undefined behavior,

@@ -1,0 +1,143 @@
+(* The typed trace event stream. Events carry plain strings and ints
+   (never compiler/harness types — [obs] sits below every pipeline
+   library) and deliberately no wall-clock timestamps: every payload
+   field is deterministic in the campaign seed, so a fixed-seed trace is
+   byte-reproducible. Real time lives only in Span summaries. *)
+
+type t =
+  | Campaign_started of {
+      approach : string;
+      budget : int;
+      seed : int;
+      precision : string;
+    }
+  | Slot_started of { slot : int; strategy : string }
+  | Generated of {
+      slot : int option;
+      prompt : string;
+      latency_s : float;  (** latency-model seconds, not measured time *)
+      prompt_tokens : int;
+      output_tokens : int;
+    }
+  | Parse_failed of { slot : int; reason : string }
+  | Validation_failed of { slot : int; reason : string }
+  | Compiled of { slot : int option; config : string; ok : bool; work : int }
+  | Executed of { slot : int option; config : string; hex : string; ops : int }
+  | Compared of {
+      slot : int option;
+      cross : int;
+      within : int;
+      inconsistent : int;
+    }
+  | Inconsistency_found of {
+      slot : int option;
+      pair : string;
+      level : string;
+      left_hex : string;
+      right_hex : string;
+      digits : int;
+    }
+  | Feedback_added of { slot : int; feedback_size : int }
+  | Slot_finished of { slot : int; outcome : string }
+  | Campaign_finished of {
+      approach : string;
+      valid : int;
+      generation_failures : int;
+      inconsistencies : int;
+      comparisons : int;
+      sim_seconds : float;
+      llm_seconds : float;
+    }
+
+let name = function
+  | Campaign_started _ -> "campaign_started"
+  | Slot_started _ -> "slot_started"
+  | Generated _ -> "generated"
+  | Parse_failed _ -> "parse_failed"
+  | Validation_failed _ -> "validation_failed"
+  | Compiled _ -> "compiled"
+  | Executed _ -> "executed"
+  | Compared _ -> "compared"
+  | Inconsistency_found _ -> "inconsistency_found"
+  | Feedback_added _ -> "feedback_added"
+  | Slot_finished _ -> "slot_finished"
+  | Campaign_finished _ -> "campaign_finished"
+
+let to_json ev =
+  let obj fields = Json.Obj (("event", Json.String (name ev)) :: fields) in
+  let slot = function
+    | None -> []
+    | Some s -> [ ("slot", Json.Int s) ]
+  in
+  match ev with
+  | Campaign_started { approach; budget; seed; precision } ->
+    obj
+      [ ("approach", Json.String approach);
+        ("budget", Json.Int budget);
+        ("seed", Json.Int seed);
+        ("precision", Json.String precision) ]
+  | Slot_started { slot; strategy } ->
+    obj [ ("slot", Json.Int slot); ("strategy", Json.String strategy) ]
+  | Generated { slot = s; prompt; latency_s; prompt_tokens; output_tokens } ->
+    obj
+      (slot s
+      @ [ ("prompt", Json.String prompt);
+          ("latency_s", Json.Float latency_s);
+          ("prompt_tokens", Json.Int prompt_tokens);
+          ("output_tokens", Json.Int output_tokens) ])
+  | Parse_failed { slot; reason } ->
+    obj [ ("slot", Json.Int slot); ("reason", Json.String reason) ]
+  | Validation_failed { slot; reason } ->
+    obj [ ("slot", Json.Int slot); ("reason", Json.String reason) ]
+  | Compiled { slot = s; config; ok; work } ->
+    obj
+      (slot s
+      @ [ ("config", Json.String config);
+          ("ok", Json.Bool ok);
+          ("work", Json.Int work) ])
+  | Executed { slot = s; config; hex; ops } ->
+    obj
+      (slot s
+      @ [ ("config", Json.String config);
+          ("hex", Json.String hex);
+          ("ops", Json.Int ops) ])
+  | Compared { slot = s; cross; within; inconsistent } ->
+    obj
+      (slot s
+      @ [ ("cross", Json.Int cross);
+          ("within", Json.Int within);
+          ("inconsistent", Json.Int inconsistent) ])
+  | Inconsistency_found { slot = s; pair; level; left_hex; right_hex; digits }
+    ->
+    obj
+      (slot s
+      @ [ ("pair", Json.String pair);
+          ("level", Json.String level);
+          ("left_hex", Json.String left_hex);
+          ("right_hex", Json.String right_hex);
+          ("digits", Json.Int digits) ])
+  | Feedback_added { slot; feedback_size } ->
+    obj
+      [ ("slot", Json.Int slot); ("feedback_size", Json.Int feedback_size) ]
+  | Slot_finished { slot; outcome } ->
+    obj [ ("slot", Json.Int slot); ("outcome", Json.String outcome) ]
+  | Campaign_finished
+      {
+        approach;
+        valid;
+        generation_failures;
+        inconsistencies;
+        comparisons;
+        sim_seconds;
+        llm_seconds;
+      } ->
+    obj
+      [ ("approach", Json.String approach);
+        ("valid", Json.Int valid);
+        ("generation_failures", Json.Int generation_failures);
+        ("inconsistencies", Json.Int inconsistencies);
+        ("comparisons", Json.Int comparisons);
+        ("sim_seconds", Json.Float sim_seconds);
+        ("llm_seconds", Json.Float llm_seconds) ]
+
+let to_jsonl ev = Json.to_string (to_json ev)

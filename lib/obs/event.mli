@@ -1,0 +1,72 @@
+(** The typed trace event stream emitted by the instrumented pipeline.
+
+    Events carry plain strings and ints only — [obs] sits below every
+    pipeline library, so compiler configurations, prompts etc. appear by
+    their rendered names. No payload field is a wall-clock timestamp:
+    everything (including [latency_s], which comes from the latency
+    {e model}) is deterministic in the campaign seed, making a
+    fixed-seed trace byte-reproducible. Real time lives only in
+    {!Span} summaries.
+
+    [slot] is the 1-based campaign budget slot. Events emitted from
+    layers that do not know the slot ({!Compiled}, {!Executed}, …) pick
+    it up from {!Trace.with_slot} context and carry [int option]. *)
+
+type t =
+  | Campaign_started of {
+      approach : string;
+      budget : int;
+      seed : int;
+      precision : string;
+    }
+  | Slot_started of { slot : int; strategy : string }
+      (** [strategy] is one of ["varity"], ["direct"], ["grammar"],
+          ["mutate"] — for LLM4FP the per-slot coin flip of §2.3. *)
+  | Generated of {
+      slot : int option;
+      prompt : string;
+      latency_s : float;
+      prompt_tokens : int;
+      output_tokens : int;
+    }
+  | Parse_failed of { slot : int; reason : string }
+  | Validation_failed of { slot : int; reason : string }
+  | Compiled of { slot : int option; config : string; ok : bool; work : int }
+  | Executed of { slot : int option; config : string; hex : string; ops : int }
+  | Compared of {
+      slot : int option;
+      cross : int;
+      within : int;
+      inconsistent : int;
+    }  (** one per differential test: comparison counts + cross hits *)
+  | Inconsistency_found of {
+      slot : int option;
+      pair : string;
+      level : string;
+      left_hex : string;
+      right_hex : string;
+      digits : int;
+    }  (** one per inconsistent cross-compiler comparison *)
+  | Feedback_added of { slot : int; feedback_size : int }
+  | Slot_finished of { slot : int; outcome : string }
+      (** [outcome]: ["generation_failed"], ["consistent"] or
+          ["inconsistent"]. *)
+  | Campaign_finished of {
+      approach : string;
+      valid : int;
+      generation_failures : int;
+      inconsistencies : int;
+      comparisons : int;
+      sim_seconds : float;
+      llm_seconds : float;
+    }
+
+val name : t -> string
+(** snake_case tag, also the ["event"] field of the JSON encoding. *)
+
+val to_json : t -> Json.t
+(** Deterministic field order: ["event"] first, then [slot] (when
+    known), then payload. *)
+
+val to_jsonl : t -> string
+(** [to_json] rendered as a single line (no trailing newline). *)

@@ -1,0 +1,166 @@
+(* Process-wide metrics registry.
+
+   Instruments are created once (get-or-create by name, typically at
+   module initialization) and updated through direct mutable-field
+   writes, so the always-on cost of a counter bump is one integer add —
+   cheap enough to leave enabled unconditionally. Snapshots are
+   name-sorted, making the rendered table deterministic. *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;    (* length = Array.length bounds + 1 (overflow) *)
+  mutable observations : int;
+  mutable sum : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let default_buckets = [| 0.001; 0.01; 0.1; 1.0; 10.0; 100.0 |]
+
+let get_or_create name project create =
+  match Hashtbl.find_opt registry name with
+  | Some existing -> begin
+    match project existing with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Obs.Metrics: %S already registered with another kind"
+           name)
+  end
+  | None ->
+    let v, wrapped = create () in
+    Hashtbl.replace registry name wrapped;
+    v
+
+let counter name =
+  get_or_create name
+    (function C c -> Some c | _ -> None)
+    (fun () ->
+      let c = { c_name = name; count = 0 } in
+      (c, C c))
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+let counter_name c = c.c_name
+
+let gauge name =
+  get_or_create name
+    (function G g -> Some g | _ -> None)
+    (fun () ->
+      let g = { g_name = name; value = 0.0 } in
+      (g, G g))
+
+let set g v = g.value <- v
+let add g v = g.value <- g.value +. v
+let gauge_value g = g.value
+let gauge_name g = g.g_name
+
+let histogram ?(buckets = default_buckets) name =
+  let ok = ref true in
+  Array.iteri
+    (fun i b -> if i > 0 && b <= buckets.(i - 1) then ok := false)
+    buckets;
+  if (not !ok) || Array.length buckets = 0 then
+    invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing";
+  get_or_create name
+    (function H h -> Some h | _ -> None)
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          bounds = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          observations = 0;
+          sum = 0.0;
+        }
+      in
+      (h, H h))
+
+let observe h x =
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || x <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.observations <- h.observations + 1;
+  h.sum <- h.sum +. x
+
+let histogram_count h = h.observations
+let histogram_name h = h.h_name
+
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : float array;
+      counts : int array;
+      count : int;
+      sum : float;
+    }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name instrument acc ->
+      let v =
+        match instrument with
+        | C c -> Counter c.count
+        | G g -> Gauge g.value
+        | H h ->
+          Histogram
+            {
+              bounds = Array.copy h.bounds;
+              counts = Array.copy h.counts;
+              count = h.observations;
+              sum = h.sum;
+            }
+      in
+      (name, v) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ instrument ->
+      match instrument with
+      | C c -> c.count <- 0
+      | G g -> g.value <- 0.0
+      | H h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.observations <- 0;
+        h.sum <- 0.0)
+    registry
+
+let render_value = function
+  | Counter n -> ("counter", Report.Table.commas n)
+  | Gauge v -> ("gauge", Printf.sprintf "%.6g" v)
+  | Histogram { bounds; counts; count; sum } ->
+    let buckets =
+      Array.to_list
+        (Array.mapi
+           (fun i b -> Printf.sprintf "le%.3g:%d" b counts.(i))
+           bounds)
+      @ [ Printf.sprintf "inf:%d" counts.(Array.length bounds) ]
+    in
+    ( "histogram",
+      Printf.sprintf "n=%d sum=%.6g  %s" count sum
+        (String.concat " " buckets) )
+
+let render_table () =
+  let rows =
+    List.map
+      (fun (name, v) ->
+        let kind, rendered = render_value v in
+        [ name; kind; rendered ])
+      (snapshot ())
+  in
+  Report.Table.render ~title:"metrics registry"
+    ~header:[ "metric"; "type"; "value" ]
+    ~align:[ Report.Table.Left; Report.Table.Left; Report.Table.Left ]
+    rows

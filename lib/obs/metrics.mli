@@ -1,0 +1,58 @@
+(** Process-wide registry of named counters, gauges and fixed-bucket
+    histograms.
+
+    Instruments are {e get-or-create} by name — create them once at
+    module initialization, then update through the returned handle: a
+    counter bump is a single integer add, cheap enough to stay enabled
+    unconditionally (the acceptance budget for "observability off" is
+    ~free). Snapshots are sorted by name, so the rendered table is
+    deterministic. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create. Raises [Invalid_argument] if [name] is already
+    registered as a different kind. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val add : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val default_buckets : float array
+(** [0.001; 0.01; 0.1; 1; 10; 100] — decade buckets in seconds. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; one overflow bucket
+    is added beyond the last. Defaults to {!default_buckets}. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_name : histogram -> string
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      bounds : float array;
+      counts : int array;  (** length = bounds + 1 (overflow last) *)
+      count : int;
+      sum : float;
+    }
+
+val snapshot : unit -> (string * value) list
+(** Every registered instrument, sorted by name. *)
+
+val render_table : unit -> string
+(** The snapshot as a {!Report.Table} (name-sorted, deterministic). *)
+
+val reset : unit -> unit
+(** Zero every instrument in place (handles stay valid). For tests and
+    for isolating consecutive runs inside one process. *)

@@ -1,0 +1,36 @@
+type t = { emit : Event.t -> unit; close : unit -> unit }
+
+let make ?(close = fun () -> ()) emit = { emit; close }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let close t = t.close ()
+
+let jsonl oc =
+  {
+    emit =
+      (fun ev ->
+        output_string oc (Event.to_jsonl ev);
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }
+
+let ring ?(capacity = 1024) () =
+  if capacity <= 0 then invalid_arg "Obs.Sink.ring: capacity must be positive";
+  let slots = Array.make capacity None in
+  let next = ref 0 in
+  let stored = ref 0 in
+  let emit ev =
+    slots.(!next) <- Some ev;
+    next := (!next + 1) mod capacity;
+    if !stored < capacity then incr stored
+  in
+  let events () =
+    (* oldest first: start after the most recent write when full *)
+    let start = if !stored < capacity then 0 else !next in
+    List.init !stored (fun i ->
+        match slots.((start + i) mod capacity) with
+        | Some ev -> ev
+        | None -> assert false)
+  in
+  ({ emit; close = (fun () -> ()) }, events)

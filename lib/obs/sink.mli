@@ -1,0 +1,25 @@
+(** Pluggable trace sinks: where {!Trace} fans events out to.
+
+    The default state of the process is {e no} sink subscribed, in which
+    case instrumentation sites skip event construction entirely
+    ({!Trace.on} is one branch) — observability off is effectively
+    free. *)
+
+type t = { emit : Event.t -> unit; close : unit -> unit }
+
+val make : ?close:(unit -> unit) -> (Event.t -> unit) -> t
+
+val null : t
+(** Swallows everything. Subscribing it still turns {!Trace.on} on;
+    for zero overhead simply subscribe nothing. *)
+
+val jsonl : out_channel -> t
+(** One JSON object per line on [oc]; [close] flushes (the channel
+    itself belongs to the caller). *)
+
+val ring : ?capacity:int -> unit -> t * (unit -> Event.t list)
+(** In-memory ring buffer keeping the last [capacity] (default 1024)
+    events; the second component returns them oldest-first. Used by
+    tests and interactive inspection. *)
+
+val close : t -> unit

@@ -1,0 +1,101 @@
+(* Timed spans for hot-path profiling.
+
+   Disabled (the default), [with_span] is one branch around the thunk.
+   Enabled, each span records real wall-clock seconds and — when a
+   simulated clock is attached — the simulated seconds that elapsed
+   inside it, aggregated per label (count / total / mean / max). Spans
+   nest freely: a nested span accounts its own label and its time is
+   also inside its parent's. *)
+
+type agg = {
+  mutable count : int;
+  mutable total : float;
+  mutable max : float;
+  mutable sim : float;
+}
+
+let table : (string, agg) Hashtbl.t = Hashtbl.create 32
+let enabled = ref false
+let clock : Util.Sim_clock.t option ref = ref None
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let set_clock c = clock := c
+
+let with_clock c f =
+  let saved = !clock in
+  clock := Some c;
+  Fun.protect ~finally:(fun () -> clock := saved) f
+
+let sim_now () =
+  match !clock with Some c -> Util.Sim_clock.elapsed c | None -> 0.0
+
+let record label dt dsim =
+  let agg =
+    match Hashtbl.find_opt table label with
+    | Some a -> a
+    | None ->
+      let a = { count = 0; total = 0.0; max = 0.0; sim = 0.0 } in
+      Hashtbl.replace table label a;
+      a
+  in
+  agg.count <- agg.count + 1;
+  agg.total <- agg.total +. dt;
+  if dt > agg.max then agg.max <- dt;
+  agg.sim <- agg.sim +. dsim
+
+let with_span label f =
+  if not !enabled then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let s0 = sim_now () in
+    Fun.protect
+      ~finally:(fun () ->
+        record label (Unix.gettimeofday () -. t0) (sim_now () -. s0))
+      f
+  end
+
+type row = {
+  label : string;
+  count : int;
+  total_s : float;
+  mean_s : float;
+  max_s : float;
+  sim_s : float;
+}
+
+let summary () =
+  Hashtbl.fold
+    (fun label (a : agg) acc ->
+      {
+        label;
+        count = a.count;
+        total_s = a.total;
+        mean_s = (if a.count = 0 then 0.0 else a.total /. float_of_int a.count);
+        max_s = a.max;
+        sim_s = a.sim;
+      }
+      :: acc)
+    table []
+  |> List.sort (fun a b -> String.compare a.label b.label)
+
+let render () =
+  let seconds v = Printf.sprintf "%.4f" v in
+  let rows =
+    List.map
+      (fun r ->
+        [ r.label;
+          string_of_int r.count;
+          seconds r.total_s;
+          Printf.sprintf "%.6f" r.mean_s;
+          Printf.sprintf "%.6f" r.max_s;
+          seconds r.sim_s ])
+      (summary ())
+  in
+  Report.Table.render
+    ~title:"span profile (real seconds; sim = simulated-clock share)"
+    ~header:[ "span"; "count"; "total s"; "mean s"; "max s"; "sim s" ]
+    rows
+
+let reset () = Hashtbl.reset table

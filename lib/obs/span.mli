@@ -1,0 +1,44 @@
+(** Timed spans for profiling the pipeline's hot paths.
+
+    Disabled (the default), {!with_span} adds one branch around the
+    thunk. Enabled ([set_enabled true]), each span records real
+    wall-clock seconds and — when a simulated clock is attached — the
+    simulated seconds elapsed inside it, aggregated per label as
+    count / total / mean / max. Spans nest freely; a nested span's time
+    is accounted under its own label {e and} inside its enclosing
+    span's.
+
+    Real time appears only here, never in trace events — span summaries
+    are the one deliberately non-deterministic surface. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val set_clock : Util.Sim_clock.t option -> unit
+(** Attach the simulated clock whose delta each span should also
+    capture (the campaign runner attaches its own for the duration of
+    a run). *)
+
+val with_clock : Util.Sim_clock.t -> (unit -> 'a) -> 'a
+(** Scoped {!set_clock} with restore (exception-safe). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run the thunk, attributing its duration to [label]. Records on
+    exceptions too. *)
+
+type row = {
+  label : string;
+  count : int;
+  total_s : float;
+  mean_s : float;
+  max_s : float;
+  sim_s : float;
+}
+
+val summary : unit -> row list
+(** Per-label aggregates, sorted by label. *)
+
+val render : unit -> string
+(** The summary as a {!Report.Table}. *)
+
+val reset : unit -> unit

@@ -1,0 +1,42 @@
+(* Process-wide event dispatcher. Instrumentation sites guard with
+   [on ()] (a single branch when no sink is subscribed) so that event
+   construction costs nothing in the default, un-traced configuration. *)
+
+type subscription = int
+
+let sinks : (subscription * Sink.t) list ref = ref []
+let next_id = ref 0
+
+let subscribe sink =
+  incr next_id;
+  sinks := !sinks @ [ (!next_id, sink) ];
+  !next_id
+
+let unsubscribe id = sinks := List.filter (fun (i, _) -> i <> id) !sinks
+
+let on () = !sinks <> []
+
+let emit ev = List.iter (fun (_, s) -> s.Sink.emit ev) !sinks
+
+let event make = if on () then emit (make ())
+
+let with_sink sink f =
+  let id = subscribe sink in
+  Fun.protect
+    ~finally:(fun () ->
+      unsubscribe id;
+      Sink.close sink)
+    f
+
+(* Slot context: the campaign loop brackets each budget slot so that
+   events emitted from layers that do not know the slot number (compiler
+   driver, difftest) can still be correlated. *)
+
+let slot_ctx = ref None
+
+let current_slot () = !slot_ctx
+
+let with_slot slot f =
+  let saved = !slot_ctx in
+  slot_ctx := Some slot;
+  Fun.protect ~finally:(fun () -> slot_ctx := saved) f

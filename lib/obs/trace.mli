@@ -1,0 +1,33 @@
+(** Process-wide trace dispatcher: fans {!Event} values out to the
+    currently subscribed {!Sink}s.
+
+    With no sink subscribed (the default), [on ()] is [false] and
+    instrumentation sites skip event construction entirely — the cost
+    of disabled tracing is one branch per site. *)
+
+type subscription
+
+val subscribe : Sink.t -> subscription
+val unsubscribe : subscription -> unit
+
+val on : unit -> bool
+(** At least one sink subscribed? Guard event construction with this:
+    [if Trace.on () then Trace.emit (Event.… )]. *)
+
+val emit : Event.t -> unit
+(** Deliver to every subscribed sink, in subscription order. *)
+
+val event : (unit -> Event.t) -> unit
+(** [event make] = [if on () then emit (make ())] — convenience for
+    non-hot paths. *)
+
+val with_sink : Sink.t -> (unit -> 'a) -> 'a
+(** Subscribe, run, then unsubscribe and {!Sink.close} (even on
+    exceptions). *)
+
+val current_slot : unit -> int option
+(** The campaign budget slot currently executing, if any. *)
+
+val with_slot : int -> (unit -> 'a) -> 'a
+(** Bracket one budget slot; nested layers pick the slot up via
+    {!current_slot} when building their events. *)

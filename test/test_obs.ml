@@ -1,0 +1,364 @@
+(* Tests for lib/obs: JSON encoding, metrics registry, spans, sinks,
+   and the end-to-end fixed-seed trace determinism guarantee. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [ ("name", Obs.Json.String "quote\"backslash\\newline\ntab\t");
+        ("count", Obs.Json.Int 42);
+        ("rate", Obs.Json.Float 0.1);
+        ("flag", Obs.Json.Bool true);
+        ("nothing", Obs.Json.Null);
+        ("items", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Float 2.5 ]) ]
+  in
+  let text = Obs.Json.to_string v in
+  match Obs.Json.parse text with
+  | Error msg -> Alcotest.fail ("parse failed: " ^ msg)
+  | Ok parsed ->
+    check_bool "round-trips" true (parsed = v);
+    check_string "stable bytes" text (Obs.Json.to_string parsed)
+
+let test_json_float_repr () =
+  List.iter
+    (fun f ->
+      check_bool
+        (Printf.sprintf "%h round-trips" f)
+        true
+        (float_of_string (Obs.Json.float_repr f) = f))
+    [ 0.1; 1.0 /. 3.0; 557.3414196363634; 1e-300; 6.0; 0.0 ];
+  (* shortest form preferred over noise digits *)
+  check_string "0.1 is short" "0.1" (Obs.Json.float_repr 0.1)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Obs.Json.parse text with
+      | Ok _ -> Alcotest.fail ("accepted garbage: " ^ text)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_event_jsonl () =
+  let ev =
+    Obs.Event.Inconsistency_found
+      {
+        slot = Some 7;
+        pair = "gcc, nvcc";
+        level = "03_fastmath";
+        left_hex = "0x3ff0000000000000";
+        right_hex = "0x3ff0000000000001";
+        digits = 16;
+      }
+  in
+  let line = Obs.Event.to_jsonl ev in
+  match Obs.Json.parse line with
+  | Error msg -> Alcotest.fail msg
+  | Ok json ->
+    check_bool "event field first" true
+      (Obs.Json.member "event" json
+      = Some (Obs.Json.String "inconsistency_found"));
+    check_bool "slot carried" true
+      (Obs.Json.member "slot" json = Some (Obs.Json.Int 7))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_counter () =
+  let c = Obs.Metrics.counter "test.counter_a" in
+  let before = Obs.Metrics.counter_value c in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:10 c;
+  check_int "incremented" (before + 11) (Obs.Metrics.counter_value c);
+  check_bool "same handle on re-request" true
+    (Obs.Metrics.counter "test.counter_a" == c)
+
+let test_metrics_gauge () =
+  let g = Obs.Metrics.gauge "test.gauge_a" in
+  Obs.Metrics.set g 2.5;
+  Obs.Metrics.add g 1.5;
+  check_bool "gauge value" true (Obs.Metrics.gauge_value g = 4.0)
+
+let test_metrics_histogram () =
+  let h = Obs.Metrics.histogram ~buckets:[| 1.0; 10.0 |] "test.hist_a" in
+  List.iter (Obs.Metrics.observe h) [ 0.5; 1.0; 5.0; 100.0 ];
+  match
+    List.assoc_opt "test.hist_a" (Obs.Metrics.snapshot ())
+  with
+  | Some (Obs.Metrics.Histogram { counts; count; sum; _ }) ->
+    check_int "total observations" 4 count;
+    check_bool "sum" true (sum = 106.5);
+    (* <=1 gets 0.5 and 1.0; <=10 gets 5.0; overflow gets 100.0 *)
+    check_bool "bucket counts" true (counts = [| 2; 1; 1 |])
+  | _ -> Alcotest.fail "histogram not in snapshot"
+
+let test_metrics_kind_conflict () =
+  let _ = Obs.Metrics.counter "test.conflicted" in
+  match Obs.Metrics.gauge "test.conflicted" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind conflict accepted"
+
+let test_metrics_snapshot_sorted_and_rendered () =
+  let _ = Obs.Metrics.counter "test.zz_last" in
+  let _ = Obs.Metrics.counter "test.aa_first" in
+  let names = List.map fst (Obs.Metrics.snapshot ()) in
+  check_bool "alphabetical" true (names = List.sort String.compare names);
+  let table = Obs.Metrics.render_table () in
+  check_bool "mentions instruments" true
+    (Util.Text.contains_sub table "test.aa_first"
+    && Util.Text.contains_sub table "test.zz_last")
+
+let test_metrics_reset () =
+  let c = Obs.Metrics.counter "test.reset_me" in
+  Obs.Metrics.incr ~by:5 c;
+  Obs.Metrics.reset ();
+  check_int "zeroed in place" 0 (Obs.Metrics.counter_value c);
+  Obs.Metrics.incr c;
+  check_int "handle still live" 1 (Obs.Metrics.counter_value c)
+
+(* ------------------------------------------------------------------ *)
+(* Span *)
+
+let with_spans f =
+  Obs.Span.reset ();
+  Obs.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.set_enabled false;
+      Obs.Span.reset ())
+    f
+
+let find_span label =
+  List.find_opt
+    (fun (r : Obs.Span.row) -> r.Obs.Span.label = label)
+    (Obs.Span.summary ())
+
+let test_span_nesting_and_aggregation () =
+  with_spans @@ fun () ->
+  for _ = 1 to 3 do
+    Obs.Span.with_span "outer" (fun () ->
+        Obs.Span.with_span "inner" (fun () -> Sys.opaque_identity (ignore 0)))
+  done;
+  match (find_span "outer", find_span "inner") with
+  | Some outer, Some inner ->
+    check_int "outer count" 3 outer.Obs.Span.count;
+    check_int "inner count" 3 inner.Obs.Span.count;
+    check_bool "nested time within parent" true
+      (inner.Obs.Span.total_s <= outer.Obs.Span.total_s);
+    check_bool "max <= total" true
+      (outer.Obs.Span.max_s <= outer.Obs.Span.total_s +. 1e-12)
+  | _ -> Alcotest.fail "spans not recorded"
+
+let test_span_sim_clock () =
+  with_spans @@ fun () ->
+  let clock = Util.Sim_clock.create () in
+  Obs.Span.with_clock clock (fun () ->
+      Obs.Span.with_span "charged" (fun () ->
+          Util.Sim_clock.advance clock 12.5));
+  match find_span "charged" with
+  | Some r -> check_bool "sim delta captured" true (r.Obs.Span.sim_s = 12.5)
+  | None -> Alcotest.fail "span not recorded"
+
+let test_span_disabled_records_nothing () =
+  Obs.Span.reset ();
+  check_bool "disabled by default here" false (Obs.Span.is_enabled ());
+  check_int "disabled span returns value" 9
+    (Obs.Span.with_span "ghost" (fun () -> 9));
+  check_bool "nothing recorded" true (find_span "ghost" = None)
+
+let test_span_records_on_exception () =
+  with_spans @@ fun () ->
+  (try Obs.Span.with_span "thrower" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match find_span "thrower" with
+  | Some r -> check_int "recorded despite raise" 1 r.Obs.Span.count
+  | None -> Alcotest.fail "span lost on exception"
+
+let test_span_render () =
+  with_spans @@ fun () ->
+  Obs.Span.with_span "render.me" (fun () -> ());
+  check_bool "table mentions label" true
+    (Util.Text.contains_sub (Obs.Span.render ()) "render.me")
+
+(* ------------------------------------------------------------------ *)
+(* Sinks and trace dispatch *)
+
+let test_ring_sink () =
+  let sink, events = Obs.Sink.ring ~capacity:3 () in
+  Obs.Trace.with_sink sink (fun () ->
+      check_bool "trace on while subscribed" true (Obs.Trace.on ());
+      for slot = 1 to 5 do
+        Obs.Trace.emit (Obs.Event.Slot_started { slot; strategy = "grammar" })
+      done);
+  check_bool "trace off after" false (Obs.Trace.on ());
+  let slots =
+    List.map
+      (function
+        | Obs.Event.Slot_started { slot; _ } -> slot
+        | _ -> Alcotest.fail "unexpected event")
+      (events ())
+  in
+  check_bool "keeps last 3, oldest first" true (slots = [ 3; 4; 5 ])
+
+let test_slot_context () =
+  check_bool "no slot outside" true (Obs.Trace.current_slot () = None);
+  let inside =
+    Obs.Trace.with_slot 4 (fun () ->
+        Obs.Trace.with_slot 9 (fun () -> ignore (Obs.Trace.current_slot ()));
+        Obs.Trace.current_slot ())
+  in
+  check_bool "nested restores" true (inside = Some 4);
+  check_bool "restored after" true (Obs.Trace.current_slot () = None)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: campaign tracing *)
+
+let trace_lines ~seed ~budget =
+  let path = Filename.temp_file "llm4fp_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Obs.Trace.with_sink (Obs.Sink.jsonl oc) (fun () ->
+              ignore
+                (Harness.Campaign.run ~budget ~seed Harness.Approach.Llm4fp)));
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | line -> go (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go []))
+
+let test_campaign_trace_deterministic () =
+  let a = trace_lines ~seed:31337 ~budget:8 in
+  let b = trace_lines ~seed:31337 ~budget:8 in
+  check_bool "two fixed-seed runs trace identically" true (a = b);
+  check_bool "different seed differs" false
+    (trace_lines ~seed:31338 ~budget:8 = a)
+
+let test_campaign_trace_shape () =
+  let lines = trace_lines ~seed:31337 ~budget:8 in
+  check_bool "non-trivial stream" true (List.length lines > 8);
+  let parsed =
+    List.map
+      (fun line ->
+        match Obs.Json.parse line with
+        | Ok json -> json
+        | Error msg -> Alcotest.fail (msg ^ ": " ^ line))
+      lines
+  in
+  let kind json =
+    match Obs.Json.member "event" json with
+    | Some (Obs.Json.String k) -> k
+    | _ -> Alcotest.fail "event field missing"
+  in
+  let kinds = List.map kind parsed in
+  check_string "starts with campaign_started" "campaign_started"
+    (List.hd kinds);
+  check_string "ends with campaign_finished" "campaign_finished"
+    (List.nth kinds (List.length kinds - 1));
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " present") true (List.mem needle kinds))
+    [ "slot_started"; "generated"; "compiled"; "executed"; "compared";
+      "slot_finished" ];
+  (* slot_started appears exactly once per budget slot *)
+  check_int "one slot_started per slot" 8
+    (List.length (List.filter (String.equal "slot_started") kinds));
+  (* no raw wall-clock anywhere: the only time-like fields are the
+     deterministic latency model and simulated clock *)
+  List.iter
+    (fun json ->
+      check_bool "no timestamp field" true
+        (Obs.Json.member "timestamp" json = None
+        && Obs.Json.member "time" json = None))
+    parsed
+
+let test_campaign_untraced_still_works () =
+  (* no sink: instrumentation must be inert, outcome unchanged *)
+  let traced =
+    let _ = trace_lines ~seed:777 ~budget:6 in
+    Harness.Campaign.run ~budget:6 ~seed:777 Harness.Approach.Llm4fp
+  in
+  let untraced = Harness.Campaign.run ~budget:6 ~seed:777 Harness.Approach.Llm4fp in
+  check_bool "same programs with and without tracing" true
+    (List.for_all2 Lang.Ast.equal traced.Harness.Campaign.programs
+       untraced.Harness.Campaign.programs);
+  check_bool "same simulated time" true
+    (traced.Harness.Campaign.sim_seconds
+    = untraced.Harness.Campaign.sim_seconds)
+
+let test_campaign_metrics_populated () =
+  Obs.Metrics.reset ();
+  let o = Harness.Campaign.run ~budget:10 ~seed:4242 Harness.Approach.Llm4fp in
+  let value name =
+    match List.assoc_opt name (Obs.Metrics.snapshot ()) with
+    | Some (Obs.Metrics.Counter n) -> n
+    | _ -> Alcotest.fail (name ^ " missing")
+  in
+  check_int "slots counted" 10 (value "campaign.slots");
+  check_int "llm calls counted" 10 (value "llm.calls");
+  check_int "difftest programs = valid programs"
+    (List.length o.Harness.Campaign.programs)
+    (value "difftest.programs");
+  check_int "compiles = 18 per valid program"
+    (18 * List.length o.Harness.Campaign.programs)
+    (value "compiler.compile.ok" + value "compiler.compile.error")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float repr" `Quick test_json_float_repr;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "event jsonl" `Quick test_event_jsonl;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_metrics_counter;
+          Alcotest.test_case "gauge" `Quick test_metrics_gauge;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "kind conflict" `Quick test_metrics_kind_conflict;
+          Alcotest.test_case "snapshot sorted" `Quick
+            test_metrics_snapshot_sorted_and_rendered;
+          Alcotest.test_case "reset" `Quick test_metrics_reset;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting_and_aggregation;
+          Alcotest.test_case "sim clock" `Quick test_span_sim_clock;
+          Alcotest.test_case "disabled" `Quick test_span_disabled_records_nothing;
+          Alcotest.test_case "exception safe" `Quick
+            test_span_records_on_exception;
+          Alcotest.test_case "render" `Quick test_span_render;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring sink" `Quick test_ring_sink;
+          Alcotest.test_case "slot context" `Quick test_slot_context;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic jsonl" `Slow
+            test_campaign_trace_deterministic;
+          Alcotest.test_case "trace shape" `Slow test_campaign_trace_shape;
+          Alcotest.test_case "tracing is inert" `Slow
+            test_campaign_untraced_still_works;
+          Alcotest.test_case "metrics populated" `Slow
+            test_campaign_metrics_populated;
+        ] );
+    ]
