@@ -14,6 +14,10 @@
      LLM4FP_BUDGET    programs per approach        (default 1000)
      LLM4FP_SEED      base seed                    (default 20250704)
      LLM4FP_MAXPAIRS  CodeBLEU pair sample bound   (default 50000)
+     LLM4FP_JOBS      worker domains for the parallel engine (default 1);
+                      when > 1 the harness first asserts that a small
+                      parallel suite renders byte-identically to the
+                      sequential one, then runs everything at that width
      LLM4FP_SKIP_MICRO=1   skip the bechamel half
      LLM4FP_SKIP_TABLES=1  skip the campaign half
      LLM4FP_SKIP_ABLATION=1  skip the mechanism-ablation study
@@ -130,28 +134,55 @@ let run_micro () : (string * float) list =
 (* ------------------------------------------------------------------ *)
 (* Table/figure regeneration. *)
 
-let run_tables () =
+(* Parallelism must never change results: before running anything at
+   LLM4FP_JOBS > 1, render a small suite sequentially and at the
+   requested width and require the deterministic tables to match byte
+   for byte. (summary embeds measured real seconds, so the check uses
+   table2 and table5.) *)
+let assert_jobs_deterministic ~jobs =
+  let budget = 20 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  let render jobs =
+    let suite = Harness.Experiments.run_suite ~budget ~jobs ~seed () in
+    ( Harness.Experiments.table2 suite,
+      Harness.Experiments.table5 suite )
+  in
+  let seq = render 1 in
+  let par = render jobs in
+  if seq <> par then begin
+    Printf.eprintf
+      "FATAL: tables differ between --jobs 1 and --jobs %d (budget %d, \
+       seed %d)\n"
+      jobs budget seed;
+    exit 1
+  end;
+  Printf.printf
+    "(determinism check: budget-%d suite byte-identical at jobs=1 and \
+     jobs=%d)\n\n"
+    budget jobs
+
+let run_tables ~jobs () =
   let budget = env_int "LLM4FP_BUDGET" 1000 in
   let seed = env_int "LLM4FP_SEED" 20250704 in
   let max_pairs = env_int "LLM4FP_MAXPAIRS" 50_000 in
   Printf.printf
     "== experiment harness: regenerating every table and figure (budget \
-     %d per approach) ==\n\n"
-    budget;
+     %d per approach, %d jobs) ==\n\n"
+    budget jobs;
   let t0 = Unix.gettimeofday () in
-  let suite = Harness.Experiments.run_suite ~budget ~seed () in
+  let suite = Harness.Experiments.run_suite ~budget ~jobs ~seed () in
   List.iter
     (fun (name, text) -> Printf.printf "== %s ==\n%s\n" name text)
-    (Harness.Experiments.all_tables ~max_pairs suite);
+    (Harness.Experiments.all_tables ~max_pairs ~jobs suite);
   let elapsed = Unix.gettimeofday () -. t0 in
   Printf.printf "(real compute for all campaigns + tables: %.1fs)\n" elapsed;
   elapsed
 
-let run_ablation () =
+let run_ablation ~jobs () =
   let budget = env_int "LLM4FP_ABLATION_BUDGET" 300 in
   let seed = env_int "LLM4FP_SEED" 20250704 in
   print_endline "== ablation (this reproduction's own study) ==";
-  print_string (Harness.Ablation.table ~budget ~seed ());
+  print_string (Harness.Ablation.table ~budget ~jobs ~seed ());
   print_newline ()
 
 let run_fp32 () =
@@ -167,7 +198,8 @@ let run_fp32 () =
    time goes (generation / compile / interp / compare / CodeBLEU), not
    just how much of it there is. *)
 
-let json_summary ~budget ~seed ~tables_seconds ~micro =
+let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
+    =
   let phase (r : Obs.Span.row) =
     Obs.Json.Obj
       [ ("label", Obs.Json.String r.Obs.Span.label);
@@ -177,14 +209,24 @@ let json_summary ~budget ~seed ~tables_seconds ~micro =
         ("max_s", Obs.Json.Float r.Obs.Span.max_s);
         ("sim_s", Obs.Json.Float r.Obs.Span.sim_s) ]
   in
+  (* [counter] is get-or-create by name, so reading through it never
+     fails — an instrument the run didn't touch just reads 0. *)
+  let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "llm4fp-bench/2");
+    ([ ("schema", Obs.Json.String "llm4fp-bench/3");
        ("budget", Obs.Json.Int budget);
-       ("seed", Obs.Json.Int seed) ]
+       ("seed", Obs.Json.Int seed);
+       ("jobs", Obs.Json.Int jobs) ]
     @ (match tables_seconds with
       | None -> []
       | Some s -> [ ("tables_seconds", Obs.Json.Float s) ])
-    @ [ ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
+    @ [ ("end_to_end_seconds", Obs.Json.Float end_to_end_seconds);
+        ( "frontend_cache",
+          Obs.Json.Obj
+            [ ("runs", Obs.Json.Int (counter "compiler.frontend.runs"));
+              ("hits", Obs.Json.Int (counter "compiler.frontend.cache_hits"))
+            ] );
+        ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
     @
     match micro with
     | None -> []
@@ -194,27 +236,34 @@ let json_summary ~budget ~seed ~tables_seconds ~micro =
             (List.map (fun (name, ns) -> (name, Obs.Json.Float ns)) rows) ) ])
 
 let () =
+  let t_start = Unix.gettimeofday () in
+  let jobs = env_int "LLM4FP_JOBS" 1 in
   let micro =
     if not (env_flag "LLM4FP_SKIP_MICRO") then Some (run_micro ()) else None
   in
   (* Span timing for the campaign half: phase aggregates end up in the
      JSON summary (and cost a few ns per span while enabled). *)
   Obs.Span.set_enabled true;
+  if jobs > 1 then assert_jobs_deterministic ~jobs;
   let tables_seconds =
-    if not (env_flag "LLM4FP_SKIP_TABLES") then Some (run_tables ()) else None
+    if not (env_flag "LLM4FP_SKIP_TABLES") then Some (run_tables ~jobs ())
+    else None
   in
-  if not (env_flag "LLM4FP_SKIP_ABLATION") then run_ablation ();
+  if not (env_flag "LLM4FP_SKIP_ABLATION") then run_ablation ~jobs ();
   if not (env_flag "LLM4FP_SKIP_FP32") then run_fp32 ();
   match Sys.getenv_opt "LLM4FP_JSON_OUT" with
   | None -> ()
   | Some path ->
     let budget = env_int "LLM4FP_BUDGET" 1000 in
     let seed = env_int "LLM4FP_SEED" 20250704 in
+    let end_to_end_seconds = Unix.gettimeofday () -. t_start in
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
         output_string oc
-          (Obs.Json.to_string (json_summary ~budget ~seed ~tables_seconds ~micro));
+          (Obs.Json.to_string
+             (json_summary ~budget ~seed ~jobs ~tables_seconds
+                ~end_to_end_seconds ~micro));
         output_char oc '\n');
     Printf.printf "(wrote JSON summary to %s)\n" path

@@ -30,6 +30,13 @@ let metrics_arg =
        & info [ "metrics" ]
            ~doc:"Print the metrics-registry snapshot after the run.")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the parallel engine (default 1 = \
+                 sequential). Results are identical at any job count; \
+                 only wall-clock changes.")
+
 (* Bracket [f] with a JSONL trace sink on [path], when given. *)
 let with_trace path f =
   match path with
@@ -160,11 +167,11 @@ let cmd_campaign =
     Arg.(value & flag
          & info [ "fp32" ] ~doc:"Generate and test single-precision programs.")
   in
-  let run seed budget approach fp32 trace metrics =
+  let run seed budget approach fp32 jobs trace metrics =
     let precision = if fp32 then Lang.Ast.F32 else Lang.Ast.F64 in
     let o =
       with_trace trace (fun () ->
-          Harness.Campaign.run ~budget ~precision ~seed approach)
+          Harness.Campaign.run ~budget ~precision ~jobs ~seed approach)
     in
     let stats = o.Harness.Campaign.stats in
     Printf.printf "%s: budget %d, seed %d\n" (Harness.Approach.name approach)
@@ -185,8 +192,8 @@ let cmd_campaign =
     print_metrics_if metrics
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run one approach's full campaign")
-    Term.(const run $ seed_arg $ budget_arg $ approach $ fp32 $ trace_arg
-          $ metrics_arg)
+    Term.(const run $ seed_arg $ budget_arg $ approach $ fp32 $ jobs_arg
+          $ trace_arg $ metrics_arg)
 
 let cmd_tables =
   let only =
@@ -199,11 +206,11 @@ let cmd_tables =
     Arg.(value & opt int 50_000 & info [ "max-pairs" ] ~docv:"N"
            ~doc:"CodeBLEU pair-sample bound per approach.")
   in
-  let run seed budget only max_pairs trace metrics =
+  let run seed budget only max_pairs jobs trace metrics =
     let tables =
       with_trace trace (fun () ->
-          let suite = Harness.Experiments.run_suite ~budget ~seed () in
-          Harness.Experiments.all_tables ~max_pairs suite)
+          let suite = Harness.Experiments.run_suite ~budget ~jobs ~seed () in
+          Harness.Experiments.all_tables ~max_pairs ~jobs suite)
     in
     (match only with
     | None ->
@@ -220,8 +227,8 @@ let cmd_tables =
   Cmd.v
     (Cmd.info "tables"
        ~doc:"Run all four campaigns and print every paper table and figure")
-    Term.(const run $ seed_arg $ budget_arg $ only $ max_pairs $ trace_arg
-          $ metrics_arg)
+    Term.(const run $ seed_arg $ budget_arg $ only $ max_pairs $ jobs_arg
+          $ trace_arg $ metrics_arg)
 
 let cmd_corpus =
   let kernel_name =
@@ -282,10 +289,11 @@ let cmd_profile =
          & info [ "b"; "budget" ] ~docv:"N"
              ~doc:"Campaign size for the profiling run.")
   in
-  let run seed budget approach trace metrics =
+  let run seed budget approach jobs trace metrics =
     Obs.Span.set_enabled true;
     let o =
-      with_trace trace (fun () -> Harness.Campaign.run ~budget ~seed approach)
+      with_trace trace (fun () ->
+          Harness.Campaign.run ~budget ~jobs ~seed approach)
     in
     Printf.printf
       "%s: budget %d, seed %d — %s inconsistencies, real compute %.2fs\n\n"
@@ -301,7 +309,8 @@ let cmd_profile =
     (Cmd.info "profile"
        ~doc:"Run a small campaign with span timing enabled and print the \
              per-stage hot-path profile")
-    Term.(const run $ seed_arg $ budget $ approach $ trace_arg $ metrics_arg)
+    Term.(const run $ seed_arg $ budget $ approach $ jobs_arg $ trace_arg
+          $ metrics_arg)
 
 let cmd_stability =
   let seeds =

@@ -7,6 +7,8 @@ type binary = {
 
 let m_compile_ok = Obs.Metrics.counter "compiler.compile.ok"
 let m_compile_error = Obs.Metrics.counter "compiler.compile.error"
+let m_front_runs = Obs.Metrics.counter "compiler.frontend.runs"
+let m_front_hits = Obs.Metrics.counter "compiler.frontend.cache_hits"
 let m_work = Obs.Metrics.counter "compiler.work"
 let m_runs = Obs.Metrics.counter "compiler.runs"
 let m_fp_ops = Obs.Metrics.counter "compiler.fp_ops"
@@ -34,36 +36,102 @@ let pipeline (config : Config.t) ir =
   let ir = Irsim.Contract.run config.contract ir in
   if config.dce then Irsim.Dce.run ir else ir
 
-let compile (config : Config.t) (program : Lang.Ast.program) =
-  Obs.Span.with_span "compiler.compile" @@ fun () ->
+(* ------------------------------------------------------------------ *)
+(* Front end: emit + parse + validate + lower. Only the target decides
+   the translation unit (gcc and clang share the host C unit; nvcc gets
+   the CUDA one), so the whole 18-configuration matrix needs exactly two
+   front-end passes. *)
+
+type target = [ `Host | `Device ]
+
+type front = {
+  f_source : string;       (* the emitted translation unit *)
+  f_ir : Irsim.Ir.t;       (* lowered, before the pass pipeline *)
+  f_precision : Lang.Ast.precision;  (* of the re-parsed unit *)
+}
+
+type fronts = {
+  program : Lang.Ast.program;
+  lock : Mutex.t;
+  mutable host : (front, string) result option;
+  mutable device : (front, string) result option;
+}
+
+let target_of (config : Config.t) : target =
+  if Personality.is_host config.personality then `Host else `Device
+
+(* Error strings carry no configuration name; [compile_with] prefixes
+   the config so per-configuration failure messages keep their historic
+   shape ("<config>: front end: …" / "<config>: …" / "<config>:
+   lowering: …"). *)
+let run_front_end (target : target) program =
+  Obs.Span.with_span "compiler.front_end" @@ fun () ->
+  Obs.Metrics.incr m_front_runs;
   (* Emit the translation unit for the target, then run the front end on
      that text: the device path really goes through the C-to-CUDA
      translation. *)
   let source =
-    if Personality.is_host config.personality then Lang.Pp.to_c program
-    else Lang.Pp.to_cuda program
+    match target with
+    | `Host -> Lang.Pp.to_c program
+    | `Device -> Lang.Pp.to_cuda program
   in
-  let result =
-    match Cparse.Parse.program source with
-    | Error msg ->
-      Error (Printf.sprintf "%s: front end: %s" (Config.name config) msg)
-    | Ok parsed -> begin
-      match Analysis.Validate.check parsed with
-      | Error issues ->
-        Error
-          (Printf.sprintf "%s: %s" (Config.name config)
-             (String.concat "; "
-                (List.map Analysis.Validate.issue_to_string issues)))
-      | Ok () -> begin
-        match Irsim.Lower.program parsed with
-        | exception Irsim.Lower.Error msg ->
-          Error (Printf.sprintf "%s: lowering: %s" (Config.name config) msg)
-        | ir ->
-          let applied = Config.effective config parsed.Lang.Ast.precision in
-          let ir = pipeline applied ir in
-          Ok { config = applied; source; ir; work = body_size ir.body }
-      end
+  match Cparse.Parse.program source with
+  | Error msg -> Error (Printf.sprintf "front end: %s" msg)
+  | Ok parsed -> begin
+    match Analysis.Validate.check parsed with
+    | Error issues ->
+      Error
+        (String.concat "; "
+           (List.map Analysis.Validate.issue_to_string issues))
+    | Ok () -> begin
+      match Irsim.Lower.program parsed with
+      | exception Irsim.Lower.Error msg ->
+        Error (Printf.sprintf "lowering: %s" msg)
+      | ir ->
+        Ok
+          { f_source = source; f_ir = ir;
+            f_precision = parsed.Lang.Ast.precision }
     end
+  end
+
+let fronts program =
+  { program; lock = Mutex.create (); host = None; device = None }
+
+let front_end fronts (target : target) =
+  Mutex.lock fronts.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock fronts.lock)
+    (fun () ->
+      let cached =
+        match target with `Host -> fronts.host | `Device -> fronts.device
+      in
+      match cached with
+      | Some r ->
+        Obs.Metrics.incr m_front_hits;
+        r
+      | None ->
+        let r = run_front_end target fronts.program in
+        (match target with
+        | `Host -> fronts.host <- Some r
+        | `Device -> fronts.device <- Some r);
+        r)
+
+(* ------------------------------------------------------------------ *)
+(* Back end: the configuration's pass pipeline over the shared
+   (immutable) lowered IR. *)
+
+let back_end (config : Config.t) (front : front) =
+  let applied = Config.effective config front.f_precision in
+  let ir = pipeline applied front.f_ir in
+  { config = applied; source = front.f_source; ir; work = body_size ir.body }
+
+let compile_with fronts (config : Config.t) =
+  Obs.Span.with_span "compiler.compile" @@ fun () ->
+  let result =
+    match front_end fronts (target_of config) with
+    | Error msg -> Error (Printf.sprintf "%s: %s" (Config.name config) msg)
+    | Ok front ->
+      Ok (Obs.Span.with_span "compiler.back_end" (fun () -> back_end config front))
   in
   (match result with
   | Ok binary ->
@@ -91,6 +159,9 @@ let compile (config : Config.t) (program : Lang.Ast.program) =
            }));
   result
 
+let compile (config : Config.t) (program : Lang.Ast.program) =
+  compile_with (fronts program) config
+
 let run binary inputs =
   Obs.Span.with_span "compiler.interp" @@ fun () ->
   let out = Irsim.Interp.run (Config.runtime binary.config) binary.ir inputs in
@@ -109,10 +180,22 @@ let run binary inputs =
 
 let run_hex binary inputs = Fp.Bits.hex_of_double (run binary inputs).result
 
-let matrix program =
-  List.map
-    (fun config ->
-      match compile config program with
-      | Ok binary -> Either.Left (config, binary)
-      | Error msg -> Either.Right (config, msg))
-    (Config.all ())
+let matrix ?configs ?(jobs = 1) program =
+  let configs =
+    match configs with Some cs -> cs | None -> Config.all ()
+  in
+  let fronts = fronts program in
+  let slot = Obs.Trace.current_slot () in
+  let compile_one config =
+    match compile_with fronts config with
+    | Ok binary -> Either.Left (config, binary)
+    | Error msg -> Either.Right (config, msg)
+  in
+  let task config =
+    (* Re-establish the caller's slot context inside pool workers so
+       Compiled events stay correlated. *)
+    match slot with
+    | Some s -> Obs.Trace.with_slot s (fun () -> compile_one config)
+    | None -> compile_one config
+  in
+  Exec.Pool.map ~jobs task configs

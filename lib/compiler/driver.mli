@@ -8,7 +8,17 @@
     real nvcc failures do), validate, lower to IR, and run the
     configuration's pass pipeline (constant folding → fast-math rewrites
     → FMA contraction → dead-store elimination). The result is a binary:
-    optimized IR plus the runtime configuration. *)
+    optimized IR plus the runtime configuration.
+
+    The front end is split from the back end: only the {e target}
+    (host/device) decides the translation unit — gcc and clang compile
+    the same host C — so one program needs exactly {e two} front-end
+    passes, not one per configuration. {!fronts} carries the memoized
+    per-target front ends (domain-safe; shareable across an
+    {!Exec.Pool} fan-out) and {!compile_with} runs only the per-config
+    back end against them. The cache's effectiveness is observable as
+    the [compiler.frontend.runs] / [compiler.frontend.cache_hits]
+    metrics. *)
 
 type binary = {
   config : Config.t;
@@ -17,10 +27,41 @@ type binary = {
   work : int;       (** IR node count, the compile/execute cost proxy *)
 }
 
+type target = [ `Host | `Device ]
+
+type front
+(** A completed front-end pass: the emitted translation unit and its
+    lowered (pre-pipeline) IR. Immutable and shareable. *)
+
+type fronts
+(** Per-program front-end cache, at most one entry per target. Lazy and
+    mutex-guarded: concurrent {!compile_with} calls from pool workers
+    compute each target once and share the result. *)
+
+val fronts : Lang.Ast.program -> fronts
+(** An empty cache for [program]; no front-end work happens yet. *)
+
+val target_of : Config.t -> target
+
+val front_end : fronts -> target -> (front, string) result
+(** The memoized front end: emit + parse + validate + lower, computed on
+    first use per target and cached (errors are cached too). The error
+    string carries no configuration name. *)
+
+val back_end : Config.t -> front -> binary
+(** The per-configuration pass pipeline over the shared front-end IR
+    (which is never mutated — every binary gets its own optimized IR). *)
+
+val compile_with : fronts -> Config.t -> (binary, string) result
+(** [front_end] + [back_end] with the historic [compile] accounting:
+    per-configuration success/failure metrics and [Compiled] trace
+    events, and failure messages prefixed with the configuration name. *)
+
 val compile : Config.t -> Lang.Ast.program -> (binary, string) result
-(** Validation or lowering failure yields [Error] (a compilation
-    failure; the harness counts it and moves on, per §2.4 "only binaries
-    that compile successfully are passed to the next stage"). *)
+(** One-shot compilation (a fresh single-use cache). Validation or
+    lowering failure yields [Error] (a compilation failure; the harness
+    counts it and moves on, per §2.4 "only binaries that compile
+    successfully are passed to the next stage"). *)
 
 val run : binary -> Irsim.Inputs.t -> Irsim.Interp.outcome
 
@@ -29,7 +70,13 @@ val run_hex : binary -> Irsim.Inputs.t -> string
     comparison key of the paper's differential testing. *)
 
 val matrix :
+  ?configs:Config.t list ->
+  ?jobs:int ->
   Lang.Ast.program ->
   ((Config.t * binary, Config.t * string) Either.t) list
-(** Compile under every configuration, keeping per-configuration
-    successes and failures. *)
+(** Compile under every configuration (default: the full 18-entry
+    matrix), keeping per-configuration successes and failures in
+    configuration order. The front end runs at most twice regardless of
+    configuration count, and [jobs > 1] fans the per-configuration back
+    ends across the {!Exec.Pool} — results are identical at any job
+    count. *)

@@ -47,31 +47,40 @@ let compare_outputs level (left : output) (right : output) =
     digits = (if inconsistent then Fp.Digits.diff_count left.value right.value else 0);
   }
 
-let test ?configs program inputs =
+let test ?configs ?(jobs = 1) program inputs =
   let configs =
     match configs with Some cs -> cs | None -> Compiler.Config.all ()
   in
-  let compiled, failures =
-    List.partition_map Fun.id
-      (List.map
-         (fun config ->
-           match Compiler.Driver.compile config program with
-           | Ok binary -> Either.Left (config, binary)
-           | Error msg -> Either.Right (config, msg))
-         configs)
-  in
-  let outputs =
-    List.map
-      (fun ((config : Compiler.Config.t), (binary : Compiler.Driver.binary)) ->
-        let out = Compiler.Driver.run binary inputs in
+  (* One shared front-end cache for the whole configuration matrix: two
+     front-end passes (host C, device CUDA) instead of one per config.
+     The per-config back end + execution fan out across the domain pool;
+     Pool.map keeps configuration order, so outputs and failures are
+     identical at any job count. *)
+  let fronts = Compiler.Driver.fronts program in
+  let slot = Obs.Trace.current_slot () in
+  let evaluate config =
+    match Compiler.Driver.compile_with fronts config with
+    | Error msg -> Either.Right (config, msg)
+    | Ok binary ->
+      let out = Compiler.Driver.run binary inputs in
+      Either.Left
         {
           config;
           value = out.Irsim.Interp.result;
           hex = Fp.Bits.hex_of_double out.Irsim.Interp.result;
           ops = out.Irsim.Interp.fp_ops;
           work = binary.Compiler.Driver.work;
-        })
-      compiled
+        }
+  in
+  let task config =
+    (* Pool workers re-establish the campaign's slot context so their
+       Compiled/Executed trace events stay correlated. *)
+    match slot with
+    | Some s -> Obs.Trace.with_slot s (fun () -> evaluate config)
+    | None -> evaluate config
+  in
+  let outputs, failures =
+    List.partition_map Fun.id (Exec.Pool.map ~jobs task configs)
   in
   (* One O(n) pass instead of an O(configs) scan per lookup: the
      comparison stage below performs 2 lookups per (pair, level) plus 2

@@ -44,12 +44,26 @@ type result = {
 }
 
 val test :
-  ?configs:Compiler.Config.t list -> Lang.Ast.program -> Irsim.Inputs.t -> result
+  ?configs:Compiler.Config.t list ->
+  ?jobs:int ->
+  Lang.Ast.program ->
+  Irsim.Inputs.t ->
+  result
 (** Compile everywhere, run everything, compare. Comparisons involving a
     failed configuration are simply absent (the paper passes only
     successfully compiled binaries to differential testing). [configs]
     defaults to the full 18-configuration matrix; ablation studies pass
-    modified matrices. *)
+    modified matrices — campaigns build the list once and thread it
+    through every slot.
+
+    The front end (emit + parse + validate + lower) runs once per
+    {e target} via {!Compiler.Driver.fronts} — two passes per program
+    instead of one per configuration — and [jobs > 1] fans the
+    per-configuration back end + execution across the {!Exec.Pool}.
+    The [result] is identical at any job count; only wall-clock
+    changes. (With a trace sink attached, per-configuration event
+    {e order} within the slot follows completion order when
+    [jobs > 1].) *)
 
 val cross_inconsistencies : result -> int
 val has_inconsistency : result -> bool

@@ -1,0 +1,153 @@
+(* Work-sharing domain pool.
+
+   A single process-wide task queue guarded by one mutex. [map] enqueues
+   one task per input element; the calling domain then drives the queue
+   itself until its batch completes, while the persistent workers pull
+   from the same queue. Results land in a per-batch array indexed by
+   input position, so output order is input order no matter which domain
+   ran what. Completion is tracked by a per-batch pending counter and
+   signalled on a per-batch condition (sharing the pool mutex).
+
+   Workers are spawned lazily, up to the largest [jobs] ever requested,
+   and joined at exit. Nested [map]s from inside a worker degrade to
+   sequential [List.map] (a DLS flag marks worker domains), which makes
+   nesting deadlock-free by construction: a worker never blocks waiting
+   for queue capacity it is itself responsible for draining. *)
+
+type task = unit -> unit
+
+type pool = {
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled on enqueue and on shutdown *)
+  queue : task Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  mutable size : int;  (* worker domains spawned *)
+}
+
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let pool =
+  {
+    lock = Mutex.create ();
+    work = Condition.create ();
+    queue = Queue.create ();
+    stopping = false;
+    domains = [];
+    size = 0;
+  }
+
+let worker_loop () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let rec next () =
+      if pool.stopping then None
+      else
+        match Queue.take_opt pool.queue with
+        | Some t -> Some t
+        | None ->
+          Condition.wait pool.work pool.lock;
+          next ()
+    in
+    let t = next () in
+    Mutex.unlock pool.lock;
+    match t with
+    | None -> ()
+    | Some t ->
+      (* Tasks wrap their own exceptions; see [map]. *)
+      t ();
+      loop ()
+  in
+  loop ()
+
+let shutdown () =
+  Mutex.lock pool.lock;
+  pool.stopping <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.lock;
+  List.iter Domain.join pool.domains;
+  pool.domains <- [];
+  pool.size <- 0;
+  (* Re-arm so a later [map] can respawn workers. *)
+  pool.stopping <- false
+
+let at_exit_registered = ref false
+
+(* Grow the pool to [workers] spawned domains. Called from the
+   orchestrating (non-worker) domain only. *)
+let ensure_workers workers =
+  if pool.size < workers then begin
+    if not !at_exit_registered then begin
+      at_exit_registered := true;
+      at_exit shutdown
+    end;
+    for _ = pool.size + 1 to workers do
+      pool.domains <- Domain.spawn worker_loop :: pool.domains
+    done;
+    pool.size <- workers
+  end
+
+let worker_count () = pool.size
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs <= 1 || Domain.DLS.get in_worker -> List.map f xs
+  | _ ->
+    let inputs = Array.of_list xs in
+    let n = Array.length inputs in
+    ensure_workers (min (jobs - 1) (n - 1));
+    let results = Array.make n None in
+    let pending = ref n in
+    let finished = Condition.create () in
+    let run_one i =
+      let r =
+        try Ok (f inputs.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock pool.lock;
+      results.(i) <- Some r;
+      decr pending;
+      if !pending = 0 then Condition.broadcast finished;
+      Mutex.unlock pool.lock
+    in
+    Mutex.lock pool.lock;
+    for i = 0 to n - 1 do
+      Queue.add (fun () -> run_one i) pool.queue
+    done;
+    Condition.broadcast pool.work;
+    (* The caller is a compute domain too: drain tasks until this
+       batch's counter reaches zero. When the queue is empty but tasks
+       are still running in workers, sleep on the batch condition. *)
+    let rec drive () =
+      if !pending > 0 then
+        match Queue.take_opt pool.queue with
+        | Some t ->
+          Mutex.unlock pool.lock;
+          t ();
+          Mutex.lock pool.lock;
+          drive ()
+        | None ->
+          Condition.wait finished pool.lock;
+          drive ()
+    in
+    drive ();
+    Mutex.unlock pool.lock;
+    (* Deterministic failure: re-raise for the earliest input. *)
+    let err = ref None in
+    for i = n - 1 downto 0 do
+      match results.(i) with
+      | Some (Error eb) -> err := Some eb
+      | _ -> ()
+    done;
+    (match !err with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+         results)

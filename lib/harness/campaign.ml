@@ -40,8 +40,11 @@ let admit source =
     | Ok () -> Ok program
   end
 
-let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ~seed approach =
+let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ~seed approach =
   let rng = Util.Rng.of_int seed in
+  (* The 18-configuration matrix is immutable for the whole campaign:
+     build it once here instead of once per budget slot. *)
+  let configs = Compiler.Config.all () in
   let input_rng = Util.Rng.split rng in
   let clock = Util.Sim_clock.create () in
   let client = Llm.Client.create ~seed:(seed lxor 0x5eed) () in
@@ -137,7 +140,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ~seed approach =
           cases := (program, inputs) :: !cases;
           let result =
             Obs.Span.with_span "campaign.difftest" (fun () ->
-                let result = Difftest.Run.test program inputs in
+                let result = Difftest.Run.test ~configs ~jobs program inputs in
                 Time_model.charge_program clock
                   ~work:result.Difftest.Run.total_work
                   ~ops:result.Difftest.Run.total_ops

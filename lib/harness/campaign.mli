@@ -29,13 +29,23 @@ type outcome = {
 }
 
 val run :
-  ?budget:int -> ?precision:Lang.Ast.precision -> seed:int -> Approach.t ->
+  ?budget:int ->
+  ?precision:Lang.Ast.precision ->
+  ?jobs:int ->
+  seed:int ->
+  Approach.t ->
   outcome
 (** [budget] defaults to 1000 (the paper's); [precision] to FP64 (the
     paper's default — §3.1.3 notes the extension to FP32, which this
     parameter provides: programs are generated, printed, compiled and
     executed in single precision, and nvcc's [-use_fast_math] intrinsics
-    then genuinely apply). *)
+    then genuinely apply).
+
+    [jobs] (default 1) fans each slot's configuration matrix across the
+    {!Exec.Pool}. The feedback loop stays strictly sequential in slot
+    order — the strategy draw, the generated program and the feedback
+    set of slot [n] never depend on execution timing — so the outcome
+    is identical at any job count; only wall-clock changes. *)
 
 val strategy_mix_probability : float
 (** 0.5 — the paper's fixed probability of choosing Feedback-Based

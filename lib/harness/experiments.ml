@@ -7,21 +7,26 @@ type suite = {
   llm4fp : Campaign.outcome;
 }
 
-let run_suite ?(budget = 1000) ~seed () =
+let run_suite ?(budget = 1000) ?(jobs = 1) ~seed () =
   let sub k = seed + (k * 7919) in
-  let campaign k approach =
+  let campaign (k, approach) =
     Obs.Span.with_span
       ("campaign." ^ String.lowercase_ascii (Approach.name approach))
-      (fun () -> Campaign.run ~budget ~seed:(sub k) approach)
+      (fun () -> Campaign.run ~budget ~jobs ~seed:(sub k) approach)
   in
-  {
-    budget;
-    seed;
-    varity = campaign 1 Approach.Varity;
-    direct = campaign 2 Approach.Direct_prompt;
-    grammar = campaign 3 Approach.Grammar_guided;
-    llm4fp = campaign 4 Approach.Llm4fp;
-  }
+  (* The four campaigns draw from decorrelated seed streams and share no
+     mutable state beyond the domain-safe observability layer, so they
+     fan out across the pool as independent units (the coarsest grain
+     available); inside a pool worker the nested per-slot fan-out
+     degrades to sequential automatically. *)
+  match
+    Exec.Pool.map ~jobs campaign
+      [ (1, Approach.Varity); (2, Approach.Direct_prompt);
+        (3, Approach.Grammar_guided); (4, Approach.Llm4fp) ]
+  with
+  | [ varity; direct; grammar; llm4fp ] ->
+    { budget; seed; varity; direct; grammar; llm4fp }
+  | _ -> assert false
 
 let outcome suite = function
   | Approach.Varity -> suite.varity
@@ -63,22 +68,26 @@ let table2 suite =
     ~header:[ "Approach"; "Incons. Rate"; "# Incons."; "Time Cost" ]
     rows
 
-let table3 ?(max_pairs = 50_000) suite =
+let table3 ?(max_pairs = 50_000) ?(jobs = 1) suite =
+  (* Diversity scoring is the one post-campaign stage heavy enough to
+     matter (O(pairs) CodeBLEU): fan the four independent corpora across
+     the pool. *)
   let rows =
-    outcomes suite
-    |> List.map (fun (o : Campaign.outcome) ->
-           let codebleu =
-             Obs.Span.with_span "diversity.codebleu" (fun () ->
-                 Diversity.Codebleu.corpus_mean ~max_pairs ~seed:suite.seed
-                   o.programs)
-           in
-           let clones = Diversity.Clones.analyze o.programs in
-           [ Approach.name o.approach;
-             Printf.sprintf "%.4f" codebleu;
-             string_of_int clones.Diversity.Clones.type1;
-             string_of_int clones.Diversity.Clones.type2;
-             string_of_int clones.Diversity.Clones.type2c;
-             Printf.sprintf "%.2f%%" (Diversity.Clones.percentage clones) ])
+    Exec.Pool.map ~jobs
+      (fun (o : Campaign.outcome) ->
+        let codebleu =
+          Obs.Span.with_span "diversity.codebleu" (fun () ->
+              Diversity.Codebleu.corpus_mean ~max_pairs ~seed:suite.seed
+                o.programs)
+        in
+        let clones = Diversity.Clones.analyze o.programs in
+        [ Approach.name o.approach;
+          Printf.sprintf "%.4f" codebleu;
+          string_of_int clones.Diversity.Clones.type1;
+          string_of_int clones.Diversity.Clones.type2;
+          string_of_int clones.Diversity.Clones.type2c;
+          Printf.sprintf "%.2f%%" (Diversity.Clones.percentage clones) ])
+      (outcomes suite)
   in
   Report.Table.render
     ~title:
@@ -367,11 +376,11 @@ let seed_stability ?(budget = 200) ~seeds () =
          (List.length seeds) budget)
     ~header rows
 
-let all_tables ?max_pairs suite =
+let all_tables ?max_pairs ?jobs suite =
   [ ("summary", summary suite);
     ("table1", table1 ());
     ("table2", table2 suite);
-    ("table3", table3 ?max_pairs suite);
+    ("table3", table3 ?max_pairs ?jobs suite);
     ("figure3", figure3 suite);
     ("table4", table4 suite);
     ("table5", table5 suite);

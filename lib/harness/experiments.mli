@@ -18,8 +18,15 @@ type suite = {
   llm4fp : Campaign.outcome;
 }
 
-val run_suite : ?budget:int -> seed:int -> unit -> suite
-(** Four campaigns with decorrelated seeds derived from [seed]. *)
+val run_suite : ?budget:int -> ?jobs:int -> seed:int -> unit -> suite
+(** Four campaigns with decorrelated seeds derived from [seed].
+
+    [jobs] (default 1) is the size of the shared {!Exec.Pool}: the four
+    independent campaigns fan out across it, and each campaign's
+    per-slot configuration matrix does too (nested fan-out degrades to
+    sequential inside a pool worker, so there is no oversubscription).
+    Every campaign owns its RNG, simulated clock, LLM client and stats,
+    so the suite is byte-identical at any job count. *)
 
 val outcome : suite -> Approach.t -> Campaign.outcome
 
@@ -29,9 +36,12 @@ val table1 : unit -> string
 val table2 : suite -> string
 (** Effectiveness: inconsistency rate, count, simulated time cost. *)
 
-val table3 : ?max_pairs:int -> suite -> string
+val table3 : ?max_pairs:int -> ?jobs:int -> suite -> string
 (** Diversity: mean pairwise CodeBLEU and clone counts. [max_pairs]
-    bounds the CodeBLEU pair sample (default 50,000 per approach). *)
+    bounds the CodeBLEU pair sample (default 50,000 per approach);
+    [jobs] fans the four per-approach CodeBLEU computations across the
+    {!Exec.Pool} (scores are per-corpus, so the table is identical at
+    any job count). *)
 
 val figure3 : suite -> string
 (** Inconsistency class-pair counts, Varity vs LLM4FP (the paper's bar
@@ -50,7 +60,7 @@ val table6 : suite -> string
 val summary : suite -> string
 (** Campaign header: compilers, flags, budget, seeds, model parameters. *)
 
-val all_tables : ?max_pairs:int -> suite -> (string * string) list
+val all_tables : ?max_pairs:int -> ?jobs:int -> suite -> (string * string) list
 (** [(name, rendered)] for every table and figure, in paper order. *)
 
 val feature_statistics : suite -> string

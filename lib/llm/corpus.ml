@@ -1180,9 +1180,16 @@ void compute(double wavelength, double temperature) {
     };
   |]
 
+(* The memo table is shared by every campaign; parallel campaigns reach
+   it from pool workers, so the whole lookup-or-parse is guarded. Parsed
+   programs are immutable, so handing the same value to several domains
+   is fine. *)
 let table : (string, Lang.Ast.program) Hashtbl.t = Hashtbl.create 64
+let table_lock = Mutex.create ()
 
 let program entry =
+  Mutex.lock table_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock table_lock) @@ fun () ->
   match Hashtbl.find_opt table entry.name with
   | Some p -> p
   | None ->

@@ -1,16 +1,21 @@
 (* Process-wide metrics registry.
 
    Instruments are created once (get-or-create by name, typically at
-   module initialization) and updated through direct mutable-field
-   writes, so the always-on cost of a counter bump is one integer add —
-   cheap enough to leave enabled unconditionally. Snapshots are
-   name-sorted, making the rendered table deterministic. *)
+   module initialization) and updated through lock-free atomics, so the
+   always-on cost of a counter bump is one fetch-and-add — cheap enough
+   to leave enabled unconditionally, and safe to bump from any pool
+   domain (see {!Exec.Pool}): parallel runs produce exactly the totals
+   of the equivalent sequential run. Histograms serialize on a
+   per-instrument mutex (they sit off the per-op hot path). The
+   registry itself is mutex-guarded; snapshots are name-sorted, making
+   the rendered table deterministic. *)
 
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable value : float }
+type counter = { c_name : string; count : int Atomic.t }
+type gauge = { g_name : string; value : float Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_lock : Mutex.t;
   bounds : float array;  (* strictly increasing upper bounds *)
   counts : int array;    (* length = Array.length bounds + 1 (overflow) *)
   mutable observations : int;
@@ -20,45 +25,54 @@ type histogram = {
 type instrument = C of counter | G of gauge | H of histogram
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
 
 let default_buckets = [| 0.001; 0.01; 0.1; 1.0; 10.0; 100.0 |]
 
 let get_or_create name project create =
-  match Hashtbl.find_opt registry name with
-  | Some existing -> begin
-    match project existing with
-    | Some v -> v
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Obs.Metrics: %S already registered with another kind"
-           name)
-  end
-  | None ->
-    let v, wrapped = create () in
-    Hashtbl.replace registry name wrapped;
-    v
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some existing -> begin
+        match project existing with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Obs.Metrics: %S already registered with another kind" name)
+      end
+      | None ->
+        let v, wrapped = create () in
+        Hashtbl.replace registry name wrapped;
+        v)
 
 let counter name =
   get_or_create name
     (function C c -> Some c | _ -> None)
     (fun () ->
-      let c = { c_name = name; count = 0 } in
+      let c = { c_name = name; count = Atomic.make 0 } in
       (c, C c))
 
-let incr ?(by = 1) c = c.count <- c.count + by
-let counter_value c = c.count
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.count by)
+let counter_value c = Atomic.get c.count
 let counter_name c = c.c_name
 
 let gauge name =
   get_or_create name
     (function G g -> Some g | _ -> None)
     (fun () ->
-      let g = { g_name = name; value = 0.0 } in
+      let g = { g_name = name; value = Atomic.make 0.0 } in
       (g, G g))
 
-let set g v = g.value <- v
-let add g v = g.value <- g.value +. v
-let gauge_value g = g.value
+let set g v = Atomic.set g.value v
+
+let rec add g v =
+  let cur = Atomic.get g.value in
+  if not (Atomic.compare_and_set g.value cur (cur +. v)) then add g v
+
+let gauge_value g = Atomic.get g.value
 let gauge_name g = g.g_name
 
 let histogram ?(buckets = default_buckets) name =
@@ -74,6 +88,7 @@ let histogram ?(buckets = default_buckets) name =
       let h =
         {
           h_name = name;
+          h_lock = Mutex.create ();
           bounds = Array.copy buckets;
           counts = Array.make (Array.length buckets + 1) 0;
           observations = 0;
@@ -86,11 +101,18 @@ let observe h x =
   let n = Array.length h.bounds in
   let rec slot i = if i >= n || x <= h.bounds.(i) then i else slot (i + 1) in
   let i = slot 0 in
+  Mutex.lock h.h_lock;
   h.counts.(i) <- h.counts.(i) + 1;
   h.observations <- h.observations + 1;
-  h.sum <- h.sum +. x
+  h.sum <- h.sum +. x;
+  Mutex.unlock h.h_lock
 
-let histogram_count h = h.observations
+let histogram_count h =
+  Mutex.lock h.h_lock;
+  let n = h.observations in
+  Mutex.unlock h.h_lock;
+  n
+
 let histogram_name h = h.h_name
 
 (* ------------------------------------------------------------------ *)
@@ -106,36 +128,49 @@ type value =
     }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name instrument acc ->
-      let v =
-        match instrument with
-        | C c -> Counter c.count
-        | G g -> Gauge g.value
-        | H h ->
-          Histogram
-            {
-              bounds = Array.copy h.bounds;
-              counts = Array.copy h.counts;
-              count = h.observations;
-              sum = h.sum;
-            }
-      in
-      (name, v) :: acc)
-    registry []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Mutex.lock registry_lock;
+  let entries =
+    Hashtbl.fold
+      (fun name instrument acc ->
+        let v =
+          match instrument with
+          | C c -> Counter (Atomic.get c.count)
+          | G g -> Gauge (Atomic.get g.value)
+          | H h ->
+            Mutex.lock h.h_lock;
+            let v =
+              Histogram
+                {
+                  bounds = Array.copy h.bounds;
+                  counts = Array.copy h.counts;
+                  count = h.observations;
+                  sum = h.sum;
+                }
+            in
+            Mutex.unlock h.h_lock;
+            v
+        in
+        (name, v) :: acc)
+      registry []
+  in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
 
 let reset () =
+  Mutex.lock registry_lock;
   Hashtbl.iter
     (fun _ instrument ->
       match instrument with
-      | C c -> c.count <- 0
-      | G g -> g.value <- 0.0
+      | C c -> Atomic.set c.count 0
+      | G g -> Atomic.set g.value 0.0
       | H h ->
+        Mutex.lock h.h_lock;
         Array.fill h.counts 0 (Array.length h.counts) 0;
         h.observations <- 0;
-        h.sum <- 0.0)
-    registry
+        h.sum <- 0.0;
+        Mutex.unlock h.h_lock)
+    registry;
+  Mutex.unlock registry_lock
 
 let render_value = function
   | Counter n -> ("counter", Report.Table.commas n)

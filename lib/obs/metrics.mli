@@ -3,10 +3,12 @@
 
     Instruments are {e get-or-create} by name — create them once at
     module initialization, then update through the returned handle: a
-    counter bump is a single integer add, cheap enough to stay enabled
-    unconditionally (the acceptance budget for "observability off" is
-    ~free). Snapshots are sorted by name, so the rendered table is
-    deterministic. *)
+    counter bump is a single atomic fetch-and-add, cheap enough to stay
+    enabled unconditionally (the acceptance budget for "observability
+    off" is ~free) and safe from any {!Exec.Pool} worker domain —
+    parallel runs produce exactly the totals of the equivalent
+    sequential run. Snapshots are sorted by name, so the rendered table
+    is deterministic. *)
 
 type counter
 type gauge

@@ -1,11 +1,18 @@
 (* Timed spans for hot-path profiling.
 
-   Disabled (the default), [with_span] is one branch around the thunk.
-   Enabled, each span records real wall-clock seconds and — when a
-   simulated clock is attached — the simulated seconds that elapsed
+   Disabled (the default), [with_span] is one atomic read around the
+   thunk. Enabled, each span records real wall-clock seconds and — when
+   a simulated clock is attached — the simulated seconds that elapsed
    inside it, aggregated per label (count / total / mean / max). Spans
    nest freely: a nested span accounts its own label and its time is
-   also inside its parent's. *)
+   also inside its parent's.
+
+   Domain safety: every domain aggregates into its own table (DLS), so
+   recording stays lock-free even under the pool; tables register
+   themselves in a mutex-guarded list on first use and [summary] merges
+   them at read time. The attached simulated clock is domain-local too,
+   so concurrent campaigns each attribute simulated time to their own
+   clock. Take summaries after parallel sections have drained. *)
 
 type agg = {
   mutable count : int;
@@ -14,24 +21,40 @@ type agg = {
   mutable sim : float;
 }
 
-let table : (string, agg) Hashtbl.t = Hashtbl.create 32
-let enabled = ref false
-let clock : Util.Sim_clock.t option ref = ref None
+type table = (string, agg) Hashtbl.t
 
-let set_enabled b = enabled := b
-let is_enabled () = !enabled
+let registry_lock = Mutex.create ()
+let tables : table list ref = ref []
 
-let set_clock c = clock := c
+let local_table : table Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let t : table = Hashtbl.create 32 in
+      Mutex.lock registry_lock;
+      tables := t :: !tables;
+      Mutex.unlock registry_lock;
+      t)
+
+let enabled = Atomic.make false
+let set_enabled b = Atomic.set enabled b
+let is_enabled () = Atomic.get enabled
+
+let clock_key : Util.Sim_clock.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_clock c = Domain.DLS.set clock_key c
 
 let with_clock c f =
-  let saved = !clock in
-  clock := Some c;
-  Fun.protect ~finally:(fun () -> clock := saved) f
+  let saved = Domain.DLS.get clock_key in
+  Domain.DLS.set clock_key (Some c);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set clock_key saved) f
 
 let sim_now () =
-  match !clock with Some c -> Util.Sim_clock.elapsed c | None -> 0.0
+  match Domain.DLS.get clock_key with
+  | Some c -> Util.Sim_clock.elapsed c
+  | None -> 0.0
 
 let record label dt dsim =
+  let table = Domain.DLS.get local_table in
   let agg =
     match Hashtbl.find_opt table label with
     | Some a -> a
@@ -46,7 +69,7 @@ let record label dt dsim =
   agg.sim <- agg.sim +. dsim
 
 let with_span label f =
-  if not !enabled then f ()
+  if not (Atomic.get enabled) then f ()
   else begin
     let t0 = Unix.gettimeofday () in
     let s0 = sim_now () in
@@ -66,6 +89,25 @@ type row = {
 }
 
 let summary () =
+  let merged : table = Hashtbl.create 32 in
+  Mutex.lock registry_lock;
+  let snapshot = !tables in
+  Mutex.unlock registry_lock;
+  List.iter
+    (fun t ->
+      Hashtbl.iter
+        (fun label (a : agg) ->
+          match Hashtbl.find_opt merged label with
+          | Some m ->
+            m.count <- m.count + a.count;
+            m.total <- m.total +. a.total;
+            if a.max > m.max then m.max <- a.max;
+            m.sim <- m.sim +. a.sim
+          | None ->
+            Hashtbl.replace merged label
+              { count = a.count; total = a.total; max = a.max; sim = a.sim })
+        t)
+    snapshot;
   Hashtbl.fold
     (fun label (a : agg) acc ->
       {
@@ -77,7 +119,7 @@ let summary () =
         sim_s = a.sim;
       }
       :: acc)
-    table []
+    merged []
   |> List.sort (fun a b -> String.compare a.label b.label)
 
 let render () =
@@ -98,4 +140,7 @@ let render () =
     ~header:[ "span"; "count"; "total s"; "mean s"; "max s"; "sim s" ]
     rows
 
-let reset () = Hashtbl.reset table
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter Hashtbl.reset !tables;
+  Mutex.unlock registry_lock

@@ -9,7 +9,13 @@
     span's.
 
     Real time appears only here, never in trace events — span summaries
-    are the one deliberately non-deterministic surface. *)
+    are the one deliberately non-deterministic surface.
+
+    Domain safety: each domain aggregates into its own table (lock-free
+    recording under the {!Exec.Pool} workers) and {!summary} merges the
+    per-domain tables at read time; the attached simulated clock is
+    domain-local as well. Take summaries after parallel sections have
+    drained — pool workers idle between batches do not record. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
@@ -17,7 +23,7 @@ val is_enabled : unit -> bool
 val set_clock : Util.Sim_clock.t option -> unit
 (** Attach the simulated clock whose delta each span should also
     capture (the campaign runner attaches its own for the duration of
-    a run). *)
+    a run). The attachment is domain-local. *)
 
 val with_clock : Util.Sim_clock.t -> (unit -> 'a) -> 'a
 (** Scoped {!set_clock} with restore (exception-safe). *)

@@ -1,22 +1,41 @@
 (* Process-wide event dispatcher. Instrumentation sites guard with
-   [on ()] (a single branch when no sink is subscribed) so that event
-   construction costs nothing in the default, un-traced configuration. *)
+   [on ()] (a single atomic read when no sink is subscribed) so that
+   event construction costs nothing in the default, un-traced
+   configuration.
+
+   Domain safety: the sink list lives in an [Atomic.t] so [on ()] stays
+   lock-free; subscription changes and event delivery serialize on one
+   mutex, so a sink's [emit] is never invoked concurrently (JSONL lines
+   from pool workers cannot interleave mid-line). Event *order* across
+   domains follows completion order — byte-identical traces are
+   guaranteed only for sequential (jobs = 1) runs. *)
 
 type subscription = int
 
-let sinks : (subscription * Sink.t) list ref = ref []
+let sinks : (subscription * Sink.t) list Atomic.t = Atomic.make []
+let lock = Mutex.create ()
 let next_id = ref 0
 
 let subscribe sink =
+  Mutex.lock lock;
   incr next_id;
-  sinks := !sinks @ [ (!next_id, sink) ];
-  !next_id
+  let id = !next_id in
+  Atomic.set sinks (Atomic.get sinks @ [ (id, sink) ]);
+  Mutex.unlock lock;
+  id
 
-let unsubscribe id = sinks := List.filter (fun (i, _) -> i <> id) !sinks
+let unsubscribe id =
+  Mutex.lock lock;
+  Atomic.set sinks (List.filter (fun (i, _) -> i <> id) (Atomic.get sinks));
+  Mutex.unlock lock
 
-let on () = !sinks <> []
+let on () = Atomic.get sinks <> []
 
-let emit ev = List.iter (fun (_, s) -> s.Sink.emit ev) !sinks
+let emit ev =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () -> List.iter (fun (_, s) -> s.Sink.emit ev) (Atomic.get sinks))
 
 let event make = if on () then emit (make ())
 
@@ -30,13 +49,16 @@ let with_sink sink f =
 
 (* Slot context: the campaign loop brackets each budget slot so that
    events emitted from layers that do not know the slot number (compiler
-   driver, difftest) can still be correlated. *)
+   driver, difftest) can still be correlated. The context is
+   domain-local: parallel sections re-establish it inside each task
+   (see Difftest.Run), and concurrent campaigns on different domains
+   keep independent slots. *)
 
-let slot_ctx = ref None
+let slot_ctx : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let current_slot () = !slot_ctx
+let current_slot () = Domain.DLS.get slot_ctx
 
 let with_slot slot f =
-  let saved = !slot_ctx in
-  slot_ctx := Some slot;
-  Fun.protect ~finally:(fun () -> slot_ctx := saved) f
+  let saved = Domain.DLS.get slot_ctx in
+  Domain.DLS.set slot_ctx (Some slot);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set slot_ctx saved) f

@@ -3,7 +3,14 @@
 
     With no sink subscribed (the default), [on ()] is [false] and
     instrumentation sites skip event construction entirely — the cost
-    of disabled tracing is one branch per site. *)
+    of disabled tracing is one atomic read per site.
+
+    Domain safety: delivery serializes on a mutex (sink [emit]s never
+    run concurrently, so JSONL lines cannot interleave mid-line) and
+    the slot context is domain-local. Event {e order} across domains
+    follows completion order: traces are byte-reproducible only for
+    sequential ([--jobs 1]) runs; event {e content} and every derived
+    count are identical at any job count. *)
 
 type subscription
 

@@ -1,10 +1,14 @@
-type t = { mutable state : int64 }
+type t = {
+  mutable state : int64;
+  mutable spare : float option;
+      (* the unreturned half of the last Box–Muller pair *)
+}
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = seed }
+let create seed = { state = seed; spare = None }
 let of_int seed = create (Int64.of_int seed)
-let copy t = { state = t.state }
+let copy t = { state = t.state; spare = t.spare }
 
 (* Finalization mix from SplitMix64: two xor-shift-multiply rounds. *)
 let mix64 z =
@@ -19,7 +23,7 @@ let bits64 t =
 let split t =
   let s = bits64 t in
   (* A distinct mixing constant keeps the child stream decorrelated. *)
-  { state = mix64 (Int64.logxor s 0xD1B54A32D192ED03L) }
+  { state = mix64 (Int64.logxor s 0xD1B54A32D192ED03L); spare = None }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
@@ -84,9 +88,21 @@ let sample t xs k =
   Array.to_list (Array.sub arr 0 k)
 
 let gaussian t =
-  let rec nonzero () =
-    let u = float t 1.0 in
-    if u = 0.0 then nonzero () else u
-  in
-  let u1 = nonzero () and u2 = float t 1.0 in
-  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  (* Box–Muller yields two deviates per pair of uniforms; return the
+     cosine half now and bank the sine half for the next call, halving
+     the transcendental work. *)
+  match t.spare with
+  | Some z ->
+    t.spare <- None;
+    z
+  | None ->
+    let rec nonzero () =
+      let u = float t 1.0 in
+      if u = 0.0 then nonzero () else u
+    in
+    let u1 = nonzero () in
+    let u2 = float t 1.0 in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.spare <- Some (r *. sin theta);
+    r *. cos theta

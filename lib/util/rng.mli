@@ -65,4 +65,9 @@ val sample : t -> 'a list -> int -> 'a list
     no particular order. *)
 
 val gaussian : t -> float
-(** Standard normal deviate (Box–Muller, one value per call). *)
+(** Standard normal deviate (Box–Muller). Each uniform pair yields two
+    deviates: the cosine half is returned immediately and the sine half
+    is cached on [t] and returned by the next call, so consecutive calls
+    consume two uniform draws per {e pair} rather than per value.
+    {!copy} replays the cached half; {!split} children start with an
+    empty cache. *)

@@ -242,6 +242,59 @@ void compute(float x) {
   done;
   check_bool "fp32 fastmath uses intrinsics" true !differs
 
+let test_matrix_matches_independent_compiles () =
+  (* The shared front-end cache must be invisible: a [matrix] over the
+     full 18-configuration list — at any job count — produces binaries
+     byte-identical to 18 independent [compile] calls. *)
+  let p = parse simple in
+  let independent =
+    List.map
+      (fun cfg ->
+        match Compiler.Driver.compile cfg p with
+        | Ok bin -> bin
+        | Error msg -> Alcotest.failf "compile failed: %s" msg)
+      all_configs
+  in
+  let via_matrix jobs =
+    List.map
+      (function
+        | Either.Left (_, bin) -> bin
+        | Either.Right (cfg, msg) ->
+          Alcotest.failf "matrix failed at %s: %s" (Compiler.Config.name cfg) msg)
+      (Compiler.Driver.matrix ~jobs p)
+  in
+  let check_same label cached =
+    List.iter2
+      (fun (a : Compiler.Driver.binary) (b : Compiler.Driver.binary) ->
+        Alcotest.(check string)
+          (label ^ ": same config")
+          (Compiler.Config.name a.config) (Compiler.Config.name b.config);
+        Alcotest.(check string)
+          (label ^ ": same translation unit")
+          a.source b.source;
+        check_bool (label ^ ": same optimized IR") true
+          (Irsim.Ir.equal a.ir b.ir);
+        check_int (label ^ ": same work") a.work b.work)
+      independent cached
+  in
+  check_same "jobs=1" (via_matrix 1);
+  check_same "jobs=4" (via_matrix 4)
+
+let test_frontend_cache_two_runs () =
+  (* 18 configurations touch exactly two translation units (host C,
+     device CUDA): 2 front-end runs, 16 cache hits, at any job count. *)
+  let runs = Obs.Metrics.counter "compiler.frontend.runs" in
+  let hits = Obs.Metrics.counter "compiler.frontend.cache_hits" in
+  List.iter
+    (fun jobs ->
+      let p = parse simple in
+      let runs0 = Obs.Metrics.counter_value runs in
+      let hits0 = Obs.Metrics.counter_value hits in
+      ignore (Compiler.Driver.matrix ~jobs p);
+      check_int "front end ran twice" 2 (Obs.Metrics.counter_value runs - runs0);
+      check_int "16 cache hits" 16 (Obs.Metrics.counter_value hits - hits0))
+    [ 1; 4 ]
+
 let qcheck_matrix_compiles_varity =
   QCheck.Test.make ~name:"every Varity program compiles everywhere" ~count:100
     arbitrary_case (fun (p, _) ->
@@ -286,6 +339,10 @@ let () =
             test_hosts_agree_without_calls_and_consts;
           Alcotest.test_case "nvcc fastmath precision" `Quick
             test_nvcc_fastmath_precision_dependent;
+          Alcotest.test_case "matrix matches independent compiles" `Quick
+            test_matrix_matches_independent_compiles;
+          Alcotest.test_case "front-end cache: 2 runs, 16 hits" `Quick
+            test_frontend_cache_two_runs;
           QCheck_alcotest.to_alcotest qcheck_matrix_compiles_varity;
           QCheck_alcotest.to_alcotest qcheck_work_positive;
         ] );

@@ -1,0 +1,120 @@
+(* Tests for lib/exec: the work-sharing domain pool.
+
+   The pool's contract is that [Pool.map ~jobs f xs] is observationally
+   [List.map f xs] for pure [f] at every job count — same results, same
+   order, same (earliest) exception — so most cases compare a parallel
+   run against the sequential gold answer. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_empty () =
+  check_int "empty in, empty out" 0
+    (List.length (Exec.Pool.map ~jobs:4 (fun x -> x) []))
+
+let test_singleton () =
+  Alcotest.(check (list int)) "singleton" [ 42 ]
+    (Exec.Pool.map ~jobs:4 (fun x -> x * 2) [ 21 ])
+
+let test_ordering () =
+  let xs = List.init 100 Fun.id in
+  let expected = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "results in input order" expected
+    (Exec.Pool.map ~jobs:4 (fun x -> x * x) xs)
+
+let test_matches_sequential () =
+  let xs = List.init 57 (fun i -> (i * 31) mod 17) in
+  let f x = Printf.sprintf "<%d>" (x + 1) in
+  Alcotest.(check (list string)) "jobs=4 = jobs=1"
+    (Exec.Pool.map ~jobs:1 f xs)
+    (Exec.Pool.map ~jobs:4 f xs)
+
+let test_jobs1_is_sequential () =
+  (* jobs=1 must run on the calling domain, in order, with no spawning:
+     observable through side-effect order. *)
+  let seen = ref [] in
+  ignore
+    (Exec.Pool.map ~jobs:1
+       (fun x ->
+         seen := x :: !seen;
+         x)
+       [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list int)) "left-to-right effects" [ 1; 2; 3; 4; 5 ]
+    (List.rev !seen)
+
+let test_oversubscription () =
+  (* More workers than items must neither deadlock nor drop results. *)
+  let xs = [ 10; 20; 30; 40; 50 ] in
+  Alcotest.(check (list int)) "jobs=16 over 5 items"
+    (List.map (fun x -> x + 1) xs)
+    (Exec.Pool.map ~jobs:16 (fun x -> x + 1) xs)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  check_bool "raises" true
+    (try
+       ignore (Exec.Pool.map ~jobs:4 (fun x -> if x = 3 then raise (Boom x) else x)
+                 [ 1; 2; 3; 4; 5 ]);
+       false
+     with Boom 3 -> true)
+
+let test_earliest_exception_wins () =
+  (* With several failing items the re-raised exception is the one from
+     the earliest input index, independent of completion timing. *)
+  for _ = 1 to 20 do
+    match
+      Exec.Pool.map ~jobs:4
+        (fun x -> if x >= 2 then raise (Boom x) else x)
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom i -> check_int "earliest failing index" 2 i
+  done
+
+let test_nested_map () =
+  (* A map issued from inside a pool worker degrades to sequential
+     rather than deadlocking on the shared queue. *)
+  let result =
+    Exec.Pool.map ~jobs:4
+      (fun row -> Exec.Pool.map ~jobs:4 (fun x -> (row * 10) + x) [ 1; 2; 3 ])
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested results"
+    [ [ 11; 12; 13 ]; [ 21; 22; 23 ]; [ 31; 32; 33 ]; [ 41; 42; 43 ] ]
+    result
+
+let test_pool_reusable () =
+  (* Consecutive maps (growing the pool in between) share one pool. *)
+  let sum jobs n =
+    List.fold_left ( + ) 0 (Exec.Pool.map ~jobs Fun.id (List.init n Fun.id))
+  in
+  check_int "first batch" 4950 (sum 2 100);
+  check_int "wider batch" 4950 (sum 8 100);
+  check_int "narrow again" 4950 (sum 2 100);
+  check_bool "workers retained" true (Exec.Pool.worker_count () >= 1)
+
+let test_recommended_jobs () =
+  check_bool "at least one" true (Exec.Pool.recommended_jobs () >= 1)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+          Alcotest.test_case "jobs=1 sequential" `Quick test_jobs1_is_sequential;
+          Alcotest.test_case "oversubscription" `Quick test_oversubscription;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "earliest exception wins" `Quick
+            test_earliest_exception_wins;
+          Alcotest.test_case "nested map" `Quick test_nested_map;
+          Alcotest.test_case "pool reusable" `Quick test_pool_reusable;
+          Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs;
+        ] );
+    ]

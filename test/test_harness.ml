@@ -111,6 +111,38 @@ let test_table6_within_compilers () =
     (fun needle -> check_bool needle true (Util.Text.contains_sub t needle))
     [ "V: gcc"; "L: nvcc"; "Total" ]
 
+let test_parallel_suite_byte_identical () =
+  (* The whole point of the parallel engine: job count must never change
+     results. Render the deterministic tables from a sequential and a
+     4-job suite and require byte equality. (summary embeds measured
+     real seconds, so it is exactly the section this check must avoid.) *)
+  let render jobs =
+    let s = Harness.Experiments.run_suite ~budget:15 ~jobs ~seed:424242 () in
+    (Harness.Experiments.table2 s, Harness.Experiments.table5 s)
+  in
+  let t2_seq, t5_seq = render 1 in
+  let t2_par, t5_par = render 4 in
+  Alcotest.(check string) "table2 identical at jobs=1 and jobs=4" t2_seq t2_par;
+  Alcotest.(check string) "table5 identical at jobs=1 and jobs=4" t5_seq t5_par
+
+let test_parallel_campaign_same_outcome () =
+  let run jobs =
+    Harness.Campaign.run ~budget:12 ~jobs ~seed:7 Harness.Approach.Llm4fp
+  in
+  let seq = run 1 and par = run 4 in
+  check_int "same inconsistencies"
+    (Difftest.Stats.total_inconsistencies seq.Harness.Campaign.stats)
+    (Difftest.Stats.total_inconsistencies par.Harness.Campaign.stats);
+  check_int "same comparisons"
+    (Difftest.Stats.total_comparisons seq.Harness.Campaign.stats)
+    (Difftest.Stats.total_comparisons par.Harness.Campaign.stats);
+  check_int "same feedback set" seq.Harness.Campaign.successful
+    par.Harness.Campaign.successful;
+  check_bool "same programs" true
+    (seq.Harness.Campaign.programs = par.Harness.Campaign.programs);
+  Alcotest.(check (float 1e-9)) "same simulated clock"
+    seq.Harness.Campaign.sim_seconds par.Harness.Campaign.sim_seconds
+
 let test_outcome_accessor () =
   let s = Lazy.force suite in
   Array.iter
@@ -194,6 +226,13 @@ let () =
           Alcotest.test_case "table5 pairs" `Slow test_table5_has_pairs;
           Alcotest.test_case "table6 within" `Slow test_table6_within_compilers;
           Alcotest.test_case "outcome accessor" `Slow test_outcome_accessor;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "suite byte-identical across jobs" `Slow
+            test_parallel_suite_byte_identical;
+          Alcotest.test_case "campaign outcome across jobs" `Slow
+            test_parallel_campaign_same_outcome;
         ] );
       ( "precision",
         [

@@ -150,6 +150,27 @@ let test_gaussian_moments () =
   check_bool "mean ~ 0" true (Float.abs mean < 0.05);
   check_bool "var ~ 1" true (Float.abs (var -. 1.0) < 0.1)
 
+let test_gaussian_pair_draws () =
+  (* A Box–Muller pair costs exactly two uniform draws: after two
+     gaussians the raw stream must line up with two plain floats. *)
+  let a = Util.Rng.of_int 18 and b = Util.Rng.of_int 18 in
+  ignore (Util.Rng.gaussian a);
+  ignore (Util.Rng.gaussian a);
+  ignore (Util.Rng.float b 1.0);
+  ignore (Util.Rng.float b 1.0);
+  Alcotest.(check int64) "streams aligned after one pair" (Util.Rng.bits64 a)
+    (Util.Rng.bits64 b)
+
+let test_gaussian_copy_replays_spare () =
+  let a = Util.Rng.of_int 19 in
+  ignore (Util.Rng.gaussian a);
+  (* a now holds the banked sine deviate *)
+  let b = Util.Rng.copy a in
+  Alcotest.(check (float 0.0)) "copy returns the same banked deviate"
+    (Util.Rng.gaussian a) (Util.Rng.gaussian b);
+  Alcotest.(check (float 0.0)) "and the streams stay in lockstep"
+    (Util.Rng.gaussian a) (Util.Rng.gaussian b)
+
 (* ------------------------------------------------------------------ *)
 (* Sim_clock *)
 
@@ -247,6 +268,10 @@ let () =
           Alcotest.test_case "sample distinct" `Quick test_sample_distinct;
           Alcotest.test_case "sample overdraw" `Quick test_sample_overdraw;
           Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "gaussian pair draws" `Quick
+            test_gaussian_pair_draws;
+          Alcotest.test_case "gaussian copy replays spare" `Quick
+            test_gaussian_copy_replays_spare;
           QCheck_alcotest.to_alcotest qcheck_int_in;
           QCheck_alcotest.to_alcotest qcheck_float_in;
         ] );
