@@ -23,6 +23,8 @@
      LLM4FP_SKIP_ABLATION=1  skip the mechanism-ablation study
      LLM4FP_ABLATION_BUDGET  corpus size for ablation/FP32 (default 300)
      LLM4FP_SKIP_FP32=1    skip the FP32-vs-FP64 extension
+     LLM4FP_SKIP_FORENSICS=1  skip the flight-recorder overhead study
+     LLM4FP_FORENSICS_BUDGET  campaign size for that study (default 100)
      LLM4FP_JSON_OUT=FILE  also write a machine-readable summary (totals
                            plus per-phase Obs.Span aggregates, so
                            BENCH_*.json files track the phase-level
@@ -193,13 +195,101 @@ let run_fp32 () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Flight-recorder overhead: the same campaign with and without a case
+   archive attached. Recording is specified to be purely observational,
+   so the study doubles as an assertion: any differing statistic is a
+   correctness bug, not a measurement artifact. *)
+
+type forensics_summary = {
+  f_without_s : float;
+  f_with_s : float;
+  f_cases : int;
+  f_cross : int;
+  f_within : int;
+  f_duplicates : int;
+}
+
+let run_forensics ~jobs () =
+  let budget = env_int "LLM4FP_FORENSICS_BUDGET" 100 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  Printf.printf
+    "== forensics: flight-recorder overhead (budget %d, %d jobs) ==\n"
+    budget jobs;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let bare, without_s =
+    timed (fun () ->
+        Harness.Campaign.run ~budget ~jobs ~seed Harness.Approach.Llm4fp)
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llm4fp-bench-cases-%d" (Unix.getpid ()))
+  in
+  let recorder = Difftest.Recorder.create ~dir in
+  let recorded, with_s =
+    timed (fun () ->
+        Harness.Campaign.run ~budget ~jobs ~recorder ~seed
+          Harness.Approach.Llm4fp)
+  in
+  let signature (o : Harness.Campaign.outcome) =
+    ( Difftest.Stats.total_inconsistencies o.Harness.Campaign.stats,
+      Difftest.Stats.total_comparisons o.Harness.Campaign.stats,
+      o.Harness.Campaign.successful,
+      o.Harness.Campaign.generation_failures,
+      o.Harness.Campaign.sim_seconds )
+  in
+  if signature bare <> signature recorded then begin
+    Printf.eprintf
+      "FATAL: attaching the flight recorder changed campaign results \
+       (budget %d, seed %d)\n"
+      budget seed;
+    exit 1
+  end;
+  let cases =
+    match Difftest.Recorder.load_dir dir with
+    | Ok cases -> cases
+    | Error msg -> failwith ("bench: cannot re-read case archive: " ^ msg)
+  in
+  let cross =
+    List.length
+      (List.filter
+         (fun (c : Difftest.Case.t) -> c.Difftest.Case.kind = Difftest.Case.Cross)
+         cases)
+  in
+  let summary =
+    {
+      f_without_s = without_s;
+      f_with_s = with_s;
+      f_cases = List.length cases;
+      f_cross = cross;
+      f_within = List.length cases - cross;
+      f_duplicates = Difftest.Recorder.duplicates recorder;
+    }
+  in
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Unix.rmdir dir;
+  Printf.printf
+    "without recorder: %.2fs; with: %.2fs (overhead %+.2fs); archived %d \
+     case(s) (%d cross, %d within), %d duplicate hit(s); results \
+     identical\n\n"
+    summary.f_without_s summary.f_with_s
+    (summary.f_with_s -. summary.f_without_s)
+    summary.f_cases summary.f_cross summary.f_within summary.f_duplicates;
+  summary
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable summary: per-phase span aggregates next to the
    end-to-end totals, so stored BENCH_*.json files can track where the
    time goes (generation / compile / interp / compare / CodeBLEU), not
    just how much of it there is. *)
 
 let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
-    =
+    ~forensics =
   let phase (r : Obs.Span.row) =
     Obs.Json.Obj
       [ ("label", Obs.Json.String r.Obs.Span.label);
@@ -213,7 +303,7 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
      fails — an instrument the run didn't touch just reads 0. *)
   let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "llm4fp-bench/3");
+    ([ ("schema", Obs.Json.String "llm4fp-bench/4");
        ("budget", Obs.Json.Int budget);
        ("seed", Obs.Json.Int seed);
        ("jobs", Obs.Json.Int jobs) ]
@@ -225,8 +315,19 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
           Obs.Json.Obj
             [ ("runs", Obs.Json.Int (counter "compiler.frontend.runs"));
               ("hits", Obs.Json.Int (counter "compiler.frontend.cache_hits"))
-            ] );
-        ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
+            ] ) ]
+    @ (match forensics with
+      | None -> []
+      | Some f ->
+        [ ( "record_overhead_seconds",
+            Obs.Json.Float (f.f_with_s -. f.f_without_s) );
+          ( "case_archive",
+            Obs.Json.Obj
+              [ ("cases", Obs.Json.Int f.f_cases);
+                ("cross", Obs.Json.Int f.f_cross);
+                ("within", Obs.Json.Int f.f_within);
+                ("duplicates", Obs.Json.Int f.f_duplicates) ] ) ])
+    @ [ ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
     @
     match micro with
     | None -> []
@@ -251,6 +352,10 @@ let () =
   in
   if not (env_flag "LLM4FP_SKIP_ABLATION") then run_ablation ~jobs ();
   if not (env_flag "LLM4FP_SKIP_FP32") then run_fp32 ();
+  let forensics =
+    if not (env_flag "LLM4FP_SKIP_FORENSICS") then Some (run_forensics ~jobs ())
+    else None
+  in
   match Sys.getenv_opt "LLM4FP_JSON_OUT" with
   | None -> ()
   | Some path ->
@@ -264,6 +369,6 @@ let () =
         output_string oc
           (Obs.Json.to_string
              (json_summary ~budget ~seed ~jobs ~tables_seconds
-                ~end_to_end_seconds ~micro));
+                ~end_to_end_seconds ~micro ~forensics));
         output_char oc '\n');
     Printf.printf "(wrote JSON summary to %s)\n" path

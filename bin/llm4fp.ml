@@ -6,7 +6,9 @@
      campaign   run a full campaign for one approach and print statistics
      tables     run all four campaigns and print every paper table/figure
      profile    run a small campaign with span timing and print the profile
-     corpus     list or show the mock LLM's kernel corpus *)
+     corpus     list or show the mock LLM's kernel corpus
+     explain    replay an archived inconsistency case and isolate its cause
+     dashboard  render the analytics dashboard from a case archive *)
 
 open Cmdliner
 
@@ -50,13 +52,48 @@ let with_trace path f =
     in
     Fun.protect
       ~finally:(fun () -> close_out oc)
-      (fun () -> Obs.Trace.with_sink (Obs.Sink.jsonl oc) f)
+      (fun () ->
+        (* Ordered: the file carries the jobs=1 event sequence at any
+           job count (events are sorted by their (slot, lane, seq)
+           stamps before they reach the channel). *)
+        Obs.Trace.with_sink (Obs.Sink.ordered (Obs.Sink.jsonl oc)) f)
 
 let print_metrics_if requested =
   if requested then begin
     print_newline ();
     print_string (Obs.Metrics.render_table ())
   end
+
+(* Latency percentiles for the dashboard, from the metrics registry.
+   Every registered histogram observes modelled (simulated) quantities,
+   so these are deterministic in the seed — they may appear in the
+   byte-reproducible HTML report. *)
+let latency_percentiles () =
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Obs.Metrics.Histogram { bounds; counts; count; _ } when count > 0 ->
+        let p q = Obs.Metrics.percentile_of ~bounds ~counts q in
+        Some
+          {
+            Report.Analytics.metric = name;
+            count;
+            p50 = p 0.50;
+            p95 = p 0.95;
+            p99 = p 0.99;
+          }
+      | _ -> None)
+    (Obs.Metrics.snapshot ())
+
+let write_file path content =
+  let oc =
+    try open_out path
+    with Sys_error msg ->
+      prerr_endline ("cannot open output file: " ^ msg);
+      exit 1
+  in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc content)
 
 let approach_arg =
   let parse s =
@@ -167,11 +204,30 @@ let cmd_campaign =
     Arg.(value & flag
          & info [ "fp32" ] ~doc:"Generate and test single-precision programs.")
   in
-  let run seed budget approach fp32 jobs trace metrics =
+  let record =
+    Arg.(value & opt (some string) None
+         & info [ "record" ] ~docv:"DIR"
+             ~doc:"Flight recorder: archive every first-seen inconsistency \
+                   as a replayable case file $(docv)/<fingerprint>.jsonl \
+                   (see the $(b,explain) subcommand). Recording changes no \
+                   result.")
+  in
+  let html =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE"
+             ~doc:"Write the campaign analytics dashboard (self-contained \
+                   HTML) to $(docv). Requires $(b,--record).")
+  in
+  let run seed budget approach fp32 jobs trace metrics record html =
+    if html <> None && record = None then begin
+      prerr_endline "--html needs --record DIR (the dashboard folds the case archive)";
+      exit 1
+    end;
     let precision = if fp32 then Lang.Ast.F32 else Lang.Ast.F64 in
+    let recorder = Option.map (fun dir -> Difftest.Recorder.create ~dir) record in
     let o =
       with_trace trace (fun () ->
-          Harness.Campaign.run ~budget ~precision ~jobs ~seed approach)
+          Harness.Campaign.run ~budget ~precision ~jobs ?recorder ~seed approach)
     in
     let stats = o.Harness.Campaign.stats in
     Printf.printf "%s: budget %d, seed %d\n" (Harness.Approach.name approach)
@@ -189,11 +245,37 @@ let cmd_campaign =
       (Util.Sim_clock.hms o.Harness.Campaign.sim_seconds)
       (Util.Sim_clock.hms o.Harness.Campaign.llm_seconds);
     Printf.printf "  real compute       : %.2fs\n" o.Harness.Campaign.real_seconds;
+    (match recorder with
+    | None -> ()
+    | Some r ->
+      Printf.printf "  case archive       : %d new case(s) in %s (%d duplicate hits)\n"
+        (Difftest.Recorder.count r) (Difftest.Recorder.dir r)
+        (Difftest.Recorder.duplicates r));
+    (match (html, record) with
+    | Some out, Some dir -> begin
+      match Difftest.Recorder.load_dir dir with
+      | Error msg ->
+        prerr_endline ("cannot load case archive: " ^ msg);
+        exit 1
+      | Ok cases ->
+        let analytics =
+          Report.Analytics.build (List.map Difftest.Case.to_analytics cases)
+        in
+        let title =
+          Printf.sprintf "LLM4FP campaign forensics — %s, budget %d, seed %d"
+            (Harness.Approach.name approach) budget seed
+        in
+        write_file out
+          (Report.Analytics.render_html ~latencies:(latency_percentiles ())
+             ~title analytics);
+        Printf.printf "  dashboard          : %s\n" out
+    end
+    | _ -> ());
     print_metrics_if metrics
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run one approach's full campaign")
     Term.(const run $ seed_arg $ budget_arg $ approach $ fp32 $ jobs_arg
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ record $ html)
 
 let cmd_tables =
   let only =
@@ -206,29 +288,68 @@ let cmd_tables =
     Arg.(value & opt int 50_000 & info [ "max-pairs" ] ~docv:"N"
            ~doc:"CodeBLEU pair-sample bound per approach.")
   in
-  let run seed budget only max_pairs jobs trace metrics =
-    let tables =
+  let csv =
+    Arg.(value & flag
+         & info [ "csv" ]
+             ~doc:"Also write each table as CSV (requires $(b,--out)).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for the CSV files (one <section>.csv per \
+                   table).")
+  in
+  let run seed budget only max_pairs jobs trace metrics csv out =
+    if csv && out = None then begin
+      prerr_endline "--csv needs --out DIR";
+      exit 1
+    end;
+    let sections =
       with_trace trace (fun () ->
           let suite = Harness.Experiments.run_suite ~budget ~jobs ~seed () in
-          Harness.Experiments.all_tables ~max_pairs ~jobs suite)
+          Harness.Experiments.sections ~max_pairs ~jobs suite)
     in
     (match only with
     | None ->
-      List.iter (fun (name, text) -> Printf.printf "== %s ==\n%s\n" name text) tables
+      List.iter
+        (fun (s : Harness.Experiments.section) ->
+          Printf.printf "== %s ==\n%s\n" s.Harness.Experiments.name
+            s.Harness.Experiments.text)
+        sections
     | Some name -> begin
-      match List.assoc_opt name tables with
-      | Some text -> print_string text
+      match
+        List.find_opt
+          (fun (s : Harness.Experiments.section) ->
+            s.Harness.Experiments.name = name)
+          sections
+      with
+      | Some s -> print_string s.Harness.Experiments.text
       | None ->
         prerr_endline ("unknown section " ^ name);
         exit 1
     end);
+    (match (csv, out) with
+    | true, Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      List.iter
+        (fun (s : Harness.Experiments.section) ->
+          match s.Harness.Experiments.csv with
+          | None -> ()
+          | Some data ->
+            let path =
+              Filename.concat dir (s.Harness.Experiments.name ^ ".csv")
+            in
+            write_file path data;
+            Printf.eprintf "wrote %s\n" path)
+        sections
+    | _ -> ());
     print_metrics_if metrics
   in
   Cmd.v
     (Cmd.info "tables"
        ~doc:"Run all four campaigns and print every paper table and figure")
     Term.(const run $ seed_arg $ budget_arg $ only $ max_pairs $ jobs_arg
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ csv $ out)
 
 let cmd_corpus =
   let kernel_name =
@@ -303,6 +424,8 @@ let cmd_profile =
          (Difftest.Stats.total_inconsistencies o.Harness.Campaign.stats))
       o.Harness.Campaign.real_seconds;
     print_string (Obs.Span.render ());
+    print_newline ();
+    print_string (Obs.Metrics.render_percentiles ());
     print_metrics_if metrics
   in
   Cmd.v
@@ -311,6 +434,81 @@ let cmd_profile =
              per-stage hot-path profile")
     Term.(const run $ seed_arg $ budget $ approach $ jobs_arg $ trace_arg
           $ metrics_arg)
+
+let cmd_explain =
+  let case_ref =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"CASE"
+             ~doc:"An archive file path, or a bare fingerprint resolved \
+                   against $(b,--archive).")
+  in
+  let archive =
+    Arg.(value & opt (some string) None
+         & info [ "archive" ] ~docv:"DIR"
+             ~doc:"The case-archive directory a bare fingerprint is \
+                   looked up in (as written by $(b,campaign --record)).")
+  in
+  let run case_ref archive metrics =
+    Obs.Span.set_enabled true;
+    match Forensics.Explain.load ?dir:archive case_ref with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok case -> begin
+      match Forensics.Explain.replay case with
+      | Error msg ->
+        prerr_endline ("replay failed: " ^ msg);
+        exit 1
+      | Ok outcome ->
+        print_string (Forensics.Explain.render outcome);
+        print_newline ();
+        print_string (Obs.Span.render ());
+        print_metrics_if metrics;
+        if not outcome.Forensics.Explain.reproduced then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Replay an archived inconsistency case bit-for-bit and isolate \
+             its root cause (minimal strict-statement set or runtime \
+             divergence)")
+    Term.(const run $ case_ref $ archive $ metrics_arg)
+
+let cmd_dashboard =
+  let archive =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"The case-archive directory to analyze.")
+  in
+  let html =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE"
+             ~doc:"Also write the dashboard as self-contained HTML.")
+  in
+  let title =
+    Arg.(value & opt string "LLM4FP campaign forensics"
+         & info [ "title" ] ~docv:"TITLE" ~doc:"Report title.")
+  in
+  let run archive html title =
+    match Difftest.Recorder.load_dir archive with
+    | Error msg ->
+      prerr_endline ("cannot load case archive: " ^ msg);
+      exit 1
+    | Ok cases ->
+      let analytics =
+        Report.Analytics.build (List.map Difftest.Case.to_analytics cases)
+      in
+      print_string (Report.Analytics.render_tty ~title analytics);
+      (match html with
+      | None -> ()
+      | Some out ->
+        write_file out (Report.Analytics.render_html ~title analytics);
+        Printf.eprintf "wrote %s\n" out)
+  in
+  Cmd.v
+    (Cmd.info "dashboard"
+       ~doc:"Fold a case archive into per-pair / per-level / per-class \
+             breakdown tables (TTY summary and optional HTML report)")
+    Term.(const run $ archive $ html $ title)
 
 let cmd_stability =
   let seeds =
@@ -337,4 +535,5 @@ let () =
              ~doc:"LLM-guided floating-point differential compiler testing \
                    (SC'25 reproduction)")
           [ cmd_generate; cmd_matrix; cmd_campaign; cmd_tables; cmd_profile;
-            cmd_corpus; cmd_ablation; cmd_fp32; cmd_stability ]))
+            cmd_explain; cmd_dashboard; cmd_corpus; cmd_ablation; cmd_fp32;
+            cmd_stability ]))

@@ -191,11 +191,13 @@ let matrix ?configs ?(jobs = 1) program =
     | Ok binary -> Either.Left (config, binary)
     | Error msg -> Either.Right (config, msg)
   in
-  let task config =
+  let task (lane, config) =
     (* Re-establish the caller's slot context inside pool workers so
-       Compiled events stay correlated. *)
+       Compiled events stay correlated, and lane-stamp by matrix index
+       so ordered sinks can serialize them deterministically. *)
+    let go () = Obs.Trace.with_lane lane (fun () -> compile_one config) in
     match slot with
-    | Some s -> Obs.Trace.with_slot s (fun () -> compile_one config)
-    | None -> compile_one config
+    | Some s -> Obs.Trace.with_slot s go
+    | None -> go ()
   in
-  Exec.Pool.map ~jobs task configs
+  Exec.Pool.map ~jobs task (List.mapi (fun i c -> (i, c)) configs)

@@ -1,0 +1,309 @@
+(* Self-contained, replayable inconsistency witnesses. The archive
+   encoding carries floats as bit-exact hexadecimal (plus a decimal
+   rendering for humans), so a decoded case replays on exactly the
+   inputs that triggered it. *)
+
+type kind = Cross | Within
+
+type side = {
+  config : Compiler.Config.t;
+  hex : string;
+  class_ : Fp.Bits.class_;
+}
+
+type t = {
+  kind : kind;
+  left : side;
+  right : side;
+  level : Compiler.Optlevel.t;
+  digits : int;
+  source : string;
+  inputs : Irsim.Inputs.t;
+  seed : int;
+  slot : int;
+}
+
+let kind_name = function Cross -> "cross" | Within -> "within"
+
+let pair_name t =
+  match t.kind with
+  | Cross ->
+    Compiler.Personality.pair_name
+      ( t.left.config.Compiler.Config.personality,
+        t.right.config.Compiler.Config.personality )
+  | Within ->
+    Compiler.Personality.name t.left.config.Compiler.Config.personality
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint: FNV-1a over bytes we serialize ourselves, so the hash
+   is stable across processes (unlike Hashtbl.hash, whose value is not
+   part of any compatibility contract). *)
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  !h
+
+let input_token = function
+  | Irsim.Inputs.Fp v -> "fp:" ^ Fp.Bits.hex_of_double v
+  | Irsim.Inputs.Int n -> "int:" ^ string_of_int n
+  | Irsim.Inputs.Arr a ->
+    "arr:"
+    ^ String.concat ","
+        (Array.to_list (Array.map Fp.Bits.hex_of_double a))
+
+let side_token s = Compiler.Config.name s.config ^ "=" ^ s.hex
+
+let fingerprint t =
+  (* Content only — no seed/slot — so the same inconsistency has the
+     same identity whichever campaign found it. *)
+  let canonical =
+    String.concat "\x00"
+      ([ kind_name t.kind;
+         Compiler.Optlevel.name t.level;
+         side_token t.left;
+         side_token t.right ]
+      @ List.map input_token t.inputs
+      @ [ t.source ])
+  in
+  Printf.sprintf "%016Lx" (fnv1a64 canonical)
+
+(* ------------------------------------------------------------------ *)
+
+let of_result ~seed ~slot ~program ~inputs (r : Run.result) =
+  let source = Lang.Pp.to_c program in
+  let case kind (c : Run.comparison) =
+    {
+      kind;
+      left =
+        {
+          config = c.Run.left.Run.config;
+          hex = c.Run.left.Run.hex;
+          class_ = c.Run.class_left;
+        };
+      right =
+        {
+          config = c.Run.right.Run.config;
+          hex = c.Run.right.Run.hex;
+          class_ = c.Run.class_right;
+        };
+      level = c.Run.level;
+      digits = c.Run.digits;
+      source;
+      inputs;
+      seed;
+      slot;
+    }
+  in
+  List.filter_map
+    (fun (_, c) -> if c.Run.inconsistent then Some (case Cross c) else None)
+    r.Run.cross
+  @ List.filter_map
+      (fun (_, c) -> if c.Run.inconsistent then Some (case Within c) else None)
+      r.Run.within
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let schema = "llm4fp-case/1"
+
+let class_of_name = function
+  | "Real" -> Some Fp.Bits.Real
+  | "Zero" -> Some Fp.Bits.Zero
+  | "+Inf" -> Some Fp.Bits.Pos_inf
+  | "-Inf" -> Some Fp.Bits.Neg_inf
+  | "NaN" -> Some Fp.Bits.Nan
+  | _ -> None
+
+let side_to_json s =
+  Obs.Json.Obj
+    [ ("compiler",
+       Obs.Json.String
+         (Compiler.Personality.name s.config.Compiler.Config.personality));
+      ("level",
+       Obs.Json.String
+         (Compiler.Optlevel.name s.config.Compiler.Config.level));
+      ("hex", Obs.Json.String s.hex);
+      ("class", Obs.Json.String (Fp.Bits.class_name s.class_));
+      ("value",
+       Obs.Json.String
+         (Printf.sprintf "%.17g" (Fp.Bits.double_of_hex s.hex))) ]
+
+let input_to_json = function
+  | Irsim.Inputs.Fp v ->
+    Obs.Json.Obj
+      [ ("fp", Obs.Json.String (Fp.Bits.hex_of_double v));
+        ("dec", Obs.Json.String (Printf.sprintf "%.17g" v)) ]
+  | Irsim.Inputs.Int n -> Obs.Json.Obj [ ("int", Obs.Json.Int n) ]
+  | Irsim.Inputs.Arr a ->
+    Obs.Json.Obj
+      [ ("arr",
+         Obs.Json.List
+           (Array.to_list
+              (Array.map
+                 (fun v -> Obs.Json.String (Fp.Bits.hex_of_double v))
+                 a)));
+        ("dec",
+         Obs.Json.List
+           (Array.to_list
+              (Array.map
+                 (fun v -> Obs.Json.String (Printf.sprintf "%.17g" v))
+                 a))) ]
+
+let to_json t =
+  Obs.Json.Obj
+    [ ("schema", Obs.Json.String schema);
+      ("fingerprint", Obs.Json.String (fingerprint t));
+      ("kind", Obs.Json.String (kind_name t.kind));
+      ("pair", Obs.Json.String (pair_name t));
+      ("level", Obs.Json.String (Compiler.Optlevel.name t.level));
+      ("left", side_to_json t.left);
+      ("right", side_to_json t.right);
+      ("digits", Obs.Json.Int t.digits);
+      ("seed", Obs.Json.Int t.seed);
+      ("slot", Obs.Json.Int t.slot);
+      ("inputs", Obs.Json.List (List.map input_to_json t.inputs));
+      ("source", Obs.Json.String t.source) ]
+
+(* Decoding helpers: each returns Error with the offending field name. *)
+let field name json =
+  match Obs.Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "case JSON: missing field %S" name)
+
+let string_field name json =
+  match field name json with
+  | Ok (Obs.Json.String s) -> Ok s
+  | Ok _ -> Error (Printf.sprintf "case JSON: field %S is not a string" name)
+  | Error e -> Error e
+
+let int_field name json =
+  match field name json with
+  | Ok (Obs.Json.Int n) -> Ok n
+  | Ok _ -> Error (Printf.sprintf "case JSON: field %S is not an int" name)
+  | Error e -> Error e
+
+let ( let* ) = Result.bind
+
+let hex_value name s =
+  match Fp.Bits.double_of_hex s with
+  | v -> Ok v
+  | exception Invalid_argument _ ->
+    Error (Printf.sprintf "case JSON: field %S is not a 16-digit hex" name)
+
+let side_of_json json =
+  let* compiler = string_field "compiler" json in
+  let* level = string_field "level" json in
+  let* hex = string_field "hex" json in
+  let* class_name = string_field "class" json in
+  let* personality =
+    Option.to_result
+      ~none:(Printf.sprintf "case JSON: unknown compiler %S" compiler)
+      (Compiler.Personality.of_name compiler)
+  in
+  let* level =
+    Option.to_result
+      ~none:(Printf.sprintf "case JSON: unknown level %S" level)
+      (Compiler.Optlevel.of_name level)
+  in
+  let* class_ =
+    Option.to_result
+      ~none:(Printf.sprintf "case JSON: unknown class %S" class_name)
+      (class_of_name class_name)
+  in
+  let* _ = hex_value "hex" hex in
+  Ok { config = Compiler.Config.make personality level; hex; class_ }
+
+let input_of_json json =
+  match
+    (Obs.Json.member "fp" json, Obs.Json.member "int" json,
+     Obs.Json.member "arr" json)
+  with
+  | Some (Obs.Json.String h), _, _ ->
+    let* v = hex_value "fp" h in
+    Ok (Irsim.Inputs.Fp v)
+  | _, Some (Obs.Json.Int n), _ -> Ok (Irsim.Inputs.Int n)
+  | _, _, Some (Obs.Json.List items) ->
+    let* values =
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match item with
+          | Obs.Json.String h ->
+            let* v = hex_value "arr" h in
+            Ok (v :: acc)
+          | _ -> Error "case JSON: array input element is not a hex string")
+        (Ok []) items
+    in
+    Ok (Irsim.Inputs.Arr (Array.of_list (List.rev values)))
+  | _ -> Error "case JSON: input is none of fp/int/arr"
+
+let of_json json =
+  let* schema_got = string_field "schema" json in
+  let* () =
+    if schema_got = schema then Ok ()
+    else Error (Printf.sprintf "case JSON: unsupported schema %S" schema_got)
+  in
+  let* embedded = string_field "fingerprint" json in
+  let* kind_s = string_field "kind" json in
+  let* kind =
+    match kind_s with
+    | "cross" -> Ok Cross
+    | "within" -> Ok Within
+    | k -> Error (Printf.sprintf "case JSON: unknown kind %S" k)
+  in
+  let* level_s = string_field "level" json in
+  let* level =
+    Option.to_result
+      ~none:(Printf.sprintf "case JSON: unknown level %S" level_s)
+      (Compiler.Optlevel.of_name level_s)
+  in
+  let* left_json = field "left" json in
+  let* right_json = field "right" json in
+  let* left = side_of_json left_json in
+  let* right = side_of_json right_json in
+  let* digits = int_field "digits" json in
+  let* seed = int_field "seed" json in
+  let* slot = int_field "slot" json in
+  let* inputs_json = field "inputs" json in
+  let* inputs =
+    match inputs_json with
+    | Obs.Json.List items ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* v = input_of_json item in
+          Ok (v :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+    | _ -> Error "case JSON: field \"inputs\" is not a list"
+  in
+  let* source = string_field "source" json in
+  let t =
+    { kind; left; right; level; digits; source; inputs; seed; slot }
+  in
+  let actual = fingerprint t in
+  if actual <> embedded then
+    Error
+      (Printf.sprintf
+         "case JSON: fingerprint mismatch (embedded %s, content hashes to \
+          %s) — the archive file was edited or corrupted"
+         embedded actual)
+  else Ok t
+
+let to_analytics t =
+  {
+    Report.Analytics.fingerprint = fingerprint t;
+    kind = kind_name t.kind;
+    pair = pair_name t;
+    level = Compiler.Optlevel.name t.level;
+    class_pair = Fp.Bits.class_pair_name t.left.class_ t.right.class_;
+    digits = t.digits;
+    slot = t.slot;
+  }

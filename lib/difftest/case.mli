@@ -1,0 +1,71 @@
+(** Forensic inconsistency cases: self-contained, replayable witnesses.
+
+    A campaign that merely {e counts} inconsistencies cannot answer the
+    paper's RQ2/RQ3 drill-down questions after the run ends, and cannot
+    feed the pLiner-style root-cause analysis of {!Isolate} (§3.2.2,
+    §4). A {e case} captures everything needed to reproduce one
+    cross- or within-compiler inconsistency bit-for-bit in a fresh
+    process: the printed program, the input vector, both configurations,
+    both hexadecimal outputs with their value classes, the digit
+    difference, and the (seed, slot) provenance.
+
+    Cases are identified by a {!fingerprint}: a 64-bit FNV-1a content
+    hash over the program source, the bit-exact inputs, the
+    configuration pair and the output bits — {e not} over the
+    provenance, so the same inconsistency found by two campaigns (or at
+    two job counts) has the same identity. The hash is computed from
+    bytes we serialize ourselves, making it stable across processes,
+    architectures and OCaml versions. *)
+
+type kind = Cross | Within
+
+type side = {
+  config : Compiler.Config.t;
+  hex : string;  (** 16-char hexadecimal encoding of the printed result *)
+  class_ : Fp.Bits.class_;
+}
+
+type t = {
+  kind : kind;
+  left : side;   (** for {!Within}, the [00_nofma] baseline *)
+  right : side;  (** for {!Within}, the non-baseline level *)
+  level : Compiler.Optlevel.t;  (** the compared (non-baseline) level *)
+  digits : int;  (** decimal digit difference, per {!Fp.Digits} *)
+  source : string;  (** full host translation unit ({!Lang.Pp.to_c}) *)
+  inputs : Irsim.Inputs.t;
+  seed : int;  (** campaign seed (provenance, not part of the hash) *)
+  slot : int;  (** campaign budget slot (provenance) *)
+}
+
+val kind_name : kind -> string
+(** ["cross"] or ["within"]. *)
+
+val pair_name : t -> string
+(** The comparison's display name: {!Compiler.Personality.pair_name}
+    for cross cases, the compiler's own name for within cases. *)
+
+val fingerprint : t -> string
+(** 16 lowercase hex digits of the FNV-1a-64 content hash. *)
+
+val of_result :
+  seed:int ->
+  slot:int ->
+  program:Lang.Ast.program ->
+  inputs:Irsim.Inputs.t ->
+  Run.result ->
+  t list
+(** One case per inconsistent comparison of the result, cross cases
+    first, in the result's (deterministic) comparison order. *)
+
+val to_json : t -> Obs.Json.t
+(** The archive encoding ([schema "llm4fp-case/1"]): one object whose
+    float payloads (inputs) are carried as bit-exact hexadecimal
+    alongside a human-readable decimal rendering. Includes the
+    fingerprint. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}. Verifies that the embedded fingerprint
+    matches the decoded content (an archive integrity check). *)
+
+val to_analytics : t -> Report.Analytics.case
+(** The dependency-free projection the dashboard aggregates. *)

@@ -1,0 +1,116 @@
+type t = {
+  dir : string;
+  lock : Mutex.t;
+  seen : (string, unit) Hashtbl.t;
+  mutable recorded : int;
+  mutable duplicates : int;
+}
+
+let m_recorded = Obs.Metrics.counter "recorder.cases"
+let m_duplicates = Obs.Metrics.counter "recorder.duplicates"
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let is_case_file name = Filename.check_suffix name ".jsonl"
+
+let create ~dir =
+  mkdir_p dir;
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun name ->
+      if is_case_file name then
+        Hashtbl.replace seen (Filename.chop_suffix name ".jsonl") ())
+    (Sys.readdir dir);
+  { dir; lock = Mutex.create (); seen; recorded = 0; duplicates = 0 }
+
+let dir t = t.dir
+
+let path_of t fingerprint = Filename.concat t.dir (fingerprint ^ ".jsonl")
+
+let record t case =
+  let fingerprint = Case.fingerprint case in
+  Mutex.lock t.lock;
+  let fresh = not (Hashtbl.mem t.seen fingerprint) in
+  if fresh then begin
+    Hashtbl.replace t.seen fingerprint ();
+    t.recorded <- t.recorded + 1
+  end
+  else t.duplicates <- t.duplicates + 1;
+  Mutex.unlock t.lock;
+  if fresh then begin
+    (* Write outside the lock: the fingerprint is already claimed, so
+       no other domain can race on this path. *)
+    let oc = open_out (path_of t fingerprint) in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (Obs.Json.to_string (Case.to_json case));
+        output_char oc '\n');
+    Obs.Metrics.incr m_recorded;
+    Obs.Trace.event (fun () ->
+        Obs.Event.Case_recorded
+          {
+            slot = Obs.Trace.current_slot ();
+            fingerprint;
+            kind = Case.kind_name case.Case.kind;
+          })
+  end
+  else Obs.Metrics.incr m_duplicates;
+  fresh
+
+let count t =
+  Mutex.lock t.lock;
+  let n = t.recorded in
+  Mutex.unlock t.lock;
+  n
+
+let duplicates t =
+  Mutex.lock t.lock;
+  let n = t.duplicates in
+  Mutex.unlock t.lock;
+  n
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> Error (Printf.sprintf "%s: empty file" path)
+        | line -> begin
+          match Obs.Json.parse line with
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+          | Ok json -> begin
+            match Case.of_json json with
+            | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+            | Ok case -> Ok case
+          end
+        end)
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error msg
+  | names ->
+    let names =
+      List.sort String.compare
+        (List.filter is_case_file (Array.to_list names))
+    in
+    List.fold_left
+      (fun acc name ->
+        match acc with
+        | Error _ -> acc
+        | Ok cases -> begin
+          match load_file (Filename.concat dir name) with
+          | Ok case -> Ok (case :: cases)
+          | Error msg -> Error msg
+        end)
+      (Ok []) names
+    |> Result.map List.rev

@@ -1,0 +1,41 @@
+(** The flight recorder: a first-seen archive of inconsistency cases.
+
+    A recorder owns a directory and writes each {e new} fingerprint as a
+    self-contained single-line JSON file [DIR/<fingerprint>.jsonl] (the
+    {!Case.to_json} encoding). Duplicates — the same inconsistency
+    retriggered by a later slot, or by both sides of a comparison
+    family — are counted but not rewritten, so an archive directory is a
+    set, not a log. Recording never changes campaign results; it only
+    observes them.
+
+    Thread-safe: [record] may be called from any domain (the dedup set
+    and the counters sit behind a mutex). With tracing enabled, every
+    first-seen case emits an {!Obs.Event.Case_recorded} event. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (and missing parents) if needed. Pre-existing
+    [*.jsonl] files in [dir] seed the dedup set, so re-running a
+    campaign into the same directory extends the archive instead of
+    rewriting it. *)
+
+val dir : t -> string
+
+val record : t -> Case.t -> bool
+(** [true] when the case was new and archived, [false] when its
+    fingerprint was already present. *)
+
+val count : t -> int
+(** Cases archived by this recorder (excluding pre-existing ones). *)
+
+val duplicates : t -> int
+(** Cases offered to {!record} that were already present. *)
+
+val load_dir : string -> (Case.t list, string) result
+(** Read every [*.jsonl] file of an archive directory, sorted by file
+    name (= fingerprint order). Fails on the first undecodable file,
+    naming it. *)
+
+val load_file : string -> (Case.t, string) result
+(** Read one archived case (the first line of the file). *)

@@ -72,15 +72,20 @@ let test ?configs ?(jobs = 1) program inputs =
           work = binary.Compiler.Driver.work;
         }
   in
-  let task config =
+  let task (lane, config) =
     (* Pool workers re-establish the campaign's slot context so their
-       Compiled/Executed trace events stay correlated. *)
+       Compiled/Executed trace events stay correlated, and stamp their
+       events with the configuration's matrix index as the lane — an
+       ordered sink sorts on (slot, lane, seq), restoring the jobs=1
+       event order no matter which domain finishes first. *)
+    let go () = Obs.Trace.with_lane lane (fun () -> evaluate config) in
     match slot with
-    | Some s -> Obs.Trace.with_slot s (fun () -> evaluate config)
-    | None -> evaluate config
+    | Some s -> Obs.Trace.with_slot s go
+    | None -> go ()
   in
   let outputs, failures =
-    List.partition_map Fun.id (Exec.Pool.map ~jobs task configs)
+    List.partition_map Fun.id
+      (Exec.Pool.map ~jobs task (List.mapi (fun i c -> (i, c)) configs))
   in
   (* One O(n) pass instead of an O(configs) scan per lookup: the
      comparison stage below performs 2 lookups per (pair, level) plus 2

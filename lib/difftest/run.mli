@@ -61,9 +61,10 @@ val test :
     instead of one per configuration — and [jobs > 1] fans the
     per-configuration back end + execution across the {!Exec.Pool}.
     The [result] is identical at any job count; only wall-clock
-    changes. (With a trace sink attached, per-configuration event
-    {e order} within the slot follows completion order when
-    [jobs > 1].) *)
+    changes. Trace events carry a deterministic [(slot, lane, seq)]
+    stamp — [lane] is the configuration's matrix index — so a sink
+    wrapped in {!Obs.Sink.ordered} observes the exact [jobs = 1] event
+    sequence at any job count. *)
 
 val cross_inconsistencies : result -> int
 val has_inconsistency : result -> bool

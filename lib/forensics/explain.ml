@@ -1,0 +1,124 @@
+type outcome = {
+  case : Difftest.Case.t;
+  program : Lang.Ast.program;
+  left_hex : string;
+  right_hex : string;
+  reproduced : bool;
+  verdict : (Isolate.verdict, string) result;
+}
+
+let m_replays = Obs.Metrics.counter "explain.replays"
+let m_reproduced = Obs.Metrics.counter "explain.reproduced"
+
+let looks_like_fingerprint s =
+  String.length s = 16
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let load ?dir ref_ =
+  if Sys.file_exists ref_ && not (Sys.is_directory ref_) then
+    Difftest.Recorder.load_file ref_
+  else if looks_like_fingerprint ref_ then begin
+    match dir with
+    | Some d ->
+      let path = Filename.concat d (ref_ ^ ".jsonl") in
+      if Sys.file_exists path then Difftest.Recorder.load_file path
+      else
+        Error
+          (Printf.sprintf "fingerprint %s not found in archive %s" ref_ d)
+    | None ->
+      Error
+        (Printf.sprintf
+           "%s looks like a fingerprint; pass the archive directory to \
+            resolve it"
+           ref_)
+  end
+  else Error (Printf.sprintf "%s: no such case file" ref_)
+
+let replay (case : Difftest.Case.t) =
+  Obs.Span.with_span "explain.replay" @@ fun () ->
+  Obs.Metrics.incr m_replays;
+  let ( let* ) = Result.bind in
+  let* program =
+    Obs.Span.with_span "explain.parse" @@ fun () ->
+    Cparse.Parse.program case.Difftest.Case.source
+  in
+  let compile (side : Difftest.Case.side) =
+    Compiler.Driver.compile side.Difftest.Case.config program
+  in
+  let* left_bin =
+    Obs.Span.with_span "explain.compile" @@ fun () ->
+    compile case.Difftest.Case.left
+  in
+  let* right_bin =
+    Obs.Span.with_span "explain.compile" @@ fun () ->
+    compile case.Difftest.Case.right
+  in
+  let run bin =
+    Obs.Span.with_span "explain.execute" @@ fun () ->
+    Compiler.Driver.run_hex bin case.Difftest.Case.inputs
+  in
+  let left_hex = run left_bin in
+  let right_hex = run right_bin in
+  let reproduced =
+    left_hex = case.Difftest.Case.left.Difftest.Case.hex
+    && right_hex = case.Difftest.Case.right.Difftest.Case.hex
+  in
+  if reproduced then Obs.Metrics.incr m_reproduced;
+  let verdict =
+    Isolate.isolate ~program ~inputs:case.Difftest.Case.inputs
+      ~suspect:case.Difftest.Case.right.Difftest.Case.config
+      ~reference:case.Difftest.Case.left.Difftest.Case.config
+  in
+  Ok { case; program; left_hex; right_hex; reproduced; verdict }
+
+let render o =
+  let case = o.case in
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "case %s (%s, %s at %s)"
+    (Difftest.Case.fingerprint case)
+    (Difftest.Case.kind_name case.Difftest.Case.kind)
+    (Difftest.Case.pair_name case)
+    (Compiler.Optlevel.name case.Difftest.Case.level);
+  line "provenance: seed %d, slot %d" case.Difftest.Case.seed
+    case.Difftest.Case.slot;
+  Buffer.add_char b '\n';
+  let side label (s : Difftest.Case.side) replayed =
+    line "%s: %s" label (Compiler.Config.name s.Difftest.Case.config);
+    line "  archived  %s  (%s, %.17g)" s.Difftest.Case.hex
+      (Fp.Bits.class_name s.Difftest.Case.class_)
+      (Fp.Bits.double_of_hex s.Difftest.Case.hex);
+    line "  replayed  %s  %s" replayed
+      (if replayed = s.Difftest.Case.hex then "[bit-identical]"
+       else "[MISMATCH]")
+  in
+  side "left " case.Difftest.Case.left o.left_hex;
+  side "right" case.Difftest.Case.right o.right_hex;
+  line "digit difference: %d" case.Difftest.Case.digits;
+  line "inputs: %s"
+    (Format.asprintf "%a" Irsim.Inputs.pp case.Difftest.Case.inputs);
+  Buffer.add_char b '\n';
+  line "reproduction: %s"
+    (if o.reproduced then "exact — both outputs match the archived bits"
+     else
+       "FAILED — the replayed bits differ from the archive (the \
+        simulator's policy tables have likely changed since recording)");
+  Buffer.add_char b '\n';
+  begin
+    match o.verdict with
+    | Error msg -> line "isolation: failed (%s)" msg
+    | Ok v ->
+      line "isolation [%s]: %s" (Isolate.verdict_name v)
+        (Isolate.verdict_to_string o.program v)
+  end;
+  Buffer.add_char b '\n';
+  line "archived source:";
+  Buffer.add_string b case.Difftest.Case.source;
+  if
+    String.length case.Difftest.Case.source > 0
+    && case.Difftest.Case.source.[String.length case.Difftest.Case.source - 1]
+       <> '\n'
+  then Buffer.add_char b '\n';
+  Buffer.contents b

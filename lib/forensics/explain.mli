@@ -1,0 +1,39 @@
+(** Deterministic replay and root-cause analysis of archived cases.
+
+    [explain] closes the forensics loop: a case recorded by
+    {!Difftest.Recorder} is replayed from its archive file alone — the
+    source is re-parsed, both configurations recompiled, the binaries
+    re-run on the bit-exact inputs — and the fresh outputs are checked
+    against the archived bits. Because the whole toolchain is
+    deterministic, a mismatch means the archive does not describe this
+    build of the simulator (e.g. a policy-table change), which is
+    exactly what a reproduction check should catch.
+
+    On top of the replay, the pLiner-style {!Isolate.isolate} search
+    runs with the case's right side as the suspect and its left side as
+    the reference, attributing the divergence either to a minimal set
+    of strictifiable statements or to the runtime. *)
+
+type outcome = {
+  case : Difftest.Case.t;
+  program : Lang.Ast.program;  (** re-parsed from the archived source *)
+  left_hex : string;           (** freshly replayed left output *)
+  right_hex : string;          (** freshly replayed right output *)
+  reproduced : bool;
+      (** both replayed outputs bit-identical to the archived ones *)
+  verdict : (Isolate.verdict, string) result;
+}
+
+val load : ?dir:string -> string -> (Difftest.Case.t, string) result
+(** Resolve a case reference: a path to an archive file, or — when
+    [dir] is given — a bare fingerprint looked up as
+    [dir/<fingerprint>.jsonl]. *)
+
+val replay : Difftest.Case.t -> (outcome, string) result
+(** Parse, recompile, re-run, compare, isolate. [Error] only on parse
+    or compile failure of the archived source. *)
+
+val render : outcome -> string
+(** The forensic report: identity, both sides (archived vs replayed
+    bits), inputs, reproduction status, isolation verdict, and the
+    archived source. *)

@@ -40,7 +40,8 @@ let admit source =
     | Ok () -> Ok program
   end
 
-let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ~seed approach =
+let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
+    ~seed approach =
   let rng = Util.Rng.of_int seed in
   (* The 18-configuration matrix is immutable for the whole campaign:
      build it once here instead of once per budget slot. *)
@@ -148,6 +149,16 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ~seed approach 
                 result)
           in
           Difftest.Stats.add stats result;
+          (* Flight recorder: archive every first-seen inconsistency.
+             Purely observational — stats, feedback and RNG draws are
+             identical with or without a recorder attached. *)
+          (match recorder with
+          | None -> ()
+          | Some recorder ->
+            Obs.Span.with_span "campaign.record" @@ fun () ->
+            List.iter
+              (fun case -> ignore (Difftest.Recorder.record recorder case))
+              (Difftest.Case.of_result ~seed ~slot ~program ~inputs result));
           let inconsistent = Difftest.Run.has_inconsistency result in
           if approach = Approach.Llm4fp && inconsistent then begin
             successful := program :: !successful;

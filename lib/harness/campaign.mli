@@ -32,6 +32,7 @@ val run :
   ?budget:int ->
   ?precision:Lang.Ast.precision ->
   ?jobs:int ->
+  ?recorder:Difftest.Recorder.t ->
   seed:int ->
   Approach.t ->
   outcome
@@ -45,7 +46,13 @@ val run :
     {!Exec.Pool}. The feedback loop stays strictly sequential in slot
     order — the strategy draw, the generated program and the feedback
     set of slot [n] never depend on execution timing — so the outcome
-    is identical at any job count; only wall-clock changes. *)
+    is identical at any job count; only wall-clock changes.
+
+    [recorder] (none by default) attaches a {!Difftest.Recorder} flight
+    recorder: every first-seen inconsistency — cross {e and} within —
+    is archived as a replayable case file. Recording is purely
+    observational; it changes no statistic, no RNG draw and no feedback
+    decision. *)
 
 val strategy_mix_probability : float
 (** 0.5 — the paper's fixed probability of choosing Feedback-Based

@@ -39,7 +39,26 @@ let outcomes suite =
 
 (* ----------------------------------------------------------------- *)
 
-let table1 () =
+(* Every table is built as data first — title, header, rows — so the
+   text rendering and the CSV export are two views of one computation
+   (table3's CodeBLEU pass in particular must not run twice). *)
+type tabular = {
+  tab_title : string;
+  tab_header : string list;
+  tab_align : Report.Table.align list option;
+  tab_rows : string list list;
+}
+
+let render_tabular t =
+  match t.tab_align with
+  | Some align ->
+    Report.Table.render ~title:t.tab_title ~header:t.tab_header ~align
+      t.tab_rows
+  | None -> Report.Table.render ~title:t.tab_title ~header:t.tab_header t.tab_rows
+
+let csv_tabular t = Report.Table.to_csv ~header:t.tab_header t.tab_rows
+
+let table1_data () =
   let rows =
     Array.to_list Compiler.Optlevel.all
     |> List.map (fun level ->
@@ -47,12 +66,16 @@ let table1 () =
              Compiler.Optlevel.host_flags level;
              Compiler.Optlevel.nvcc_flags level ])
   in
-  Report.Table.render ~title:"Table 1: Optimization Levels and Compiler Flags"
-    ~header:[ "Level"; "gcc/clang"; "nvcc" ]
-    ~align:[ Report.Table.Left; Report.Table.Left; Report.Table.Left ]
-    rows
+  {
+    tab_title = "Table 1: Optimization Levels and Compiler Flags";
+    tab_header = [ "Level"; "gcc/clang"; "nvcc" ];
+    tab_align = Some [ Report.Table.Left; Report.Table.Left; Report.Table.Left ];
+    tab_rows = rows;
+  }
 
-let table2 suite =
+let table1 () = render_tabular (table1_data ())
+
+let table2_data suite =
   let rows =
     outcomes suite
     |> List.map (fun (o : Campaign.outcome) ->
@@ -61,14 +84,18 @@ let table2 suite =
              Report.Table.commas (Difftest.Stats.total_inconsistencies o.stats);
              Util.Sim_clock.hms o.sim_seconds ])
   in
-  Report.Table.render
-    ~title:
+  {
+    tab_title =
       "Table 2: Numerical inconsistencies and time cost (simulated \
-       hh:mm:ss)"
-    ~header:[ "Approach"; "Incons. Rate"; "# Incons."; "Time Cost" ]
-    rows
+       hh:mm:ss)";
+    tab_header = [ "Approach"; "Incons. Rate"; "# Incons."; "Time Cost" ];
+    tab_align = None;
+    tab_rows = rows;
+  }
 
-let table3 ?(max_pairs = 50_000) ?(jobs = 1) suite =
+let table2 suite = render_tabular (table2_data suite)
+
+let table3_data ?(max_pairs = 50_000) ?(jobs = 1) suite =
   (* Diversity scoring is the one post-campaign stage heavy enough to
      matter (O(pairs) CodeBLEU): fan the four independent corpora across
      the pool. *)
@@ -89,12 +116,17 @@ let table3 ?(max_pairs = 50_000) ?(jobs = 1) suite =
           Printf.sprintf "%.2f%%" (Diversity.Clones.percentage clones) ])
       (outcomes suite)
   in
-  Report.Table.render
-    ~title:
+  {
+    tab_title =
       "Table 3: Program diversity (lower CodeBLEU is better; clone types \
-       1 / 2 / 2c)"
-    ~header:[ "Approach"; "CodeBLEU"; "1"; "2"; "2c"; "Percentage" ]
-    rows
+       1 / 2 / 2c)";
+    tab_header = [ "Approach"; "CodeBLEU"; "1"; "2"; "2c"; "Percentage" ];
+    tab_align = None;
+    tab_rows = rows;
+  }
+
+let table3 ?max_pairs ?jobs suite =
+  render_tabular (table3_data ?max_pairs ?jobs suite)
 
 (* ----------------------------------------------------------------- *)
 
@@ -113,7 +145,7 @@ let class_pair_columns =
 
 let dash n = if n = 0 then "-" else Report.Table.commas n
 
-let figure3 suite =
+let figure3_data suite =
   let count stats pair = Difftest.Stats.class_pair_count stats pair in
   let rows =
     class_pair_columns
@@ -126,14 +158,18 @@ let figure3 suite =
                [ Fp.Bits.class_pair_name (fst pair) (snd pair);
                  dash v; dash l ])
   in
-  Report.Table.render
-    ~title:
+  {
+    tab_title =
       "Figure 3: Inconsistency counts of different kinds between two \
-       compilers (VARITY vs. LLM4FP)"
-    ~header:[ "Kind"; "VARITY"; "LLM4FP" ]
-    rows
+       compilers (VARITY vs. LLM4FP)";
+    tab_header = [ "Kind"; "VARITY"; "LLM4FP" ];
+    tab_align = None;
+    tab_rows = rows;
+  }
 
-let table4 suite =
+let figure3 suite = render_tabular (figure3_data suite)
+
+let table4_data suite =
   let stats = suite.llm4fp.Campaign.stats in
   let present =
     class_pair_columns
@@ -152,18 +188,22 @@ let table4 suite =
     [ "Total Inconsistencies";
       Report.Table.commas (Difftest.Stats.total_inconsistencies stats) ]
   in
-  Report.Table.render
-    ~title:
+  {
+    tab_title =
       "Table 4: Inconsistency counts for LLM4FP across optimization \
-       levels (\"-\" = category did not appear)"
-    ~header:
-      ("Optimization Level"
-      :: List.map (fun (a, b) -> Fp.Bits.class_pair_name a b) present)
-    (rows @ [ total_row ])
+       levels (\"-\" = category did not appear)";
+    tab_header =
+      "Optimization Level"
+      :: List.map (fun (a, b) -> Fp.Bits.class_pair_name a b) present;
+    tab_align = None;
+    tab_rows = rows @ [ total_row ];
+  }
+
+let table4 suite = render_tabular (table4_data suite)
 
 (* ----------------------------------------------------------------- *)
 
-let table5 suite =
+let table5_data suite =
   let cell (o : Campaign.outcome) pair level =
     let stats = o.Campaign.stats in
     let count = Difftest.Stats.cross_count stats ~pair ~level in
@@ -203,15 +243,19 @@ let table5 suite =
     :: (List.map (total suite.varity) [ 0; 1; 2 ]
        @ List.map (total suite.llm4fp) [ 0; 1; 2 ])
   in
-  Report.Table.render
-    ~title:
+  {
+    tab_title =
       "Table 5: Inconsistency rates and digit differences (min/max/avg) \
        across compiler pairs at each optimization level (V = VARITY, \
-       L = LLM4FP)"
-    ~header
-    (rows @ [ total_row ])
+       L = LLM4FP)";
+    tab_header = header;
+    tab_align = None;
+    tab_rows = rows @ [ total_row ];
+  }
 
-let table6 suite =
+let table5 suite = render_tabular (table5_data suite)
+
+let table6_data suite =
   let cell (o : Campaign.outcome) personality level =
     if level = Compiler.Optlevel.O0_nofma then "-"
     else
@@ -251,12 +295,16 @@ let table6 suite =
     :: (List.map (total suite.varity) personalities
        @ List.map (total suite.llm4fp) personalities)
   in
-  Report.Table.render
-    ~title:
+  {
+    tab_title =
       "Table 6: Inconsistency rates between any optimization level and \
-       00_nofma (V = VARITY, L = LLM4FP)"
-    ~header
-    (rows @ [ total_row ])
+       00_nofma (V = VARITY, L = LLM4FP)";
+    tab_header = header;
+    tab_align = None;
+    tab_rows = rows @ [ total_row ];
+  }
+
+let table6 suite = render_tabular (table6_data suite)
 
 (* ----------------------------------------------------------------- *)
 
@@ -290,7 +338,7 @@ let summary suite =
     (outcomes suite);
   Buffer.contents b
 
-let feature_statistics suite =
+let feature_statistics_data suite =
   let mean f programs =
     let total = List.fold_left (fun acc p -> acc + f p) 0 programs in
     float_of_int total /. float_of_int (max 1 (List.length programs))
@@ -318,13 +366,17 @@ let feature_statistics suite =
                (meanf (fun (f : Analysis.Features.t) ->
                     float_of_int f.Analysis.Features.accumulation_loops)) ])
   in
-  Report.Table.render
-    ~title:
-      "Feature statistics (this reproduction): per-program structural means driving the divergence mechanisms"
-    ~header:
+  {
+    tab_title =
+      "Feature statistics (this reproduction): per-program structural means driving the divergence mechanisms";
+    tab_header =
       [ "approach"; "size"; "calls"; "loops"; "split-mul-add"; "mul-add";
-        "accum-loops" ]
-    rows
+        "accum-loops" ];
+    tab_align = None;
+    tab_rows = rows;
+  }
+
+let feature_statistics suite = render_tabular (feature_statistics_data suite)
 
 let precision_comparison ?(budget = 300) ~seed () =
   let row approach precision label =
@@ -376,13 +428,21 @@ let seed_stability ?(budget = 200) ~seeds () =
          (List.length seeds) budget)
     ~header rows
 
+type section = { name : string; text : string; csv : string option }
+
+let sections ?max_pairs ?jobs suite =
+  let tab name t =
+    { name; text = render_tabular t; csv = Some (csv_tabular t) }
+  in
+  { name = "summary"; text = summary suite; csv = None }
+  :: [ tab "table1" (table1_data ());
+       tab "table2" (table2_data suite);
+       tab "table3" (table3_data ?max_pairs ?jobs suite);
+       tab "figure3" (figure3_data suite);
+       tab "table4" (table4_data suite);
+       tab "table5" (table5_data suite);
+       tab "table6" (table6_data suite);
+       tab "features" (feature_statistics_data suite) ]
+
 let all_tables ?max_pairs ?jobs suite =
-  [ ("summary", summary suite);
-    ("table1", table1 ());
-    ("table2", table2 suite);
-    ("table3", table3 ?max_pairs ?jobs suite);
-    ("figure3", figure3 suite);
-    ("table4", table4 suite);
-    ("table5", table5 suite);
-    ("table6", table6 suite);
-    ("features", feature_statistics suite) ]
+  List.map (fun s -> (s.name, s.text)) (sections ?max_pairs ?jobs suite)

@@ -60,8 +60,21 @@ val table6 : suite -> string
 val summary : suite -> string
 (** Campaign header: compilers, flags, budget, seeds, model parameters. *)
 
+type section = {
+  name : string;   (** e.g. ["table2"] — doubles as the CSV file stem *)
+  text : string;   (** the rendered plain-text table *)
+  csv : string option;
+      (** the same data as CSV ([None] for prose sections like the
+          summary). Text and CSV are two views of one computation:
+          requesting both does not run table3's CodeBLEU pass twice. *)
+}
+
+val sections : ?max_pairs:int -> ?jobs:int -> suite -> section list
+(** Every table and figure, in paper order. *)
+
 val all_tables : ?max_pairs:int -> ?jobs:int -> suite -> (string * string) list
-(** [(name, rendered)] for every table and figure, in paper order. *)
+(** [(name, rendered)] for every table and figure, in paper order
+    (= {!sections} without the CSV view). *)
 
 val feature_statistics : suite -> string
 (** This reproduction's structural summary: mean program size, math-call

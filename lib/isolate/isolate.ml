@@ -3,12 +3,29 @@ type verdict =
   | Isolated of int list
   | Runtime_divergence
 
+let verdict_name = function
+  | No_inconsistency -> "no_inconsistency"
+  | Isolated _ -> "isolated"
+  | Runtime_divergence -> "runtime_divergence"
+
+let m_runs = Obs.Metrics.counter "isolate.runs"
+let m_isolated = Obs.Metrics.counter "isolate.verdicts.isolated"
+let m_runtime = Obs.Metrics.counter "isolate.verdicts.runtime_divergence"
+let m_agree = Obs.Metrics.counter "isolate.verdicts.no_inconsistency"
+let m_hybrids = Obs.Metrics.counter "isolate.hybrid_compiles"
+
+let m_strict_set =
+  Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]
+    "isolate.strict_set_size"
+
 (* Apply a config's pass pipeline, but keep the statements selected by
    [strict] in their plain lowered form. Statement positions are stable
    because no pass inserts or deletes top-level statements when dead-store
    elimination is off, so the optimized and strict bodies align 1:1. *)
 let hybrid_compile (config : Compiler.Config.t) (program : Lang.Ast.program)
     ~strict =
+  Obs.Metrics.incr m_hybrids;
+  Obs.Span.with_span "isolate.hybrid_compile" @@ fun () ->
   let applied = Compiler.Config.effective config program.Lang.Ast.precision in
   let no_dce = { applied with Compiler.Config.dce = false } in
   match Analysis.Validate.check program with
@@ -82,6 +99,20 @@ let minimize ~fixes universe =
   shrink universe (max 1 (n / 2))
 
 let isolate ~program ~inputs ~suspect ~reference =
+  Obs.Span.with_span "isolate.isolate" @@ fun () ->
+  Obs.Metrics.incr m_runs;
+  let tally = function
+    | No_inconsistency -> Obs.Metrics.incr m_agree
+    | Runtime_divergence -> Obs.Metrics.incr m_runtime
+    | Isolated set ->
+      Obs.Metrics.incr m_isolated;
+      Obs.Metrics.observe m_strict_set (float_of_int (List.length set))
+  in
+  Result.map
+    (fun v ->
+      tally v;
+      v)
+  @@
   match
     ( Compiler.Driver.compile suspect program,
       Compiler.Driver.compile reference program )

@@ -35,6 +35,11 @@ type verdict =
           in the runtime (math library, FTZ, branch semantics), not in a
           per-statement transformation *)
 
+val verdict_name : verdict -> string
+(** Machine-readable tag: ["no_inconsistency"], ["isolated"],
+    ["runtime_divergence"] — used by the metrics registry and the
+    [explain] report. *)
+
 val hybrid_compile :
   Compiler.Config.t ->
   Lang.Ast.program ->

@@ -37,6 +37,7 @@ type t =
       right_hex : string;
       digits : int;
     }
+  | Case_recorded of { slot : int option; fingerprint : string; kind : string }
   | Feedback_added of { slot : int; feedback_size : int }
   | Slot_finished of { slot : int; outcome : string }
   | Campaign_finished of {
@@ -59,6 +60,7 @@ let name = function
   | Executed _ -> "executed"
   | Compared _ -> "compared"
   | Inconsistency_found _ -> "inconsistency_found"
+  | Case_recorded _ -> "case_recorded"
   | Feedback_added _ -> "feedback_added"
   | Slot_finished _ -> "slot_finished"
   | Campaign_finished _ -> "campaign_finished"
@@ -116,6 +118,11 @@ let to_json ev =
           ("left_hex", Json.String left_hex);
           ("right_hex", Json.String right_hex);
           ("digits", Json.Int digits) ])
+  | Case_recorded { slot = s; fingerprint; kind } ->
+    obj
+      (slot s
+      @ [ ("fingerprint", Json.String fingerprint);
+          ("kind", Json.String kind) ])
   | Feedback_added { slot; feedback_size } ->
     obj
       [ ("slot", Json.Int slot); ("feedback_size", Json.Int feedback_size) ]

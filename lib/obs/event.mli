@@ -47,6 +47,10 @@ type t =
       right_hex : string;
       digits : int;
     }  (** one per inconsistent cross-compiler comparison *)
+  | Case_recorded of { slot : int option; fingerprint : string; kind : string }
+      (** a first-seen inconsistency case entered the forensic archive;
+          [kind] is ["cross"] or ["within"]. The fingerprint is a
+          content hash, so this event is seed-deterministic. *)
   | Feedback_added of { slot : int; feedback_size : int }
   | Slot_finished of { slot : int; outcome : string }
       (** [outcome]: ["generation_failed"], ["consistent"] or

@@ -115,6 +115,39 @@ let histogram_count h =
 
 let histogram_name h = h.h_name
 
+(* Prometheus-style bucket quantile: find the bucket holding rank
+   ceil(q*n) and interpolate linearly between its bounds. The overflow
+   bucket has no upper bound, so it reports the last finite one. *)
+let percentile_of ~bounds ~counts q =
+  if q <= 0.0 || q > 1.0 then
+    invalid_arg "Obs.Metrics.percentile_of: q must be in (0, 1]";
+  let n = Array.fold_left ( + ) 0 counts in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else rank in
+    let n_bounds = Array.length bounds in
+    let rec find i cum_before =
+      if i >= Array.length counts - 1 then `Overflow
+      else
+        let cum = cum_before + counts.(i) in
+        if rank <= cum then `Bucket (i, cum_before) else find (i + 1) cum
+    in
+    match find 0 0 with
+    | `Overflow -> bounds.(n_bounds - 1)
+    | `Bucket (i, cum_before) ->
+      let lower = if i = 0 then 0.0 else bounds.(i - 1) in
+      let upper = bounds.(i) in
+      let within = float_of_int (rank - cum_before) in
+      lower +. ((upper -. lower) *. within /. float_of_int counts.(i))
+  end
+
+let histogram_percentile h q =
+  Mutex.lock h.h_lock;
+  let counts = Array.copy h.counts in
+  Mutex.unlock h.h_lock;
+  percentile_of ~bounds:h.bounds ~counts q
+
 (* ------------------------------------------------------------------ *)
 
 type value =
@@ -183,9 +216,33 @@ let render_value = function
            bounds)
       @ [ Printf.sprintf "inf:%d" counts.(Array.length bounds) ]
     in
+    let quantiles =
+      if count = 0 then ""
+      else
+        Printf.sprintf "  p50=%.6g p95=%.6g p99=%.6g"
+          (percentile_of ~bounds ~counts 0.50)
+          (percentile_of ~bounds ~counts 0.95)
+          (percentile_of ~bounds ~counts 0.99)
+    in
     ( "histogram",
-      Printf.sprintf "n=%d sum=%.6g  %s" count sum
-        (String.concat " " buckets) )
+      Printf.sprintf "n=%d sum=%.6g  %s%s" count sum
+        (String.concat " " buckets)
+        quantiles )
+
+let render_percentiles () =
+  let rows =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Histogram { bounds; counts; count; _ } when count > 0 ->
+          let p q = Printf.sprintf "%.6g" (percentile_of ~bounds ~counts q) in
+          Some [ name; string_of_int count; p 0.50; p 0.95; p 0.99 ]
+        | _ -> None)
+      (snapshot ())
+  in
+  Report.Table.render ~title:"histogram percentiles"
+    ~header:[ "histogram"; "n"; "p50"; "p95"; "p99" ]
+    rows
 
 let render_table () =
   let rows =

@@ -39,6 +39,23 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_name : histogram -> string
 
+val percentile_of : bounds:float array -> counts:int array -> float -> float
+(** [percentile_of ~bounds ~counts q] estimates the [q]-quantile
+    ([0 < q <= 1]) from fixed-bucket data by linear interpolation
+    inside the bucket holding rank [ceil (q × n)] (the usual
+    Prometheus-style estimate): a value in the overflow bucket reports
+    the last finite bound, and an empty histogram reports [0].
+    Deterministic in the observations, so quantiles of model-time
+    histograms are seed-reproducible. *)
+
+val histogram_percentile : histogram -> float -> float
+(** {!percentile_of} on a live instrument's current contents. *)
+
+val render_percentiles : unit -> string
+(** Every registered histogram as a name-sorted p50/p95/p99 summary
+    table (the latency-percentile dump of the [profile] subcommand).
+    Histograms with no observations are omitted. *)
+
 type value =
   | Counter of int
   | Gauge of float

@@ -1,18 +1,51 @@
-type t = { emit : Event.t -> unit; close : unit -> unit }
+type stamp = { slot : int; lane : int; seq : int }
 
-let make ?(close = fun () -> ()) emit = { emit; close }
+type t = { emit : stamp -> Event.t -> unit; close : unit -> unit }
 
-let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+let make ?(close = fun () -> ()) emit =
+  { emit = (fun _ ev -> emit ev); close }
+
+let make_stamped ?(close = fun () -> ()) emit = { emit; close }
+
+let null = { emit = (fun _ _ -> ()); close = (fun () -> ()) }
+
+let deliver t stamp ev = t.emit stamp ev
 
 let close t = t.close ()
 
 let jsonl oc =
+  make
+    ~close:(fun () -> flush oc)
+    (fun ev ->
+      output_string oc (Event.to_jsonl ev);
+      output_char oc '\n')
+
+let ordered inner =
+  (* Lane events buffer; the next main-lane event (or close) releases
+     them in (slot, lane, seq) order. Delivery is already serialized by
+     the Trace lock, so no extra mutex is needed here. *)
+  let buffer : (stamp * Event.t) list ref = ref [] in
+  let flush_buffer () =
+    let compare_stamp (a, _) (b, _) =
+      compare (a.slot, a.lane, a.seq) (b.slot, b.lane, b.seq)
+    in
+    List.iter
+      (fun (stamp, ev) -> inner.emit stamp ev)
+      (List.stable_sort compare_stamp (List.rev !buffer));
+    buffer := []
+  in
   {
     emit =
-      (fun ev ->
-        output_string oc (Event.to_jsonl ev);
-        output_char oc '\n');
-    close = (fun () -> flush oc);
+      (fun stamp ev ->
+        if stamp.lane >= 0 then buffer := (stamp, ev) :: !buffer
+        else begin
+          flush_buffer ();
+          inner.emit stamp ev
+        end);
+    close =
+      (fun () ->
+        flush_buffer ();
+        inner.close ());
   }
 
 let ring ?(capacity = 1024) () =
@@ -33,4 +66,4 @@ let ring ?(capacity = 1024) () =
         | Some ev -> ev
         | None -> assert false)
   in
-  ({ emit; close = (fun () -> ()) }, events)
+  (make emit, events)

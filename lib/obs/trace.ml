@@ -6,9 +6,11 @@
    Domain safety: the sink list lives in an [Atomic.t] so [on ()] stays
    lock-free; subscription changes and event delivery serialize on one
    mutex, so a sink's [emit] is never invoked concurrently (JSONL lines
-   from pool workers cannot interleave mid-line). Event *order* across
-   domains follows completion order — byte-identical traces are
-   guaranteed only for sequential (jobs = 1) runs. *)
+   from pool workers cannot interleave mid-line). Event *arrival* order
+   across domains follows completion order, but each event is stamped
+   with its deterministic (slot, lane, seq) coordinates so an ordered
+   sink (Sink.ordered) can restore the sequential order at any job
+   count. *)
 
 type subscription = int
 
@@ -31,22 +33,6 @@ let unsubscribe id =
 
 let on () = Atomic.get sinks <> []
 
-let emit ev =
-  Mutex.lock lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock lock)
-    (fun () -> List.iter (fun (_, s) -> s.Sink.emit ev) (Atomic.get sinks))
-
-let event make = if on () then emit (make ())
-
-let with_sink sink f =
-  let id = subscribe sink in
-  Fun.protect
-    ~finally:(fun () ->
-      unsubscribe id;
-      Sink.close sink)
-    f
-
 (* Slot context: the campaign loop brackets each budget slot so that
    events emitted from layers that do not know the slot number (compiler
    driver, difftest) can still be correlated. The context is
@@ -62,3 +48,42 @@ let with_slot slot f =
   let saved = Domain.DLS.get slot_ctx in
   Domain.DLS.set slot_ctx (Some slot);
   Fun.protect ~finally:(fun () -> Domain.DLS.set slot_ctx saved) f
+
+(* Lane context: a parallel fan-out brackets each task with its input
+   index so the task's events carry a deterministic intra-slot sort key
+   (the per-lane sequence counter restarts at 0 for every task). *)
+
+let lane_ctx : (int * int ref) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_lane lane f =
+  let saved = Domain.DLS.get lane_ctx in
+  Domain.DLS.set lane_ctx (Some (lane, ref 0));
+  Fun.protect ~finally:(fun () -> Domain.DLS.set lane_ctx saved) f
+
+let current_stamp () =
+  let slot = match Domain.DLS.get slot_ctx with Some s -> s | None -> -1 in
+  match Domain.DLS.get lane_ctx with
+  | None -> { Sink.slot; lane = -1; seq = 0 }
+  | Some (lane, next_seq) ->
+    let seq = !next_seq in
+    incr next_seq;
+    { Sink.slot; lane; seq }
+
+let emit ev =
+  let stamp = current_stamp () in
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      List.iter (fun (_, s) -> Sink.deliver s stamp ev) (Atomic.get sinks))
+
+let event make = if on () then emit (make ())
+
+let with_sink sink f =
+  let id = subscribe sink in
+  Fun.protect
+    ~finally:(fun () ->
+      unsubscribe id;
+      Sink.close sink)
+    f

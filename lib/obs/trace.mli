@@ -7,10 +7,11 @@
 
     Domain safety: delivery serializes on a mutex (sink [emit]s never
     run concurrently, so JSONL lines cannot interleave mid-line) and
-    the slot context is domain-local. Event {e order} across domains
-    follows completion order: traces are byte-reproducible only for
-    sequential ([--jobs 1]) runs; event {e content} and every derived
-    count are identical at any job count. *)
+    the slot/lane contexts are domain-local. Event {e arrival} order
+    across domains follows completion order, but every event carries a
+    deterministic [(slot, lane, seq)] {!Sink.stamp} — wrap a sink in
+    {!Sink.ordered} to restore the sequential order at any job count
+    (what the CLI's [--trace] does). *)
 
 type subscription
 
@@ -22,7 +23,8 @@ val on : unit -> bool
     [if Trace.on () then Trace.emit (Event.… )]. *)
 
 val emit : Event.t -> unit
-(** Deliver to every subscribed sink, in subscription order. *)
+(** Deliver to every subscribed sink, in subscription order, stamped
+    with the current slot/lane context. *)
 
 val event : (unit -> Event.t) -> unit
 (** [event make] = [if on () then emit (make ())] — convenience for
@@ -38,3 +40,11 @@ val current_slot : unit -> int option
 val with_slot : int -> (unit -> 'a) -> 'a
 (** Bracket one budget slot; nested layers pick the slot up via
     {!current_slot} when building their events. *)
+
+val with_lane : int -> (unit -> 'a) -> 'a
+(** Bracket one task of a parallel fan-out. [lane] must be the task's
+    deterministic input index (e.g. the configuration's position in the
+    matrix), {e not} anything completion-ordered: events emitted inside
+    are stamped [(slot, lane, 0)], [(slot, lane, 1)], … so an
+    {!Sink.ordered} sink can restore sequential order. Nests: an inner
+    lane shadows the outer one for its extent. *)

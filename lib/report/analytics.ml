@@ -1,0 +1,242 @@
+type case = {
+  fingerprint : string;
+  kind : string;
+  pair : string;
+  level : string;
+  class_pair : string;
+  digits : int;
+  slot : int;
+}
+
+type latency = {
+  metric : string;
+  count : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type t = { cases : case list (* unique fingerprints, sorted by them *) }
+
+let build cases =
+  let seen = Hashtbl.create 64 in
+  let unique =
+    List.filter
+      (fun c ->
+        if Hashtbl.mem seen c.fingerprint then false
+        else begin
+          Hashtbl.add seen c.fingerprint ();
+          true
+        end)
+      cases
+  in
+  {
+    cases =
+      List.sort (fun a b -> String.compare a.fingerprint b.fingerprint) unique;
+  }
+
+let total t = List.length t.cases
+
+let count_kind t k =
+  List.length (List.filter (fun c -> c.kind = k) t.cases)
+
+let cross_total t = count_kind t "cross"
+let within_total t = count_kind t "within"
+
+(* Group by a string key, keys sorted; group members keep case order. *)
+let group key cases =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let k = key c in
+      Hashtbl.replace tbl k
+        (c :: Option.value ~default:[] (Hashtbl.find_opt tbl k)))
+    cases;
+  Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let digit_stats cases =
+  match List.map (fun c -> c.digits) cases with
+  | [] -> ("-", "-", "-")
+  | d :: ds ->
+    let mn = List.fold_left min d ds in
+    let mx = List.fold_left max d ds in
+    let sum = List.fold_left ( + ) d ds in
+    ( string_of_int mn,
+      string_of_int mx,
+      Printf.sprintf "%.2f" (float_of_int sum /. float_of_int (1 + List.length ds))
+    )
+
+let by_pair t =
+  let header = [ "kind"; "pair"; "cases"; "digits min"; "max"; "mean" ] in
+  let rows =
+    group (fun c -> c.kind ^ "\x00" ^ c.pair) t.cases
+    |> List.map (fun (key, cases) ->
+           let kind, pair =
+             match String.index_opt key '\x00' with
+             | Some i ->
+               ( String.sub key 0 i,
+                 String.sub key (i + 1) (String.length key - i - 1) )
+             | None -> (key, "")
+           in
+           let mn, mx, mean = digit_stats cases in
+           [ kind; pair; string_of_int (List.length cases); mn; mx; mean ])
+  in
+  (header, rows)
+
+let by_level t =
+  let header = [ "level"; "cross"; "within"; "total" ] in
+  let rows =
+    group (fun c -> c.level) t.cases
+    |> List.map (fun (level, cases) ->
+           let cross = List.filter (fun c -> c.kind = "cross") cases in
+           [ level;
+             string_of_int (List.length cross);
+             string_of_int (List.length cases - List.length cross);
+             string_of_int (List.length cases) ])
+  in
+  (header, rows)
+
+let by_class t =
+  let header = [ "classes"; "cases"; "digits min"; "max"; "mean" ] in
+  let rows =
+    group (fun c -> c.class_pair) t.cases
+    |> List.map (fun (class_pair, cases) ->
+           let mn, mx, mean = digit_stats cases in
+           [ class_pair; string_of_int (List.length cases); mn; mx; mean ])
+  in
+  (header, rows)
+
+let latency_table latencies =
+  ( [ "histogram"; "n"; "p50"; "p95"; "p99" ],
+    List.map
+      (fun l ->
+        [ l.metric;
+          string_of_int l.count;
+          Printf.sprintf "%.6g" l.p50;
+          Printf.sprintf "%.6g" l.p95;
+          Printf.sprintf "%.6g" l.p99 ])
+      latencies )
+
+let overview t =
+  [ ("archived cases", total t);
+    ("cross-compiler", cross_total t);
+    ("within-compiler", within_total t);
+    ("compiler pairs", List.length (group (fun c -> c.pair) t.cases));
+    ("optimization levels", List.length (group (fun c -> c.level) t.cases));
+    ("value-class pairs", List.length (group (fun c -> c.class_pair) t.cases))
+  ]
+
+let render_tty ?(latencies = []) ?(title = "campaign forensics") t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (title ^ "\n");
+  List.iter
+    (fun (label, n) ->
+      Buffer.add_string b (Printf.sprintf "  %-20s %s\n" label (Table.commas n)))
+    (overview t);
+  Buffer.add_char b '\n';
+  let section title (header, rows) =
+    Buffer.add_string b (Table.render ~title ~header rows);
+    Buffer.add_char b '\n'
+  in
+  section "by compiler pair" (by_pair t);
+  section "by optimization level" (by_level t);
+  section "by value-class pair" (by_class t);
+  if latencies <> [] then
+    section "latency percentiles" (latency_table latencies);
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* HTML *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let style =
+  "body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:60rem;\
+   padding:0 1rem;color:#1a1a2e;background:#fff}\n\
+   h1{font-size:1.4rem;border-bottom:2px solid #1a1a2e;padding-bottom:.4rem}\n\
+   h2{font-size:1.1rem;margin-top:2rem}\n\
+   table{border-collapse:collapse;margin:.5rem 0;font-variant-numeric:\
+   tabular-nums}\n\
+   th,td{border:1px solid #c8c8d4;padding:.3rem .6rem;text-align:right}\n\
+   th{background:#ececf4;text-align:left}\n\
+   td:first-child,th:first-child{text-align:left}\n\
+   .overview{display:flex;flex-wrap:wrap;gap:1rem;margin:1rem 0}\n\
+   .stat{border:1px solid #c8c8d4;border-radius:.4rem;padding:.5rem .9rem}\n\
+   .stat b{display:block;font-size:1.3rem}\n\
+   .note{color:#5a5a6e;font-size:.9rem}\n\
+   code{font-family:ui-monospace,monospace;font-size:.85rem}"
+
+let html_table b (header, rows) =
+  Buffer.add_string b "<table>\n<tr>";
+  List.iter
+    (fun h -> Buffer.add_string b ("<th>" ^ escape h ^ "</th>"))
+    header;
+  Buffer.add_string b "</tr>\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string b "<tr>";
+      List.iter
+        (fun cell -> Buffer.add_string b ("<td>" ^ escape cell ^ "</td>"))
+        row;
+      Buffer.add_string b "</tr>\n")
+    rows;
+  Buffer.add_string b "</table>\n"
+
+let render_html ?(latencies = []) ?(max_cases = 100) ~title t =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
+  Buffer.add_string b "<meta charset=\"utf-8\">\n";
+  Buffer.add_string b ("<title>" ^ escape title ^ "</title>\n");
+  Buffer.add_string b ("<style>" ^ style ^ "</style>\n</head>\n<body>\n");
+  Buffer.add_string b ("<h1>" ^ escape title ^ "</h1>\n");
+  Buffer.add_string b "<div class=\"overview\">\n";
+  List.iter
+    (fun (label, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "<div class=\"stat\"><b>%s</b>%s</div>\n"
+           (Table.commas n) (escape label)))
+    (overview t);
+  Buffer.add_string b "</div>\n";
+  let section heading table =
+    Buffer.add_string b ("<h2>" ^ escape heading ^ "</h2>\n");
+    html_table b table
+  in
+  section "By compiler pair" (by_pair t);
+  section "By optimization level" (by_level t);
+  section "By value-class pair" (by_class t);
+  if latencies <> [] then
+    section "Latency percentiles" (latency_table latencies);
+  Buffer.add_string b "<h2>Cases</h2>\n";
+  let shown =
+    List.filteri (fun i _ -> i < max_cases) t.cases
+  in
+  html_table b
+    ( [ "fingerprint"; "kind"; "pair"; "level"; "classes"; "digits"; "slot" ],
+      List.map
+        (fun c ->
+          [ c.fingerprint; c.kind; c.pair; c.level; c.class_pair;
+            string_of_int c.digits; string_of_int c.slot ])
+        shown );
+  if total t > max_cases then
+    Buffer.add_string b
+      (Printf.sprintf
+         "<p class=\"note\">Showing the first %d of %d cases (fingerprint \
+          order); the full set is in the case archive.</p>\n"
+         max_cases (total t));
+  Buffer.add_string b
+    "<p class=\"note\">Replay any case with <code>llm4fp explain \
+     &lt;fingerprint&gt;</code>.</p>\n";
+  Buffer.add_string b "</body>\n</html>\n";
+  Buffer.contents b
