@@ -25,6 +25,9 @@
      LLM4FP_SKIP_FP32=1    skip the FP32-vs-FP64 extension
      LLM4FP_SKIP_FORENSICS=1  skip the flight-recorder overhead study
      LLM4FP_FORENSICS_BUDGET  campaign size for that study (default 100)
+     LLM4FP_SKIP_REDUCE=1  skip the case-reduction study
+     LLM4FP_REDUCE_BUDGET  campaign size for that study (default 25)
+     LLM4FP_REDUCE_CASES   cases reduced from its archive (default 40)
      LLM4FP_JSON_OUT=FILE  also write a machine-readable summary (totals
                            plus per-phase Obs.Span aggregates, so
                            BENCH_*.json files track the phase-level
@@ -283,13 +286,99 @@ let run_forensics ~jobs () =
   summary
 
 (* ------------------------------------------------------------------ *)
+(* Reduction: record a small fixed-seed archive and delta-debug every
+   case, reporting how far the witnesses shrink and what the oracle
+   costs. A case that fails to reduce (or to replay) is a correctness
+   bug in the reducer, so the study asserts there are none. *)
+
+type reduce_summary = {
+  r_seconds : float;
+  r_cases : int;
+  r_strictly_smaller : int;
+  r_ratio_mean : float;
+  r_ratio_min : float;
+  r_ratio_max : float;
+  r_oracle_calls : int;
+}
+
+let run_reduce () =
+  let budget = env_int "LLM4FP_REDUCE_BUDGET" 25 in
+  let max_cases = env_int "LLM4FP_REDUCE_CASES" 40 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  Printf.printf
+    "== reduction: delta-debugging shrink ratios (budget %d, first %d \
+     cases) ==\n"
+    budget max_cases;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llm4fp-bench-reduce-%d" (Unix.getpid ()))
+  in
+  let recorder = Difftest.Recorder.create ~dir in
+  ignore
+    (Harness.Campaign.run ~budget ~jobs:1 ~recorder ~seed
+       Harness.Approach.Llm4fp);
+  let cases =
+    match Difftest.Recorder.load_dir dir with
+    | Ok cases -> List.filteri (fun i _ -> i < max_cases) cases
+    | Error msg -> failwith ("bench: cannot re-read case archive: " ^ msg)
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    List.map
+      (fun case ->
+        match Reduce.run case with
+        | Ok o -> o
+        | Error msg ->
+          Printf.eprintf "FATAL: reduction failed on %s: %s\n"
+            (Difftest.Case.fingerprint case)
+            msg;
+          exit 1)
+      cases
+  in
+  let r_seconds = Unix.gettimeofday () -. t0 in
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Unix.rmdir dir;
+  let ratios = List.map Reduce.shrink_ratio outcomes in
+  let n = List.length outcomes in
+  let summary =
+    {
+      r_seconds;
+      r_cases = n;
+      r_strictly_smaller =
+        List.length
+          (List.filter
+             (fun (o : Reduce.outcome) ->
+               o.Reduce.reduced_size < o.Reduce.original_size)
+             outcomes);
+      r_ratio_mean =
+        (if n = 0 then 1.0
+         else List.fold_left ( +. ) 0.0 ratios /. float_of_int n);
+      r_ratio_min = List.fold_left Float.min 1.0 ratios;
+      r_ratio_max = List.fold_left Float.max 0.0 ratios;
+      r_oracle_calls =
+        List.fold_left
+          (fun acc (o : Reduce.outcome) -> acc + o.Reduce.oracle_calls)
+          0 outcomes;
+    }
+  in
+  Printf.printf
+    "%d case(s) reduced in %.2fs: %d strictly smaller; shrink ratio mean \
+     %.2f (min %.2f, max %.2f); %d oracle calls\n\n"
+    summary.r_cases summary.r_seconds summary.r_strictly_smaller
+    summary.r_ratio_mean summary.r_ratio_min summary.r_ratio_max
+    summary.r_oracle_calls;
+  summary
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable summary: per-phase span aggregates next to the
    end-to-end totals, so stored BENCH_*.json files can track where the
    time goes (generation / compile / interp / compare / CodeBLEU), not
    just how much of it there is. *)
 
 let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
-    ~forensics =
+    ~forensics ~reduction =
   let phase (r : Obs.Span.row) =
     Obs.Json.Obj
       [ ("label", Obs.Json.String r.Obs.Span.label);
@@ -303,7 +392,7 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
      fails — an instrument the run didn't touch just reads 0. *)
   let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "llm4fp-bench/4");
+    ([ ("schema", Obs.Json.String "llm4fp-bench/5");
        ("budget", Obs.Json.Int budget);
        ("seed", Obs.Json.Int seed);
        ("jobs", Obs.Json.Int jobs) ]
@@ -327,6 +416,18 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
                 ("cross", Obs.Json.Int f.f_cross);
                 ("within", Obs.Json.Int f.f_within);
                 ("duplicates", Obs.Json.Int f.f_duplicates) ] ) ])
+    @ (match reduction with
+      | None -> []
+      | Some r ->
+        [ ( "reduction",
+            Obs.Json.Obj
+              [ ("cases", Obs.Json.Int r.r_cases);
+                ("strictly_smaller", Obs.Json.Int r.r_strictly_smaller);
+                ("shrink_ratio_mean", Obs.Json.Float r.r_ratio_mean);
+                ("shrink_ratio_min", Obs.Json.Float r.r_ratio_min);
+                ("shrink_ratio_max", Obs.Json.Float r.r_ratio_max);
+                ("oracle_calls", Obs.Json.Int r.r_oracle_calls);
+                ("seconds", Obs.Json.Float r.r_seconds) ] ) ])
     @ [ ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
     @
     match micro with
@@ -356,6 +457,9 @@ let () =
     if not (env_flag "LLM4FP_SKIP_FORENSICS") then Some (run_forensics ~jobs ())
     else None
   in
+  let reduction =
+    if not (env_flag "LLM4FP_SKIP_REDUCE") then Some (run_reduce ()) else None
+  in
   match Sys.getenv_opt "LLM4FP_JSON_OUT" with
   | None -> ()
   | Some path ->
@@ -369,6 +473,6 @@ let () =
         output_string oc
           (Obs.Json.to_string
              (json_summary ~budget ~seed ~jobs ~tables_seconds
-                ~end_to_end_seconds ~micro ~forensics));
+                ~end_to_end_seconds ~micro ~forensics ~reduction));
         output_char oc '\n');
     Printf.printf "(wrote JSON summary to %s)\n" path

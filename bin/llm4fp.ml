@@ -8,6 +8,7 @@
      profile    run a small campaign with span timing and print the profile
      corpus     list or show the mock LLM's kernel corpus
      explain    replay an archived inconsistency case and isolate its cause
+     fuzz       run seeded property suites over the framework invariants
      dashboard  render the analytics dashboard from a case archive *)
 
 open Cmdliner
@@ -448,19 +449,42 @@ let cmd_explain =
              ~doc:"The case-archive directory a bare fingerprint is \
                    looked up in (as written by $(b,campaign --record)).")
   in
-  let run case_ref archive metrics =
+  let reduce =
+    Arg.(value & flag
+         & info [ "reduce" ]
+             ~doc:"Also minimize the case with the delta-debugging reducer \
+                   and write the reduced replayable record next to the \
+                   archived one ($(i,FP).min.jsonl).")
+  in
+  let run case_ref archive reduce metrics =
     Obs.Span.set_enabled true;
     match Forensics.Explain.load ?dir:archive case_ref with
     | Error msg ->
       prerr_endline msg;
       exit 1
     | Ok case -> begin
-      match Forensics.Explain.replay case with
+      match Forensics.Explain.replay ~reduce case with
       | Error msg ->
         prerr_endline ("replay failed: " ^ msg);
         exit 1
       | Ok outcome ->
         print_string (Forensics.Explain.render outcome);
+        (match outcome.Forensics.Explain.reduction with
+        | Some (Ok r) ->
+          (* the companion lands where the case lives: the directory of
+             the given path, or the --archive directory *)
+          let dir =
+            if Sys.file_exists case_ref && not (Sys.is_directory case_ref)
+            then Filename.dirname case_ref
+            else Option.value archive ~default:"."
+          in
+          let path =
+            Difftest.Recorder.write_minimized ~dir
+              ~fingerprint:(Difftest.Case.fingerprint case)
+              r.Reduce.reduced
+          in
+          Printf.eprintf "wrote %s\n" path
+        | Some (Error _) | None -> ());
         print_newline ();
         print_string (Obs.Span.render ());
         print_metrics_if metrics;
@@ -469,10 +493,98 @@ let cmd_explain =
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Replay an archived inconsistency case bit-for-bit and isolate \
+       ~doc:"Replay an archived inconsistency case bit-for-bit, isolate \
              its root cause (minimal strict-statement set or runtime \
-             divergence)")
-    Term.(const run $ case_ref $ archive $ metrics_arg)
+             divergence), and optionally emit a minimized replayable case \
+             ($(b,--reduce))")
+    Term.(const run $ case_ref $ archive $ reduce $ metrics_arg)
+
+let cmd_fuzz =
+  let iters =
+    Arg.(value & opt (some int) None
+         & info [ "n"; "iters" ] ~docv:"N"
+             ~doc:"Cases per property (default: $(b,LLM4FP_PROP_ITERS) when \
+                   set, else 60).")
+  in
+  let suite =
+    Arg.(value & opt (some string) None
+         & info [ "suite" ] ~docv:"NAME"
+             ~doc:"Run only this property suite (see $(b,--list)).")
+  in
+  let replay =
+    Arg.(value & opt (some int64) None
+         & info [ "replay" ] ~docv:"SEED"
+             ~doc:"Re-check the single case generated from $(docv) — the \
+                   seed a failed property printed. Requires $(b,--suite).")
+  in
+  let list_only =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"List the property suites and exit.")
+  in
+  let run seed iters suite replay list_only metrics =
+    if list_only then
+      List.iter
+        (fun s -> Printf.printf "%-22s %s\n" s.Prop.Suites.name s.Prop.Suites.doc)
+        Prop.Suites.all
+    else begin
+      let report r =
+        match r.Prop.Suites.failure with
+        | None ->
+          Printf.printf "PASS  %-22s (%d cases)\n" r.Prop.Suites.suite
+            r.Prop.Suites.iterations;
+          true
+        | Some msg ->
+          Printf.printf "FAIL  %-22s\n%s\n" r.Prop.Suites.suite msg;
+          false
+      in
+      let ok =
+        match replay with
+        | Some case_seed -> begin
+          match suite with
+          | None ->
+            prerr_endline "--replay requires --suite";
+            exit 2
+          | Some name -> begin
+            match Prop.Suites.find name with
+            | None ->
+              Printf.eprintf "unknown suite %s (try --list)\n" name;
+              exit 2
+            | Some s -> report (s.Prop.Suites.replay case_seed)
+          end
+        end
+        | None ->
+          let suites =
+            match suite with
+            | None -> Prop.Suites.all
+            | Some name -> begin
+              match Prop.Suites.find name with
+              | Some s -> [ s ]
+              | None ->
+                Printf.eprintf "unknown suite %s (try --list)\n" name;
+                exit 2
+            end
+          in
+          List.fold_left
+            (fun ok s ->
+              let r =
+                s.Prop.Suites.run ?count:iters ~seed:(Int64.of_int seed) ()
+              in
+              report r && ok)
+            true suites
+      in
+      print_metrics_if metrics;
+      if not ok then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Run the seeded property suites over the framework's own \
+             invariants (generator validity, pass semantics preservation, \
+             codec fixpoints, EFT identities). A failed property prints \
+             the seed that deterministically replays its shrunk \
+             counterexample.")
+    Term.(const run $ seed_arg $ iters $ suite $ replay $ list_only
+          $ metrics_arg)
 
 let cmd_dashboard =
   let archive =
@@ -535,5 +647,5 @@ let () =
              ~doc:"LLM-guided floating-point differential compiler testing \
                    (SC'25 reproduction)")
           [ cmd_generate; cmd_matrix; cmd_campaign; cmd_tables; cmd_profile;
-            cmd_explain; cmd_dashboard; cmd_corpus; cmd_ablation; cmd_fp32;
+            cmd_explain; cmd_fuzz; cmd_dashboard; cmd_corpus; cmd_ablation; cmd_fp32;
             cmd_stability ]))

@@ -17,7 +17,11 @@ let rec mkdir_p path =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let is_case_file name = Filename.check_suffix name ".jsonl"
+(* Minimized companions written by the reducer ([<fp>.min.jsonl]) live in
+   the same directory but are not part of the archive proper. *)
+let is_case_file name =
+  Filename.check_suffix name ".jsonl"
+  && not (Filename.check_suffix name ".min.jsonl")
 
 let create ~dir =
   mkdir_p dir;
@@ -75,6 +79,19 @@ let duplicates t =
   let n = t.duplicates in
   Mutex.unlock t.lock;
   n
+
+let minimized_path ~dir ~fingerprint =
+  Filename.concat dir (fingerprint ^ ".min.jsonl")
+
+let write_minimized ~dir ~fingerprint case =
+  let path = minimized_path ~dir ~fingerprint in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string (Case.to_json case));
+      output_char oc '\n');
+  path
 
 let load_file path =
   match open_in path with

@@ -39,3 +39,13 @@ val load_dir : string -> (Case.t list, string) result
 
 val load_file : string -> (Case.t, string) result
 (** Read one archived case (the first line of the file). *)
+
+val minimized_path : dir:string -> fingerprint:string -> string
+(** [dir/<fingerprint>.min.jsonl]: where the reducer's minimized
+    companion of an archived case lives. *)
+
+val write_minimized : dir:string -> fingerprint:string -> Case.t -> string
+(** Write a reduced case next to the archived original it came from
+    (keyed by the {e original}'s fingerprint) and return the path.
+    Minimized companions are not archive members: {!create}'s dedup
+    seeding and {!load_dir} ignore [*.min.jsonl] files. *)

@@ -5,6 +5,7 @@ type outcome = {
   right_hex : string;
   reproduced : bool;
   verdict : (Isolate.verdict, string) result;
+  reduction : (Reduce.outcome, string) result option;
 }
 
 let m_replays = Obs.Metrics.counter "explain.replays"
@@ -36,7 +37,7 @@ let load ?dir ref_ =
   end
   else Error (Printf.sprintf "%s: no such case file" ref_)
 
-let replay (case : Difftest.Case.t) =
+let replay ?(reduce = false) (case : Difftest.Case.t) =
   Obs.Span.with_span "explain.replay" @@ fun () ->
   Obs.Metrics.incr m_replays;
   let ( let* ) = Result.bind in
@@ -71,7 +72,12 @@ let replay (case : Difftest.Case.t) =
       ~suspect:case.Difftest.Case.right.Difftest.Case.config
       ~reference:case.Difftest.Case.left.Difftest.Case.config
   in
-  Ok { case; program; left_hex; right_hex; reproduced; verdict }
+  let reduction =
+    if reduce then
+      Some (Obs.Span.with_span "explain.reduce" @@ fun () -> Reduce.run case)
+    else None
+  in
+  Ok { case; program; left_hex; right_hex; reproduced; verdict; reduction }
 
 let render o =
   let case = o.case in
@@ -112,6 +118,26 @@ let render o =
     | Ok v ->
       line "isolation [%s]: %s" (Isolate.verdict_name v)
         (Isolate.verdict_to_string o.program v)
+  end;
+  begin
+    match o.reduction with
+    | None -> ()
+    | Some (Error msg) ->
+      Buffer.add_char b '\n';
+      line "reduction: failed (%s)" msg
+    | Some (Ok r) ->
+      Buffer.add_char b '\n';
+      line "reduction: %d -> %d nodes (ratio %.2f, %d shrinks, %d oracle \
+            calls)"
+        r.Reduce.original_size r.Reduce.reduced_size (Reduce.shrink_ratio r)
+        r.Reduce.shrink_steps r.Reduce.oracle_calls;
+      line "minimized program (%s / %s):"
+        r.Reduce.reduced.Difftest.Case.left.Difftest.Case.hex
+        r.Reduce.reduced.Difftest.Case.right.Difftest.Case.hex;
+      Buffer.add_string b r.Reduce.reduced.Difftest.Case.source;
+      line "minimized inputs: %s"
+        (Format.asprintf "%a" Irsim.Inputs.pp
+           r.Reduce.reduced.Difftest.Case.inputs)
   end;
   Buffer.add_char b '\n';
   line "archived source:";

@@ -22,6 +22,8 @@ type outcome = {
   reproduced : bool;
       (** both replayed outputs bit-identical to the archived ones *)
   verdict : (Isolate.verdict, string) result;
+  reduction : (Reduce.outcome, string) result option;
+      (** present when {!replay} ran with [~reduce:true] *)
 }
 
 val load : ?dir:string -> string -> (Difftest.Case.t, string) result
@@ -29,9 +31,12 @@ val load : ?dir:string -> string -> (Difftest.Case.t, string) result
     [dir] is given — a bare fingerprint looked up as
     [dir/<fingerprint>.jsonl]. *)
 
-val replay : Difftest.Case.t -> (outcome, string) result
-(** Parse, recompile, re-run, compare, isolate. [Error] only on parse
-    or compile failure of the archived source. *)
+val replay : ?reduce:bool -> Difftest.Case.t -> (outcome, string) result
+(** Parse, recompile, re-run, compare, isolate. With [~reduce:true]
+    (default [false]) the delta-debugging reducer also runs, and its
+    result — a minimized replayable case, or why reduction failed —
+    lands in [reduction]. [Error] only on parse or compile failure of
+    the archived source. *)
 
 val render : outcome -> string
 (** The forensic report: identity, both sides (archived vs replayed

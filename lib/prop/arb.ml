@@ -1,0 +1,168 @@
+open Lang.Ast
+
+(* ------------------------------------------------------------------ *)
+(* Expression shrinking *)
+
+let rec shrink_expr e : expr Seq.t =
+  match e with
+  | Lit x ->
+      if x = 0.0 then Seq.empty
+      else if x = 1.0 then Seq.return (Lit 0.0)
+      else List.to_seq [ Lit 0.0; Lit 1.0 ]
+  | Int_lit n -> Seq.map (fun n' -> Int_lit n') (Engine.Shrink.int n)
+  | Var _ -> Seq.empty
+  | Index (a, i) ->
+      (* the subscript shrinks toward a[0]; the whole node cannot hoist
+         to [Var a] (that would use the array as a scalar) *)
+      let to_zero =
+        if i = Int_lit 0 then Seq.empty else Seq.return (Index (a, Int_lit 0))
+      in
+      Seq.append to_zero (Seq.map (fun i' -> Index (a, i')) (shrink_expr i))
+  | Neg inner ->
+      Seq.cons inner (Seq.map (fun e' -> Neg e') (shrink_expr inner))
+  | Bin (op, a, b) ->
+      Seq.append
+        (List.to_seq [ a; b ])
+        (Seq.append
+           (Seq.map (fun a' -> Bin (op, a', b)) (shrink_expr a))
+           (Seq.map (fun b' -> Bin (op, a, b')) (shrink_expr b)))
+  | Call (fn, args) ->
+      let hoists = List.to_seq args in
+      let pointwise =
+        Seq.concat
+          (List.to_seq
+             (List.mapi
+                (fun i arg ->
+                  Seq.map
+                    (fun arg' ->
+                      Call (fn, List.mapi (fun j a -> if i = j then arg' else a) args))
+                    (shrink_expr arg))
+                args))
+      in
+      Seq.append hoists pointwise
+
+(* ------------------------------------------------------------------ *)
+(* Statement/body shrinking: one rewrite per candidate *)
+
+let replace_nth xs i ys =
+  List.concat (List.mapi (fun j x -> if j = i then ys else [ x ]) xs)
+
+let rec shrink_stmt s : stmt Seq.t =
+  match s with
+  | Decl { name; init } ->
+      Seq.map (fun init -> Decl { name; init }) (shrink_expr init)
+  | Assign { lhs; op; rhs } ->
+      let rhs_shrinks =
+        Seq.map (fun rhs -> Assign { lhs; op; rhs }) (shrink_expr rhs)
+      in
+      let lhs_shrinks =
+        match lhs with
+        | Lv_var _ -> Seq.empty
+        | Lv_index (a, i) ->
+            Seq.map
+              (fun i' -> Assign { lhs = Lv_index (a, i'); op; rhs })
+              (shrink_expr i)
+      in
+      Seq.append rhs_shrinks lhs_shrinks
+  | If { lhs; cmp; rhs; body } ->
+      Seq.concat
+        (List.to_seq
+           [ Seq.map (fun body -> If { lhs; cmp; rhs; body }) (shrink_body body);
+             Seq.map (fun lhs -> If { lhs; cmp; rhs; body }) (shrink_expr lhs);
+             Seq.map (fun rhs -> If { lhs; cmp; rhs; body }) (shrink_expr rhs) ])
+  | For { var; bound; body } ->
+      let smaller_bounds =
+        Seq.filter_map
+          (fun b -> if b >= 1 && b < bound then Some (For { var; bound = b; body }) else None)
+          (Engine.Shrink.int bound)
+      in
+      Seq.append smaller_bounds
+        (Seq.map (fun body -> For { var; bound; body }) (shrink_body body))
+
+and shrink_body body : stmt list Seq.t =
+  let n = List.length body in
+  if n = 0 then Seq.empty
+  else
+    (* drop one statement *)
+    let drops = Seq.init n (fun i -> replace_nth body i []) in
+    (* splice a compound statement's body into its place *)
+    let splices =
+      Seq.concat
+        (Seq.init n (fun i ->
+             match List.nth body i with
+             | If { body = inner; _ } | For { body = inner; _ } ->
+                 Seq.return (replace_nth body i inner)
+             | Decl _ | Assign _ -> Seq.empty))
+    in
+    (* rewrite one statement in place *)
+    let rewrites =
+      Seq.concat
+        (Seq.init n (fun i ->
+             Seq.map
+               (fun s' -> replace_nth body i [ s' ])
+               (shrink_stmt (List.nth body i))))
+    in
+    Seq.append drops (Seq.append splices rewrites)
+
+let shrink_program p =
+  Seq.filter Analysis.Validate.is_valid
+    (Seq.map (fun body -> { p with body }) (shrink_body p.body))
+
+(* ------------------------------------------------------------------ *)
+(* Input shrinking: arity and array lengths are fixed by the program *)
+
+let shrink_value (v : Irsim.Inputs.value) : Irsim.Inputs.value Seq.t =
+  match v with
+  | Irsim.Inputs.Fp x ->
+      Seq.map (fun x' -> Irsim.Inputs.Fp x') (Engine.Shrink.float x)
+  | Irsim.Inputs.Int n ->
+      Seq.map (fun n' -> Irsim.Inputs.Int n') (Engine.Shrink.int n)
+  | Irsim.Inputs.Arr a ->
+      let zeroed = Array.map (fun _ -> 0.0) a in
+      let all_zero =
+        if a = zeroed then Seq.empty else Seq.return (Irsim.Inputs.Arr zeroed)
+      in
+      let pointwise =
+        Seq.concat
+          (Seq.init (Array.length a) (fun i ->
+               Seq.map
+                 (fun x' ->
+                   let a' = Array.copy a in
+                   a'.(i) <- x';
+                   Irsim.Inputs.Arr a')
+                 (Engine.Shrink.float a.(i))))
+      in
+      Seq.append all_zero pointwise
+
+let shrink_inputs (inputs : Irsim.Inputs.t) : Irsim.Inputs.t Seq.t =
+  let n = List.length inputs in
+  Seq.concat
+    (Seq.init n (fun i ->
+         Seq.map
+           (fun v' -> List.mapi (fun j v -> if i = j then v' else v) inputs)
+           (shrink_value (List.nth inputs i))))
+
+(* ------------------------------------------------------------------ *)
+(* Arbitraries *)
+
+let print_inputs inputs = Format.asprintf "%a" Irsim.Inputs.pp inputs
+
+let program =
+  {
+    Engine.gen = (fun rng -> Gen.Varity.generate rng);
+    shrink = shrink_program;
+    print = Lang.Pp.to_c;
+  }
+
+let case =
+  {
+    Engine.gen = (fun rng -> Gen.Varity.gen_case rng);
+    shrink =
+      (fun (p, inputs) ->
+        Seq.append
+          (Seq.map (fun p' -> (p', inputs)) (shrink_program p))
+          (Seq.map (fun i' -> (p, i')) (shrink_inputs inputs)));
+    print =
+      (fun (p, inputs) ->
+        Printf.sprintf "%s\ninputs: %s" (Lang.Pp.to_c p) (print_inputs inputs));
+  }

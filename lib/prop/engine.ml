@@ -1,0 +1,217 @@
+type 'a gen = Util.Rng.t -> 'a
+type 'a shrink = 'a -> 'a Seq.t
+
+type 'a arb = {
+  gen : 'a gen;
+  shrink : 'a shrink;
+  print : 'a -> string;
+}
+
+let make ?(shrink = fun _ -> Seq.empty) ?(print = fun _ -> "<opaque>") gen =
+  { gen; shrink; print }
+
+module Gen = struct
+  let return x _ = x
+  let map f g rng = f (g rng)
+  let map2 f ga gb rng =
+    let a = ga rng in
+    let b = gb rng in
+    f a b
+
+  let bind g f rng = f (g rng) rng
+  let int_in lo hi rng = Util.Rng.int_in rng lo hi
+  let float_in lo hi rng = Util.Rng.float_in rng lo hi
+  let bool rng = Util.Rng.bool rng
+
+  let oneof gens rng =
+    if gens = [] then invalid_arg "Prop.Gen.oneof: empty list";
+    Util.Rng.choose_list rng gens rng
+
+  let frequency weighted rng =
+    let arr =
+      Array.of_list
+        (List.map (fun (w, g) -> (float_of_int w, g)) weighted)
+    in
+    Util.Rng.weighted rng arr rng
+
+  let list ?(min = 0) ?(max = 8) g rng =
+    let n = Util.Rng.int_in rng min max in
+    List.init n (fun _ -> g rng)
+
+  let pair ga gb rng =
+    let a = ga rng in
+    let b = gb rng in
+    (a, b)
+end
+
+module Shrink = struct
+  let nothing _ = Seq.empty
+
+  let int n =
+    if n = 0 then Seq.empty
+    else
+      (* 0 first, then sign-preserving halvings converging on n. *)
+      let rec halves acc k =
+        if k = 0 || k = n then acc else halves (k :: acc) (n - ((n - k) / 2))
+      in
+      List.to_seq (0 :: List.rev (halves [] (n / 2)))
+
+  let float x =
+    if x = 0.0 then Seq.empty
+    else if Float.is_nan x then List.to_seq [ 0.0; 1.0 ]
+    else if Float.is_integer x && Float.abs x <= 2.0 then
+      List.to_seq (List.filter (fun c -> c <> x) [ 0.0 ])
+    else
+      let candidates =
+        [ 0.0; Float.of_int (Float.to_int (Float.min 1e9 (Float.max (-1e9) x)));
+          x /. 2.0 ]
+      in
+      let seen = Hashtbl.create 4 in
+      List.to_seq
+        (List.filter
+           (fun c ->
+             let keep =
+               Float.is_finite c && c <> x && not (Hashtbl.mem seen c)
+             in
+             if keep then Hashtbl.add seen c ();
+             keep)
+           candidates)
+
+  (* ddmin-style chunk removal: try dropping large chunks first, then
+     smaller ones, then shrink elements pointwise. *)
+  let list ?(elt = nothing) xs =
+    let n = List.length xs in
+    if n = 0 then Seq.empty
+    else
+      let arr = Array.of_list xs in
+      let without lo len =
+        Array.to_list
+          (Array.of_seq
+             (Seq.filter_map
+                (fun i -> if i >= lo && i < lo + len then None else Some arr.(i))
+                (Seq.init n Fun.id)))
+      in
+      let removals =
+        let rec chunks acc size =
+          if size = 0 then List.rev acc
+          else
+            let rec offsets acc lo =
+              if lo >= n then acc else offsets ((lo, size) :: acc) (lo + size)
+            in
+            chunks (List.rev_append (List.rev (offsets [] 0)) acc) (size / 2)
+        in
+        chunks [] (Stdlib.max 1 (n / 2))
+      in
+      let removal_seq =
+        Seq.map (fun (lo, len) -> without lo len) (List.to_seq removals)
+      in
+      let elementwise =
+        Seq.concat
+          (Seq.init n (fun i ->
+               Seq.map
+                 (fun e ->
+                   Array.to_list (Array.mapi (fun j x -> if i = j then e else x) arr))
+                 (elt arr.(i))))
+      in
+      Seq.append removal_seq elementwise
+
+  let pair sa sb (a, b) =
+    Seq.append
+      (Seq.map (fun a' -> (a', b)) (sa a))
+      (Seq.map (fun b' -> (a, b')) (sb b))
+end
+
+type 'a failure = {
+  case_seed : int64;
+  iteration : int;
+  shrink_steps : int;
+  counterexample : 'a;
+  error : string option;
+}
+
+type 'a outcome = Pass of int | Fail of 'a failure
+
+let default_count () =
+  match Sys.getenv_opt "LLM4FP_PROP_ITERS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> 60)
+  | None -> 60
+
+(* Run the property, mapping exceptions to failures with a message. *)
+let attempt prop x =
+  match prop x with
+  | true -> Ok ()
+  | false -> Error None
+  | exception e -> Error (Some (Printexc.to_string e))
+
+let shrink_loop ~max_shrinks arb prop x0 err0 =
+  let x = ref x0 in
+  let err = ref err0 in
+  let steps = ref 0 in
+  let progress = ref true in
+  while !progress && !steps < max_shrinks do
+    progress := false;
+    let candidates = arb.shrink !x in
+    let rec try_cands s =
+      match s () with
+      | Seq.Nil -> ()
+      | Seq.Cons (c, rest) -> (
+          match attempt prop c with
+          | Ok () -> try_cands rest
+          | Error e ->
+              x := c;
+              err := e;
+              incr steps;
+              progress := true)
+    in
+    try_cands candidates
+  done;
+  (!x, !err, !steps)
+
+let run_one ~shrink ~max_shrinks ~case_seed ~iteration arb prop =
+  let rng = Util.Rng.create case_seed in
+  let x = arb.gen rng in
+  match attempt prop x with
+  | Ok () -> None
+  | Error err ->
+      let counterexample, error, shrink_steps =
+        if shrink then shrink_loop ~max_shrinks arb prop x err
+        else (x, err, 0)
+      in
+      Some { case_seed; iteration; shrink_steps; counterexample; error }
+
+let run ?count ?(max_shrinks = 500) ~seed arb prop =
+  let count = match count with Some c -> c | None -> default_count () in
+  let master = Util.Rng.create seed in
+  let rec go i =
+    if i >= count then Pass count
+    else
+      let case_seed = Util.Rng.bits64 master in
+      match run_one ~shrink:true ~max_shrinks ~case_seed ~iteration:i arb prop with
+      | None -> go (i + 1)
+      | Some f -> Fail f
+  in
+  go 0
+
+let run_case ~seed arb prop =
+  match
+    run_one ~shrink:false ~max_shrinks:0 ~case_seed:seed ~iteration:0 arb prop
+  with
+  | None -> Pass 1
+  | Some f -> Fail f
+
+let pp_failure print f =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "property failed at iteration %d (after %d shrink steps)\n"
+       f.iteration f.shrink_steps);
+  Buffer.add_string b
+    (Printf.sprintf "replay seed: %Ld  (fuzz --replay %Ld)\n" f.case_seed
+       f.case_seed);
+  (match f.error with
+  | Some msg -> Buffer.add_string b (Printf.sprintf "raised: %s\n" msg)
+  | None -> ());
+  Buffer.add_string b "counterexample:\n";
+  Buffer.add_string b (print f.counterexample);
+  Buffer.contents b

@@ -1,0 +1,106 @@
+(** Seeded, dependency-free property-based testing.
+
+    A miniature QuickCheck built directly on {!Util.Rng} so that every
+    property run is reproducible from a single 64-bit seed: the runner
+    derives one case seed per iteration from a master generator, and a
+    failing case prints that seed so the exact counterexample can be
+    replayed with {!run_case} (or [llm4fp fuzz --replay]).
+
+    Unlike qcheck, generation and shrinking are decoupled from any test
+    framework: {!run} returns an {!outcome} and the caller decides how to
+    report it (Alcotest check, CLI exit code, ...). *)
+
+type 'a gen = Util.Rng.t -> 'a
+(** A generator draws a value from a seeded stream. *)
+
+type 'a shrink = 'a -> 'a Seq.t
+(** A shrinker proposes strictly "smaller" candidates, most aggressive
+    first. The sequence must be finite and must not contain the input
+    itself. *)
+
+type 'a arb = {
+  gen : 'a gen;
+  shrink : 'a shrink;
+  print : 'a -> string;
+}
+(** A testable domain: how to generate, minimize, and display values. *)
+
+val make : ?shrink:'a shrink -> ?print:('a -> string) -> 'a gen -> 'a arb
+(** [make gen] with no shrinking and an opaque printer by default. *)
+
+(** Generator combinators. *)
+module Gen : sig
+  val return : 'a -> 'a gen
+  val map : ('a -> 'b) -> 'a gen -> 'b gen
+  val map2 : ('a -> 'b -> 'c) -> 'a gen -> 'b gen -> 'c gen
+  val bind : 'a gen -> ('a -> 'b gen) -> 'b gen
+  val int_in : int -> int -> int gen
+  val float_in : float -> float -> float gen
+  val bool : bool gen
+
+  val oneof : 'a gen list -> 'a gen
+  (** Uniform choice. Raises [Invalid_argument] on the empty list. *)
+
+  val frequency : (int * 'a gen) list -> 'a gen
+  (** Weighted choice; weights are non-negative with a positive sum. *)
+
+  val list : ?min:int -> ?max:int -> 'a gen -> 'a list gen
+  (** Length uniform in [\[min, max\]] (default [\[0, 8\]]). *)
+
+  val pair : 'a gen -> 'b gen -> ('a * 'b) gen
+end
+
+(** Shrinking combinators. *)
+module Shrink : sig
+  val nothing : 'a shrink
+
+  val int : int shrink
+  (** Toward 0 by sign-preserving halving. *)
+
+  val float : float shrink
+  (** Toward 0.0, then 1.0/-1.0, then truncation and halving; non-finite
+      values shrink to simple finite ones. *)
+
+  val list : ?elt:'a shrink -> 'a list shrink
+  (** Chunk removal (ddmin-style halving granularity) first, then
+      pointwise element shrinking with [elt]. *)
+
+  val pair : 'a shrink -> 'b shrink -> ('a * 'b) shrink
+end
+
+(** Outcome of a property run. *)
+type 'a failure = {
+  case_seed : int64;  (** replays the original counterexample *)
+  iteration : int;  (** 0-based index of the failing iteration *)
+  shrink_steps : int;  (** successful shrink steps applied *)
+  counterexample : 'a;  (** minimal failing value after shrinking *)
+  error : string option;  (** exception message, or [None] for [false] *)
+}
+
+type 'a outcome = Pass of int | Fail of 'a failure
+
+val default_count : unit -> int
+(** Iterations per property: [LLM4FP_PROP_ITERS] when set to a positive
+    integer, otherwise 60. The tier-1 gate keeps the default small; deep
+    runs export a larger count. *)
+
+val run :
+  ?count:int ->
+  ?max_shrinks:int ->
+  seed:int64 ->
+  'a arb ->
+  ('a -> bool) ->
+  'a outcome
+(** [run ~seed arb prop] checks [prop] on [count] generated values. A
+    property fails by returning [false] or raising. On failure the value
+    is greedily shrunk (candidates that still fail are kept; at most
+    [max_shrinks] successful steps, default 500) and the minimal
+    counterexample is returned with the seed that replays it. *)
+
+val run_case : seed:int64 -> 'a arb -> ('a -> bool) -> 'a outcome
+(** [run_case ~seed arb prop] replays the single case generated from
+    [seed] — the seed printed by a failing {!run} — without shrinking. *)
+
+val pp_failure : ('a -> string) -> 'a failure -> string
+(** Human-readable report: seed, iteration, shrink count, printed
+    counterexample, and the replay hint. *)

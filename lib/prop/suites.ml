@@ -1,0 +1,255 @@
+type result = {
+  suite : string;
+  iterations : int;
+  failure : string option;
+  replay_seed : int64 option;
+}
+
+type suite = {
+  name : string;
+  doc : string;
+  run : ?count:int -> seed:int64 -> unit -> result;
+  replay : int64 -> result;
+}
+
+let passed r = r.failure = None
+
+let to_result name print = function
+  | Engine.Pass n ->
+      { suite = name; iterations = n; failure = None; replay_seed = None }
+  | Engine.Fail f ->
+      {
+        suite = name;
+        iterations = f.Engine.iteration;
+        failure = Some (Engine.pp_failure print f);
+        replay_seed = Some f.Engine.case_seed;
+      }
+
+let make_suite name doc arb prop =
+  {
+    name;
+    doc;
+    run =
+      (fun ?count ~seed () ->
+        to_result name arb.Engine.print (Engine.run ?count ~seed arb prop));
+    replay =
+      (fun seed -> to_result name arb.Engine.print (Engine.run_case ~seed arb prop));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Shared machinery *)
+
+let strict_rt =
+  { Irsim.Interp.libm = Mathlib.Libm.Glibc; ftz = false; nan_cmp_taken = false }
+
+let strict_result p inputs =
+  (Irsim.Interp.run strict_rt (Irsim.Lower.program p) inputs).Irsim.Interp.result
+
+let same_bits a b =
+  Int64.bits_of_float a = Int64.bits_of_float b
+  || (Float.is_nan a && Float.is_nan b)
+
+(* Floats spread over many binades: where EFT identities are exact and
+   where rounding differences actually live. *)
+let gen_eft_float rng =
+  let m = Util.Rng.float_in rng (-1.0) 1.0 in
+  let e = Util.Rng.int_in rng (-100) 100 in
+  ldexp m e
+
+let eft_pair =
+  Engine.make
+    ~shrink:(Engine.Shrink.pair Engine.Shrink.float Engine.Shrink.float)
+    ~print:(fun (a, b) -> Printf.sprintf "a = %h, b = %h" a b)
+    (Engine.Gen.pair gen_eft_float gen_eft_float)
+
+(* ------------------------------------------------------------------ *)
+(* Generator invariants *)
+
+let gen_valid =
+  make_suite "gen-valid"
+    "Varity-generated programs pass the static validator" Arb.program
+    Analysis.Validate.is_valid
+
+let gen_inputs_match =
+  make_suite "gen-inputs-match"
+    "generated input vectors match the program's parameters" Arb.case
+    (fun (p, inputs) -> Irsim.Inputs.matches p inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter / pass invariants (strict mode) *)
+
+let interp_total =
+  make_suite "interp-total"
+    "the interpreter never raises on validated generated programs" Arb.case
+    (fun (p, inputs) ->
+      ignore (strict_result p inputs);
+      true)
+
+let fold_preserves =
+  make_suite "fold-preserves"
+    "arithmetic constant folding preserves strict-mode bits" Arb.case
+    (fun (p, inputs) ->
+      let ir = Irsim.Lower.program p in
+      let folded =
+        Irsim.Fold.run { Irsim.Fold.fold_arith = true; fold_calls = None } ir
+      in
+      let a = (Irsim.Interp.run strict_rt ir inputs).Irsim.Interp.result in
+      let b = (Irsim.Interp.run strict_rt folded inputs).Irsim.Interp.result in
+      same_bits a b)
+
+let dce_preserves =
+  make_suite "dce-preserves"
+    "dead-code elimination preserves strict-mode bits" Arb.case
+    (fun (p, inputs) ->
+      let ir = Irsim.Lower.program p in
+      let swept = Irsim.Dce.run ir in
+      let a = (Irsim.Interp.run strict_rt ir inputs).Irsim.Interp.result in
+      let b = (Irsim.Interp.run strict_rt swept inputs).Irsim.Interp.result in
+      same_bits a b)
+
+let forward_preserves =
+  make_suite "forward-preserves"
+    "expression forwarding preserves strict-mode bits" Arb.case
+    (fun (p, inputs) ->
+      let ir = Irsim.Lower.program p in
+      let fwd = Irsim.Forward.run ir in
+      let a = (Irsim.Interp.run strict_rt ir inputs).Irsim.Interp.result in
+      let b = (Irsim.Interp.run strict_rt fwd inputs).Irsim.Interp.result in
+      same_bits a b)
+
+let contract_idempotent =
+  make_suite "contract-idempotent"
+    "FMA contraction applied twice equals applied once" Arb.case
+    (fun (p, inputs) ->
+      let ir = Irsim.Lower.program p in
+      let once = Irsim.Contract.run Irsim.Contract.Syntactic ir in
+      let twice = Irsim.Contract.run Irsim.Contract.Syntactic once in
+      let a = (Irsim.Interp.run strict_rt once inputs).Irsim.Interp.result in
+      let b = (Irsim.Interp.run strict_rt twice inputs).Irsim.Interp.result in
+      same_bits a b)
+
+(* ------------------------------------------------------------------ *)
+(* Codec fixpoints *)
+
+let pp_parse_fixpoint =
+  make_suite "pp-parse-fixpoint"
+    "print -> parse -> print is a fixpoint on the C rendering" Arb.program
+    (fun p ->
+      let printed = Lang.Pp.to_c p in
+      match Cparse.Parse.program printed with
+      | Error _ -> false
+      | Ok p' -> Lang.Pp.to_c p' = printed)
+
+let gen_archive_case rng =
+  let p, inputs = Gen.Varity.gen_case rng in
+  let r = strict_result p inputs in
+  (* a second side with deliberately different bits: the codec does not
+     care whether the divergence is physical *)
+  let r' = if Float.is_nan r then 0.0 else Float.succ r in
+  let side config v =
+    {
+      Difftest.Case.config;
+      hex = Fp.Bits.hex_of_double v;
+      class_ = Fp.Bits.classify v;
+    }
+  in
+  let level = Util.Rng.choose rng Compiler.Optlevel.all in
+  {
+    Difftest.Case.kind =
+      (if Util.Rng.bool rng then Difftest.Case.Cross else Difftest.Case.Within);
+    left = side (Compiler.Config.make Compiler.Personality.Gcc level) r;
+    right = side (Compiler.Config.make Compiler.Personality.Clang level) r';
+    level;
+    digits = Fp.Digits.diff_count r r';
+    source = Lang.Pp.to_c p;
+    inputs;
+    seed = Util.Rng.int_in rng 0 1_000_000;
+    slot = Util.Rng.int_in rng 0 10_000;
+  }
+
+let case_codec_roundtrip =
+  make_suite "case-codec-roundtrip"
+    "Case JSON encode/decode is the identity (bit-exact inputs)"
+    (Engine.make
+       ~print:(fun c -> Obs.Json.to_string (Difftest.Case.to_json c))
+       gen_archive_case)
+    (fun c ->
+      match Difftest.Case.of_json (Difftest.Case.to_json c) with
+      | Error _ -> false
+      | Ok c' ->
+          Difftest.Case.fingerprint c = Difftest.Case.fingerprint c'
+          && Obs.Json.to_string (Difftest.Case.to_json c')
+             = Obs.Json.to_string (Difftest.Case.to_json c))
+
+(* ------------------------------------------------------------------ *)
+(* Error-free transformations *)
+
+let eft_two_sum =
+  make_suite "eft-two-sum"
+    "two_sum matches magnitude-ordered fast_two_sum exactly" eft_pair
+    (fun (a, b) ->
+      let s, e = Fp.Eft.two_sum a b in
+      let s2, e2 =
+        if Float.abs a >= Float.abs b then Fp.Eft.fast_two_sum a b
+        else Fp.Eft.fast_two_sum b a
+      in
+      s = a +. b && same_bits s s2 && same_bits e e2)
+
+let eft_two_prod =
+  make_suite "eft-two-prod"
+    "two_prod error equals fma(a, b, -p) exactly" eft_pair
+    (fun (a, b) ->
+      let p, e = Fp.Eft.two_prod a b in
+      p = a *. b && same_bits e (Float.fma a b (-.p)))
+
+(* ------------------------------------------------------------------ *)
+(* Diversity metrics *)
+
+let tokens p =
+  Cparse.Lex.tokens (Lang.Pp.compute_to_string p)
+  |> List.map Cparse.Lex.to_string
+
+let program_pair =
+  Engine.make
+    ~print:(fun (a, b) ->
+      Printf.sprintf "%s\n--- vs ---\n%s" (Lang.Pp.to_c a) (Lang.Pp.to_c b))
+    (fun rng ->
+      let a = Gen.Varity.generate rng in
+      let b = Gen.Varity.generate rng in
+      (a, b))
+
+let bleu_range =
+  make_suite "bleu-range" "BLEU score of any program pair lies in [0, 1]"
+    program_pair
+    (fun (a, b) ->
+      let s =
+        Diversity.Bleu.score
+          ~candidate:(Diversity.Bleu.table (tokens a))
+          ~reference:(Diversity.Bleu.table (tokens b))
+      in
+      s >= 0.0 && s <= 1.0)
+
+let bleu_self =
+  make_suite "bleu-self" "BLEU self-score of any program is 1" Arb.program
+    (fun p ->
+      let t = Diversity.Bleu.table (tokens p) in
+      Float.abs (Diversity.Bleu.score ~candidate:t ~reference:t -. 1.0) < 1e-9)
+
+let all =
+  [
+    gen_valid;
+    gen_inputs_match;
+    interp_total;
+    fold_preserves;
+    dce_preserves;
+    forward_preserves;
+    contract_idempotent;
+    pp_parse_fixpoint;
+    case_codec_roundtrip;
+    eft_two_sum;
+    eft_two_prod;
+    bleu_range;
+    bleu_self;
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all

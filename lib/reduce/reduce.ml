@@ -1,0 +1,202 @@
+type outcome = {
+  original : Difftest.Case.t;
+  reduced : Difftest.Case.t;
+  original_size : int;
+  reduced_size : int;
+  shrink_steps : int;
+  oracle_calls : int;
+}
+
+let shrink_ratio o = float_of_int o.reduced_size /. float_of_int o.original_size
+
+let m_cases = Obs.Metrics.counter "reduce.cases"
+let m_oracle = Obs.Metrics.counter "reduce.oracle_calls"
+let m_accepted = Obs.Metrics.counter "reduce.accepted_shrinks"
+
+let m_ratio =
+  Obs.Metrics.histogram
+    ~buckets:[| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |]
+    "reduce.shrink_ratio"
+
+(* Compile a candidate under both sides of the case's configuration pair,
+   sharing the front end when both are host configurations. *)
+let compile_pair left_cfg right_cfg program =
+  let fronts = Compiler.Driver.fronts program in
+  match
+    ( Compiler.Driver.compile_with fronts left_cfg,
+      Compiler.Driver.compile_with fronts right_cfg )
+  with
+  | Ok l, Ok r -> Some (l, r)
+  | Error _, _ | _, Error _ -> None
+
+let hex_pair left_bin right_bin inputs =
+  match
+    ( Compiler.Driver.run_hex left_bin inputs,
+      Compiler.Driver.run_hex right_bin inputs )
+  with
+  | pair -> Some pair
+  | exception _ -> None
+
+let run ?(max_oracle_calls = 4000) (case : Difftest.Case.t) =
+  Obs.Metrics.incr m_cases;
+  Obs.Span.with_span "reduce.case" @@ fun () ->
+  let left_cfg = case.Difftest.Case.left.Difftest.Case.config in
+  let right_cfg = case.Difftest.Case.right.Difftest.Case.config in
+  match Cparse.Parse.program case.Difftest.Case.source with
+  | Error e -> Error (Printf.sprintf "archived source does not parse: %s" e)
+  | Ok program0 ->
+      if not (Irsim.Inputs.matches program0 case.Difftest.Case.inputs) then
+        Error "archived inputs do not match the program's parameters"
+      else begin
+        let calls = ref 0 in
+        let steps = ref 0 in
+        (* current state: program, inputs, and the program's binaries *)
+        let program = ref program0 in
+        let inputs = ref case.Difftest.Case.inputs in
+        let bins = ref None in
+        (* the oracle: does the config pair still diverge on (p, ins)? *)
+        let diverges p ins =
+          if !calls >= max_oracle_calls then None
+          else begin
+            incr calls;
+            Obs.Metrics.incr m_oracle;
+            match compile_pair left_cfg right_cfg p with
+            | None -> None
+            | Some (l, r) -> (
+                match hex_pair l r ins with
+                | Some (hl, hr) when hl <> hr -> Some ((l, r), (hl, hr))
+                | Some _ | None -> None)
+          end
+        in
+        match diverges program0 case.Difftest.Case.inputs with
+        | None -> Error "case does not reproduce a divergence"
+        | Some (b0, (hl0, hr0))
+          when hl0 <> case.Difftest.Case.left.Difftest.Case.hex
+               || hr0 <> case.Difftest.Case.right.Difftest.Case.hex ->
+            ignore b0;
+            Error
+              (Printf.sprintf
+                 "archive mismatch: replay gives %s / %s, archive has %s / %s"
+                 hl0 hr0 case.Difftest.Case.left.Difftest.Case.hex
+                 case.Difftest.Case.right.Difftest.Case.hex)
+        | Some (b0, hexes0) ->
+            bins := Some b0;
+            let hexes = ref hexes0 in
+            (* greedy fixpoint: first shrink the program, then the inputs,
+               restarting after every accepted candidate *)
+            let progress = ref true in
+            while !progress && !calls < max_oracle_calls do
+              progress := false;
+              (* program candidates (validated by the shrinker) *)
+              let rec try_programs seq =
+                match seq () with
+                | Seq.Nil -> ()
+                | Seq.Cons (p', rest) -> (
+                    match diverges p' !inputs with
+                    | Some (b', h') ->
+                        program := p';
+                        bins := Some b';
+                        hexes := h';
+                        incr steps;
+                        Obs.Metrics.incr m_accepted;
+                        progress := true
+                    | None -> try_programs rest)
+              in
+              try_programs (Prop.Arb.shrink_program !program);
+              if not !progress then begin
+                (* input candidates: the binaries are unchanged, so only
+                   re-run, never re-compile *)
+                let l, r = Option.get !bins in
+                let rec try_inputs seq =
+                  match seq () with
+                  | Seq.Nil -> ()
+                  | Seq.Cons (ins', rest) ->
+                      if !calls >= max_oracle_calls then ()
+                      else begin
+                        incr calls;
+                        Obs.Metrics.incr m_oracle;
+                        match hex_pair l r ins' with
+                        | Some (hl, hr) when hl <> hr ->
+                            inputs := ins';
+                            hexes := (hl, hr);
+                            incr steps;
+                            Obs.Metrics.incr m_accepted;
+                            progress := true
+                        | Some _ | None -> try_inputs rest
+                      end
+                in
+                try_inputs (Prop.Arb.shrink_inputs !inputs)
+              end
+            done;
+            let hl, hr = !hexes in
+            let left_val = Fp.Bits.double_of_hex hl in
+            let right_val = Fp.Bits.double_of_hex hr in
+            let reduced =
+              {
+                case with
+                Difftest.Case.source = Lang.Pp.to_c !program;
+                inputs = !inputs;
+                digits = Fp.Digits.diff_count left_val right_val;
+                left =
+                  {
+                    case.Difftest.Case.left with
+                    Difftest.Case.hex = hl;
+                    class_ = Fp.Bits.classify left_val;
+                  };
+                right =
+                  {
+                    case.Difftest.Case.right with
+                    Difftest.Case.hex = hr;
+                    class_ = Fp.Bits.classify right_val;
+                  };
+              }
+            in
+            (* final gate: the reduced record must replay bit-for-bit from
+               its own printed source, exactly like any archived case *)
+            let replayed =
+              match Cparse.Parse.program reduced.Difftest.Case.source with
+              | Error _ -> None
+              | Ok p -> (
+                  match compile_pair left_cfg right_cfg p with
+                  | None -> None
+                  | Some (l, r) -> hex_pair l r reduced.Difftest.Case.inputs)
+            in
+            (match replayed with
+            | Some (hl', hr')
+              when hl' = reduced.Difftest.Case.left.Difftest.Case.hex
+                   && hr' = reduced.Difftest.Case.right.Difftest.Case.hex ->
+                let original_size = Lang.Ast.program_size program0 in
+                let reduced_size = Lang.Ast.program_size !program in
+                let outcome =
+                  {
+                    original = case;
+                    reduced;
+                    original_size;
+                    reduced_size;
+                    shrink_steps = !steps;
+                    oracle_calls = !calls;
+                  }
+                in
+                Obs.Metrics.observe m_ratio (shrink_ratio outcome);
+                Ok outcome
+            | _ -> Error "reduced case failed its bit-exact replay")
+      end
+
+let render o =
+  let b = Buffer.create 512 in
+  let fp = Difftest.Case.fingerprint o.original in
+  Buffer.add_string b
+    (Printf.sprintf "reduction of %s: %d -> %d nodes (ratio %.2f)\n" fp
+       o.original_size o.reduced_size (shrink_ratio o));
+  Buffer.add_string b
+    (Printf.sprintf "%d accepted shrinks, %d oracle calls\n" o.shrink_steps
+       o.oracle_calls);
+  Buffer.add_string b
+    (Printf.sprintf "reduced fingerprint: %s\n"
+       (Difftest.Case.fingerprint o.reduced));
+  Buffer.add_string b "minimized program:\n";
+  Buffer.add_string b o.reduced.Difftest.Case.source;
+  Buffer.add_string b
+    (Format.asprintf "inputs: %a\n" Irsim.Inputs.pp
+       o.reduced.Difftest.Case.inputs);
+  Buffer.contents b

@@ -1,0 +1,83 @@
+(* Shared test helpers. The (tests) stanza links every module in this
+   directory into each suite executable, so suites just [open Helpers].
+
+   Nothing here touches the global [Random] state: temporary-directory
+   names come from a per-process counter, so suites stay deterministic
+   and independent of test execution order. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let check_float ?(eps = 0.0) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let parse = Cparse.Parse.program_exn
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let tmp_counter = ref 0
+
+(* A fresh path under the system temp dir (not created — callers like
+   Recorder.create mkdir it themselves), removed on the way out. *)
+let with_tmpdir ?(prefix = "llm4fp-test") f =
+  incr tmp_counter;
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) !tmp_counter)
+  in
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Golden files *)
+
+let max_diff_lines = 10
+
+(* Compare [actual] against the committed golden file, failing with a
+   compact line diff instead of dumping both documents. *)
+let check_golden msg ~golden actual =
+  let expected = read_file golden in
+  if String.equal expected actual then ()
+  else begin
+    let el = String.split_on_char '\n' expected in
+    let al = String.split_on_char '\n' actual in
+    let nth l i =
+      match List.nth_opt l i with Some s -> s | None -> "<missing line>"
+    in
+    let b = Buffer.create 256 in
+    let shown = ref 0 in
+    let total = ref 0 in
+    for i = 0 to max (List.length el) (List.length al) - 1 do
+      let e = nth el i and a = nth al i in
+      if e <> a then begin
+        incr total;
+        if !shown < max_diff_lines then begin
+          incr shown;
+          Buffer.add_string b
+            (Printf.sprintf "  line %d\n    golden: %s\n    actual: %s\n"
+               (i + 1) e a)
+        end
+      end
+    done;
+    if !total > !shown then
+      Buffer.add_string b
+        (Printf.sprintf "  ... and %d more differing line(s)\n"
+           (!total - !shown));
+    Alcotest.failf "%s: output differs from %s on %d line(s)\n%s" msg golden
+      !total (Buffer.contents b)
+  end

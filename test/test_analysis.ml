@@ -1,11 +1,7 @@
 (* Tests for lib/analysis: validator, features, dataflow. *)
 
 open Lang
-
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-
-let parse s = Cparse.Parse.program_exn s
+open Helpers
 
 let has_issue issue_pred p =
   match Analysis.Validate.check p with

@@ -1,9 +1,6 @@
 (* Tests for lib/compiler: policy matrix, driver, execution. *)
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-
-let parse = Cparse.Parse.program_exn
+open Helpers
 
 let all_configs = Compiler.Config.all ()
 

@@ -1,9 +1,6 @@
 (* Tests for lib/difftest: differential testing and statistics. *)
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-
-let parse = Cparse.Parse.program_exn
+open Helpers
 
 (* A program designed to diverge: a chaotic recurrence seeded by a
    transcendental, so the CUDA libm's ulp divergence amplifies. *)

@@ -1,10 +1,6 @@
 (* Tests for lib/diversity: BLEU, AST match, CodeBLEU, clone detection. *)
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let check_float = Alcotest.(check (float 1e-9))
-
-let parse = Cparse.Parse.program_exn
+open Helpers
 
 let p1 = parse {|
 void compute(double x, double* a) {
@@ -52,7 +48,7 @@ let tokens p =
 
 let test_bleu_identical () =
   let t = Diversity.Bleu.table (tokens p1) in
-  check_float "self = 1" 1.0 (Diversity.Bleu.score ~candidate:t ~reference:t)
+  check_float ~eps:1e-9 "self = 1" 1.0 (Diversity.Bleu.score ~candidate:t ~reference:t)
 
 let test_bleu_disjoint_low () =
   let a = Diversity.Bleu.table [ "a"; "b"; "c"; "d"; "e"; "f" ] in
@@ -71,8 +67,8 @@ let test_bleu_brevity_penalty () =
 let test_bleu_weighted_keywords () =
   (* matching a keyword counts more under the weighted table *)
   let w = Diversity.Codebleu.keyword_weight in
-  check_float "keyword weight" 4.0 (w "double");
-  check_float "plain weight" 1.0 (w "alpha")
+  check_float ~eps:1e-9 "keyword weight" 4.0 (w "double");
+  check_float ~eps:1e-9 "plain weight" 1.0 (w "alpha")
 
 let qcheck_bleu_bounds =
   QCheck.Test.make ~name:"BLEU score in [0,1]" ~count:100
@@ -88,12 +84,12 @@ let qcheck_bleu_bounds =
 
 let test_ast_match_self () =
   let s = Diversity.Ast_match.summarize p1 in
-  check_float "self" 1.0 (Diversity.Ast_match.score ~candidate:s ~reference:s)
+  check_float ~eps:1e-9 "self" 1.0 (Diversity.Ast_match.score ~candidate:s ~reference:s)
 
 let test_ast_match_rename_invariant () =
   let a = Diversity.Ast_match.summarize p1 in
   let b = Diversity.Ast_match.summarize p1_renamed in
-  check_float "renaming invisible" 1.0 (Diversity.Ast_match.score ~candidate:a ~reference:b)
+  check_float ~eps:1e-9 "renaming invisible" 1.0 (Diversity.Ast_match.score ~candidate:a ~reference:b)
 
 let test_ast_match_different_structures () =
   let a = Diversity.Ast_match.summarize p1 in
@@ -105,7 +101,7 @@ let test_ast_match_different_structures () =
 
 let test_codebleu_self () =
   let s = Diversity.Codebleu.summarize p1 in
-  check_float "self = 1" 1.0 (Diversity.Codebleu.pair_score ~candidate:s ~reference:s)
+  check_float ~eps:1e-9 "self = 1" 1.0 (Diversity.Codebleu.pair_score ~candidate:s ~reference:s)
 
 let test_codebleu_rename_high () =
   let a = Diversity.Codebleu.summarize p1 in
@@ -123,7 +119,7 @@ let test_codebleu_unrelated_low () =
 let test_codebleu_symmetric () =
   let a = Diversity.Codebleu.summarize p1 in
   let b = Diversity.Codebleu.summarize p1_lit in
-  check_float "mean of directions"
+  check_float ~eps:1e-9 "mean of directions"
     (0.5 *. (Diversity.Codebleu.pair_score ~candidate:a ~reference:b
             +. Diversity.Codebleu.pair_score ~candidate:b ~reference:a))
     (Diversity.Codebleu.symmetric a b)
@@ -138,7 +134,7 @@ let test_corpus_mean_sampled_deterministic () =
   in
   let a = Diversity.Codebleu.corpus_mean ~max_pairs:100 ~seed:7 programs in
   let b = Diversity.Codebleu.corpus_mean ~max_pairs:100 ~seed:7 programs in
-  check_float "same sample same mean" a b
+  check_float ~eps:1e-9 "same sample same mean" a b
 
 let qcheck_codebleu_bounds =
   QCheck.Test.make ~name:"CodeBLEU in [0,1]" ~count:60

@@ -5,8 +5,7 @@
    order, same (earliest) exception — so most cases compare a parallel
    run against the sequential gold answer. *)
 
-let check_int = Alcotest.(check int)
-let check_bool = Alcotest.(check bool)
+open Helpers
 
 let test_empty () =
   check_int "empty in, empty out" 0

@@ -2,9 +2,7 @@
    archive, deterministic ordered traces at any job count, explain's
    bit-exact replay, percentile math, and the golden dashboard. *)
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let check_string = Alcotest.(check string)
+open Helpers
 
 let gcc = Compiler.Personality.Gcc
 let nvcc = Compiler.Personality.Nvcc
@@ -121,22 +119,8 @@ let test_case_json_integrity () =
 (* ------------------------------------------------------------------ *)
 (* Recorder *)
 
-let temp_dir prefix =
-  let path =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) (Random.bits ()))
-  in
-  path
-
-let rm_rf dir =
-  if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
-    Unix.rmdir dir
-  end
-
 let test_recorder_dedup () =
-  let dir = temp_dir "llm4fp-recorder" in
-  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_tmpdir ~prefix:"llm4fp-recorder" @@ fun dir ->
   let r = Difftest.Recorder.create ~dir in
   let case = sample_case () in
   check_bool "first is new" true (Difftest.Recorder.record r case);
@@ -165,19 +149,13 @@ let archive_of ~jobs ~dir =
   in
   (recorder, outcome)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 let archive_bytes dir =
   Sys.readdir dir |> Array.to_list |> List.sort String.compare
   |> List.map (fun name -> (name, read_file (Filename.concat dir name)))
 
 let test_archive_identical_across_jobs () =
-  let d1 = temp_dir "llm4fp-arch1" and d4 = temp_dir "llm4fp-arch4" in
-  Fun.protect ~finally:(fun () -> rm_rf d1; rm_rf d4) @@ fun () ->
+  with_tmpdir ~prefix:"llm4fp-arch1" @@ fun d1 ->
+  with_tmpdir ~prefix:"llm4fp-arch4" @@ fun d4 ->
   let r1, o1 = archive_of ~jobs:1 ~dir:d1 in
   let r4, o4 = archive_of ~jobs:4 ~dir:d4 in
   check_int "same case count"
@@ -192,8 +170,7 @@ let test_archive_identical_across_jobs () =
 let ordered_trace_lines ~jobs =
   let path = Filename.temp_file "llm4fp_forensics_trace" ".jsonl" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
-  let dir = temp_dir "llm4fp-trace-arch" in
-  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_tmpdir ~prefix:"llm4fp-trace-arch" @@ fun dir ->
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -213,8 +190,7 @@ let test_ordered_trace_identical_across_jobs () =
 (* Explain: replay must reproduce the archived bits exactly *)
 
 let test_replay_reproduces () =
-  let dir = temp_dir "llm4fp-replay" in
-  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_tmpdir ~prefix:"llm4fp-replay" @@ fun dir ->
   let _, _ = archive_of ~jobs:1 ~dir in
   match Difftest.Recorder.load_dir dir with
   | Error msg -> Alcotest.fail msg
@@ -240,8 +216,7 @@ let test_replay_reproduces () =
       cases
 
 let test_explain_load () =
-  let dir = temp_dir "llm4fp-load" in
-  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_tmpdir ~prefix:"llm4fp-load" @@ fun dir ->
   let r = Difftest.Recorder.create ~dir in
   let case = sample_case () in
   ignore (Difftest.Recorder.record r case);
@@ -320,8 +295,7 @@ let test_sections_csv () =
      dune exec bin/llm4fp.exe -- dashboard DIR --html test/golden/dashboard.html --title golden *)
 
 let test_golden_dashboard () =
-  let dir = temp_dir "llm4fp-golden" in
-  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  with_tmpdir ~prefix:"llm4fp-golden" @@ fun dir ->
   let recorder = Difftest.Recorder.create ~dir in
   ignore
     (Harness.Campaign.run ~budget:12 ~recorder ~seed:20250704
@@ -333,8 +307,7 @@ let test_golden_dashboard () =
       Report.Analytics.build (List.map Difftest.Case.to_analytics cases)
     in
     let html = Report.Analytics.render_html ~title:"golden" analytics in
-    let golden = read_file "golden/dashboard.html" in
-    check_string "dashboard matches committed golden" golden html
+    check_golden "dashboard" ~golden:"golden/dashboard.html" html
 
 let () =
   Alcotest.run "forensics"

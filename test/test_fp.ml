@@ -1,9 +1,7 @@
 (* Tests for lib/fp: IEEE-754 bit utilities, error-free transforms,
    software FMA, and the digit-difference metric. *)
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let check_string = Alcotest.(check string)
+open Helpers
 
 let arbitrary_finite =
   QCheck.map

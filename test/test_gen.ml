@@ -1,6 +1,6 @@
 (* Tests for lib/gen: random program/input generation. *)
 
-let check_bool = Alcotest.(check bool)
+open Helpers
 
 let test_determinism () =
   let a = Gen.Varity.generate (Util.Rng.of_int 5) in

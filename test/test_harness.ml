@@ -1,7 +1,6 @@
 (* Tests for lib/harness: campaigns, time model, experiment rendering. *)
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Helpers
 
 let small_budget = 25
 

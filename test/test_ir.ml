@@ -2,12 +2,7 @@
    optimization pass. *)
 
 open Lang
-
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let check_float = Alcotest.(check (float 0.0))
-
-let parse = Cparse.Parse.program_exn
+open Helpers
 
 let strict_rt =
   { Irsim.Interp.libm = Mathlib.Libm.Glibc; ftz = false; nan_cmp_taken = false }

@@ -1,8 +1,6 @@
 (* Tests for lib/isolate: pLiner-style statement isolation. *)
 
-let check_bool = Alcotest.(check bool)
-
-let parse = Cparse.Parse.program_exn
+open Helpers
 
 let gcc level = Compiler.Config.make Compiler.Personality.Gcc level
 let nvcc level = Compiler.Config.make Compiler.Personality.Nvcc level

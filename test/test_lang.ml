@@ -1,10 +1,7 @@
 (* Tests for lib/lang: AST utilities, metrics, renaming, printing. *)
 
 open Lang
-
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let check_string = Alcotest.(check string)
+open Helpers
 
 (* A hand-built reference program used across cases. *)
 let sample : Ast.program =

@@ -1,7 +1,6 @@
 (* Tests for lib/llm: corpus, prompts, sampler, mutations, mock client. *)
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Helpers
 
 (* ------------------------------------------------------------------ *)
 (* Corpus *)

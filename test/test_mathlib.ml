@@ -2,8 +2,7 @@
    fast-math polynomial kernels, dispatch. *)
 
 open Lang
-
-let check_bool = Alcotest.(check bool)
+open Helpers
 
 let all_flavors =
   [ Mathlib.Libm.Glibc; Mathlib.Libm.Mpfr_fold; Mathlib.Libm.Llvm_fold;

@@ -1,9 +1,7 @@
 (* Tests for lib/obs: JSON encoding, metrics registry, spans, sinks,
    and the end-to-end fixed-seed trace determinism guarantee. *)
 
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let check_string = Alcotest.(check string)
+open Helpers
 
 (* ------------------------------------------------------------------ *)
 (* Json *)

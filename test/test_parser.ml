@@ -1,9 +1,7 @@
 (* Tests for lib/parser (cparse): lexing and parsing of the mini-C subset. *)
 
 open Lang
-
-let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
+open Helpers
 
 let arbitrary_program =
   QCheck.make

@@ -1,0 +1,144 @@
+(* Tests for lib/reduce: delta-debugging reduction of archived cases.
+
+   The acceptance bar: over a fixed-seed recorded archive, every case
+   reduces to a strictly smaller program, and the reduced record — on
+   its own, through the normal forensics replay path — reproduces the
+   inconsistency bit-for-bit between the same configuration pair. *)
+
+open Helpers
+
+let fixed_archive f =
+  with_tmpdir ~prefix:"llm4fp-reduce" @@ fun dir ->
+  let recorder = Difftest.Recorder.create ~dir in
+  ignore
+    (Harness.Campaign.run ~budget:15 ~recorder ~seed:20250704
+       Harness.Approach.Llm4fp);
+  match Difftest.Recorder.load_dir dir with
+  | Error msg -> Alcotest.fail msg
+  | Ok [] -> Alcotest.fail "fixed-seed archive is empty"
+  | Ok cases -> f dir cases
+
+let test_reduce_every_case () =
+  fixed_archive @@ fun _dir cases ->
+  List.iter
+    (fun case ->
+      match Reduce.run case with
+      | Error msg ->
+        Alcotest.failf "reduction failed on %s: %s"
+          (Difftest.Case.fingerprint case) msg
+      | Ok r ->
+        check_bool "strictly smaller program" true
+          (r.Reduce.reduced_size < r.Reduce.original_size);
+        let ratio = Reduce.shrink_ratio r in
+        check_bool "ratio in (0, 1)" true (ratio > 0.0 && ratio < 1.0);
+        check_bool "same configuration pair" true
+          (r.Reduce.reduced.Difftest.Case.left.Difftest.Case.config
+           = case.Difftest.Case.left.Difftest.Case.config
+          && r.Reduce.reduced.Difftest.Case.right.Difftest.Case.config
+             = case.Difftest.Case.right.Difftest.Case.config);
+        check_bool "provenance preserved" true
+          (r.Reduce.reduced.Difftest.Case.seed = case.Difftest.Case.seed
+          && r.Reduce.reduced.Difftest.Case.slot = case.Difftest.Case.slot);
+        check_bool "still a divergence"
+          true
+          (r.Reduce.reduced.Difftest.Case.left.Difftest.Case.hex
+          <> r.Reduce.reduced.Difftest.Case.right.Difftest.Case.hex);
+        (* The reduced record must stand alone: the forensics replay
+           path re-parses, recompiles and re-runs it, and must land on
+           the archived bits exactly. *)
+        (match Forensics.Explain.replay r.Reduce.reduced with
+        | Error msg -> Alcotest.failf "reduced case does not replay: %s" msg
+        | Ok outcome ->
+          check_bool "reduced case reproduces bit-exactly" true
+            outcome.Forensics.Explain.reproduced);
+        check_bool "report renders" true
+          (String.length (Reduce.render r) > 0))
+    cases
+
+let test_reduce_rejects_stale_archive () =
+  fixed_archive @@ fun _dir cases ->
+  let case = List.hd cases in
+  (* Corrupt the archived bits: claim both sides agree. The reducer must
+     refuse to "reduce" a record that does not reproduce as archived. *)
+  let stale =
+    {
+      case with
+      Difftest.Case.right =
+        {
+          case.Difftest.Case.right with
+          Difftest.Case.hex = case.Difftest.Case.left.Difftest.Case.hex;
+        };
+    }
+  in
+  match Reduce.run stale with
+  | Ok _ -> Alcotest.fail "reduced a non-reproducing archive record"
+  | Error msg ->
+    check_bool "error names the mismatch" true
+      (Util.Text.contains_sub msg "mismatch")
+
+let test_minimized_companion () =
+  fixed_archive @@ fun dir cases ->
+  let case = List.hd cases in
+  let fingerprint = Difftest.Case.fingerprint case in
+  match Reduce.run case with
+  | Error msg -> Alcotest.fail msg
+  | Ok r ->
+    let path =
+      Difftest.Recorder.write_minimized ~dir ~fingerprint r.Reduce.reduced
+    in
+    check_string "companion path" (Difftest.Recorder.minimized_path ~dir ~fingerprint) path;
+    check_bool "keyed by the original fingerprint" true
+      (Filename.basename path = fingerprint ^ ".min.jsonl");
+    (* The companion is replayable through the standard loader... *)
+    (match Forensics.Explain.load path with
+    | Error msg -> Alcotest.fail ("companion does not load: " ^ msg)
+    | Ok loaded ->
+      check_bool "companion holds the reduced case" true
+        (loaded = r.Reduce.reduced));
+    (* ...but is invisible to the archive: dedup seeding and load_dir
+       must only ever see original records. *)
+    match Difftest.Recorder.load_dir dir with
+    | Error msg -> Alcotest.fail msg
+    | Ok loaded ->
+      check_int "load_dir ignores .min.jsonl companions" (List.length cases)
+        (List.length loaded);
+      check_bool "reduced case not mixed into the archive" true
+        (List.for_all (fun c -> c <> r.Reduce.reduced) loaded)
+
+let test_explain_reduce_wiring () =
+  fixed_archive @@ fun _dir cases ->
+  let case = List.hd cases in
+  (* Default replay does not reduce. *)
+  (match Forensics.Explain.replay case with
+  | Error msg -> Alcotest.fail msg
+  | Ok o ->
+    check_bool "no reduction by default" true
+      (o.Forensics.Explain.reduction = None));
+  match Forensics.Explain.replay ~reduce:true case with
+  | Error msg -> Alcotest.fail msg
+  | Ok o ->
+    (match o.Forensics.Explain.reduction with
+    | Some (Ok r) ->
+      check_bool "reduction shrank the program" true
+        (r.Reduce.reduced_size < r.Reduce.original_size);
+      let report = Forensics.Explain.render o in
+      check_bool "report shows the reduction" true
+        (Util.Text.contains_sub report "reduction")
+    | Some (Error msg) -> Alcotest.fail ("reduction failed: " ^ msg)
+    | None -> Alcotest.fail "~reduce:true produced no reduction")
+
+let () =
+  Alcotest.run "reduce"
+    [
+      ( "reduce",
+        [
+          Alcotest.test_case "every archived case reduces and replays" `Slow
+            test_reduce_every_case;
+          Alcotest.test_case "stale archives are rejected" `Slow
+            test_reduce_rejects_stale_archive;
+          Alcotest.test_case "minimized companion files" `Slow
+            test_minimized_companion;
+          Alcotest.test_case "explain --reduce wiring" `Slow
+            test_explain_reduce_wiring;
+        ] );
+    ]

@@ -1,7 +1,6 @@
 (* Tests for lib/report: table rendering and export. *)
 
-let check_string = Alcotest.(check string)
-let check_bool = Alcotest.(check bool)
+open Helpers
 
 let test_render_alignment () =
   let out =

@@ -1,8 +1,6 @@
 (* Tests for lib/util: deterministic RNG, simulated clock, text helpers. *)
 
-let check_int = Alcotest.(check int)
-let check_bool = Alcotest.(check bool)
-let check_string = Alcotest.(check string)
+open Helpers
 
 (* ------------------------------------------------------------------ *)
 (* Rng *)
