@@ -28,6 +28,9 @@
      LLM4FP_SKIP_REDUCE=1  skip the case-reduction study
      LLM4FP_REDUCE_BUDGET  campaign size for that study (default 25)
      LLM4FP_REDUCE_CASES   cases reduced from its archive (default 40)
+     LLM4FP_SKIP_CHECKPOINT=1  skip the checkpoint overhead study
+     LLM4FP_CHECKPOINT_BUDGET  campaign size for that study (default 100)
+     LLM4FP_CHECKPOINT_EVERY   slots between checkpoints (default 25)
      LLM4FP_JSON_OUT=FILE  also write a machine-readable summary (totals
                            plus per-phase Obs.Span aggregates, so
                            BENCH_*.json files track the phase-level
@@ -37,7 +40,16 @@ open Bechamel
 open Toolkit
 
 let env_int name default =
-  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None ->
+      Printf.eprintf "bench: invalid value for %s: %S (expected an integer)\n"
+        name s;
+      exit 2
+  end
 
 let env_flag name = Sys.getenv_opt name = Some "1"
 
@@ -372,13 +384,139 @@ let run_reduce () =
   summary
 
 (* ------------------------------------------------------------------ *)
+(* Checkpointing: the same campaign without and with durable snapshots,
+   then a crash-recovery drill. Checkpointing is specified to change no
+   result, and a resumed campaign must be indistinguishable from an
+   uninterrupted one — both properties are asserted fatally, so the
+   overhead numbers this study reports are only ever printed for a
+   correct implementation. *)
+
+type checkpoint_summary = {
+  c_without_s : float;
+  c_with_s : float;
+  c_interval : int;
+  c_checkpoints : int;
+  c_resume_equivalent : bool;
+}
+
+let run_checkpoint ~jobs () =
+  let budget = env_int "LLM4FP_CHECKPOINT_BUDGET" 100 in
+  let interval = env_int "LLM4FP_CHECKPOINT_EVERY" 25 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  Printf.printf
+    "== checkpointing: snapshot overhead and crash recovery (budget %d, \
+     every %d slots, %d jobs) ==\n"
+    budget interval jobs;
+  if budget <= 2 * interval then begin
+    Printf.eprintf
+      "FATAL: LLM4FP_CHECKPOINT_BUDGET (%d) must exceed twice \
+       LLM4FP_CHECKPOINT_EVERY (%d) so the crash drill has a second \
+       checkpoint to die at\n"
+      budget interval;
+    exit 1
+  end;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llm4fp-bench-%s-%d" name (Unix.getpid ()))
+  in
+  let signature (o : Harness.Campaign.outcome) =
+    ( Difftest.Stats.total_inconsistencies o.Harness.Campaign.stats,
+      Difftest.Stats.total_comparisons o.Harness.Campaign.stats,
+      o.Harness.Campaign.successful,
+      o.Harness.Campaign.generation_failures,
+      o.Harness.Campaign.sim_seconds )
+  in
+  let bare, without_s =
+    timed (fun () ->
+        Harness.Campaign.run ~budget ~jobs ~seed Harness.Approach.Llm4fp)
+  in
+  let dir = tmp "ckpt" in
+  let snapshotted, with_s =
+    timed (fun () ->
+        Harness.Campaign.run ~budget ~jobs ~checkpoint:(dir, interval) ~seed
+          Harness.Approach.Llm4fp)
+  in
+  if signature bare <> signature snapshotted then begin
+    Printf.eprintf
+      "FATAL: checkpointing changed campaign results (budget %d, seed %d)\n"
+      budget seed;
+    exit 1
+  end;
+  rm_rf dir;
+  (* Crash drill: die mid-write at the second checkpoint (the atomic
+     rename means the first snapshot survives intact), resume from it,
+     and require the outcome to match the uninterrupted run exactly. *)
+  let crash_dir = tmp "ckpt-crash" in
+  Exec.Faults.arm
+    [ { Exec.Faults.stage = Exec.Faults.Checkpoint_write;
+        hit = 2;
+        action = Exec.Faults.Crash } ];
+  (match
+     Harness.Campaign.run ~budget ~jobs ~checkpoint:(crash_dir, interval)
+       ~seed Harness.Approach.Llm4fp
+   with
+  | exception Exec.Faults.Crash_injected _ -> ()
+  | _ ->
+    Printf.eprintf "FATAL: injected checkpoint crash never fired\n";
+    exit 1);
+  Exec.Faults.disarm ();
+  let resumed =
+    match Checkpoint.load ~dir:crash_dir with
+    | Error msg ->
+      Printf.eprintf "FATAL: surviving checkpoint unreadable: %s\n" msg;
+      exit 1
+    | Ok snap ->
+      Harness.Campaign.run ~budget ~jobs ~resume:snap ~seed
+        Harness.Approach.Llm4fp
+  in
+  rm_rf crash_dir;
+  let resume_equivalent = signature resumed = signature bare in
+  if not resume_equivalent then begin
+    Printf.eprintf
+      "FATAL: resumed campaign diverged from the uninterrupted run \
+       (budget %d, seed %d, crash at checkpoint 2)\n"
+      budget seed;
+    exit 1
+  end;
+  let summary =
+    {
+      c_without_s = without_s;
+      c_with_s = with_s;
+      c_interval = interval;
+      c_checkpoints = (budget - 1) / interval;
+      c_resume_equivalent = resume_equivalent;
+    }
+  in
+  Printf.printf
+    "without checkpoints: %.2fs; with: %.2fs (overhead %+.2fs over %d \
+     snapshot(s)); crash at checkpoint 2 resumed to an identical \
+     outcome\n\n"
+    summary.c_without_s summary.c_with_s
+    (summary.c_with_s -. summary.c_without_s)
+    summary.c_checkpoints;
+  summary
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable summary: per-phase span aggregates next to the
    end-to-end totals, so stored BENCH_*.json files can track where the
    time goes (generation / compile / interp / compare / CodeBLEU), not
    just how much of it there is. *)
 
 let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
-    ~forensics ~reduction =
+    ~forensics ~reduction ~checkpoint =
   let phase (r : Obs.Span.row) =
     Obs.Json.Obj
       [ ("label", Obs.Json.String r.Obs.Span.label);
@@ -392,7 +530,7 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
      fails — an instrument the run didn't touch just reads 0. *)
   let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "llm4fp-bench/5");
+    ([ ("schema", Obs.Json.String "llm4fp-bench/6");
        ("budget", Obs.Json.Int budget);
        ("seed", Obs.Json.Int seed);
        ("jobs", Obs.Json.Int jobs) ]
@@ -428,6 +566,17 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
                 ("shrink_ratio_max", Obs.Json.Float r.r_ratio_max);
                 ("oracle_calls", Obs.Json.Int r.r_oracle_calls);
                 ("seconds", Obs.Json.Float r.r_seconds) ] ) ])
+    @ (match checkpoint with
+      | None -> []
+      | Some c ->
+        [ ( "checkpoint",
+            Obs.Json.Obj
+              [ ( "overhead_seconds",
+                  Obs.Json.Float (c.c_with_s -. c.c_without_s) );
+                ("interval", Obs.Json.Int c.c_interval);
+                ("checkpoints", Obs.Json.Int c.c_checkpoints);
+                ("resume_equivalent", Obs.Json.Bool c.c_resume_equivalent) ]
+          ) ])
     @ [ ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
     @
     match micro with
@@ -460,19 +609,20 @@ let () =
   let reduction =
     if not (env_flag "LLM4FP_SKIP_REDUCE") then Some (run_reduce ()) else None
   in
+  let checkpoint =
+    if not (env_flag "LLM4FP_SKIP_CHECKPOINT") then
+      Some (run_checkpoint ~jobs ())
+    else None
+  in
   match Sys.getenv_opt "LLM4FP_JSON_OUT" with
   | None -> ()
   | Some path ->
     let budget = env_int "LLM4FP_BUDGET" 1000 in
     let seed = env_int "LLM4FP_SEED" 20250704 in
     let end_to_end_seconds = Unix.gettimeofday () -. t_start in
-    let oc = open_out path in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        output_string oc
-          (Obs.Json.to_string
-             (json_summary ~budget ~seed ~jobs ~tables_seconds
-                ~end_to_end_seconds ~micro ~forensics ~reduction));
-        output_char oc '\n');
+    Util.Durable.write_string ~path
+      (Obs.Json.to_string
+         (json_summary ~budget ~seed ~jobs ~tables_seconds
+            ~end_to_end_seconds ~micro ~forensics ~reduction ~checkpoint)
+      ^ "\n");
     Printf.printf "(wrote JSON summary to %s)\n" path

@@ -86,15 +86,16 @@ let latency_percentiles () =
       | _ -> None)
     (Obs.Metrics.snapshot ())
 
+(* Reports are durable artifacts too: write them atomically so an
+   interrupted run never leaves a half-rendered file at the target. *)
 let write_file path content =
-  let oc =
-    try open_out path
-    with Sys_error msg ->
-      prerr_endline ("cannot open output file: " ^ msg);
-      exit 1
-  in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc content)
+  try Util.Durable.write_string ~path content with
+  | Sys_error msg ->
+    prerr_endline ("cannot open output file: " ^ msg);
+    exit 1
+  | Unix.Unix_error (e, _, _) ->
+    prerr_endline ("cannot write output file: " ^ Unix.error_message e);
+    exit 1
 
 let approach_arg =
   let parse s =
@@ -219,16 +220,138 @@ let cmd_campaign =
              ~doc:"Write the campaign analytics dashboard (self-contained \
                    HTML) to $(docv). Requires $(b,--record).")
   in
-  let run seed budget approach fp32 jobs trace metrics record html =
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"DIR"
+             ~doc:"Durably snapshot the complete campaign state to \
+                   $(docv)/checkpoint.jsonl every $(b,--checkpoint-every) \
+                   slots (atomic temp+rename, fsync'd). Checkpointing \
+                   changes no result.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 25
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Slots between checkpoints (with $(b,--checkpoint); \
+                   default 25).")
+  in
+  let resume =
+    Arg.(value & opt (some string) None
+         & info [ "resume" ] ~docv:"DIR"
+             ~doc:"Resume an interrupted campaign from \
+                   $(docv)/checkpoint.jsonl. The snapshot supplies seed, \
+                   budget, precision and (unless $(b,--record) overrides) \
+                   the case-archive directory; the positional APPROACH \
+                   must match. Checkpointing continues into $(docv) unless \
+                   $(b,--checkpoint) redirects it. With $(b,--trace), the \
+                   file is truncated to the snapshot's durable offset \
+                   first, so the finished trace is byte-identical to an \
+                   uninterrupted run's.")
+  in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"PLAN"
+             ~doc:"Deterministic fault-injection plan for recovery \
+                   testing, e.g. $(b,llm\\@3:fail,checkpoint\\@2:crash). \
+                   Each rule is STAGE\\@HIT:ACTION with STAGE one of llm, \
+                   frontend, backend, exec, archive, checkpoint and \
+                   ACTION one of crash, fail (transient, retried), \
+                   delay=SECONDS. Also read from \\$LLM4FP_FAULTS.")
+  in
+  let run seed budget approach fp32 jobs trace metrics record html
+      checkpoint_dir checkpoint_every resume faults =
     if html <> None && record = None then begin
       prerr_endline "--html needs --record DIR (the dashboard folds the case archive)";
       exit 1
     end;
-    let precision = if fp32 then Lang.Ast.F32 else Lang.Ast.F64 in
+    if checkpoint_every <= 0 then begin
+      prerr_endline "--checkpoint-every must be positive";
+      exit 1
+    end;
+    (try Exec.Faults.of_env ()
+     with Invalid_argument msg ->
+       prerr_endline msg;
+       exit 1);
+    (match faults with
+    | None -> ()
+    | Some spec -> begin
+      match Exec.Faults.parse spec with
+      | Ok plan -> Exec.Faults.arm plan
+      | Error msg ->
+        prerr_endline ("--faults: " ^ msg);
+        exit 1
+    end);
+    let snapshot =
+      match resume with
+      | None -> None
+      | Some dir -> begin
+        match Checkpoint.load ~dir with
+        | Ok snap -> Some (dir, snap)
+        | Error msg ->
+          prerr_endline ("--resume: " ^ msg);
+          exit 1
+      end
+    in
+    (* A checkpoint resumes the campaign it came from: its identity
+       fields win over the CLI defaults, and a mismatched approach is an
+       error here (with a friendlier message than Campaign.run's). *)
+    (match snapshot with
+    | Some (_, snap)
+      when snap.Checkpoint.approach <> Harness.Approach.name approach ->
+      Printf.eprintf "--resume: checkpoint is for approach %s, not %s\n"
+        snap.Checkpoint.approach
+        (Harness.Approach.name approach);
+      exit 1
+    | _ -> ());
+    let seed, budget, precision =
+      match snapshot with
+      | None -> (seed, budget, if fp32 then Lang.Ast.F32 else Lang.Ast.F64)
+      | Some (_, snap) ->
+        ( snap.Checkpoint.seed,
+          snap.Checkpoint.budget,
+          if snap.Checkpoint.precision = "fp32" then Lang.Ast.F32
+          else Lang.Ast.F64 )
+    in
+    let record =
+      match (record, snapshot) with
+      | None, Some (_, snap) ->
+        Option.map
+          (fun rs -> rs.Checkpoint.rec_dir)
+          snap.Checkpoint.recorder
+      | record, _ -> record
+    in
     let recorder = Option.map (fun dir -> Difftest.Recorder.create ~dir) record in
+    let checkpoint =
+      match (checkpoint_dir, snapshot) with
+      | Some dir, _ -> Some (dir, checkpoint_every)
+      | None, Some (dir, snap) -> Some (dir, snap.Checkpoint.interval)
+      | None, None -> None
+    in
+    let with_campaign_trace f =
+      match (trace, snapshot) with
+      | Some path, Some (_, snap) ->
+        (* Truncate back to the checkpoint's durable offset before the
+           sink attaches: events the crashed run flushed beyond the
+           boundary are discarded, then re-emitted identically. *)
+        let oc =
+          try Checkpoint.reopen_trace ~path snap with
+          | Unix.Unix_error (e, _, _) ->
+            prerr_endline
+              ("cannot reopen trace file: " ^ Unix.error_message e);
+            exit 1
+          | Sys_error msg ->
+            prerr_endline ("cannot reopen trace file: " ^ msg);
+            exit 1
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Obs.Trace.with_sink (Obs.Sink.ordered (Obs.Sink.jsonl oc)) f)
+      | _ -> with_trace trace f
+    in
     let o =
-      with_trace trace (fun () ->
-          Harness.Campaign.run ~budget ~precision ~jobs ?recorder ~seed approach)
+      with_campaign_trace (fun () ->
+          Harness.Campaign.run ~budget ~precision ~jobs ?recorder ?checkpoint
+            ?resume:(Option.map snd snapshot) ~seed approach)
     in
     let stats = o.Harness.Campaign.stats in
     Printf.printf "%s: budget %d, seed %d\n" (Harness.Approach.name approach)
@@ -276,7 +399,8 @@ let cmd_campaign =
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run one approach's full campaign")
     Term.(const run $ seed_arg $ budget_arg $ approach $ fp32 $ jobs_arg
-          $ trace_arg $ metrics_arg $ record $ html)
+          $ trace_arg $ metrics_arg $ record $ html $ checkpoint_dir
+          $ checkpoint_every $ resume $ faults)
 
 let cmd_tables =
   let only =

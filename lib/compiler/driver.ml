@@ -12,6 +12,31 @@ let m_front_hits = Obs.Metrics.counter "compiler.frontend.cache_hits"
 let m_work = Obs.Metrics.counter "compiler.work"
 let m_runs = Obs.Metrics.counter "compiler.runs"
 let m_fp_ops = Obs.Metrics.counter "compiler.fp_ops"
+let m_retries = Obs.Metrics.counter "retry.compiler.retries"
+let m_exhausted = Obs.Metrics.counter "retry.compiler.exhausted"
+let max_attempts = 3
+
+(* Transient-failure policy shared by every driver stage: the stage
+   entry point is re-attempted up to [max_attempts] times with
+   deterministic exponential backoff charged to the attached simulated
+   clock; exhaustion re-raises the original failure. The stages
+   themselves are deterministic, so a retry repeats the work exactly. *)
+let inject_with_retry stage =
+  let rec go attempt =
+    match Exec.Faults.inject stage with
+    | () -> ()
+    | exception (Exec.Faults.Transient _ as e) ->
+        if attempt >= max_attempts then begin
+          Obs.Metrics.incr m_exhausted;
+          raise e
+        end
+        else begin
+          Obs.Metrics.incr m_retries;
+          Obs.Span.charge_sim (Exec.Faults.backoff ~attempt);
+          go (attempt + 1)
+        end
+  in
+  go 1
 
 let rec body_size body =
   List.fold_left
@@ -66,6 +91,7 @@ let target_of (config : Config.t) : target =
    lowering: …"). *)
 let run_front_end (target : target) program =
   Obs.Span.with_span "compiler.front_end" @@ fun () ->
+  inject_with_retry Exec.Faults.Front_end;
   Obs.Metrics.incr m_front_runs;
   (* Emit the translation unit for the target, then run the front end on
      that text: the device path really goes through the C-to-CUDA
@@ -121,6 +147,7 @@ let front_end fronts (target : target) =
    (immutable) lowered IR. *)
 
 let back_end (config : Config.t) (front : front) =
+  inject_with_retry Exec.Faults.Back_end;
   let applied = Config.effective config front.f_precision in
   let ir = pipeline applied front.f_ir in
   { config = applied; source = front.f_source; ir; work = body_size ir.body }
@@ -164,6 +191,7 @@ let compile (config : Config.t) (program : Lang.Ast.program) =
 
 let run binary inputs =
   Obs.Span.with_span "compiler.interp" @@ fun () ->
+  inject_with_retry Exec.Faults.Execution;
   let out = Irsim.Interp.run (Config.runtime binary.config) binary.ir inputs in
   Obs.Metrics.incr m_runs;
   Obs.Metrics.incr ~by:out.Irsim.Interp.fp_ops m_fp_ops;

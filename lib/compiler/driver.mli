@@ -18,6 +18,14 @@
     {!Exec.Pool} fan-out) and {!compile_with} runs only the per-config
     back end against them. The cache's effectiveness is observable as
     the [compiler.frontend.runs] / [compiler.frontend.cache_hits]
+    metrics.
+
+    Fault tolerance: every stage entry point (front end, back end,
+    execution) is an {!Exec.Faults} injection site with a bounded-retry
+    policy for transient failures — up to two retries with deterministic
+    exponential backoff charged to the attached simulated clock
+    ({!Obs.Span.charge_sim}); exhaustion re-raises the original
+    {!Exec.Faults.Transient}. Counted by the [retry.compiler.*]
     metrics. *)
 
 type binary = {

@@ -67,5 +67,12 @@ val of_json : Obs.Json.t -> (t, string) result
 (** Inverse of {!to_json}. Verifies that the embedded fingerprint
     matches the decoded content (an archive integrity check). *)
 
+val input_to_json : Irsim.Inputs.value -> Obs.Json.t
+(** The bit-exact (hex-payload) input encoding used inside {!to_json},
+    exposed so campaign checkpoints reuse the same lossless codec. *)
+
+val input_of_json : Obs.Json.t -> (Irsim.Inputs.value, string) result
+(** Inverse of {!input_to_json}. *)
+
 val to_analytics : t -> Report.Analytics.case
 (** The dependency-free projection the dashboard aggregates. *)

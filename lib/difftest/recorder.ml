@@ -8,14 +8,7 @@ type t = {
 
 let m_recorded = Obs.Metrics.counter "recorder.cases"
 let m_duplicates = Obs.Metrics.counter "recorder.duplicates"
-
-let rec mkdir_p path =
-  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path)
-  then begin
-    mkdir_p (Filename.dirname path);
-    try Unix.mkdir path 0o755
-    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+let mkdir_p = Util.Durable.mkdir_p
 
 (* Minimized companions written by the reducer ([<fp>.min.jsonl]) live in
    the same directory but are not part of the archive proper. *)
@@ -49,11 +42,13 @@ let record t case =
   Mutex.unlock t.lock;
   if fresh then begin
     (* Write outside the lock: the fingerprint is already claimed, so
-       no other domain can race on this path. *)
-    let oc = open_out (path_of t fingerprint) in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
+       no other domain can race on this path. The write is atomic
+       (temp + rename, binary mode): a crash mid-record can never leave
+       a truncated case file that later fails the integrity check. *)
+    Exec.Faults.inject Exec.Faults.Archive_write;
+    Util.Durable.write_atomic
+      ~path:(path_of t fingerprint)
+      (fun oc ->
         output_string oc (Obs.Json.to_string (Case.to_json case));
         output_char oc '\n');
     Obs.Metrics.incr m_recorded;
@@ -80,21 +75,36 @@ let duplicates t =
   Mutex.unlock t.lock;
   n
 
+let snapshot t =
+  Mutex.lock t.lock;
+  let seen =
+    Hashtbl.fold (fun fp () acc -> fp :: acc) t.seen []
+    |> List.sort String.compare
+  in
+  let r = (seen, t.recorded, t.duplicates) in
+  Mutex.unlock t.lock;
+  r
+
+let restore t (seen, recorded, duplicates) =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.seen;
+  List.iter (fun fp -> Hashtbl.replace t.seen fp ()) seen;
+  t.recorded <- recorded;
+  t.duplicates <- duplicates;
+  Mutex.unlock t.lock
+
 let minimized_path ~dir ~fingerprint =
   Filename.concat dir (fingerprint ^ ".min.jsonl")
 
 let write_minimized ~dir ~fingerprint case =
   let path = minimized_path ~dir ~fingerprint in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Util.Durable.write_atomic ~path (fun oc ->
       output_string oc (Obs.Json.to_string (Case.to_json case));
       output_char oc '\n');
   path
 
 let load_file path =
-  match open_in path with
+  match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | ic ->
     Fun.protect

@@ -32,6 +32,17 @@ val count : t -> int
 val duplicates : t -> int
 (** Cases offered to {!record} that were already present. *)
 
+val snapshot : t -> string list * int * int
+(** [(seen, recorded, duplicates)]: the sorted dedup set and both
+    counters, for campaign checkpoints. *)
+
+val restore : t -> string list * int * int -> unit
+(** Replace the recorder's dedup set and counters with a {!snapshot}.
+    A resumed campaign restores the {e checkpoint-time} state rather
+    than re-seeding from the directory, so cases archived after the
+    checkpoint are re-recorded (the atomic rewrite produces identical
+    bytes) and the counters match an uninterrupted run. *)
+
 val load_dir : string -> (Case.t list, string) result
 (** Read every [*.jsonl] file of an archive directory, sorted by file
     name (= fingerprint order). Fails on the first undecodable file,

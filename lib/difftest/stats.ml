@@ -134,8 +134,16 @@ let rank_class = function
   | _ -> Fp.Bits.Nan
 
 let class_pairs_present t =
+  (* Explicit comparator: the keys are int ranks today, but polymorphic
+     [compare] here would silently become an ordering (or exception)
+     hazard the day the key type grows a float or functional field. *)
+  let compare_rank_pair (a_lo, a_hi) (b_lo, b_hi) =
+    match Int.compare a_lo b_lo with
+    | 0 -> Int.compare a_hi b_hi
+    | c -> c
+  in
   Hashtbl.fold (fun (_, lo, hi) _ acc -> (lo, hi) :: acc) t.class_counts []
-  |> List.sort_uniq compare
+  |> List.sort_uniq compare_rank_pair
   |> List.map (fun (lo, hi) -> (rank_class lo, rank_class hi))
 
 let within_count t personality level =
@@ -151,3 +159,169 @@ let within_comparisons t =
 let total_work t = t.work
 let total_ops t = t.ops
 let compile_failures t = t.programs_with_failures
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot codec: everything the accumulator holds, so a checkpointed
+   campaign restores its running totals exactly. All payloads are ints,
+   so plain JSON numbers are lossless. *)
+
+let json_schema = "llm4fp-stats/1"
+
+let matrix_to_json m =
+  Obs.Json.List
+    (Array.to_list
+       (Array.map
+          (fun row ->
+            Obs.Json.List
+              (Array.to_list (Array.map (fun v -> Obs.Json.Int v) row)))
+          m))
+
+let to_json t =
+  let acc_to_json a =
+    let n, min_, max_, sum = Fp.Digits.Acc.raw a in
+    Obs.Json.List
+      [ Obs.Json.Int n; Obs.Json.Int min_; Obs.Json.Int max_; Obs.Json.Int sum ]
+  in
+  let class_counts =
+    Hashtbl.fold
+      (fun (l, lo, hi) count acc -> ((l, lo, hi), !count) :: acc)
+      t.class_counts []
+    |> List.sort (fun ((al, alo, ahi), _) ((bl, blo, bhi), _) ->
+           match Int.compare al bl with
+           | 0 -> (
+               match Int.compare alo blo with
+               | 0 -> Int.compare ahi bhi
+               | c -> c)
+           | c -> c)
+    |> List.map (fun ((l, lo, hi), count) ->
+           Obs.Json.List
+             [ Obs.Json.Int l;
+               Obs.Json.Int lo;
+               Obs.Json.Int hi;
+               Obs.Json.Int count ])
+  in
+  Obs.Json.Obj
+    [ ("schema", Obs.Json.String json_schema);
+      ("programs", Obs.Json.Int t.programs);
+      ("generation_failures", Obs.Json.Int t.generation_failures);
+      ("programs_with_failures", Obs.Json.Int t.programs_with_failures);
+      ("cross_counts", matrix_to_json t.cross_counts);
+      ( "cross_digit_acc",
+        Obs.Json.List
+          (Array.to_list
+             (Array.map
+                (fun row ->
+                  Obs.Json.List (Array.to_list (Array.map acc_to_json row)))
+                t.cross_digit_acc)) );
+      ("class_counts", Obs.Json.List class_counts);
+      ("within", matrix_to_json t.within);
+      ("inconsistencies", Obs.Json.Int t.inconsistencies);
+      ("work", Obs.Json.Int t.work);
+      ("ops", Obs.Json.Int t.ops);
+      ("performed", Obs.Json.Int t.performed);
+      ("within_performed", Obs.Json.Int t.within_performed) ]
+
+let ( let* ) = Result.bind
+
+let int_of_json name = function
+  | Obs.Json.Int n -> Ok n
+  | _ -> Error (Printf.sprintf "stats JSON: %s is not an int" name)
+
+let int_field name json =
+  match Obs.Json.member name json with
+  | Some v -> int_of_json name v
+  | None -> Error (Printf.sprintf "stats JSON: missing field %S" name)
+
+let fill_matrix name dst json =
+  match json with
+  | Some (Obs.Json.List rows) when List.length rows = Array.length dst ->
+      let rec go i = function
+        | [] -> Ok ()
+        | Obs.Json.List cells :: rest
+          when List.length cells = Array.length dst.(i) ->
+            let rec cells_go j = function
+              | [] -> go (i + 1) rest
+              | c :: cs ->
+                  let* v = int_of_json name c in
+                  dst.(i).(j) <- v;
+                  cells_go (j + 1) cs
+            in
+            cells_go 0 cells
+        | _ -> Error (Printf.sprintf "stats JSON: %s has the wrong shape" name)
+      in
+      go 0 rows
+  | _ -> Error (Printf.sprintf "stats JSON: %s has the wrong shape" name)
+
+let of_json json =
+  let* schema_got =
+    match Obs.Json.member "schema" json with
+    | Some (Obs.Json.String s) -> Ok s
+    | _ -> Error "stats JSON: missing schema"
+  in
+  let* () =
+    if schema_got = json_schema then Ok ()
+    else Error (Printf.sprintf "stats JSON: unsupported schema %S" schema_got)
+  in
+  let t = create () in
+  let* programs = int_field "programs" json in
+  let* generation_failures = int_field "generation_failures" json in
+  let* programs_with_failures = int_field "programs_with_failures" json in
+  let* inconsistencies = int_field "inconsistencies" json in
+  let* work = int_field "work" json in
+  let* ops = int_field "ops" json in
+  let* performed = int_field "performed" json in
+  let* within_performed = int_field "within_performed" json in
+  let* () = fill_matrix "cross_counts" t.cross_counts (Obs.Json.member "cross_counts" json) in
+  let* () = fill_matrix "within" t.within (Obs.Json.member "within" json) in
+  let* () =
+    match Obs.Json.member "cross_digit_acc" json with
+    | Some (Obs.Json.List rows)
+      when List.length rows = Array.length t.cross_digit_acc ->
+        let rec go i = function
+          | [] -> Ok ()
+          | Obs.Json.List cells :: rest
+            when List.length cells = Array.length t.cross_digit_acc.(i) ->
+              let rec cells_go j = function
+                | [] -> go (i + 1) rest
+                | Obs.Json.List
+                    [ Obs.Json.Int n;
+                      Obs.Json.Int min_;
+                      Obs.Json.Int max_;
+                      Obs.Json.Int sum ]
+                  :: cs ->
+                    t.cross_digit_acc.(i).(j) <-
+                      Fp.Digits.Acc.of_raw (n, min_, max_, sum);
+                    cells_go (j + 1) cs
+                | _ -> Error "stats JSON: cross_digit_acc cell has the wrong shape"
+              in
+              cells_go 0 cells
+          | _ -> Error "stats JSON: cross_digit_acc has the wrong shape"
+        in
+        go 0 rows
+    | _ -> Error "stats JSON: cross_digit_acc has the wrong shape"
+  in
+  let* () =
+    match Obs.Json.member "class_counts" json with
+    | Some (Obs.Json.List entries) ->
+        let rec go = function
+          | [] -> Ok ()
+          | Obs.Json.List
+              [ Obs.Json.Int l; Obs.Json.Int lo; Obs.Json.Int hi;
+                Obs.Json.Int count ]
+            :: rest ->
+              Hashtbl.replace t.class_counts (l, lo, hi) (ref count);
+              go rest
+          | _ -> Error "stats JSON: class_counts entry has the wrong shape"
+        in
+        go entries
+    | _ -> Error "stats JSON: class_counts has the wrong shape"
+  in
+  t.programs <- programs;
+  t.generation_failures <- generation_failures;
+  t.programs_with_failures <- programs_with_failures;
+  t.inconsistencies <- inconsistencies;
+  t.work <- work;
+  t.ops <- ops;
+  t.performed <- performed;
+  t.within_performed <- within_performed;
+  Ok t

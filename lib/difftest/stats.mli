@@ -70,3 +70,14 @@ val total_ops : t -> int
 val compile_failures : t -> int
 (** Programs with at least one configuration failing to compile
     (generation failures included). *)
+
+(** {1 Durable snapshots} *)
+
+val to_json : t -> Obs.Json.t
+(** Full accumulator state ([schema "llm4fp-stats/1"]). Every payload
+    is an integer, so the encoding is lossless and byte-stable — two
+    accumulators that saw the same results serialize identically. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}; rejects shape or schema mismatches with a
+    field-naming error. *)

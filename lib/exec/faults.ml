@@ -1,0 +1,178 @@
+(* Deterministic fault injection.
+
+   A fault plan maps pipeline stages to the 1-based hit count at which
+   an action fires: the Nth time [inject stage] runs for that stage, the
+   stage crashes (simulated process death), fails transiently, or is
+   delayed. Hit counters are process-global atomics, so a plan like
+   "llm@3:crash" fires at exactly the same pipeline position on every
+   run of a fixed-seed campaign — which is what makes crash-recovery
+   testable rather than anecdotal. *)
+
+type stage =
+  | Llm_call
+  | Front_end
+  | Back_end
+  | Execution
+  | Archive_write
+  | Checkpoint_write
+
+type action = Crash | Fail | Delay of float
+
+exception Crash_injected of string
+exception Transient of string
+
+let stage_name = function
+  | Llm_call -> "llm"
+  | Front_end -> "frontend"
+  | Back_end -> "backend"
+  | Execution -> "exec"
+  | Archive_write -> "archive"
+  | Checkpoint_write -> "checkpoint"
+
+let stage_of_name = function
+  | "llm" -> Some Llm_call
+  | "frontend" -> Some Front_end
+  | "backend" -> Some Back_end
+  | "exec" -> Some Execution
+  | "archive" -> Some Archive_write
+  | "checkpoint" -> Some Checkpoint_write
+  | _ -> None
+
+let all_stages =
+  [ Llm_call; Front_end; Back_end; Execution; Archive_write; Checkpoint_write ]
+
+type rule = { stage : stage; hit : int; action : action }
+type plan = rule list
+
+(* ------------------------------------------------------------------ *)
+(* Plan parsing: "llm@3:crash,frontend@5:fail,exec@10:delay=0.01" *)
+
+let parse_rule s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match String.index_opt s '@' with
+  | None -> err "fault rule %S: expected STAGE@HIT:ACTION" s
+  | Some at -> (
+      let stage_s = String.sub s 0 at in
+      match stage_of_name stage_s with
+      | None ->
+          err "fault rule %S: unknown stage %S (expected one of %s)" s stage_s
+            (String.concat "/" (List.map stage_name all_stages))
+      | Some stage -> (
+          let rest = String.sub s (at + 1) (String.length s - at - 1) in
+          match String.index_opt rest ':' with
+          | None -> err "fault rule %S: expected STAGE@HIT:ACTION" s
+          | Some colon -> (
+              let hit_s = String.sub rest 0 colon in
+              let action_s =
+                String.sub rest (colon + 1) (String.length rest - colon - 1)
+              in
+              match int_of_string_opt hit_s with
+              | Some hit when hit >= 1 -> (
+                  match action_s with
+                  | "crash" -> Ok { stage; hit; action = Crash }
+                  | "fail" -> Ok { stage; hit; action = Fail }
+                  | _ -> (
+                      match String.index_opt action_s '=' with
+                      | Some eq when String.sub action_s 0 eq = "delay" -> (
+                          let v =
+                            String.sub action_s (eq + 1)
+                              (String.length action_s - eq - 1)
+                          in
+                          match float_of_string_opt v with
+                          | Some d when d >= 0.0 && Float.is_finite d ->
+                              Ok { stage; hit; action = Delay d }
+                          | _ ->
+                              err
+                                "fault rule %S: delay %S is not a \
+                                 non-negative number"
+                                s v)
+                      | _ ->
+                          err
+                            "fault rule %S: unknown action %S (expected \
+                             crash, fail, or delay=SECONDS)"
+                            s action_s))
+              | _ ->
+                  err "fault rule %S: hit count %S is not a positive integer" s
+                    hit_s)))
+
+let parse spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match parse_rule p with
+        | Ok r -> go (r :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] parts
+
+let to_string plan =
+  plan
+  |> List.map (fun { stage; hit; action } ->
+         let a =
+           match action with
+           | Crash -> "crash"
+           | Fail -> "fail"
+           | Delay d -> Printf.sprintf "delay=%g" d
+         in
+         Printf.sprintf "%s@%d:%s" (stage_name stage) hit a)
+  |> String.concat ","
+
+(* ------------------------------------------------------------------ *)
+(* Arming and injection *)
+
+let armed : plan Atomic.t = Atomic.make []
+let counters = List.map (fun s -> (s, Atomic.make 0)) all_stages
+let counter stage = List.assq stage counters
+
+let reset_counters () =
+  List.iter (fun (_, c) -> Atomic.set c 0) counters
+
+let arm plan =
+  Atomic.set armed plan;
+  reset_counters ()
+
+let disarm () =
+  Atomic.set armed [];
+  reset_counters ()
+
+let of_env () =
+  match Sys.getenv_opt "LLM4FP_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match parse spec with
+      | Ok plan -> arm plan
+      | Error msg -> invalid_arg ("LLM4FP_FAULTS: " ^ msg))
+
+let inject ?(delay = fun (_ : float) -> ()) stage =
+  match Atomic.get armed with
+  | [] -> () (* fast path: nothing armed, no counter traffic *)
+  | plan ->
+      let hit = 1 + Atomic.fetch_and_add (counter stage) 1 in
+      List.iter
+        (fun r ->
+          if r.stage == stage && r.hit = hit then
+            match r.action with
+            | Crash ->
+                raise
+                  (Crash_injected
+                     (Printf.sprintf "injected crash at %s hit %d"
+                        (stage_name stage) hit))
+            | Fail ->
+                raise
+                  (Transient
+                     (Printf.sprintf "injected transient failure at %s hit %d"
+                        (stage_name stage) hit))
+            | Delay d -> delay d)
+        plan
+
+(* ------------------------------------------------------------------ *)
+(* Retry backoff *)
+
+let backoff ~attempt =
+  if attempt < 1 then invalid_arg "Faults.backoff: attempt must be >= 1";
+  0.25 *. (2.0 ** float_of_int (attempt - 1))

@@ -1,0 +1,68 @@
+(** Deterministic fault injection for recovery testing.
+
+    Recovery code that is never exercised is broken code. This module
+    lets tests (and the CLI, via [--faults] / [LLM4FP_FAULTS]) declare a
+    {e plan} — "the 3rd LLM call crashes", "the 5th front-end run fails
+    transiently" — and every pipeline stage calls {!inject} at its entry
+    point. Hit counters are process-global and deterministic for a
+    fixed-seed campaign, so an injected crash lands at exactly the same
+    pipeline position on every run.
+
+    Crashes are simulated by raising {!Crash_injected}, which the
+    campaign loop deliberately does not catch; transient failures raise
+    {!Transient}, which retry policies in [Llm.Client] and
+    [Compiler.Driver] absorb with deterministic {!backoff}. *)
+
+type stage =
+  | Llm_call  (** one simulated LLM generation request *)
+  | Front_end  (** one semantic front-end pass *)
+  | Back_end  (** one per-config back-end compilation *)
+  | Execution  (** one compiled-program execution *)
+  | Archive_write  (** one case-archive file write *)
+  | Checkpoint_write  (** one campaign checkpoint write *)
+
+type action =
+  | Crash  (** raise {!Crash_injected} (simulated process death) *)
+  | Fail  (** raise {!Transient} (retryable failure) *)
+  | Delay of float  (** invoke the injection point's delay hook *)
+
+exception Crash_injected of string
+exception Transient of string
+
+type rule = { stage : stage; hit : int; action : action }
+(** Fire [action] on the [hit]-th (1-based) injection for [stage]. *)
+
+type plan = rule list
+
+val stage_name : stage -> string
+(** Stable lowercase name: [llm], [frontend], [backend], [exec],
+    [archive], [checkpoint]. *)
+
+val parse : string -> (plan, string) result
+(** Parse a comma-separated spec like ["llm@3:crash,exec@10:delay=0.01"].
+    Each rule is [STAGE@HIT:ACTION] with [ACTION] one of [crash],
+    [fail], or [delay=SECONDS]. The empty string is the empty plan. *)
+
+val to_string : plan -> string
+(** Inverse of {!parse} (canonical spelling). *)
+
+val arm : plan -> unit
+(** Install a plan and reset all hit counters. *)
+
+val disarm : unit -> unit
+(** Remove any armed plan and reset all hit counters. *)
+
+val of_env : unit -> unit
+(** Arm the plan in [LLM4FP_FAULTS], if set and non-empty. Raises
+    [Invalid_argument] with the parse error on a malformed spec. *)
+
+val inject : ?delay:(float -> unit) -> stage -> unit
+(** [inject stage] counts one hit for [stage] and fires any matching
+    armed rule: [Crash]/[Fail] raise, [Delay d] calls [delay d]
+    (default: ignore). With no plan armed this is a no-op that touches
+    no counters, so production runs pay nothing. *)
+
+val backoff : attempt:int -> float
+(** [backoff ~attempt] is the deterministic retry delay in (simulated)
+    seconds before retry number [attempt >= 1]: [0.25 * 2^(attempt-1)].
+    Deterministic so retried runs stay byte-identical. *)

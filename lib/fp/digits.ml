@@ -1,17 +1,38 @@
+type error = Non_finite of float | Malformed of string
+
+let error_to_string = function
+  | Non_finite x -> Printf.sprintf "Digits.decompose: non-finite input %h" x
+  | Malformed s ->
+      Printf.sprintf "Digits.decompose: malformed scientific rendering %S" s
+
+let decompose_result x =
+  if not (Float.is_finite x) then Error (Non_finite x)
+  else
+    let s = Printf.sprintf "%.15e" (Float.abs x) in
+    (* Format: d.ddddddddddddddde[+-]XX *)
+    match String.index_opt s 'e' with
+    | None -> Error (Malformed s)
+    | Some epos -> (
+        let mantissa = String.sub s 0 epos in
+        let exp_s = String.sub s (epos + 1) (String.length s - epos - 1) in
+        match int_of_string_opt exp_s with
+        | None -> Error (Malformed s)
+        | Some exponent ->
+            let digits =
+              String.to_seq mantissa
+              |> Seq.filter (fun c -> c <> '.')
+              |> String.of_seq
+            in
+            if
+              String.length digits <> 16
+              || not (String.for_all (fun c -> c >= '0' && c <= '9') digits)
+            then Error (Malformed s)
+            else Ok (Float.sign_bit x, digits, if x = 0.0 then 0 else exponent))
+
 let decompose x =
-  if not (Float.is_finite x) then invalid_arg "Digits.decompose: non-finite";
-  let s = Printf.sprintf "%.15e" (Float.abs x) in
-  (* Format: d.ddddddddddddddde[+-]XX *)
-  let epos = String.index s 'e' in
-  let mantissa = String.sub s 0 epos in
-  let exponent = int_of_string (String.sub s (epos + 1) (String.length s - epos - 1)) in
-  let digits =
-    String.to_seq mantissa
-    |> Seq.filter (fun c -> c <> '.')
-    |> String.of_seq
-  in
-  assert (String.length digits = 16);
-  (Float.sign_bit x, digits, if x = 0.0 then 0 else exponent)
+  match decompose_result x with
+  | Ok v -> v
+  | Error e -> invalid_arg (error_to_string e)
 
 let significand_digits x =
   let _, digits, _ = decompose x in
@@ -54,6 +75,9 @@ module Acc = struct
     if t.n = 0 then invalid_arg "Digits.Acc.max: empty" else t.max_
 
   let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+  let raw t = (t.n, t.min_, t.max_, t.sum)
+  let of_raw (n, min_, max_, sum) = { n; min_; max_; sum }
 
   let to_string t =
     if t.n = 0 then "-"

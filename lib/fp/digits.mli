@@ -12,9 +12,24 @@ val significand_digits : float -> string
     decimal point), e.g. [significand_digits 0.1 = "1000000000000000"].
     Raises [Invalid_argument] on non-finite input. *)
 
+type error =
+  | Non_finite of float  (** only finite values decompose *)
+  | Malformed of string
+      (** the [%.15e] rendering did not have the expected
+          [d.ddddddddddddddde±XX] shape (carries the rendering) *)
+
+val error_to_string : error -> string
+
+val decompose_result : float -> (bool * string * int, error) result
+(** Total decomposition: never raises. [Ok (negative, digits, exponent)]
+    for well-formed finite input; the digit string is always exactly 16
+    decimal digits. *)
+
 val decompose : float -> bool * string * int
 (** [decompose x = (negative, digits, exponent)] for finite [x], matching
-    [%.15e] formatting. Zero decomposes to [(sign, "000...0", 0)]. *)
+    [%.15e] formatting. Zero decomposes to [(sign, "000...0", 0)].
+    Raises [Invalid_argument (error_to_string e)] where
+    [decompose_result] would return [Error e]. *)
 
 val diff_count : float -> float -> int
 (** Number of differing digits among the 16, in [\[0, 16\]]. Bitwise-equal
@@ -34,4 +49,11 @@ module Acc : sig
   val mean : t -> float
   val to_string : t -> string
   (** ["(min/max/avg)"] in the paper's format, or ["-"] when empty. *)
+
+  val raw : t -> int * int * int * int
+  (** [(count, min, max, sum)] — the full accumulator state, for
+      durable snapshots. *)
+
+  val of_raw : int * int * int * int -> t
+  (** Rebuild from a {!raw} snapshot. *)
 end

@@ -41,7 +41,11 @@ let admit source =
   end
 
 let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
-    ~seed approach =
+    ?checkpoint ?resume ~seed approach =
+  (match checkpoint with
+  | Some (_, interval) when interval <= 0 ->
+    invalid_arg "Campaign.run: checkpoint interval must be positive"
+  | _ -> ());
   let rng = Util.Rng.of_int seed in
   (* The 18-configuration matrix is immutable for the whole campaign:
      build it once here instead of once per budget slot. *)
@@ -49,12 +53,109 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
   let input_rng = Util.Rng.split rng in
   let clock = Util.Sim_clock.create () in
   let client = Llm.Client.create ~seed:(seed lxor 0x5eed) () in
-  let stats = Difftest.Stats.create () in
+  let stats =
+    match resume with
+    | None -> Difftest.Stats.create ()
+    | Some snap -> snap.Checkpoint.stats
+  in
   let successful = ref [] in
   let n_successful = ref 0 in
   let programs = ref [] in
   let cases = ref [] in
+  (* Feedback flags, newest first, aligned with [cases]: which valid
+     programs are members of the successful set. Maintained whether or
+     not checkpointing is on (one cons per slot) so the history can be
+     snapshotted at any boundary. *)
+  let feedback_flags = ref [] in
   let generation_failures = ref 0 in
+  (* Restoring a snapshot replays the loop's complete state: both RNG
+     streams, the LLM session, clock, stats, counters, and the valid
+     slot history (from which programs/cases/successful rebuild in
+     order). Identity fields must match the caller's arguments — a
+     checkpoint resumes the campaign it came from, nothing else. *)
+  (match resume with
+  | None -> ()
+  | Some snap ->
+    let check name got want =
+      if got <> want then
+        invalid_arg
+          (Printf.sprintf
+             "Campaign.run: resume mismatch: checkpoint has %s %s, caller \
+              passed %s"
+             name got want)
+    in
+    check "seed" (string_of_int snap.Checkpoint.seed) (string_of_int seed);
+    check "approach" snap.Checkpoint.approach (Approach.name approach);
+    check "budget" (string_of_int snap.Checkpoint.budget)
+      (string_of_int budget);
+    check "precision" snap.Checkpoint.precision (precision_name precision);
+    Util.Rng.set_state rng snap.Checkpoint.rng;
+    Util.Rng.set_state input_rng snap.Checkpoint.input_rng;
+    Util.Sim_clock.advance clock snap.Checkpoint.sim_seconds;
+    (match Llm.Client.restore client snap.Checkpoint.client with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Campaign.run: " ^ msg));
+    (match (recorder, snap.Checkpoint.recorder) with
+    | Some r, Some rs ->
+      Difftest.Recorder.restore r
+        ( rs.Checkpoint.rec_seen,
+          rs.Checkpoint.rec_recorded,
+          rs.Checkpoint.rec_duplicates )
+    | _ -> ());
+    List.iter
+      (fun { Checkpoint.program; inputs; feedback } ->
+        programs := program :: !programs;
+        cases := (program, inputs) :: !cases;
+        feedback_flags := feedback :: !feedback_flags;
+        if feedback then begin
+          successful := program :: !successful;
+          incr n_successful
+        end)
+      snap.Checkpoint.slots;
+    generation_failures := snap.Checkpoint.generation_failures);
+  let first_slot =
+    match resume with None -> 1 | Some snap -> snap.Checkpoint.next_slot
+  in
+  let write_checkpoint ~dir ~interval slot =
+    (* Durably flush the trace first: the stored offset marks the slot
+       boundary, so a resumed run can truncate away any events the
+       interrupted run flushed beyond it. *)
+    let trace_offset = Obs.Trace.sync () in
+    let slots =
+      List.rev_map2
+        (fun (program, inputs) feedback ->
+          { Checkpoint.program; inputs; feedback })
+        !cases !feedback_flags
+    in
+    Checkpoint.write ~dir
+      {
+        Checkpoint.seed;
+        approach = Approach.name approach;
+        budget;
+        precision = precision_name precision;
+        interval;
+        next_slot = slot + 1;
+        generation_failures = !generation_failures;
+        sim_seconds = Util.Sim_clock.elapsed clock;
+        rng = Util.Rng.state rng;
+        input_rng = Util.Rng.state input_rng;
+        trace_offset;
+        client = Llm.Client.snapshot client;
+        stats;
+        recorder =
+          Option.map
+            (fun r ->
+              let seen, recorded, duplicates = Difftest.Recorder.snapshot r in
+              {
+                Checkpoint.rec_dir = Difftest.Recorder.dir r;
+                rec_seen = seen;
+                rec_recorded = recorded;
+                rec_duplicates = duplicates;
+              })
+            recorder;
+        slots;
+      }
+  in
   let t_start = Unix.gettimeofday () in
   let llm_generate prompt =
     let response = Llm.Client.generate client prompt in
@@ -98,7 +199,9 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
     if Approach.uses_llm approach then Time_model.framework_llm
     else Time_model.framework
   in
-  if Obs.Trace.on () then
+  (* A resumed run appends to a trace that already opens with the
+     original Campaign_started event (the stored offset covers it). *)
+  if resume = None && Obs.Trace.on () then
     Obs.Trace.emit
       (Obs.Event.Campaign_started
          {
@@ -108,8 +211,8 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
            precision = precision_name precision;
          });
   Obs.Span.with_clock clock (fun () ->
-      for slot = 1 to budget do
-        Obs.Trace.with_slot slot @@ fun () ->
+      for slot = first_slot to budget do
+        (Obs.Trace.with_slot slot @@ fun () ->
         Util.Sim_clock.advance clock framework_cost;
         Obs.Metrics.incr m_slots;
         let strategy = choose_strategy () in
@@ -160,7 +263,9 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
               (fun case -> ignore (Difftest.Recorder.record recorder case))
               (Difftest.Case.of_result ~seed ~slot ~program ~inputs result));
           let inconsistent = Difftest.Run.has_inconsistency result in
-          if approach = Approach.Llm4fp && inconsistent then begin
+          let feedback = approach = Approach.Llm4fp && inconsistent in
+          feedback_flags := feedback :: !feedback_flags;
+          if feedback then begin
             successful := program :: !successful;
             incr n_successful;
             if Obs.Trace.on () then
@@ -174,7 +279,17 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
                  {
                    slot;
                    outcome = (if inconsistent then "inconsistent" else "consistent");
-                 })
+                 }));
+        (* Checkpoint at the slot boundary (outside the slot context):
+           the ordered sink's reorder buffer is provably empty here, so
+           the synced trace offset is a clean cut line. Never written
+           after the final slot — a checkpoint always has work left, so
+           resume is meaningful and idempotent. *)
+        match checkpoint with
+        | Some (dir, interval) when slot mod interval = 0 && slot < budget ->
+          Obs.Span.with_span "campaign.checkpoint" (fun () ->
+              write_checkpoint ~dir ~interval slot)
+        | _ -> ()
       done);
   Obs.Metrics.set m_feedback_size (float_of_int !n_successful);
   Obs.Metrics.add m_sim_seconds (Util.Sim_clock.elapsed clock);

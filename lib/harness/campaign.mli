@@ -33,6 +33,8 @@ val run :
   ?precision:Lang.Ast.precision ->
   ?jobs:int ->
   ?recorder:Difftest.Recorder.t ->
+  ?checkpoint:string * int ->
+  ?resume:Checkpoint.t ->
   seed:int ->
   Approach.t ->
   outcome
@@ -52,7 +54,23 @@ val run :
     recorder: every first-seen inconsistency — cross {e and} within —
     is archived as a replayable case file. Recording is purely
     observational; it changes no statistic, no RNG draw and no feedback
-    decision. *)
+    decision.
+
+    [checkpoint:(dir, interval)] durably snapshots the complete loop
+    state into [dir] every [interval] slots ({!Checkpoint.write}:
+    atomic temp + rename, fsync'd), at the slot boundary, never after
+    the final slot. Checkpointing off means zero behaviour change; on,
+    it adds only the snapshot writes — no RNG draw, no statistic, no
+    trace event differs.
+
+    [resume] restores a {!Checkpoint.load}ed snapshot and continues at
+    its [next_slot]. The caller's [seed], [budget], [precision] and
+    approach must match the snapshot ([Invalid_argument] otherwise),
+    and the caller is responsible for truncating a trace file to the
+    snapshot's offset {e before} subscribing its sink
+    ({!Checkpoint.reopen_trace}). A resumed campaign's outcome, trace
+    bytes and case archives are identical to the uninterrupted run's,
+    at any kill point and any job count. *)
 
 val strategy_mix_probability : float
 (** 0.5 — the paper's fixed probability of choosing Feedback-Based

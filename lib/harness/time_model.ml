@@ -16,3 +16,4 @@ let charge_program clock ~work ~ops ~configs =
   Util.Sim_clock.advance clock (compile +. exec)
 
 let charge_llm = Util.Sim_clock.advance
+let retry_backoff ~attempt = Exec.Faults.backoff ~attempt

@@ -37,3 +37,9 @@ val charge_program :
 
 val charge_llm : Util.Sim_clock.t -> float -> unit
 (** Charge one LLM call's latency. *)
+
+val retry_backoff : attempt:int -> float
+(** The transient-failure retry delay before attempt [n >= 1] — the
+    {!Exec.Faults.backoff} schedule, re-exported here because it is
+    part of the time model: LLM retries fold it into response latency,
+    driver retries charge it via {!Obs.Span.charge_sim}. *)

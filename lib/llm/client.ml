@@ -33,6 +33,55 @@ let create ?(params = Sampler.paper_params) ~seed () =
 let calls t = t.calls
 let total_latency t = t.total_latency
 
+(* --------------------------------------------------------------- *)
+(* Durable snapshots. Skeleton programs are carried as their C
+   rendering: [Pp] and [Cparse.Parse] are structural inverses (see
+   Pp's parenthesization contract), so re-parsing rebuilds the exact
+   ASTs and the restored session replays the original's stream. *)
+
+type snapshot = {
+  snap_rng : int64 * float option;
+  snap_sampler : (string * int) list;
+  snap_skeletons : string list;  (** newest first, as held in session *)
+  snap_seen : string list;  (** sorted clone keys *)
+  snap_calls : int;
+  snap_total_latency : float;
+}
+
+let snapshot t =
+  {
+    snap_rng = Util.Rng.state t.rng;
+    snap_sampler = Sampler.usage_snapshot t.sampler;
+    snap_skeletons = List.map Pp.to_c t.skeletons;
+    snap_seen =
+      Hashtbl.fold (fun k () acc -> k :: acc) t.seen_structures []
+      |> List.sort String.compare;
+    snap_calls = t.calls;
+    snap_total_latency = t.total_latency;
+  }
+
+let restore t snap =
+  let rec parse_all acc = function
+    | [] -> Ok (List.rev acc)
+    | src :: rest -> (
+        match Cparse.Parse.program src with
+        | Ok p -> parse_all (p :: acc) rest
+        | Error msg ->
+            Error
+              (Printf.sprintf "client snapshot: unparseable skeleton (%s)" msg))
+  in
+  match parse_all [] snap.snap_skeletons with
+  | Error _ as e -> e
+  | Ok skeletons ->
+      Util.Rng.set_state t.rng snap.snap_rng;
+      Sampler.restore_usage t.sampler snap.snap_sampler;
+      t.skeletons <- skeletons;
+      Hashtbl.reset t.seen_structures;
+      List.iter (fun k -> Hashtbl.replace t.seen_structures k ()) snap.snap_seen;
+      t.calls <- snap.snap_calls;
+      t.total_latency <- snap.snap_total_latency;
+      Ok ()
+
 let generation_config =
   {
     Gen_config.varity with
@@ -452,6 +501,29 @@ let m_latency =
   Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 |]
     "llm.latency_s"
 
+let m_retries = Obs.Metrics.counter "retry.llm.retries"
+let m_exhausted = Obs.Metrics.counter "retry.llm.exhausted"
+let max_attempts = 3
+
+(* Transient-failure policy: the request is re-sent up to [max_attempts]
+   times with deterministic exponential backoff; exhaustion re-raises
+   the original failure. The injection point sits before any generation
+   RNG draw, so a retried call produces the identical program — only
+   the modelled latency grows by the backoff. *)
+let rec request_with_retry ~attempt backoff_acc =
+  match Exec.Faults.inject Exec.Faults.Llm_call with
+  | () -> backoff_acc
+  | exception (Exec.Faults.Transient _ as e) ->
+      if attempt >= max_attempts then begin
+        Obs.Metrics.incr m_exhausted;
+        raise e
+      end
+      else begin
+        Obs.Metrics.incr m_retries;
+        request_with_retry ~attempt:(attempt + 1)
+          (backoff_acc +. Exec.Faults.backoff ~attempt)
+      end
+
 let prompt_precision = function
   | Prompt.Direct { precision } | Prompt.Grammar { precision }
   | Prompt.Mutate { precision; _ } ->
@@ -459,6 +531,7 @@ let prompt_precision = function
 
 let generate t prompt =
   Obs.Span.with_span "llm.generate" @@ fun () ->
+  let backoff_latency = request_with_retry ~attempt:1 0.0 in
   let program =
     match prompt with
     | Prompt.Direct _ -> avoid_repeats t (fun () -> direct_generate t)
@@ -478,6 +551,7 @@ let generate t prompt =
     rtt
     +. (float_of_int prompt_tokens /. input_rate)
     +. (float_of_int output_tokens /. output_rate)
+    +. backoff_latency
   in
   t.calls <- t.calls + 1;
   t.total_latency <- t.total_latency +. latency;

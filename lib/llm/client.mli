@@ -41,9 +41,34 @@ type response = {
 }
 
 val generate : t -> Prompt.t -> response
+(** Transient failures ({!Exec.Faults.Transient}, injected before any
+    generation randomness) are retried up to twice with deterministic
+    exponential backoff folded into the response latency; exhaustion
+    re-raises the original failure. A retried call returns the
+    identical program. Counted by the [retry.llm.*] metrics. *)
 
 val calls : t -> int
 val total_latency : t -> float
+
+type snapshot = {
+  snap_rng : int64 * float option;
+  snap_sampler : (string * int) list;
+  snap_skeletons : string list;  (** C renderings, newest first *)
+  snap_seen : string list;  (** sorted clone keys *)
+  snap_calls : int;
+  snap_total_latency : float;
+}
+(** The complete mutable session state, in durable (string/number)
+    form: skeletons travel as their C rendering and are re-parsed on
+    restore ([Pp]/[Cparse.Parse] are structural inverses). *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> (unit, string) result
+(** Overwrite [t]'s session state with [snapshot]. After a successful
+    restore, [t] replays exactly the stream the snapshotted session
+    would have produced. Fails (naming the skeleton) if a stored
+    rendering no longer parses. *)
 
 val generation_config : Gen.Gen_config.t
 (** The regime for grammar-derived composition and for drawing runtime

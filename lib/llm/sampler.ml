@@ -17,6 +17,14 @@ let params t = t.p
 
 let usage t key = Option.value (Hashtbl.find_opt t.counts key) ~default:0
 
+let usage_snapshot t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let restore_usage t entries =
+  Hashtbl.reset t.counts;
+  List.iter (fun (k, v) -> Hashtbl.replace t.counts k v) entries
+
 let pick t rng items =
   if Array.length items = 0 then invalid_arg "Sampler.pick: no items";
   let logits =

@@ -33,3 +33,10 @@ val pick : t -> Util.Rng.t -> (string * float * 'a) array -> 'a
 
 val usage : t -> string -> int
 (** How often a key has been sampled so far. *)
+
+val usage_snapshot : t -> (string * int) list
+(** The full usage history, sorted by key (deterministic bytes for
+    durable snapshots). *)
+
+val restore_usage : t -> (string * int) list -> unit
+(** Replace the usage history with a {!usage_snapshot}. *)

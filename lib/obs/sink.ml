@@ -1,21 +1,35 @@
 type stamp = { slot : int; lane : int; seq : int }
 
-type t = { emit : stamp -> Event.t -> unit; close : unit -> unit }
+type t = {
+  emit : stamp -> Event.t -> unit;
+  close : unit -> unit;
+  sync : unit -> int option;
+}
 
-let make ?(close = fun () -> ()) emit =
-  { emit = (fun _ ev -> emit ev); close }
+let no_sync () = None
 
-let make_stamped ?(close = fun () -> ()) emit = { emit; close }
+let make ?(close = fun () -> ()) ?(sync = no_sync) emit =
+  { emit = (fun _ ev -> emit ev); close; sync }
 
-let null = { emit = (fun _ _ -> ()); close = (fun () -> ()) }
+let make_stamped ?(close = fun () -> ()) ?(sync = no_sync) emit =
+  { emit; close; sync }
+
+let null = { emit = (fun _ _ -> ()); close = (fun () -> ()); sync = no_sync }
 
 let deliver t stamp ev = t.emit stamp ev
 
 let close t = t.close ()
 
+let sync t = t.sync ()
+
 let jsonl oc =
   make
     ~close:(fun () -> flush oc)
+    ~sync:(fun () ->
+      flush oc;
+      (try Unix.fsync (Unix.descr_of_out_channel oc)
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      Some (pos_out oc))
     (fun ev ->
       output_string oc (Event.to_jsonl ev);
       output_char oc '\n')
@@ -46,6 +60,10 @@ let ordered inner =
       (fun () ->
         flush_buffer ();
         inner.close ());
+    sync =
+      (fun () ->
+        flush_buffer ();
+        inner.sync ());
   }
 
 let ring ?(capacity = 1024) () =

@@ -21,10 +21,17 @@ type stamp = {
 
 type t
 
-val make : ?close:(unit -> unit) -> (Event.t -> unit) -> t
-(** A stamp-oblivious sink (the common case). *)
+val make :
+  ?close:(unit -> unit) -> ?sync:(unit -> int option) -> (Event.t -> unit) -> t
+(** A stamp-oblivious sink (the common case). [sync] durably flushes
+    buffered output and reports the current byte position, if the sink
+    has a meaningful one (default: [fun () -> None]). *)
 
-val make_stamped : ?close:(unit -> unit) -> (stamp -> Event.t -> unit) -> t
+val make_stamped :
+  ?close:(unit -> unit) ->
+  ?sync:(unit -> int option) ->
+  (stamp -> Event.t -> unit) ->
+  t
 (** A sink that also sees each event's ordering stamp. *)
 
 val null : t
@@ -33,7 +40,10 @@ val null : t
 
 val jsonl : out_channel -> t
 (** One JSON object per line on [oc]; [close] flushes (the channel
-    itself belongs to the caller). *)
+    itself belongs to the caller). [sync] flushes, [fsync]s, and
+    returns [Some (pos_out oc)] — the durable byte offset a campaign
+    checkpoint records so a resumed run can truncate the trace file
+    back to a slot boundary. *)
 
 val ordered : t -> t
 (** Order-on-flush: buffer lane events ([stamp.lane >= 0]) and release
@@ -59,3 +69,8 @@ val deliver : t -> stamp -> Event.t -> unit
 (** Feed one stamped event (what {!Trace.emit} calls). *)
 
 val close : t -> unit
+
+val sync : t -> int option
+(** Durably flush the sink and return its byte position, when it has
+    one. {!ordered} flushes its reorder buffer first (a no-op at slot
+    boundaries, where the buffer is provably empty) and delegates. *)

@@ -53,6 +53,11 @@ let sim_now () =
   | Some c -> Util.Sim_clock.elapsed c
   | None -> 0.0
 
+let charge_sim seconds =
+  match Domain.DLS.get clock_key with
+  | Some c -> Util.Sim_clock.advance c seconds
+  | None -> ()
+
 let record label dt dsim =
   let table = Domain.DLS.get local_table in
   let agg =

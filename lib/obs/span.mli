@@ -28,6 +28,12 @@ val set_clock : Util.Sim_clock.t option -> unit
 val with_clock : Util.Sim_clock.t -> (unit -> 'a) -> 'a
 (** Scoped {!set_clock} with restore (exception-safe). *)
 
+val charge_sim : float -> unit
+(** Charge simulated seconds to the attached clock, if any (no-op
+    otherwise). Lets layers that cannot see the campaign's clock —
+    the compiler driver's retry backoff — account deterministic
+    modelled costs. Domain-local, like the attachment itself. *)
+
 val with_span : string -> (unit -> 'a) -> 'a
 (** Run the thunk, attributing its duration to [label]. Records on
     exceptions too. *)

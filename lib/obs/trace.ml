@@ -80,6 +80,16 @@ let emit ev =
 
 let event make = if on () then emit (make ())
 
+let sync () =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      List.fold_left
+        (fun acc (_, s) ->
+          match Sink.sync s with Some _ as p when acc = None -> p | _ -> acc)
+        None (Atomic.get sinks))
+
 let with_sink sink f =
   let id = subscribe sink in
   Fun.protect

@@ -34,6 +34,13 @@ val with_sink : Sink.t -> (unit -> 'a) -> 'a
 (** Subscribe, run, then unsubscribe and {!Sink.close} (even on
     exceptions). *)
 
+val sync : unit -> int option
+(** Durably flush every subscribed sink ({!Sink.sync}) and return the
+    byte position of the first sink that reports one — in practice the
+    campaign's JSONL trace file. Campaign checkpoints record this
+    offset so a resumed run can truncate the trace back to the
+    checkpointed slot boundary. [None] when no sink is positional. *)
+
 val current_slot : unit -> int option
 (** The campaign budget slot currently executing, if any. *)
 

@@ -182,6 +182,39 @@ let case_codec_roundtrip =
              = Obs.Json.to_string (Difftest.Case.to_json c))
 
 (* ------------------------------------------------------------------ *)
+(* Digit metric *)
+
+(* Finite floats across the full double range plus the awkward corners
+   (zeros, subnormals, extremes), and the occasional non-finite value:
+   [decompose_result] must be total on all of them. *)
+let gen_digit_float rng =
+  match Util.Rng.int_in rng 0 9 with
+  | 0 -> 0.0
+  | 1 -> -0.0
+  | 2 -> Float.min_float /. 4.0 (* subnormal *)
+  | 3 -> Float.max_float
+  | 4 -> infinity
+  | 5 -> nan
+  | _ -> ldexp (Util.Rng.float_in rng (-1.0) 1.0) (Util.Rng.int_in rng (-300) 300)
+
+let digit_float =
+  Engine.make ~print:(fun x -> Printf.sprintf "%h" x) gen_digit_float
+
+let digits_total =
+  make_suite "digits-total"
+    "decompose_result is total: 16 digits on finite, typed error otherwise"
+    digit_float
+    (fun x ->
+      match Fp.Digits.decompose_result x with
+      | Ok (_, digits, _) ->
+          Float.is_finite x
+          && String.length digits = 16
+          && String.for_all (fun c -> c >= '0' && c <= '9') digits
+      | Error (Fp.Digits.Non_finite y) ->
+          (not (Float.is_finite x)) && same_bits x y
+      | Error (Fp.Digits.Malformed _) -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Error-free transformations *)
 
 let eft_two_sum =
@@ -246,6 +279,7 @@ let all =
     contract_idempotent;
     pp_parse_fixpoint;
     case_codec_roundtrip;
+    digits_total;
     eft_two_sum;
     eft_two_prod;
     bleu_range;

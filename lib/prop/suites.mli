@@ -24,8 +24,8 @@ val all : suite list
 (** Every suite, in display order. Names:
     [gen-valid], [gen-inputs-match], [interp-total], [fold-preserves],
     [dce-preserves], [forward-preserves], [contract-idempotent],
-    [pp-parse-fixpoint], [case-codec-roundtrip], [eft-two-sum],
-    [eft-two-prod], [bleu-range], [bleu-self]. *)
+    [pp-parse-fixpoint], [case-codec-roundtrip], [digits-total],
+    [eft-two-sum], [eft-two-prod], [bleu-range], [bleu-self]. *)
 
 val find : string -> suite option
 

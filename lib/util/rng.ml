@@ -9,6 +9,12 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 let create seed = { state = seed; spare = None }
 let of_int seed = create (Int64.of_int seed)
 let copy t = { state = t.state; spare = t.spare }
+let state t = (t.state, t.spare)
+let of_state (state, spare) = { state; spare }
+
+let set_state t (state, spare) =
+  t.state <- state;
+  t.spare <- spare
 
 (* Finalization mix from SplitMix64: two xor-shift-multiply rounds. *)
 let mix64 z =

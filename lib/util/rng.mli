@@ -20,6 +20,18 @@ val copy : t -> t
 (** [copy t] is an independent generator that will replay [t]'s future
     stream. *)
 
+val state : t -> int64 * float option
+(** [state t] exposes the full generator state — the SplitMix64 counter
+    and the banked Box–Muller half — for durable snapshots.
+    [of_state (state t)] replays [t]'s future stream exactly. *)
+
+val of_state : int64 * float option -> t
+(** Rebuild a generator from a {!state} snapshot. *)
+
+val set_state : t -> int64 * float option -> unit
+(** Overwrite a generator's state in place with a {!state} snapshot
+    (for restoring sessions that hold their generator immutably). *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     decorrelated from [t]'s continuation. Use one split per pipeline stage. *)

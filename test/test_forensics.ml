@@ -138,6 +138,37 @@ let test_recorder_dedup () =
     check_int "archive holds one case" 1 (List.length cases);
     check_bool "loaded equals recorded" true (List.hd cases = case)
 
+(* A truncated archive file — half a JSON line, as a torn non-atomic
+   write would leave behind — must load as a useful [Error] naming the
+   file, never an exception. (The recorder's own writes are atomic
+   temp+rename, so this guards against foreign corruption.) *)
+let test_load_truncated () =
+  with_tmpdir ~prefix:"llm4fp-truncated" @@ fun dir ->
+  let r = Difftest.Recorder.create ~dir in
+  let case = sample_case () in
+  ignore (Difftest.Recorder.record r case);
+  let path = Filename.concat dir (Difftest.Case.fingerprint case ^ ".jsonl") in
+  let whole = read_file path in
+  let rewrite content =
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc
+  in
+  rewrite (String.sub whole 0 (String.length whole / 2));
+  (match Difftest.Recorder.load_file path with
+  | Ok _ -> Alcotest.fail "truncated case file decoded"
+  | Error msg ->
+    check_bool "error names the file" true
+      (String.length msg > 0
+      && String.starts_with ~prefix:path msg));
+  (match Difftest.Recorder.load_dir dir with
+  | Ok _ -> Alcotest.fail "archive with a truncated member loaded"
+  | Error _ -> ());
+  rewrite "";
+  match Difftest.Recorder.load_file path with
+  | Ok _ -> Alcotest.fail "empty case file decoded"
+  | Error msg -> check_bool "empty file named" true (String.length msg > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Campaign + recorder determinism across job counts *)
 
@@ -324,6 +355,8 @@ let () =
       ( "recorder",
         [
           Alcotest.test_case "dedup" `Quick test_recorder_dedup;
+          Alcotest.test_case "truncated file rejected" `Quick
+            test_load_truncated;
           Alcotest.test_case "archive identical across jobs" `Slow
             test_archive_identical_across_jobs;
           Alcotest.test_case "ordered trace identical across jobs" `Slow
