@@ -31,6 +31,8 @@
      LLM4FP_SKIP_CHECKPOINT=1  skip the checkpoint overhead study
      LLM4FP_CHECKPOINT_BUDGET  campaign size for that study (default 100)
      LLM4FP_CHECKPOINT_EVERY   slots between checkpoints (default 25)
+     LLM4FP_SKIP_WATCH=1   skip the watcher overhead study
+     LLM4FP_WATCH_BUDGET   campaign size for that study (default 100)
      LLM4FP_JSON_OUT=FILE  also write a machine-readable summary (totals
                            plus per-phase Obs.Span aggregates, so
                            BENCH_*.json files track the phase-level
@@ -510,13 +512,236 @@ let run_checkpoint ~jobs () =
   summary
 
 (* ------------------------------------------------------------------ *)
+(* Watching: the same traced campaign with and without a concurrent
+   flight-deck follower polling the trace file from another domain.
+   Watching is specified to be purely observational, so the study
+   asserts three byte-level identities before reporting overhead: the
+   campaign signatures match, the trace files match byte for byte, and
+   the case archives match file for file. It also asserts the follower
+   protocol itself: the concatenated streamed batches equal a one-shot
+   read of the finished trace. *)
+
+type watch_summary = {
+  w_without_s : float;
+  w_with_s : float;
+  w_polls : int;
+  w_events : int;
+}
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let run_watch ~jobs () =
+  let budget = env_int "LLM4FP_WATCH_BUDGET" 100 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  Printf.printf
+    "== watch: trace-follower overhead (budget %d, %d jobs) ==\n" budget jobs;
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llm4fp-bench-%s-%d" name (Unix.getpid ()))
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  let traced ~trace ~dir f =
+    let recorder = Difftest.Recorder.create ~dir in
+    let oc = open_out trace in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Obs.Trace.with_sink
+          (Obs.Sink.ordered (Obs.Sink.jsonl oc))
+          (fun () -> f ~recorder))
+  in
+  let signature (o : Harness.Campaign.outcome) =
+    ( Difftest.Stats.total_inconsistencies o.Harness.Campaign.stats,
+      Difftest.Stats.total_comparisons o.Harness.Campaign.stats,
+      o.Harness.Campaign.successful,
+      o.Harness.Campaign.generation_failures,
+      o.Harness.Campaign.sim_seconds )
+  in
+  let trace_a = tmp "watch-trace-a.jsonl" and dir_a = tmp "watch-cases-a" in
+  let trace_b = tmp "watch-trace-b.jsonl" and dir_b = tmp "watch-cases-b" in
+  let bare, without_s =
+    timed (fun () ->
+        traced ~trace:trace_a ~dir:dir_a (fun ~recorder ->
+            Harness.Campaign.run ~budget ~jobs ~recorder ~seed
+              Harness.Approach.Llm4fp))
+  in
+  (* Second run with a follower domain tailing the live trace. The
+     watcher drains until it has seen the whole finished file: [stop]
+     is raised only after the sink's channel is closed, and the loop
+     does one final poll after observing it. *)
+  let stop = Atomic.make false in
+  let polls = ref 0 in
+  let watcher = Domain.spawn (fun () ->
+      let follower = Obs.Follow.create ~path:trace_b in
+      let rec loop acc =
+        let final = Atomic.get stop in
+        let acc =
+          match Obs.Follow.poll follower with
+          | Ok batch -> acc @ batch.Obs.Follow.events
+          | Error msg -> failwith ("bench: watcher poll failed: " ^ msg)
+        in
+        incr polls;
+        if final then acc
+        else begin
+          Unix.sleepf 0.001;
+          loop acc
+        end
+      in
+      loop [])
+  in
+  let watched, with_s =
+    timed (fun () ->
+        traced ~trace:trace_b ~dir:dir_b (fun ~recorder ->
+            Harness.Campaign.run ~budget ~jobs ~recorder ~seed
+              Harness.Approach.Llm4fp))
+  in
+  Atomic.set stop true;
+  let streamed = Domain.join watcher in
+  if signature bare <> signature watched then begin
+    Printf.eprintf
+      "FATAL: a concurrent watcher changed campaign results (budget %d, \
+       seed %d)\n"
+      budget seed;
+    exit 1
+  end;
+  if read_file trace_a <> read_file trace_b then begin
+    Printf.eprintf
+      "FATAL: a concurrent watcher changed the trace bytes (budget %d, \
+       seed %d)\n"
+      budget seed;
+    exit 1
+  end;
+  let archive dir =
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+  in
+  if archive dir_a <> archive dir_b then begin
+    Printf.eprintf
+      "FATAL: a concurrent watcher changed the case archive (budget %d, \
+       seed %d)\n"
+      budget seed;
+    exit 1
+  end;
+  (match Obs.Follow.read_all ~path:trace_b with
+  | Ok one_shot when one_shot = streamed -> ()
+  | Ok _ ->
+    Printf.eprintf
+      "FATAL: streamed batches differ from a one-shot trace read\n";
+    exit 1
+  | Error msg ->
+    Printf.eprintf "FATAL: cannot re-read watched trace: %s\n" msg;
+    exit 1);
+  Sys.remove trace_a;
+  Sys.remove trace_b;
+  rm_rf dir_a;
+  rm_rf dir_b;
+  let summary =
+    {
+      w_without_s = without_s;
+      w_with_s = with_s;
+      w_polls = !polls;
+      w_events = List.length streamed;
+    }
+  in
+  Printf.printf
+    "without watcher: %.2fs; with: %.2fs (overhead %+.2fs); %d event(s) \
+     streamed over %d poll(s); trace, archive and results identical\n\n"
+    summary.w_without_s summary.w_with_s
+    (summary.w_with_s -. summary.w_without_s)
+    summary.w_events summary.w_polls;
+  summary
+
+(* ------------------------------------------------------------------ *)
+(* Flamegraph export: the span tree collected across the whole bench
+   run must export as well-formed Chrome trace-event JSON — parseable,
+   every event a complete ("ph":"X") slice with the required fields,
+   and every child slice nested inside its parent's interval. Asserted
+   fatally; the event count lands in the JSON summary. *)
+
+let validate_flame () =
+  let flame = Obs.Span.flame () in
+  let reparsed =
+    match Obs.Json.parse (Obs.Json.to_string flame) with
+    | Ok v -> v
+    | Error msg ->
+      Printf.eprintf "FATAL: flame export is not valid JSON: %s\n" msg;
+      exit 1
+  in
+  let events =
+    match Obs.Json.member "traceEvents" reparsed with
+    | Some (Obs.Json.List evs) -> evs
+    | _ ->
+      Printf.eprintf "FATAL: flame export lacks a traceEvents list\n";
+      exit 1
+  in
+  let fail fmt = Printf.eprintf fmt; exit 1 in
+  let num = function
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> fail "FATAL: flame event has a missing/non-numeric ts or dur\n"
+  in
+  List.iter
+    (fun ev ->
+      (match Obs.Json.member "ph" ev with
+      | Some (Obs.Json.String "X") -> ()
+      | _ -> fail "FATAL: flame event is not a complete (\"X\") slice\n");
+      (match Obs.Json.member "name" ev with
+      | Some (Obs.Json.String _) -> ()
+      | _ -> fail "FATAL: flame event lacks a name\n");
+      let ts = num (Obs.Json.member "ts" ev) in
+      let dur = num (Obs.Json.member "dur" ev) in
+      if ts < 0.0 || dur < 0.0 then
+        fail "FATAL: flame event has a negative ts or dur\n";
+      match (Obs.Json.member "pid" ev, Obs.Json.member "tid" ev) with
+      | Some (Obs.Json.Int _), Some (Obs.Json.Int _) -> ()
+      | _ -> fail "FATAL: flame event lacks pid/tid\n")
+    events;
+  (* Nesting: walk the span tree alongside the flat event list — each
+     tree node produced exactly one slice in DFS order, and a child's
+     [ts, ts+dur) interval must lie within its parent's. *)
+  let slices = ref events in
+  let next () =
+    match !slices with
+    | [] -> fail "FATAL: flame export has fewer slices than tree nodes\n"
+    | s :: rest ->
+      slices := rest;
+      (num (Obs.Json.member "ts" s), num (Obs.Json.member "dur" s))
+  in
+  let rec walk (n : Obs.Span.node) =
+    let ts, dur = next () in
+    List.iter
+      (fun (child : Obs.Span.node) ->
+        let cts, cdur = walk child in
+        if cts < ts -. 0.5 || cts +. cdur > ts +. dur +. 0.5 then
+          fail "FATAL: flame slice escapes its parent's interval\n")
+      n.Obs.Span.n_children;
+    (ts, dur)
+  in
+  List.iter (fun n -> ignore (walk n)) (Obs.Span.tree ());
+  if !slices <> [] then
+    fail "FATAL: flame export has more slices than tree nodes\n";
+  List.length events
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable summary: per-phase span aggregates next to the
    end-to-end totals, so stored BENCH_*.json files can track where the
    time goes (generation / compile / interp / compare / CodeBLEU), not
    just how much of it there is. *)
 
 let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
-    ~forensics ~reduction ~checkpoint =
+    ~forensics ~reduction ~checkpoint ~watch ~flame_events =
   let phase (r : Obs.Span.row) =
     Obs.Json.Obj
       [ ("label", Obs.Json.String r.Obs.Span.label);
@@ -530,7 +755,7 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
      fails — an instrument the run didn't touch just reads 0. *)
   let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "llm4fp-bench/6");
+    ([ ("schema", Obs.Json.String "llm4fp-bench/7");
        ("budget", Obs.Json.Int budget);
        ("seed", Obs.Json.Int seed);
        ("jobs", Obs.Json.Int jobs) ]
@@ -577,7 +802,17 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
                 ("checkpoints", Obs.Json.Int c.c_checkpoints);
                 ("resume_equivalent", Obs.Json.Bool c.c_resume_equivalent) ]
           ) ])
-    @ [ ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
+    @ (match watch with
+      | None -> []
+      | Some w ->
+        [ ( "watch",
+            Obs.Json.Obj
+              [ ( "overhead_seconds",
+                  Obs.Json.Float (w.w_with_s -. w.w_without_s) );
+                ("polls", Obs.Json.Int w.w_polls);
+                ("events_streamed", Obs.Json.Int w.w_events) ] ) ])
+    @ [ ("flame_events", Obs.Json.Int flame_events);
+        ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
     @
     match micro with
     | None -> []
@@ -614,6 +849,12 @@ let () =
       Some (run_checkpoint ~jobs ())
     else None
   in
+  let watch =
+    if not (env_flag "LLM4FP_SKIP_WATCH") then Some (run_watch ~jobs ())
+    else None
+  in
+  let flame_events = validate_flame () in
+  Printf.printf "(flame export valid: %d slice(s))\n" flame_events;
   match Sys.getenv_opt "LLM4FP_JSON_OUT" with
   | None -> ()
   | Some path ->
@@ -623,6 +864,7 @@ let () =
     Util.Durable.write_string ~path
       (Obs.Json.to_string
          (json_summary ~budget ~seed ~jobs ~tables_seconds
-            ~end_to_end_seconds ~micro ~forensics ~reduction ~checkpoint)
+            ~end_to_end_seconds ~micro ~forensics ~reduction ~checkpoint
+            ~watch ~flame_events)
       ^ "\n");
     Printf.printf "(wrote JSON summary to %s)\n" path

@@ -9,7 +9,9 @@
      corpus     list or show the mock LLM's kernel corpus
      explain    replay an archived inconsistency case and isolate its cause
      fuzz       run seeded property suites over the framework invariants
-     dashboard  render the analytics dashboard from a case archive *)
+     dashboard  render the analytics dashboard from a case archive
+     watch      tail a campaign trace and render the live flight deck
+     trace      query an archived JSONL trace (filter / stats / CSV) *)
 
 open Cmdliner
 
@@ -535,7 +537,13 @@ let cmd_profile =
          & info [ "b"; "budget" ] ~docv:"N"
              ~doc:"Campaign size for the profiling run.")
   in
-  let run seed budget approach jobs trace metrics =
+  let flame =
+    Arg.(value & opt (some string) None
+         & info [ "flame" ] ~docv:"FILE"
+             ~doc:"Also export the span tree as Chrome trace-event JSON \
+                   to $(docv) (loadable in chrome://tracing or Perfetto).")
+  in
+  let run seed budget approach jobs trace metrics flame =
     Obs.Span.set_enabled true;
     let o =
       with_trace trace (fun () ->
@@ -550,15 +558,23 @@ let cmd_profile =
       o.Harness.Campaign.real_seconds;
     print_string (Obs.Span.render ());
     print_newline ();
+    print_string (Obs.Span.render_tree ());
+    print_newline ();
     print_string (Obs.Metrics.render_percentiles ());
+    (match flame with
+    | None -> ()
+    | Some out ->
+      write_file out (Obs.Json.to_string (Obs.Span.flame ()) ^ "\n");
+      Printf.eprintf "wrote %s\n" out);
     print_metrics_if metrics
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Run a small campaign with span timing enabled and print the \
-             per-stage hot-path profile")
+             per-stage hot-path profile (flat and as a call tree), \
+             optionally exporting a flamegraph ($(b,--flame))")
     Term.(const run $ seed_arg $ budget $ approach $ jobs_arg $ trace_arg
-          $ metrics_arg)
+          $ metrics_arg $ flame)
 
 let cmd_explain =
   let case_ref =
@@ -581,6 +597,22 @@ let cmd_explain =
                    archived one ($(i,FP).min.jsonl).")
   in
   let run case_ref archive reduce metrics =
+    (match archive with
+    | Some dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
+      Printf.eprintf
+        "llm4fp explain: no case archive at %s (create one with \
+         'campaign --record %s')\n"
+        dir dir;
+      exit 2
+    | Some dir
+      when Array.for_all
+             (fun f -> not (Filename.check_suffix f ".jsonl"))
+             (Sys.readdir dir) ->
+      Printf.eprintf
+        "llm4fp explain: case archive %s is empty (no *.jsonl case files)\n"
+        dir;
+      exit 2
+    | _ -> ());
     Obs.Span.set_enabled true;
     match Forensics.Explain.load ?dir:archive case_ref with
     | Error msg ->
@@ -725,10 +757,23 @@ let cmd_dashboard =
          & info [ "title" ] ~docv:"TITLE" ~doc:"Report title.")
   in
   let run archive html title =
+    if not (Sys.file_exists archive && Sys.is_directory archive) then begin
+      Printf.eprintf
+        "llm4fp dashboard: no case archive at %s (create one with \
+         'campaign --record %s')\n"
+        archive archive;
+      exit 2
+    end;
     match Difftest.Recorder.load_dir archive with
     | Error msg ->
       prerr_endline ("cannot load case archive: " ^ msg);
       exit 1
+    | Ok [] ->
+      Printf.eprintf
+        "llm4fp dashboard: case archive %s is empty (no *.jsonl case \
+         files — the recorded campaign found no inconsistencies?)\n"
+        archive;
+      exit 2
     | Ok cases ->
       let analytics =
         Report.Analytics.build (List.map Difftest.Case.to_analytics cases)
@@ -745,6 +790,193 @@ let cmd_dashboard =
        ~doc:"Fold a case archive into per-pair / per-level / per-class \
              breakdown tables (TTY summary and optional HTML report)")
     Term.(const run $ archive $ html $ title)
+
+let cmd_watch =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TRACE"
+             ~doc:"The JSONL trace file a campaign is writing \
+                   ($(b,campaign --trace)); it need not exist yet.")
+  in
+  let replay =
+    Arg.(value & flag
+         & info [ "replay" ]
+             ~doc:"Fold the completed trace in one pass and print a single \
+                   final frame. Deterministic: a fixed-seed trace replays \
+                   to a byte-identical frame.")
+  in
+  let interval =
+    Arg.(value & opt float 0.5
+         & info [ "interval" ] ~docv:"SECS"
+             ~doc:"Polling interval in live mode (default 0.5).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECS"
+             ~doc:"Give up if the campaign has not finished after $(docv) \
+                   of watching (exit 3). Default: watch until it does.")
+  in
+  let run file replay interval timeout =
+    if replay then begin
+      match Obs.Follow.read_all ~path:file with
+      | Error msg ->
+        prerr_endline ("llm4fp watch: " ^ msg);
+        exit 1
+      | Ok events ->
+        print_string (Report.Flightdeck.render (Obs.Deck.of_events events))
+    end
+    else begin
+      if interval <= 0.0 then begin
+        prerr_endline "--interval must be positive";
+        exit 1
+      end;
+      let follower = Obs.Follow.create ~path:file in
+      let view = ref Report.Flightdeck.empty in
+      let t0 = Unix.gettimeofday () in
+      (* On a TTY each frame repaints in place; piped output gets one
+         frame per batch, newline-separated (still parseable). *)
+      let clear =
+        if Unix.isatty Unix.stdout then "\027[H\027[2J" else ""
+      in
+      let rec loop () =
+        match Obs.Follow.poll follower with
+        | Error msg ->
+          prerr_endline ("llm4fp watch: " ^ msg);
+          exit 1
+        | Ok batch ->
+          if batch.Obs.Follow.rotated then view := Report.Flightdeck.empty;
+          if batch.Obs.Follow.events <> [] then begin
+            view :=
+              List.fold_left Obs.Deck.apply !view batch.Obs.Follow.events;
+            print_string (clear ^ Report.Flightdeck.render !view);
+            flush stdout
+          end;
+          if not (!view).Report.Flightdeck.finished then begin
+            (match timeout with
+            | Some limit when Unix.gettimeofday () -. t0 > limit ->
+              Printf.eprintf
+                "llm4fp watch: campaign not finished after %gs\n" limit;
+              exit 3
+            | _ -> ());
+            Unix.sleepf interval;
+            loop ()
+          end
+      in
+      loop ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Tail a campaign's JSONL trace and render the live flight \
+             deck: per-phase throughput, outcome and strategy-arm counts, \
+             inconsistency hits by pair and level, latency sparkline and \
+             budget ETA — all on the deterministic simulated clock. \
+             Watching is purely observational: the campaign's results, \
+             trace and archives are byte-identical with or without a \
+             watcher attached.")
+    Term.(const run $ file $ replay $ interval $ timeout)
+
+let cmd_trace_query =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"An archived JSONL trace ($(b,campaign --trace)).")
+  in
+  let kind =
+    Arg.(value & opt (some string) None
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Only events of this kind (snake_case tag, e.g. \
+                   $(b,inconsistency_found), $(b,slot_finished)).")
+  in
+  let slot =
+    Arg.(value & opt (some int) None
+         & info [ "slot" ] ~docv:"N"
+             ~doc:"Only events carrying campaign slot $(docv).")
+  in
+  let config =
+    Arg.(value & opt (some string) None
+         & info [ "config" ] ~docv:"NAME"
+             ~doc:"Only compile/execute events for this compiler \
+                   configuration.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print per-kind counts for the selection instead of the \
+                   event rows.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let run file kind slot config stats csv =
+    match Obs.Follow.read_all ~path:file with
+    | Error msg ->
+      prerr_endline ("llm4fp trace: " ^ msg);
+      exit 1
+    | Ok events ->
+      let matches ev =
+        (match kind with None -> true | Some k -> Obs.Event.name ev = k)
+        && (match slot with
+           | None -> true
+           | Some s -> Obs.Event.slot ev = Some s)
+        && (match config with
+           | None -> true
+           | Some c -> Obs.Event.config ev = Some c)
+      in
+      let selected =
+        List.mapi (fun i ev -> (i + 1, ev)) events
+        |> List.filter (fun (_, ev) -> matches ev)
+      in
+      if stats then begin
+        let counts = Hashtbl.create 16 in
+        List.iter
+          (fun (_, ev) ->
+            let k = Obs.Event.name ev in
+            Hashtbl.replace counts k
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+          selected;
+        let rows =
+          Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []
+          |> List.sort compare
+          |> List.map (fun (k, n) -> [ k; string_of_int n ])
+        in
+        let header = [ "event"; "count" ] in
+        let rows =
+          rows @ [ [ "total"; string_of_int (List.length selected) ] ]
+        in
+        if csv then print_string (Report.Table.to_csv ~header rows)
+        else print_string (Report.Table.render ~header rows)
+      end
+      else begin
+        let header = [ "#"; "slot"; "event"; "detail" ] in
+        let rows =
+          List.map
+            (fun (i, ev) ->
+              [ string_of_int i;
+                (match Obs.Event.slot ev with
+                | Some s -> string_of_int s
+                | None -> "-");
+                Obs.Event.name ev;
+                Obs.Event.summary ev ])
+            selected
+        in
+        if csv then print_string (Report.Table.to_csv ~header rows)
+        else
+          print_string
+            (Report.Table.render ~header
+               ~align:
+                 [ Report.Table.Right; Report.Table.Right; Report.Table.Left;
+                   Report.Table.Left ]
+               rows)
+      end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Query an archived JSONL trace: filter by event kind, \
+             campaign slot or compiler configuration, and print matching \
+             events (or $(b,--stats) counts) as a table or CSV. Output is \
+             deterministic for a fixed-seed trace.")
+    Term.(const run $ file $ kind $ slot $ config $ stats $ csv)
 
 let cmd_stability =
   let seeds =
@@ -771,5 +1003,5 @@ let () =
              ~doc:"LLM-guided floating-point differential compiler testing \
                    (SC'25 reproduction)")
           [ cmd_generate; cmd_matrix; cmd_campaign; cmd_tables; cmd_profile;
-            cmd_explain; cmd_fuzz; cmd_dashboard; cmd_corpus; cmd_ablation; cmd_fp32;
-            cmd_stability ]))
+            cmd_explain; cmd_fuzz; cmd_dashboard; cmd_watch; cmd_trace_query;
+            cmd_corpus; cmd_ablation; cmd_fp32; cmd_stability ]))

@@ -84,6 +84,11 @@ let test ?configs ?(jobs = 1) program inputs =
     | None -> go ()
   in
   let outputs, failures =
+    (* At jobs = 1 the pool runs tasks inline, so the per-config
+       compile/interp spans nest under this one in the span tree; at
+       jobs > 1 they record in worker domains and surface as that
+       domain's roots. *)
+    Obs.Span.with_span "difftest.fanout" @@ fun () ->
     List.partition_map Fun.id
       (Exec.Pool.map ~jobs task (List.mapi (fun i c -> (i, c)) configs))
   in

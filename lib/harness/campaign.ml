@@ -213,6 +213,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
   Obs.Span.with_clock clock (fun () ->
       for slot = first_slot to budget do
         (Obs.Trace.with_slot slot @@ fun () ->
+        Obs.Span.with_span "campaign.slot" @@ fun () ->
         Util.Sim_clock.advance clock framework_cost;
         Obs.Metrics.incr m_slots;
         let strategy = choose_strategy () in
@@ -234,7 +235,12 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
             | `Validate reason ->
               Obs.Trace.emit (Obs.Event.Validation_failed { slot; reason }));
             Obs.Trace.emit
-              (Obs.Event.Slot_finished { slot; outcome = "generation_failed" })
+              (Obs.Event.Slot_finished
+                 {
+                   slot;
+                   outcome = "generation_failed";
+                   sim_s = Util.Sim_clock.elapsed clock;
+                 })
           end
         | Ok program ->
           programs := program :: !programs;
@@ -279,6 +285,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
                  {
                    slot;
                    outcome = (if inconsistent then "inconsistent" else "consistent");
+                   sim_s = Util.Sim_clock.elapsed clock;
                  }));
         (* Checkpoint at the slot boundary (outside the slot context):
            the ordered sink's reorder buffer is provably empty here, so

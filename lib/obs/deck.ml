@@ -1,0 +1,65 @@
+(* Folds the typed trace-event stream into the flight deck's view.
+
+   Pure: [apply] consumes one event and returns the updated view, so
+   the same event stream — live batches from [Follow] or a one-shot
+   [--replay] read — always produces the same view, and the frame
+   rendered from it is byte-identical. *)
+
+let lat_window = 24
+
+let bump key assoc =
+  let rec go = function
+    | [] -> [ (key, 1) ]
+    | (k, n) :: rest when k = key -> (k, n + 1) :: rest
+    | kv :: rest -> kv :: go rest
+  in
+  List.sort compare (go assoc)
+
+let apply (v : Report.Flightdeck.view) (ev : Event.t) : Report.Flightdeck.view =
+  match ev with
+  | Event.Campaign_started { approach; budget; seed; precision } ->
+    { Report.Flightdeck.empty with approach; budget; seed; precision }
+  | Event.Slot_started { strategy; _ } ->
+    {
+      v with
+      slots_started = v.slots_started + 1;
+      strategies = bump strategy v.strategies;
+    }
+  | Event.Generated { latency_s; _ } ->
+    let recent = v.recent_lat_s @ [ latency_s ] in
+    let recent =
+      let extra = List.length recent - lat_window in
+      if extra > 0 then List.filteri (fun i _ -> i >= extra) recent else recent
+    in
+    {
+      v with
+      lat_count = v.lat_count + 1;
+      lat_total_s = v.lat_total_s +. latency_s;
+      lat_max_s = Float.max v.lat_max_s latency_s;
+      recent_lat_s = recent;
+    }
+  | Event.Parse_failed _ -> { v with parse_failures = v.parse_failures + 1 }
+  | Event.Validation_failed _ ->
+    { v with validation_failures = v.validation_failures + 1 }
+  | Event.Compiled _ | Event.Executed _ | Event.Feedback_added _ -> v
+  | Event.Compared { cross; within; inconsistent; _ } ->
+    {
+      v with
+      programs = v.programs + 1;
+      comparisons = v.comparisons + cross + within;
+      cross_hits = v.cross_hits + inconsistent;
+    }
+  | Event.Inconsistency_found { pair; level; _ } ->
+    { v with hits = bump (pair, level) v.hits }
+  | Event.Case_recorded _ -> { v with cases = v.cases + 1 }
+  | Event.Slot_finished { outcome; sim_s; _ } ->
+    {
+      v with
+      slots_done = v.slots_done + 1;
+      outcomes = bump outcome v.outcomes;
+      sim_s = Float.max v.sim_s sim_s;
+    }
+  | Event.Campaign_finished { sim_seconds; _ } ->
+    { v with sim_s = Float.max v.sim_s sim_seconds; finished = true }
+
+let of_events events = List.fold_left apply Report.Flightdeck.empty events

@@ -1,0 +1,14 @@
+(** Folds the typed trace-event stream into the flight deck's
+    {!Report.Flightdeck.view}.
+
+    [apply] is pure, so feeding the same events — live {!Follow}
+    batches or a one-shot replay read — always yields the same view;
+    with {!Report.Flightdeck.render} being pure too, replaying a
+    fixed-seed trace renders a byte-identical frame. A
+    [Campaign_started] event resets the view (a rotated trace file
+    restarts the deck cleanly). *)
+
+val apply : Report.Flightdeck.view -> Event.t -> Report.Flightdeck.view
+
+val of_events : Event.t list -> Report.Flightdeck.view
+(** [List.fold_left apply Report.Flightdeck.empty]. *)

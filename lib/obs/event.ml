@@ -39,7 +39,7 @@ type t =
     }
   | Case_recorded of { slot : int option; fingerprint : string; kind : string }
   | Feedback_added of { slot : int; feedback_size : int }
-  | Slot_finished of { slot : int; outcome : string }
+  | Slot_finished of { slot : int; outcome : string; sim_s : float }
   | Campaign_finished of {
       approach : string;
       valid : int;
@@ -126,8 +126,11 @@ let to_json ev =
   | Feedback_added { slot; feedback_size } ->
     obj
       [ ("slot", Json.Int slot); ("feedback_size", Json.Int feedback_size) ]
-  | Slot_finished { slot; outcome } ->
-    obj [ ("slot", Json.Int slot); ("outcome", Json.String outcome) ]
+  | Slot_finished { slot; outcome; sim_s } ->
+    obj
+      [ ("slot", Json.Int slot);
+        ("outcome", Json.String outcome);
+        ("sim_s", Json.Float sim_s) ]
   | Campaign_finished
       {
         approach;
@@ -148,3 +151,199 @@ let to_json ev =
         ("llm_seconds", Json.Float llm_seconds) ]
 
 let to_jsonl ev = Json.to_string (to_json ev)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: the inverse of [to_json], used by the trace follower and
+   the [llm4fp trace] query subcommand. Field lookup is by name, so the
+   decoder tolerates field reordering; it rejects wrong types and
+   missing fields with a message naming them. *)
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let str key =
+    match Json.member key json with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing or non-string field %S" key)
+  in
+  let int key =
+    match Json.member key json with
+    | Some (Json.Int n) -> Ok n
+    | _ -> Error (Printf.sprintf "missing or non-int field %S" key)
+  in
+  (* Whole floats serialize as integers (shortest round-trip form), and
+     non-finite floats serialize as the strings "nan"/"inf"/"-inf". *)
+  let float key =
+    match Json.member key json with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int n) -> Ok (float_of_int n)
+    | Some (Json.String "nan") -> Ok Float.nan
+    | Some (Json.String "inf") -> Ok Float.infinity
+    | Some (Json.String "-inf") -> Ok Float.neg_infinity
+    | _ -> Error (Printf.sprintf "missing or non-number field %S" key)
+  in
+  let bool key =
+    match Json.member key json with
+    | Some (Json.Bool b) -> Ok b
+    | _ -> Error (Printf.sprintf "missing or non-bool field %S" key)
+  in
+  let slot_opt =
+    match Json.member "slot" json with
+    | Some (Json.Int n) -> Some n
+    | _ -> None
+  in
+  let* kind = str "event" in
+  match kind with
+  | "campaign_started" ->
+    let* approach = str "approach" in
+    let* budget = int "budget" in
+    let* seed = int "seed" in
+    let* precision = str "precision" in
+    Ok (Campaign_started { approach; budget; seed; precision })
+  | "slot_started" ->
+    let* slot = int "slot" in
+    let* strategy = str "strategy" in
+    Ok (Slot_started { slot; strategy })
+  | "generated" ->
+    let* prompt = str "prompt" in
+    let* latency_s = float "latency_s" in
+    let* prompt_tokens = int "prompt_tokens" in
+    let* output_tokens = int "output_tokens" in
+    Ok
+      (Generated
+         { slot = slot_opt; prompt; latency_s; prompt_tokens; output_tokens })
+  | "parse_failed" ->
+    let* slot = int "slot" in
+    let* reason = str "reason" in
+    Ok (Parse_failed { slot; reason })
+  | "validation_failed" ->
+    let* slot = int "slot" in
+    let* reason = str "reason" in
+    Ok (Validation_failed { slot; reason })
+  | "compiled" ->
+    let* config = str "config" in
+    let* ok = bool "ok" in
+    let* work = int "work" in
+    Ok (Compiled { slot = slot_opt; config; ok; work })
+  | "executed" ->
+    let* config = str "config" in
+    let* hex = str "hex" in
+    let* ops = int "ops" in
+    Ok (Executed { slot = slot_opt; config; hex; ops })
+  | "compared" ->
+    let* cross = int "cross" in
+    let* within = int "within" in
+    let* inconsistent = int "inconsistent" in
+    Ok (Compared { slot = slot_opt; cross; within; inconsistent })
+  | "inconsistency_found" ->
+    let* pair = str "pair" in
+    let* level = str "level" in
+    let* left_hex = str "left_hex" in
+    let* right_hex = str "right_hex" in
+    let* digits = int "digits" in
+    Ok
+      (Inconsistency_found
+         { slot = slot_opt; pair; level; left_hex; right_hex; digits })
+  | "case_recorded" ->
+    let* fingerprint = str "fingerprint" in
+    let* kind = str "kind" in
+    Ok (Case_recorded { slot = slot_opt; fingerprint; kind })
+  | "feedback_added" ->
+    let* slot = int "slot" in
+    let* feedback_size = int "feedback_size" in
+    Ok (Feedback_added { slot; feedback_size })
+  | "slot_finished" ->
+    let* slot = int "slot" in
+    let* outcome = str "outcome" in
+    let* sim_s = float "sim_s" in
+    Ok (Slot_finished { slot; outcome; sim_s })
+  | "campaign_finished" ->
+    let* approach = str "approach" in
+    let* valid = int "valid" in
+    let* generation_failures = int "generation_failures" in
+    let* inconsistencies = int "inconsistencies" in
+    let* comparisons = int "comparisons" in
+    let* sim_seconds = float "sim_seconds" in
+    let* llm_seconds = float "llm_seconds" in
+    Ok
+      (Campaign_finished
+         {
+           approach;
+           valid;
+           generation_failures;
+           inconsistencies;
+           comparisons;
+           sim_seconds;
+           llm_seconds;
+         })
+  | other -> Error (Printf.sprintf "unknown event kind %S" other)
+
+let of_jsonl line =
+  match Json.parse line with
+  | Error msg -> Error msg
+  | Ok json -> of_json json
+
+(* ------------------------------------------------------------------ *)
+(* Uniform field access for trace queries. *)
+
+let slot = function
+  | Campaign_started _ | Campaign_finished _ -> None
+  | Slot_started { slot; _ }
+  | Parse_failed { slot; _ }
+  | Validation_failed { slot; _ }
+  | Feedback_added { slot; _ }
+  | Slot_finished { slot; _ } ->
+    Some slot
+  | Generated { slot; _ }
+  | Compiled { slot; _ }
+  | Executed { slot; _ }
+  | Compared { slot; _ }
+  | Inconsistency_found { slot; _ }
+  | Case_recorded { slot; _ } ->
+    slot
+
+let config = function
+  | Compiled { config; _ } | Executed { config; _ } -> Some config
+  | _ -> None
+
+let seconds f = Json.float_repr f ^ "s"
+
+let summary = function
+  | Campaign_started { approach; budget; seed; precision } ->
+    Printf.sprintf "%s budget=%d seed=%d %s" approach budget seed precision
+  | Slot_started { strategy; _ } -> "strategy=" ^ strategy
+  | Generated { prompt; latency_s; prompt_tokens; output_tokens; _ } ->
+    Printf.sprintf "prompt=%s latency=%s tokens=%d/%d" prompt
+      (seconds latency_s) prompt_tokens output_tokens
+  | Parse_failed { reason; _ } -> reason
+  | Validation_failed { reason; _ } -> reason
+  | Compiled { config; ok; work; _ } ->
+    Printf.sprintf "%s %s work=%d" config (if ok then "ok" else "FAILED") work
+  | Executed { config; hex; ops; _ } ->
+    Printf.sprintf "%s %s ops=%d" config hex ops
+  | Compared { cross; within; inconsistent; _ } ->
+    Printf.sprintf "cross=%d within=%d inconsistent=%d" cross within
+      inconsistent
+  | Inconsistency_found { pair; level; left_hex; right_hex; digits; _ } ->
+    Printf.sprintf "%s @ %s: %s != %s (digits %d)" pair level left_hex
+      right_hex digits
+  | Case_recorded { fingerprint; kind; _ } ->
+    Printf.sprintf "%s %s" fingerprint kind
+  | Feedback_added { feedback_size; _ } ->
+    Printf.sprintf "size=%d" feedback_size
+  | Slot_finished { outcome; sim_s; _ } ->
+    Printf.sprintf "%s sim=%s" outcome (seconds sim_s)
+  | Campaign_finished
+      {
+        approach;
+        valid;
+        generation_failures;
+        inconsistencies;
+        comparisons;
+        sim_seconds;
+        llm_seconds;
+      } ->
+    Printf.sprintf
+      "%s valid=%d failures=%d inconsistencies=%d comparisons=%d sim=%s \
+       llm=%s"
+      approach valid generation_failures inconsistencies comparisons
+      (seconds sim_seconds) (seconds llm_seconds)

@@ -52,9 +52,11 @@ type t =
           [kind] is ["cross"] or ["within"]. The fingerprint is a
           content hash, so this event is seed-deterministic. *)
   | Feedback_added of { slot : int; feedback_size : int }
-  | Slot_finished of { slot : int; outcome : string }
+  | Slot_finished of { slot : int; outcome : string; sim_s : float }
       (** [outcome]: ["generation_failed"], ["consistent"] or
-          ["inconsistent"]. *)
+          ["inconsistent"]. [sim_s] is the simulated clock at the slot
+          boundary — deterministic in the seed, and the time base the
+          flight deck's throughput and ETA figures are computed on. *)
   | Campaign_finished of {
       approach : string;
       valid : int;
@@ -74,3 +76,25 @@ val to_json : t -> Json.t
 
 val to_jsonl : t -> string
 (** [to_json] rendered as a single line (no trailing newline). *)
+
+val of_json : Json.t -> (t, string) result
+(** The inverse of {!to_json}: decode one event object. Tolerant of
+    field reordering (lookup is by name); missing fields, wrong types
+    and unknown ["event"] tags yield [Error] naming the problem.
+    [of_json (to_json ev) = Ok ev] for every event. *)
+
+val of_jsonl : string -> (t, string) result
+(** Parse one trace line and decode it ({!Json.parse} ∘ {!of_json}). *)
+
+val slot : t -> int option
+(** The event's campaign budget slot, when it carries one (campaign
+    start/finish never do). *)
+
+val config : t -> string option
+(** The compiler-configuration name of a {!Compiled} or {!Executed}
+    event; [None] for every other kind. *)
+
+val summary : t -> string
+(** A compact single-line rendering of the payload (without the kind or
+    slot), used by the [llm4fp trace] query tables. Deterministic:
+    floats print in the {!Json.float_repr} shortest form. *)

@@ -1,0 +1,82 @@
+(* Incremental JSONL trace follower.
+
+   A follower owns nothing but a path and a committed byte offset. Each
+   [poll] opens the file fresh (so a writer replacing the file under us
+   can never wedge a stale descriptor), reads from the committed offset
+   to the current end, and consumes only *complete* lines: the offset
+   advances past the last newline seen, so a partially-written final
+   line — the normal state of a trace file mid-fsync — is simply left
+   for the next poll. A file that shrank below the committed offset was
+   rotated or truncated; the follower resets to the start and reports
+   it, letting the consumer discard its derived state.
+
+   This is the streaming-progress protocol the future fleet [serve]
+   mode reuses: the durable byte offsets here are the same
+   [Obs.Sink.sync] positions campaign checkpoints record, so a follower
+   attached to a live campaign observes exactly the durable prefix of
+   the trace at every poll. *)
+
+type t = { path : string; mutable pos : int }
+
+type batch = { events : Event.t list; rotated : bool }
+
+let create ~path = { path; pos = 0 }
+
+let path t = t.path
+
+let offset t = t.pos
+
+let decode_lines t lines =
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc (n + 1) rest (* blank line: skip, keep counting *)
+    | line :: rest -> begin
+      match Event.of_jsonl line with
+      | Ok ev -> go (ev :: acc) (n + 1) rest
+      | Error msg ->
+        Error (Printf.sprintf "%s: bad trace line %d past offset %d: %s"
+                 t.path n t.pos msg)
+    end
+  in
+  go [] 1 lines
+
+let poll t =
+  match open_in_bin t.path with
+  | exception Sys_error _ ->
+    (* Not created yet (or momentarily absent mid-rotation): nothing to
+       report, keep waiting. *)
+    Ok { events = []; rotated = false }
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let size = in_channel_length ic in
+        let rotated = size < t.pos in
+        if rotated then t.pos <- 0;
+        if size = t.pos then Ok { events = []; rotated }
+        else begin
+          seek_in ic t.pos;
+          let chunk = really_input_string ic (size - t.pos) in
+          match String.rindex_opt chunk '\n' with
+          | None ->
+            (* Only a partial line so far: consume nothing. *)
+            Ok { events = []; rotated }
+          | Some last_nl -> begin
+            let complete = String.sub chunk 0 last_nl in
+            match decode_lines t (String.split_on_char '\n' complete) with
+            | Error _ as e -> e
+            | Ok events ->
+              t.pos <- t.pos + last_nl + 1;
+              Ok { events; rotated }
+          end
+        end)
+
+let read_all ~path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "%s: no such trace file" path)
+  else begin
+    let t = create ~path in
+    match poll t with
+    | Error _ as e -> e
+    | Ok { events; _ } -> Ok events
+  end

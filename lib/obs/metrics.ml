@@ -122,7 +122,7 @@ let percentile_of ~bounds ~counts q =
   if q <= 0.0 || q > 1.0 then
     invalid_arg "Obs.Metrics.percentile_of: q must be in (0, 1]";
   let n = Array.fold_left ( + ) 0 counts in
-  if n = 0 then 0.0
+  if n = 0 then Float.nan
   else begin
     let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
     let rank = if rank < 1 then 1 else rank in
@@ -217,12 +217,13 @@ let render_value = function
       @ [ Printf.sprintf "inf:%d" counts.(Array.length bounds) ]
     in
     let quantiles =
-      if count = 0 then ""
-      else
-        Printf.sprintf "  p50=%.6g p95=%.6g p99=%.6g"
-          (percentile_of ~bounds ~counts 0.50)
-          (percentile_of ~bounds ~counts 0.95)
-          (percentile_of ~bounds ~counts 0.99)
+      (* An empty histogram has no quantiles: percentile_of returns nan
+         and the dump shows "-" rather than a misleading number. *)
+      let p q =
+        let v = percentile_of ~bounds ~counts q in
+        if Float.is_nan v then "-" else Printf.sprintf "%.6g" v
+      in
+      Printf.sprintf "  p50=%s p95=%s p99=%s" (p 0.50) (p 0.95) (p 0.99)
     in
     ( "histogram",
       Printf.sprintf "n=%d sum=%.6g  %s%s" count sum
@@ -234,8 +235,11 @@ let render_percentiles () =
     List.filter_map
       (fun (name, v) ->
         match v with
-        | Histogram { bounds; counts; count; _ } when count > 0 ->
-          let p q = Printf.sprintf "%.6g" (percentile_of ~bounds ~counts q) in
+        | Histogram { bounds; counts; count; _ } ->
+          let p q =
+            let v = percentile_of ~bounds ~counts q in
+            if Float.is_nan v then "-" else Printf.sprintf "%.6g" v
+          in
           Some [ name; string_of_int count; p 0.50; p 0.95; p 0.99 ]
         | _ -> None)
       (snapshot ())

@@ -44,9 +44,12 @@ val percentile_of : bounds:float array -> counts:int array -> float -> float
     ([0 < q <= 1]) from fixed-bucket data by linear interpolation
     inside the bucket holding rank [ceil (q × n)] (the usual
     Prometheus-style estimate): a value in the overflow bucket reports
-    the last finite bound, and an empty histogram reports [0].
-    Deterministic in the observations, so quantiles of model-time
-    histograms are seed-reproducible. *)
+    the last finite bound. An {e empty} histogram has no quantiles and
+    reports [nan] — callers that print should render it as ["-"], as
+    the registry dumps here do; [nan] (unlike the [0] it used to
+    return) can never be confused with a real quantile. Deterministic
+    in the observations, so quantiles of model-time histograms are
+    seed-reproducible. *)
 
 val histogram_percentile : histogram -> float -> float
 (** {!percentile_of} on a live instrument's current contents. *)
@@ -54,7 +57,8 @@ val histogram_percentile : histogram -> float -> float
 val render_percentiles : unit -> string
 (** Every registered histogram as a name-sorted p50/p95/p99 summary
     table (the latency-percentile dump of the [profile] subcommand).
-    Histograms with no observations are omitted. *)
+    Histograms with no observations appear with ["-"] in each
+    percentile column. *)
 
 type value =
   | Counter of int

@@ -1,0 +1,147 @@
+(* The campaign flight deck: one renderable frame of campaign
+   progress. The view is a plain fold-friendly record (obs folds trace
+   events into it; this module never sees an event), and [render] is a
+   pure function of the view — every figure derives from deterministic
+   event payloads and the simulated clock, so a frame rendered from a
+   fixed-seed trace is byte-reproducible. *)
+
+type view = {
+  approach : string;
+  budget : int;
+  seed : int;
+  precision : string;
+  slots_started : int;
+  slots_done : int;
+  outcomes : (string * int) list;
+  strategies : (string * int) list;
+  programs : int;
+  comparisons : int;
+  cross_hits : int;
+  hits : ((string * string) * int) list;
+  cases : int;
+  parse_failures : int;
+  validation_failures : int;
+  lat_count : int;
+  lat_total_s : float;
+  lat_max_s : float;
+  recent_lat_s : float list;
+  sim_s : float;
+  finished : bool;
+}
+
+let empty =
+  {
+    approach = "?";
+    budget = 0;
+    seed = 0;
+    precision = "?";
+    slots_started = 0;
+    slots_done = 0;
+    outcomes = [];
+    strategies = [];
+    programs = 0;
+    comparisons = 0;
+    cross_hits = 0;
+    hits = [];
+    cases = 0;
+    parse_failures = 0;
+    validation_failures = 0;
+    lat_count = 0;
+    lat_total_s = 0.0;
+    lat_max_s = 0.0;
+    recent_lat_s = [];
+    sim_s = 0.0;
+    finished = false;
+  }
+
+let sparkline values =
+  (* Eight block heights scaled to the max of the window; a flat window
+     renders mid-height so activity is still visible. *)
+  match values with
+  | [] -> ""
+  | vs ->
+    let hi = List.fold_left Float.max 0.0 vs in
+    let glyphs = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                    "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                    "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let i =
+             if hi <= 0.0 then 3
+             else
+               let x = int_of_float (v /. hi *. 7.0 +. 0.5) in
+               if x < 0 then 0 else if x > 7 then 7 else x
+           in
+           glyphs.(i))
+         vs)
+
+let rate_per_sim_s v n =
+  if v.sim_s <= 0.0 then "-"
+  else Printf.sprintf "%.3f/s" (float_of_int n /. v.sim_s)
+
+let seconds s = Printf.sprintf "%.1fs" s
+
+let counted pairs =
+  if pairs = [] then "-"
+  else
+    String.concat "   "
+      (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) pairs)
+
+let render v =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let pct_done =
+    if v.budget = 0 then "-"
+    else Table.pct1 (float_of_int v.slots_done /. float_of_int v.budget)
+  in
+  let eta =
+    if v.finished then "done"
+    else if v.slots_done = 0 || v.budget <= v.slots_done then "-"
+    else
+      seconds
+        (float_of_int (v.budget - v.slots_done)
+        *. (v.sim_s /. float_of_int v.slots_done))
+  in
+  line "== llm4fp flight deck ==";
+  line "campaign    %s  seed %d  precision %s" v.approach v.seed v.precision;
+  line "progress    slot %d/%d (%s)  sim %s  eta %s" v.slots_done v.budget
+    pct_done (seconds v.sim_s) eta;
+  line "throughput  slots %s  programs %s  comparisons %s"
+    (rate_per_sim_s v v.slots_done)
+    (rate_per_sim_s v v.programs)
+    (rate_per_sim_s v v.comparisons);
+  line "outcomes    %s" (counted v.outcomes);
+  line "strategies  %s" (counted v.strategies);
+  let rejects =
+    (if v.parse_failures > 0 || v.validation_failures > 0 then
+       Printf.sprintf "  (parse %d, validation %d)" v.parse_failures
+         v.validation_failures
+     else "")
+  in
+  line "programs    %d compared, %d comparisons, %d cross hits, %d archived%s"
+    v.programs v.comparisons v.cross_hits v.cases rejects;
+  (if v.lat_count > 0 then
+     line "llm latency mean %s  max %s  %s"
+       (seconds (v.lat_total_s /. float_of_int v.lat_count))
+       (seconds v.lat_max_s)
+       (sparkline v.recent_lat_s)
+   else line "llm latency -");
+  (if v.hits <> [] then begin
+     let total = List.fold_left (fun s (_, n) -> s + n) 0 v.hits in
+     let rows =
+       List.map
+         (fun ((pair, level), n) ->
+           [ pair; level; string_of_int n;
+             (if v.programs = 0 then "-"
+              else Table.pct1 (float_of_int n /. float_of_int v.programs)) ])
+         v.hits
+     in
+     Buffer.add_string buf
+       (Table.render
+          ~title:
+            (Printf.sprintf "inconsistencies by pair x level (%d total)" total)
+          ~header:[ "pair"; "level"; "hits"; "rate/program" ]
+          rows)
+   end);
+  Buffer.contents buf

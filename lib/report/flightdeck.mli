@@ -1,0 +1,44 @@
+(** The campaign flight deck: one renderable frame of campaign
+    progress.
+
+    The {!view} is a plain record — [report] sits below [obs], so the
+    trace-event fold that populates it lives in [Obs.Deck] and this
+    module only renders. Every figure derives from deterministic event
+    payloads and the simulated clock ([sim_s]), never wall time, so a
+    frame rendered from a fixed-seed trace is byte-reproducible — the
+    property behind the golden [watch --replay] test. *)
+
+type view = {
+  approach : string;
+  budget : int;  (** total campaign slots *)
+  seed : int;
+  precision : string;
+  slots_started : int;
+  slots_done : int;
+  outcomes : (string * int) list;  (** outcome name -> slots, sorted *)
+  strategies : (string * int) list;  (** strategy arm -> slots, sorted *)
+  programs : int;  (** differential tests completed *)
+  comparisons : int;  (** cross + within comparisons *)
+  cross_hits : int;  (** inconsistent cross-compiler comparisons *)
+  hits : ((string * string) * int) list;
+      (** (pair, level) -> inconsistency count, sorted *)
+  cases : int;  (** first-seen cases archived *)
+  parse_failures : int;
+  validation_failures : int;
+  lat_count : int;  (** modelled LLM call count *)
+  lat_total_s : float;
+  lat_max_s : float;
+  recent_lat_s : float list;  (** sliding window, newest last *)
+  sim_s : float;  (** simulated clock at the last slot boundary *)
+  finished : bool;
+}
+
+val empty : view
+
+val sparkline : float list -> string
+(** Unicode block sparkline of the values, scaled to the window max;
+    [""] for the empty list. *)
+
+val render : view -> string
+(** The full frame, trailing newline included. Pure: equal views render
+    equal bytes. *)

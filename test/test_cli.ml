@@ -1,0 +1,193 @@
+(* CLI-level tests: drive the real llm4fp binary.
+
+   The tests run from _build/default/test/ with ../bin/llm4fp.exe
+   declared as a dep, so the binary is always fresh. Three areas:
+
+   - the archive-less diagnostics: dashboard/explain on a missing or
+     empty case archive exit 2 with a one-line hint, distinct from
+     exit 1 ("archive exists but something else failed");
+   - the golden flight-deck frame: a fixed-seed campaign's trace
+     replays ([watch --replay]) to byte-identical output, pinned by
+     test/golden/watch_frame.txt;
+   - the trace query and flamegraph export round-trips. *)
+
+open Helpers
+
+let exe = Filename.concat ".." (Filename.concat "bin" "llm4fp.exe")
+
+(* Run the binary, capturing stdout/stderr to files; returns
+   (exit_code, stdout, stderr). *)
+let run args =
+  with_tmpdir ~prefix:"llm4fp-cli-io" @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let out = Filename.concat dir "out" and err = Filename.concat dir "err" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2> %s" (Filename.quote exe) args
+         (Filename.quote out) (Filename.quote err))
+  in
+  (code, read_file out, read_file err)
+
+let contains = Util.Text.contains_sub
+
+let test_dashboard_missing_archive () =
+  with_tmpdir @@ fun dir ->
+  let code, _, err = run (Printf.sprintf "dashboard %s" (Filename.quote dir)) in
+  check_int "exit 2" 2 code;
+  check_bool "one-line diagnostic" true (contains err "no case archive")
+
+let test_dashboard_empty_archive () =
+  with_tmpdir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let code, _, err = run (Printf.sprintf "dashboard %s" (Filename.quote dir)) in
+  check_int "exit 2" 2 code;
+  check_bool "names the empty archive" true (contains err "empty")
+
+let test_explain_missing_archive () =
+  with_tmpdir @@ fun dir ->
+  let code, _, err =
+    run (Printf.sprintf "explain --archive %s 0123456789abcdef"
+           (Filename.quote dir))
+  in
+  check_int "exit 2" 2 code;
+  check_bool "one-line diagnostic" true (contains err "no case archive")
+
+let test_explain_empty_archive () =
+  with_tmpdir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let code, _, err =
+    run (Printf.sprintf "explain --archive %s 0123456789abcdef"
+           (Filename.quote dir))
+  in
+  check_int "exit 2" 2 code;
+  check_bool "names the empty archive" true (contains err "empty")
+
+(* One fixed-seed trace shared by the replay/query/export tests. *)
+let with_campaign_trace f =
+  with_tmpdir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let trace = Filename.concat dir "trace.jsonl" in
+  let code, _, err =
+    run (Printf.sprintf "campaign llm4fp -b 12 -s 42 --trace %s"
+           (Filename.quote trace))
+  in
+  if code <> 0 then Alcotest.fail ("campaign failed: " ^ err);
+  f trace
+
+let test_watch_replay_golden_frame () =
+  with_campaign_trace @@ fun trace ->
+  let code, frame, err =
+    run (Printf.sprintf "watch --replay %s" (Filename.quote trace))
+  in
+  if code <> 0 then Alcotest.fail ("watch --replay failed: " ^ err);
+  check_golden "flight-deck frame" ~golden:"golden/watch_frame.txt" frame;
+  (* and replaying is idempotent byte for byte *)
+  let _, again, _ =
+    run (Printf.sprintf "watch --replay %s" (Filename.quote trace))
+  in
+  check_string "byte-identical on re-replay" frame again
+
+let test_watch_live_finished_trace () =
+  (* A live watch attached to an already-finished trace drains it in
+     one poll and exits 0 on the campaign_finished event. *)
+  with_campaign_trace @@ fun trace ->
+  let code, out, err =
+    run (Printf.sprintf "watch --interval 0.05 %s" (Filename.quote trace))
+  in
+  if code <> 0 then Alcotest.fail ("live watch failed: " ^ err);
+  check_bool "renders the deck" true (contains out "flight deck");
+  (* non-TTY output: no clear-screen escapes *)
+  check_bool "no ANSI clears when piped" false (contains out "\027[")
+
+let test_watch_timeout () =
+  with_tmpdir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let code, _, err =
+    run
+      (Printf.sprintf "watch --interval 0.05 --timeout 0.2 %s"
+         (Filename.quote (Filename.concat dir "never.jsonl")))
+  in
+  check_int "exit 3 on timeout" 3 code;
+  check_bool "says not finished" true (contains err "not finished")
+
+let test_trace_query () =
+  with_campaign_trace @@ fun trace ->
+  let code, out, _ =
+    run (Printf.sprintf "trace %s --stats" (Filename.quote trace)) in
+  check_int "stats exits 0" 0 code;
+  check_bool "counts campaign_finished" true (contains out "campaign_finished");
+  let code, out, _ =
+    run (Printf.sprintf "trace %s --kind slot_finished" (Filename.quote trace))
+  in
+  check_int "filter exits 0" 0 code;
+  let lines = String.split_on_char '\n' (String.trim out) in
+  (* header + separator + one row per slot *)
+  check_int "one row per slot" 14 (List.length lines);
+  check_bool "rows carry the sim clock" true (contains out "sim=");
+  let code, csv, _ =
+    run
+      (Printf.sprintf "trace %s --kind inconsistency_found --slot 1 --csv"
+         (Filename.quote trace))
+  in
+  check_int "csv exits 0" 0 code;
+  check_bool "csv header" true (contains csv "#,slot,event,detail");
+  (* determinism: the same query twice is byte-identical *)
+  let _, csv2, _ =
+    run
+      (Printf.sprintf "trace %s --kind inconsistency_found --slot 1 --csv"
+         (Filename.quote trace))
+  in
+  check_string "csv deterministic" csv csv2
+
+let test_profile_flame_export () =
+  with_tmpdir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let out_json = Filename.concat dir "flame.json" in
+  let code, out, err =
+    run (Printf.sprintf "profile -b 6 -s 7 --flame %s"
+           (Filename.quote out_json))
+  in
+  if code <> 0 then Alcotest.fail ("profile failed: " ^ err);
+  check_bool "prints the span tree" true (contains out "span tree");
+  match Obs.Json.parse (String.trim (read_file out_json)) with
+  | Error msg -> Alcotest.fail ("flame file unparseable: " ^ msg)
+  | Ok json -> begin
+    match Obs.Json.member "traceEvents" json with
+    | Some (Obs.Json.List (_ :: _ as events)) ->
+      List.iter
+        (fun ev ->
+          check_bool "complete slices only" true
+            (Obs.Json.member "ph" ev = Some (Obs.Json.String "X")))
+        events
+    | _ -> Alcotest.fail "flame file has no traceEvents"
+  end
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "diagnostics",
+        [
+          Alcotest.test_case "dashboard: missing archive" `Quick
+            test_dashboard_missing_archive;
+          Alcotest.test_case "dashboard: empty archive" `Quick
+            test_dashboard_empty_archive;
+          Alcotest.test_case "explain: missing archive" `Quick
+            test_explain_missing_archive;
+          Alcotest.test_case "explain: empty archive" `Quick
+            test_explain_empty_archive;
+        ] );
+      ( "watch",
+        [
+          Alcotest.test_case "replay matches golden frame" `Slow
+            test_watch_replay_golden_frame;
+          Alcotest.test_case "live watch of a finished trace" `Slow
+            test_watch_live_finished_trace;
+          Alcotest.test_case "timeout" `Quick test_watch_timeout;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "query and csv" `Slow test_trace_query ] );
+      ( "profile",
+        [
+          Alcotest.test_case "flame export" `Slow test_profile_flame_export;
+        ] );
+    ]

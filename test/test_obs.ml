@@ -315,6 +315,352 @@ let test_campaign_metrics_populated () =
     (18 * List.length o.Harness.Campaign.programs)
     (value "compiler.compile.ok" + value "compiler.compile.error")
 
+(* ------------------------------------------------------------------ *)
+(* Event decoding: of_json must invert to_json for every kind *)
+
+let sample_events : Obs.Event.t list =
+  [ Obs.Event.Campaign_started
+      { approach = "LLM4FP"; budget = 16; seed = 42; precision = "fp64" };
+    Obs.Event.Slot_started { slot = 1; strategy = "grammar" };
+    Obs.Event.Generated
+      { slot = Some 1; prompt = "grammar"; latency_s = 4.25;
+        prompt_tokens = 120; output_tokens = 260 };
+    Obs.Event.Parse_failed { slot = 2; reason = "unexpected token" };
+    Obs.Event.Validation_failed { slot = 3; reason = "no fp ops" };
+    Obs.Event.Compiled
+      { slot = Some 1; config = "gcc -O3 -ffast-math"; ok = true; work = 93 };
+    Obs.Event.Executed
+      { slot = Some 1; config = "gcc -O3 -ffast-math";
+        hex = "3ff0000000000000"; ops = 17 };
+    Obs.Event.Compared
+      { slot = Some 1; cross = 12; within = 21; inconsistent = 2 };
+    Obs.Event.Inconsistency_found
+      { slot = Some 1; pair = "gcc, nvcc"; level = "03_fastmath";
+        left_hex = "3ff0000000000000"; right_hex = "3ff0000000000001";
+        digits = 16 };
+    Obs.Event.Case_recorded
+      { slot = Some 1; fingerprint = "0123456789abcdef"; kind = "cross" };
+    Obs.Event.Feedback_added { slot = 1; feedback_size = 3 };
+    Obs.Event.Slot_finished
+      { slot = 1; outcome = "inconsistent"; sim_s = 17.5 };
+    Obs.Event.Campaign_finished
+      { approach = "LLM4FP"; valid = 14; generation_failures = 2;
+        inconsistencies = 9; comparisons = 462; sim_seconds = 138.0;
+        llm_seconds = 49.0 } ]
+
+let test_event_of_json_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Obs.Event.of_jsonl (Obs.Event.to_jsonl ev) with
+      | Ok decoded ->
+        check_bool (Obs.Event.name ev ^ " round-trips") true (decoded = ev)
+      | Error msg -> Alcotest.fail (Obs.Event.name ev ^ ": " ^ msg))
+    sample_events;
+  (* whole-valued floats serialize as integers and must still decode *)
+  let ev = Obs.Event.Slot_finished { slot = 1; outcome = "consistent"; sim_s = 6.0 } in
+  (match Obs.Event.of_jsonl (Obs.Event.to_jsonl ev) with
+  | Ok decoded -> check_bool "integer-rendered float" true (decoded = ev)
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun bad ->
+      match Obs.Event.of_jsonl bad with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ bad)
+      | Error _ -> ())
+    [ {|{"event":"no_such_kind","slot":1}|};
+      {|{"event":"slot_started","slot":1}|}  (* missing strategy *);
+      {|{"slot":1}|};
+      {|not json at all|} ]
+
+let test_event_accessors () =
+  check_bool "slot of slot_started" true
+    (Obs.Event.slot (Obs.Event.Slot_started { slot = 7; strategy = "mutate" })
+    = Some 7);
+  check_bool "campaign_started has no slot" true
+    (Obs.Event.slot
+       (Obs.Event.Campaign_started
+          { approach = "a"; budget = 1; seed = 1; precision = "fp64" })
+    = None);
+  check_bool "config of compiled" true
+    (Obs.Event.config
+       (Obs.Event.Compiled
+          { slot = None; config = "clang -O0"; ok = true; work = 1 })
+    = Some "clang -O0");
+  List.iter
+    (fun ev ->
+      check_bool
+        (Obs.Event.name ev ^ " has a summary")
+        false
+        (String.length (Obs.Event.summary ev) = 0))
+    sample_events
+
+(* ------------------------------------------------------------------ *)
+(* Follow: incremental trace tailing *)
+
+(* with_tmpdir hands out a fresh path without creating it *)
+let with_dir f =
+  with_tmpdir (fun dir ->
+      Unix.mkdir dir 0o755;
+      f dir)
+
+let write_lines path lines =
+  let oc = open_out_bin path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let ev_line slot =
+  Obs.Event.to_jsonl (Obs.Event.Slot_started { slot; strategy = "grammar" })
+
+let expect_ok = function
+  | Ok (b : Obs.Follow.batch) -> b
+  | Error msg -> Alcotest.fail ("poll failed: " ^ msg)
+
+let test_follow_empty_and_missing () =
+  with_dir @@ fun dir ->
+  let missing = Filename.concat dir "never.jsonl" in
+  let f = Obs.Follow.create ~path:missing in
+  let b = expect_ok (Obs.Follow.poll f) in
+  check_bool "missing file: no events" true (b.Obs.Follow.events = []);
+  check_bool "missing file: not rotation" false b.Obs.Follow.rotated;
+  (* zero-length file behaves the same *)
+  let empty = Filename.concat dir "empty.jsonl" in
+  write_lines empty [];
+  let f = Obs.Follow.create ~path:empty in
+  let b = expect_ok (Obs.Follow.poll f) in
+  check_bool "empty file: no events" true (b.Obs.Follow.events = []);
+  check_int "offset stays 0" 0 (Obs.Follow.offset f)
+
+let test_follow_partial_final_line () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "trace.jsonl" in
+  let l1 = ev_line 1 and l2 = ev_line 2 in
+  (* a writer flushed line 1 and half of line 2 *)
+  let oc = open_out_bin path in
+  output_string oc (l1 ^ "\n");
+  output_string oc (String.sub l2 0 (String.length l2 / 2));
+  flush oc;
+  let f = Obs.Follow.create ~path in
+  let b = expect_ok (Obs.Follow.poll f) in
+  check_int "only the complete line" 1 (List.length b.Obs.Follow.events);
+  check_int "offset at the newline boundary" (String.length l1 + 1)
+    (Obs.Follow.offset f);
+  (* nothing new: the partial tail is not consumed twice *)
+  let b = expect_ok (Obs.Follow.poll f) in
+  check_bool "partial line never consumed" true (b.Obs.Follow.events = []);
+  (* the writer finishes the line *)
+  output_string oc (String.sub l2 (String.length l2 / 2)
+                      (String.length l2 - (String.length l2 / 2)));
+  output_string oc "\n";
+  close_out oc;
+  let b = expect_ok (Obs.Follow.poll f) in
+  (match b.Obs.Follow.events with
+  | [ Obs.Event.Slot_started { slot = 2; _ } ] -> ()
+  | _ -> Alcotest.fail "completed line not decoded")
+
+let test_follow_rotation () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "trace.jsonl" in
+  write_lines path [ ev_line 1; ev_line 2 ];
+  let f = Obs.Follow.create ~path in
+  ignore (expect_ok (Obs.Follow.poll f));
+  (* the file is replaced by a shorter one: a rotation *)
+  write_lines path [ ev_line 9 ];
+  let b = expect_ok (Obs.Follow.poll f) in
+  check_bool "rotation detected" true b.Obs.Follow.rotated;
+  (match b.Obs.Follow.events with
+  | [ Obs.Event.Slot_started { slot = 9; _ } ] -> ()
+  | _ -> Alcotest.fail "post-rotation events not re-read from the start")
+
+let test_follow_corrupt_line () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "trace.jsonl" in
+  write_lines path [ ev_line 1; "this is not an event" ];
+  let f = Obs.Follow.create ~path in
+  match Obs.Follow.poll f with
+  | Ok _ -> Alcotest.fail "corrupt complete line accepted"
+  | Error msg ->
+    check_bool "error names the file" true (Util.Text.contains_sub msg path)
+
+(* The protocol's core guarantee: streaming a trace through a follower
+   in arbitrary small increments yields the byte-identical event stream
+   of a one-shot read — at any job count (the ordered sink makes the
+   file itself identical across job counts, which this also checks). *)
+let test_follow_stream_equals_one_shot () =
+  with_dir @@ fun dir ->
+  let trace ~jobs =
+    let path = Filename.concat dir (Printf.sprintf "trace-j%d.jsonl" jobs) in
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Obs.Trace.with_sink
+          (Obs.Sink.ordered (Obs.Sink.jsonl oc))
+          (fun () ->
+            ignore
+              (Harness.Campaign.run ~budget:6 ~jobs ~seed:2024
+                 Harness.Approach.Llm4fp)));
+    path
+  in
+  let path1 = trace ~jobs:1 and path4 = trace ~jobs:4 in
+  check_string "trace bytes identical at jobs 1 and 4" (read_file path1)
+    (read_file path4);
+  let one_shot =
+    match Obs.Follow.read_all ~path:path1 with
+    | Ok evs -> evs
+    | Error msg -> Alcotest.fail msg
+  in
+  check_bool "trace is non-trivial" true (List.length one_shot > 20);
+  List.iter
+    (fun src ->
+      let data = read_file src in
+      let dst = Filename.concat dir "stream.jsonl" in
+      let oc = open_out_bin dst in
+      let f = Obs.Follow.create ~path:dst in
+      let streamed = ref [] in
+      let chunk = 7 in
+      let rec feed pos =
+        if pos < String.length data then begin
+          let len = min chunk (String.length data - pos) in
+          output_string oc (String.sub data pos len);
+          flush oc;
+          let b = expect_ok (Obs.Follow.poll f) in
+          streamed := !streamed @ b.Obs.Follow.events;
+          feed (pos + len)
+        end
+      in
+      feed 0;
+      close_out oc;
+      check_bool "streamed batches equal one-shot read" true
+        (!streamed = one_shot);
+      Sys.remove dst)
+    [ path1; path4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Span tree and flame export *)
+
+let test_span_tree () =
+  with_spans @@ fun () ->
+  Obs.Span.with_span "a" (fun () ->
+      Obs.Span.with_span "b" (fun () -> ());
+      Obs.Span.with_span "b" (fun () -> ());
+      Obs.Span.with_span "c" (fun () -> ()));
+  Obs.Span.with_span "b" (fun () -> ());
+  let roots = Obs.Span.tree () in
+  check_bool "roots sorted by label" true
+    (List.map (fun n -> n.Obs.Span.n_label) roots = [ "a"; "b" ]);
+  let a = List.hd roots in
+  check_bool "a's children sorted" true
+    (List.map (fun n -> n.Obs.Span.n_label) a.Obs.Span.n_children
+    = [ "b"; "c" ]);
+  let ab = List.hd a.Obs.Span.n_children in
+  check_int "b under a aggregates both entries" 2 ab.Obs.Span.n_count;
+  check_bool "path is root-first" true (ab.Obs.Span.n_path = [ "a"; "b" ]);
+  check_int "root b is separate" 1
+    (List.nth roots 1).Obs.Span.n_count;
+  (* self time: parent total covers its children *)
+  let child_total =
+    List.fold_left
+      (fun s c -> s +. c.Obs.Span.n_total_s)
+      0.0 a.Obs.Span.n_children
+  in
+  check_bool "self = total - children (clamped)" true
+    (a.Obs.Span.n_self_s >= 0.0
+    && a.Obs.Span.n_self_s <= a.Obs.Span.n_total_s -. child_total +. 1e-9);
+  (* flat summary merges on leaf label across parents *)
+  (match find_span "b" with
+  | Some r -> check_int "flat count sums both paths" 3 r.Obs.Span.count
+  | None -> Alcotest.fail "flat summary lost b");
+  check_bool "tree render mentions labels" true
+    (Util.Text.contains_sub (Obs.Span.render_tree ()) "  b")
+
+let test_span_flame () =
+  with_spans @@ fun () ->
+  Obs.Span.with_span "outer" (fun () ->
+      Obs.Span.with_span "inner" (fun () -> Unix.sleepf 0.002));
+  let flame = Obs.Span.flame () in
+  let reparsed =
+    match Obs.Json.parse (Obs.Json.to_string flame) with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail ("flame not valid JSON: " ^ msg)
+  in
+  let events =
+    match Obs.Json.member "traceEvents" reparsed with
+    | Some (Obs.Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  check_int "one slice per tree node" 2 (List.length events);
+  let num field ev =
+    match Obs.Json.member field ev with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> Alcotest.fail (field ^ " missing")
+  in
+  List.iter
+    (fun ev ->
+      check_bool "complete slice" true
+        (Obs.Json.member "ph" ev = Some (Obs.Json.String "X"));
+      check_bool "has name" true (Obs.Json.member "name" ev <> None);
+      check_bool "has pid/tid" true
+        (Obs.Json.member "pid" ev <> None && Obs.Json.member "tid" ev <> None);
+      check_bool "non-negative timing" true
+        (num "ts" ev >= 0.0 && num "dur" ev >= 0.0))
+    events;
+  (* DFS order: outer first, inner nested within it *)
+  match events with
+  | [ outer; inner ] ->
+    check_bool "outer named first" true
+      (Obs.Json.member "name" outer = Some (Obs.Json.String "outer"));
+    check_bool "child nested in parent" true
+      (num "ts" inner >= num "ts" outer
+      && num "ts" inner +. num "dur" inner
+         <= num "ts" outer +. num "dur" outer)
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Deck fold and flight-deck rendering *)
+
+let test_deck_fold_and_render () =
+  let v = Obs.Deck.of_events sample_events in
+  check_int "budget" 16 v.Report.Flightdeck.budget;
+  check_int "slots done" 1 v.Report.Flightdeck.slots_done;
+  check_bool "strategy counted" true
+    (v.Report.Flightdeck.strategies = [ ("grammar", 1) ]);
+  check_bool "hit counted by pair and level" true
+    (v.Report.Flightdeck.hits = [ (("gcc, nvcc", "03_fastmath"), 1) ]);
+  check_int "cases" 1 v.Report.Flightdeck.cases;
+  check_bool "finished" true v.Report.Flightdeck.finished;
+  check_bool "sim clock is max of boundaries" true
+    (v.Report.Flightdeck.sim_s = 138.0);
+  let frame = Obs.Deck.of_events sample_events |> Report.Flightdeck.render in
+  check_string "render is pure" frame
+    (Report.Flightdeck.render (Obs.Deck.of_events sample_events));
+  check_bool "frame mentions the deck" true
+    (Util.Text.contains_sub frame "flight deck");
+  check_bool "frame reports eta done" true
+    (Util.Text.contains_sub frame "eta done");
+  (* campaign_started resets a stale view (rotation) *)
+  let reset =
+    Obs.Deck.apply v
+      (Obs.Event.Campaign_started
+         { approach = "Varity"; budget = 3; seed = 1; precision = "fp32" })
+  in
+  check_int "restart clears the fold" 0 reset.Report.Flightdeck.slots_done
+
+let test_deck_sparkline () =
+  check_string "empty" "" (Report.Flightdeck.sparkline []);
+  let s = Report.Flightdeck.sparkline [ 0.0; 1.0; 2.0; 4.0 ] in
+  check_bool "max maps to full block" true
+    (Util.Text.contains_sub s "\xe2\x96\x88");
+  check_string "deterministic" s
+    (Report.Flightdeck.sparkline [ 0.0; 1.0; 2.0; 4.0 ])
+
+let test_metrics_empty_percentiles_render () =
+  let _ = Obs.Metrics.histogram ~buckets:[| 1.0 |] "test.empty_hist" in
+  let table = Obs.Metrics.render_percentiles () in
+  check_bool "empty histogram listed" true
+    (Util.Text.contains_sub table "test.empty_hist");
+  check_bool "empty quantiles render as dash" true
+    (Util.Text.contains_sub table "-")
+
 let () =
   Alcotest.run "obs"
     [
@@ -324,6 +670,27 @@ let () =
           Alcotest.test_case "float repr" `Quick test_json_float_repr;
           Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
           Alcotest.test_case "event jsonl" `Quick test_event_jsonl;
+          Alcotest.test_case "event of_json roundtrip" `Quick
+            test_event_of_json_roundtrip;
+          Alcotest.test_case "event accessors" `Quick test_event_accessors;
+        ] );
+      ( "follow",
+        [
+          Alcotest.test_case "empty and missing files" `Quick
+            test_follow_empty_and_missing;
+          Alcotest.test_case "partial final line" `Quick
+            test_follow_partial_final_line;
+          Alcotest.test_case "rotation" `Quick test_follow_rotation;
+          Alcotest.test_case "corrupt line" `Quick test_follow_corrupt_line;
+          Alcotest.test_case "stream equals one-shot (jobs 1 and 4)" `Slow
+            test_follow_stream_equals_one_shot;
+        ] );
+      ( "deck",
+        [
+          Alcotest.test_case "fold and render" `Quick test_deck_fold_and_render;
+          Alcotest.test_case "sparkline" `Quick test_deck_sparkline;
+          Alcotest.test_case "empty percentiles render" `Quick
+            test_metrics_empty_percentiles_render;
         ] );
       ( "metrics",
         [
@@ -343,6 +710,8 @@ let () =
           Alcotest.test_case "exception safe" `Quick
             test_span_records_on_exception;
           Alcotest.test_case "render" `Quick test_span_render;
+          Alcotest.test_case "tree" `Quick test_span_tree;
+          Alcotest.test_case "flame export" `Quick test_span_flame;
         ] );
       ( "trace",
         [
