@@ -33,6 +33,12 @@
      LLM4FP_CHECKPOINT_EVERY   slots between checkpoints (default 25)
      LLM4FP_SKIP_WATCH=1   skip the watcher overhead study
      LLM4FP_WATCH_BUDGET   campaign size for that study (default 100)
+     LLM4FP_ENGINE         execution engine for the whole bench run
+                           (tree | vm, default vm)
+     LLM4FP_SKIP_THROUGHPUT=1  skip the tree-vs-vm interp throughput study
+     LLM4FP_THROUGHPUT_INPUTS  input vectors for that study (default 1000)
+     LLM4FP_SKIP_ENGINE_EQUIV=1  skip the tree-vs-vm equivalence drill
+     LLM4FP_ENGINE_BUDGET  campaign size for that drill (default 60)
      LLM4FP_JSON_OUT=FILE  also write a machine-readable summary (totals
                            plus per-phase Obs.Span aggregates, so
                            BENCH_*.json files track the phase-level
@@ -251,13 +257,7 @@ let run_forensics ~jobs () =
         Harness.Campaign.run ~budget ~jobs ~recorder ~seed
           Harness.Approach.Llm4fp)
   in
-  let signature (o : Harness.Campaign.outcome) =
-    ( Difftest.Stats.total_inconsistencies o.Harness.Campaign.stats,
-      Difftest.Stats.total_comparisons o.Harness.Campaign.stats,
-      o.Harness.Campaign.successful,
-      o.Harness.Campaign.generation_failures,
-      o.Harness.Campaign.sim_seconds )
-  in
+  let signature = Harness.Campaign.signature in
   if signature bare <> signature recorded then begin
     Printf.eprintf
       "FATAL: attaching the flight recorder changed campaign results \
@@ -434,13 +434,7 @@ let run_checkpoint ~jobs () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "llm4fp-bench-%s-%d" name (Unix.getpid ()))
   in
-  let signature (o : Harness.Campaign.outcome) =
-    ( Difftest.Stats.total_inconsistencies o.Harness.Campaign.stats,
-      Difftest.Stats.total_comparisons o.Harness.Campaign.stats,
-      o.Harness.Campaign.successful,
-      o.Harness.Campaign.generation_failures,
-      o.Harness.Campaign.sim_seconds )
-  in
+  let signature = Harness.Campaign.signature in
   let bare, without_s =
     timed (fun () ->
         Harness.Campaign.run ~budget ~jobs ~seed Harness.Approach.Llm4fp)
@@ -562,13 +556,7 @@ let run_watch ~jobs () =
           (Obs.Sink.ordered (Obs.Sink.jsonl oc))
           (fun () -> f ~recorder))
   in
-  let signature (o : Harness.Campaign.outcome) =
-    ( Difftest.Stats.total_inconsistencies o.Harness.Campaign.stats,
-      Difftest.Stats.total_comparisons o.Harness.Campaign.stats,
-      o.Harness.Campaign.successful,
-      o.Harness.Campaign.generation_failures,
-      o.Harness.Campaign.sim_seconds )
-  in
+  let signature = Harness.Campaign.signature in
   let trace_a = tmp "watch-trace-a.jsonl" and dir_a = tmp "watch-cases-a" in
   let trace_b = tmp "watch-trace-b.jsonl" and dir_b = tmp "watch-cases-b" in
   let bare, without_s =
@@ -664,6 +652,169 @@ let run_watch ~jobs () =
   summary
 
 (* ------------------------------------------------------------------ *)
+(* Interp throughput: the tentpole measurement. One compiled binary, N
+   distinct input vectors; the tree interpreter re-walks the IR per
+   call, the VM runs its flattened program over one reused state. The
+   outcomes must be bit-identical (fatal otherwise) before either side
+   is timed. *)
+
+type throughput_summary = {
+  t_inputs : int;
+  t_tree_pps : float;
+  t_vm_pps : float;
+  t_tree_ops_ps : float;
+  t_vm_ops_ps : float;
+  t_speedup : float;
+}
+
+let run_throughput () =
+  let n = env_int "LLM4FP_THROUGHPUT_INPUTS" 1000 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  Printf.printf "== interp throughput: tree vs vm (%d input vectors) ==\n" n;
+  let rng = Util.Rng.of_int (seed lxor 0x7B) in
+  let inputs =
+    List.init n (fun _ ->
+        Gen.Generate.gen_inputs rng Llm.Client.generation_config llm_program)
+  in
+  let binary = compiled_binary in
+  let rt = Compiler.Config.runtime binary.Compiler.Driver.config in
+  let tree_once () =
+    List.map (fun i -> Irsim.Interp.run rt binary.Compiler.Driver.ir i) inputs
+  in
+  let vm_once () = Irsim.Vm.run_batch binary.Compiler.Driver.vm inputs in
+  let tree_out = tree_once () and vm_out = vm_once () in
+  let same (a : Irsim.Interp.outcome) (b : Irsim.Interp.outcome) =
+    Int64.bits_of_float a.Irsim.Interp.result
+    = Int64.bits_of_float b.Irsim.Interp.result
+    && a.Irsim.Interp.fp_ops = b.Irsim.Interp.fp_ops
+  in
+  if not (List.for_all2 same tree_out vm_out) then begin
+    Printf.eprintf
+      "FATAL: VM and tree interpreter disagree over %d input vectors\n" n;
+    exit 1
+  end;
+  let total_ops =
+    List.fold_left (fun acc o -> acc + o.Irsim.Interp.fp_ops) 0 tree_out
+  in
+  (* Repeat whole batches until ~0.5s has elapsed so both rates average
+     over enough work to be stable. *)
+  let time_engine f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    let reps = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.5 do
+      ignore (f ());
+      incr reps
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    ( float_of_int (!reps * n) /. dt,
+      float_of_int (!reps * total_ops) /. dt )
+  in
+  let t_tree_pps, t_tree_ops_ps = time_engine tree_once in
+  let t_vm_pps, t_vm_ops_ps = time_engine vm_once in
+  let summary =
+    {
+      t_inputs = n;
+      t_tree_pps;
+      t_vm_pps;
+      t_tree_ops_ps;
+      t_vm_ops_ps;
+      t_speedup = t_vm_pps /. t_tree_pps;
+    }
+  in
+  Printf.printf
+    "tree: %.0f programs/s (%.3g fp_ops/s)\nvm:   %.0f programs/s (%.3g \
+     fp_ops/s)\nspeedup %.2fx; outcomes bit-identical\n\n"
+    summary.t_tree_pps summary.t_tree_ops_ps summary.t_vm_pps
+    summary.t_vm_ops_ps summary.t_speedup;
+  summary
+
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence: a fixed-seed campaign run under each engine with
+   a trace sink and a flight recorder attached must produce the same
+   outcome signature, the same trace bytes, and the same case archive.
+   Fatal on any difference — the VM earning its keep must never change
+   a result. *)
+
+type engine_equiv_summary = { e_budget : int; e_jobs : int }
+
+let run_engine_equiv ~jobs () =
+  let budget = env_int "LLM4FP_ENGINE_BUDGET" 60 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  Printf.printf "== engine equivalence: tree vs vm (budget %d, %d jobs) ==\n"
+    budget jobs;
+  let tmp name =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llm4fp-bench-%s-%d" name (Unix.getpid ()))
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  let run_engine engine name =
+    let trace = tmp (Printf.sprintf "engine-%s.jsonl" name) in
+    let dir = tmp (Printf.sprintf "engine-%s-cases" name) in
+    Compiler.Driver.set_engine engine;
+    let recorder = Difftest.Recorder.create ~dir in
+    let oc = open_out trace in
+    let o =
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Obs.Trace.with_sink
+            (Obs.Sink.ordered (Obs.Sink.jsonl oc))
+            (fun () ->
+              Harness.Campaign.run ~budget ~jobs ~recorder ~seed
+                Harness.Approach.Llm4fp))
+    in
+    let archive =
+      Sys.readdir dir |> Array.to_list |> List.sort compare
+      |> List.map (fun f -> (f, read_file (Filename.concat dir f)))
+    in
+    let r = (Harness.Campaign.signature o, read_file trace, archive) in
+    Sys.remove trace;
+    rm_rf dir;
+    r
+  in
+  let saved = Compiler.Driver.engine () in
+  let (tree_sig, tree_trace, tree_arch), (vm_sig, vm_trace, vm_arch) =
+    Fun.protect
+      ~finally:(fun () -> Compiler.Driver.set_engine saved)
+      (fun () ->
+        let t = run_engine Compiler.Driver.Tree "tree" in
+        let v = run_engine Compiler.Driver.Vm "vm" in
+        (t, v))
+  in
+  if tree_sig <> vm_sig then begin
+    Printf.eprintf
+      "FATAL: tree and vm engines produced different campaign outcomes \
+       (budget %d, seed %d)\n"
+      budget seed;
+    exit 1
+  end;
+  if tree_trace <> vm_trace then begin
+    Printf.eprintf
+      "FATAL: tree and vm engines produced different trace bytes (budget \
+       %d, seed %d)\n"
+      budget seed;
+    exit 1
+  end;
+  if tree_arch <> vm_arch then begin
+    Printf.eprintf
+      "FATAL: tree and vm engines produced different case archives (budget \
+       %d, seed %d)\n"
+      budget seed;
+    exit 1
+  end;
+  Printf.printf
+    "outcome, trace bytes and case archive identical under both engines\n\n";
+  { e_budget = budget; e_jobs = jobs }
+
+(* ------------------------------------------------------------------ *)
 (* Flamegraph export: the span tree collected across the whole bench
    run must export as well-formed Chrome trace-event JSON — parseable,
    every event a complete ("ph":"X") slice with the required fields,
@@ -741,7 +892,8 @@ let validate_flame () =
    just how much of it there is. *)
 
 let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
-    ~forensics ~reduction ~checkpoint ~watch ~flame_events =
+    ~forensics ~reduction ~checkpoint ~watch ~throughput ~engine_equiv
+    ~flame_events =
   let phase (r : Obs.Span.row) =
     Obs.Json.Obj
       [ ("label", Obs.Json.String r.Obs.Span.label);
@@ -755,10 +907,13 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
      fails — an instrument the run didn't touch just reads 0. *)
   let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "llm4fp-bench/7");
+    ([ ("schema", Obs.Json.String "llm4fp-bench/8");
        ("budget", Obs.Json.Int budget);
        ("seed", Obs.Json.Int seed);
-       ("jobs", Obs.Json.Int jobs) ]
+       ("jobs", Obs.Json.Int jobs);
+       ( "engine",
+         Obs.Json.String
+           (Compiler.Driver.engine_name (Compiler.Driver.engine ())) ) ]
     @ (match tables_seconds with
       | None -> []
       | Some s -> [ ("tables_seconds", Obs.Json.Float s) ])
@@ -767,7 +922,11 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
           Obs.Json.Obj
             [ ("runs", Obs.Json.Int (counter "compiler.frontend.runs"));
               ("hits", Obs.Json.Int (counter "compiler.frontend.cache_hits"))
-            ] ) ]
+            ] );
+        ( "exec_dedup",
+          Obs.Json.Obj
+            [ ("hits", Obs.Json.Int (counter "exec.dedup.hits"));
+              ("misses", Obs.Json.Int (counter "exec.dedup.misses")) ] ) ]
     @ (match forensics with
       | None -> []
       | Some f ->
@@ -811,6 +970,27 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
                   Obs.Json.Float (w.w_with_s -. w.w_without_s) );
                 ("polls", Obs.Json.Int w.w_polls);
                 ("events_streamed", Obs.Json.Int w.w_events) ] ) ])
+    @ (match throughput with
+      | None -> []
+      | Some t ->
+        [ ( "interp_throughput",
+            Obs.Json.Obj
+              [ ("inputs", Obs.Json.Int t.t_inputs);
+                ("tree_programs_per_sec", Obs.Json.Float t.t_tree_pps);
+                ("vm_programs_per_sec", Obs.Json.Float t.t_vm_pps);
+                ("tree_fp_ops_per_sec", Obs.Json.Float t.t_tree_ops_ps);
+                ("vm_fp_ops_per_sec", Obs.Json.Float t.t_vm_ops_ps);
+                ("speedup", Obs.Json.Float t.t_speedup) ] ) ])
+    @ (match engine_equiv with
+      | None -> []
+      | Some e ->
+        [ ( "engine_equiv",
+            Obs.Json.Obj
+              [ ("budget", Obs.Json.Int e.e_budget);
+                ("jobs", Obs.Json.Int e.e_jobs);
+                (* inequivalence is fatal above; recorded explicitly so
+                   stored summaries say the drill ran and passed *)
+                ("equivalent", Obs.Json.Bool true) ] ) ])
     @ [ ("flame_events", Obs.Json.Int flame_events);
         ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
     @
@@ -824,6 +1004,10 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
 let () =
   let t_start = Unix.gettimeofday () in
   let jobs = env_int "LLM4FP_JOBS" 1 in
+  (try Compiler.Driver.set_engine_of_env ()
+   with Invalid_argument msg ->
+     Printf.eprintf "bench: %s\n" msg;
+     exit 2);
   let micro =
     if not (env_flag "LLM4FP_SKIP_MICRO") then Some (run_micro ()) else None
   in
@@ -853,6 +1037,15 @@ let () =
     if not (env_flag "LLM4FP_SKIP_WATCH") then Some (run_watch ~jobs ())
     else None
   in
+  let throughput =
+    if not (env_flag "LLM4FP_SKIP_THROUGHPUT") then Some (run_throughput ())
+    else None
+  in
+  let engine_equiv =
+    if not (env_flag "LLM4FP_SKIP_ENGINE_EQUIV") then
+      Some (run_engine_equiv ~jobs ())
+    else None
+  in
   let flame_events = validate_flame () in
   Printf.printf "(flame export valid: %d slice(s))\n" flame_events;
   match Sys.getenv_opt "LLM4FP_JSON_OUT" with
@@ -865,6 +1058,6 @@ let () =
       (Obs.Json.to_string
          (json_summary ~budget ~seed ~jobs ~tables_seconds
             ~end_to_end_seconds ~micro ~forensics ~reduction ~checkpoint
-            ~watch ~flame_events)
+            ~watch ~throughput ~engine_equiv ~flame_events)
       ^ "\n");
     Printf.printf "(wrote JSON summary to %s)\n" path

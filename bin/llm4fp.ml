@@ -42,6 +42,33 @@ let jobs_arg =
                  sequential). Results are identical at any job count; \
                  only wall-clock changes.")
 
+let engine_arg =
+  let engine_conv =
+    Arg.conv
+      ( (fun s ->
+          match Compiler.Driver.engine_of_string s with
+          | Some e -> Ok e
+          | None ->
+            Error (`Msg (Printf.sprintf "unknown engine %S (tree | vm)" s))),
+        fun fmt e ->
+          Format.pp_print_string fmt (Compiler.Driver.engine_name e) )
+  in
+  Arg.(value & opt (some engine_conv) None
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: $(b,vm) (the flattened run-many VM, \
+                 the default) or $(b,tree) (the reference tree-walking \
+                 interpreter). Results are bit-identical on either; the \
+                 toggle exists for A/B measurement. Also read from \
+                 \\$LLM4FP_ENGINE; the flag wins.")
+
+(* Env first (like Exec.Faults.of_env), then the flag overrides. *)
+let apply_engine choice =
+  (try Compiler.Driver.set_engine_of_env ()
+   with Invalid_argument msg ->
+     prerr_endline msg;
+     exit 1);
+  Option.iter Compiler.Driver.set_engine choice
+
 (* Bracket [f] with a JSONL trace sink on [path], when given. *)
 let with_trace path f =
   match path with
@@ -149,7 +176,8 @@ let cmd_matrix =
              ~doc:"C source of a compute function (default: a fresh \
                    LLM4FP-style program).")
   in
-  let run seed file =
+  let run seed file engine =
+    apply_engine engine;
     let source =
       match file with
       | Some path ->
@@ -197,7 +225,7 @@ let cmd_matrix =
         (List.length result.Difftest.Run.cross)
   in
   Cmd.v (Cmd.info "matrix" ~doc:"Run one program under every configuration")
-    Term.(const run $ seed_arg $ file)
+    Term.(const run $ seed_arg $ file $ engine_arg)
 
 let cmd_campaign =
   let approach =
@@ -260,7 +288,8 @@ let cmd_campaign =
                    delay=SECONDS. Also read from \\$LLM4FP_FAULTS.")
   in
   let run seed budget approach fp32 jobs trace metrics record html
-      checkpoint_dir checkpoint_every resume faults =
+      checkpoint_dir checkpoint_every resume faults engine =
+    apply_engine engine;
     if html <> None && record = None then begin
       prerr_endline "--html needs --record DIR (the dashboard folds the case archive)";
       exit 1
@@ -402,7 +431,7 @@ let cmd_campaign =
   Cmd.v (Cmd.info "campaign" ~doc:"Run one approach's full campaign")
     Term.(const run $ seed_arg $ budget_arg $ approach $ fp32 $ jobs_arg
           $ trace_arg $ metrics_arg $ record $ html $ checkpoint_dir
-          $ checkpoint_every $ resume $ faults)
+          $ checkpoint_every $ resume $ faults $ engine_arg)
 
 let cmd_tables =
   let only =
@@ -426,7 +455,8 @@ let cmd_tables =
              ~doc:"Directory for the CSV files (one <section>.csv per \
                    table).")
   in
-  let run seed budget only max_pairs jobs trace metrics csv out =
+  let run seed budget only max_pairs jobs trace metrics csv out engine =
+    apply_engine engine;
     if csv && out = None then begin
       prerr_endline "--csv needs --out DIR";
       exit 1
@@ -476,7 +506,7 @@ let cmd_tables =
     (Cmd.info "tables"
        ~doc:"Run all four campaigns and print every paper table and figure")
     Term.(const run $ seed_arg $ budget_arg $ only $ max_pairs $ jobs_arg
-          $ trace_arg $ metrics_arg $ csv $ out)
+          $ trace_arg $ metrics_arg $ csv $ out $ engine_arg)
 
 let cmd_corpus =
   let kernel_name =
@@ -543,7 +573,8 @@ let cmd_profile =
              ~doc:"Also export the span tree as Chrome trace-event JSON \
                    to $(docv) (loadable in chrome://tracing or Perfetto).")
   in
-  let run seed budget approach jobs trace metrics flame =
+  let run seed budget approach jobs trace metrics flame engine =
+    apply_engine engine;
     Obs.Span.set_enabled true;
     let o =
       with_trace trace (fun () ->
@@ -574,7 +605,7 @@ let cmd_profile =
              per-stage hot-path profile (flat and as a call tree), \
              optionally exporting a flamegraph ($(b,--flame))")
     Term.(const run $ seed_arg $ budget $ approach $ jobs_arg $ trace_arg
-          $ metrics_arg $ flame)
+          $ metrics_arg $ flame $ engine_arg)
 
 let cmd_explain =
   let case_ref =

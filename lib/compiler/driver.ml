@@ -2,8 +2,33 @@ type binary = {
   config : Config.t;
   source : string;
   ir : Irsim.Ir.t;
+  vm : Irsim.Vm.program;
   work : int;
 }
+
+type engine = Tree | Vm
+
+let engine_name = function Tree -> "tree" | Vm -> "vm"
+
+let engine_of_string = function
+  | "tree" -> Some Tree
+  | "vm" -> Some Vm
+  | _ -> None
+
+let current_engine = Atomic.make Vm
+let engine () = Atomic.get current_engine
+let set_engine e = Atomic.set current_engine e
+
+let set_engine_of_env () =
+  match Sys.getenv_opt "LLM4FP_ENGINE" with
+  | None | Some "" -> ()
+  | Some s -> begin
+    match engine_of_string s with
+    | Some e -> set_engine e
+    | None ->
+      invalid_arg
+        (Printf.sprintf "LLM4FP_ENGINE: unknown engine %S (tree | vm)" s)
+  end
 
 let m_compile_ok = Obs.Metrics.counter "compiler.compile.ok"
 let m_compile_error = Obs.Metrics.counter "compiler.compile.error"
@@ -146,11 +171,17 @@ let front_end fronts (target : target) =
 (* Back end: the configuration's pass pipeline over the shared
    (immutable) lowered IR. *)
 
+(* Every binary carries its flattened program: the flatten pass runs
+   exactly once per back-end output, so run-many execution never
+   re-walks the tree. *)
+let of_ir ~(config : Config.t) ~source ~work ir =
+  { config; source; ir; vm = Irsim.Vm.flatten (Config.runtime config) ir; work }
+
 let back_end (config : Config.t) (front : front) =
   inject_with_retry Exec.Faults.Back_end;
   let applied = Config.effective config front.f_precision in
   let ir = pipeline applied front.f_ir in
-  { config = applied; source = front.f_source; ir; work = body_size ir.body }
+  of_ir ~config:applied ~source:front.f_source ~work:(body_size ir.body) ir
 
 let compile_with fronts (config : Config.t) =
   Obs.Span.with_span "compiler.compile" @@ fun () ->
@@ -189,10 +220,14 @@ let compile_with fronts (config : Config.t) =
 let compile (config : Config.t) (program : Lang.Ast.program) =
   compile_with (fronts program) config
 
-let run binary inputs =
+let execute binary inputs =
   Obs.Span.with_span "compiler.interp" @@ fun () ->
   inject_with_retry Exec.Faults.Execution;
-  let out = Irsim.Interp.run (Config.runtime binary.config) binary.ir inputs in
+  match Atomic.get current_engine with
+  | Tree -> Irsim.Interp.run (Config.runtime binary.config) binary.ir inputs
+  | Vm -> Irsim.Vm.run binary.vm inputs
+
+let account binary (out : Irsim.Interp.outcome) =
   Obs.Metrics.incr m_runs;
   Obs.Metrics.incr ~by:out.Irsim.Interp.fp_ops m_fp_ops;
   if Obs.Trace.on () then
@@ -203,8 +238,20 @@ let run binary inputs =
            config = Config.name binary.config;
            hex = Fp.Bits.hex_of_double out.Irsim.Interp.result;
            ops = out.Irsim.Interp.fp_ops;
-         });
+         })
+
+let run binary inputs =
+  let out = execute binary inputs in
+  account binary out;
   out
+
+let run_batch binary inputs_list =
+  Obs.Span.with_span "compiler.interp" @@ fun () ->
+  match Atomic.get current_engine with
+  | Tree ->
+    let rt = Config.runtime binary.config in
+    List.map (fun inputs -> Irsim.Interp.run rt binary.ir inputs) inputs_list
+  | Vm -> Irsim.Vm.run_batch binary.vm inputs_list
 
 let run_hex binary inputs = Fp.Bits.hex_of_double (run binary inputs).result
 

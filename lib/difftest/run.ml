@@ -35,6 +35,9 @@ let m_digits =
   Obs.Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0; 8.0; 12.0; 17.0 |]
     "difftest.digit_diffs"
 
+let m_dedup_hits = Obs.Metrics.counter "exec.dedup.hits"
+let m_dedup_misses = Obs.Metrics.counter "exec.dedup.misses"
+
 let compare_outputs level (left : output) (right : output) =
   let inconsistent = left.hex <> right.hex in
   {
@@ -58,39 +61,113 @@ let test ?configs ?(jobs = 1) program inputs =
      identical at any job count. *)
   let fronts = Compiler.Driver.fronts program in
   let slot = Obs.Trace.current_slot () in
-  let evaluate config =
-    match Compiler.Driver.compile_with fronts config with
-    | Error msg -> Either.Right (config, msg)
-    | Ok binary ->
-      let out = Compiler.Driver.run binary inputs in
-      Either.Left
-        {
-          config;
-          value = out.Irsim.Interp.result;
-          hex = Fp.Bits.hex_of_double out.Irsim.Interp.result;
-          ops = out.Irsim.Interp.fp_ops;
-          work = binary.Compiler.Driver.work;
-        }
+  (* Pool workers re-establish the campaign's slot context so their
+     Compiled/Executed trace events stay correlated. *)
+  let in_slot go =
+    match slot with Some s -> Obs.Trace.with_slot s go | None -> go ()
   in
-  let task (lane, config) =
-    (* Pool workers re-establish the campaign's slot context so their
-       Compiled/Executed trace events stay correlated, and stamp their
-       events with the configuration's matrix index as the lane — an
-       ordered sink sorts on (slot, lane, seq), restoring the jobs=1
-       event order no matter which domain finishes first. *)
-    let go () = Obs.Trace.with_lane lane (fun () -> evaluate config) in
-    match slot with
-    | Some s -> Obs.Trace.with_slot s go
-    | None -> go ()
-  in
-  let outputs, failures =
-    (* At jobs = 1 the pool runs tasks inline, so the per-config
-       compile/interp spans nest under this one in the span tree; at
-       jobs > 1 they record in worker domains and surface as that
-       domain's roots. *)
+  (* Phase 1 — compile every configuration. Each task stamps its events
+     with the configuration's matrix index as the lane — an ordered sink
+     sorts on (slot, lane, seq), restoring the jobs=1 event order no
+     matter which domain finishes first. At jobs = 1 the pool runs tasks
+     inline, so the per-config compile spans nest under this one in the
+     span tree; at jobs > 1 they record in worker domains and surface as
+     that domain's roots. *)
+  let compiled =
     Obs.Span.with_span "difftest.fanout" @@ fun () ->
-    List.partition_map Fun.id
-      (Exec.Pool.map ~jobs task (List.mapi (fun i c -> (i, c)) configs))
+    Exec.Pool.map ~jobs
+      (fun (lane, config) ->
+        in_slot (fun () ->
+            Obs.Trace.with_lane lane (fun () ->
+                Compiler.Driver.compile_with fronts config)))
+      (List.mapi (fun i c -> (i, c)) configs)
+  in
+  (* Phase 2 — deduplicate executions. Configurations whose back ends
+     produced the same (post-pipeline IR, runtime) pair are literally the
+     same binary: one execution serves them all. The key scan is
+     polymorphic [compare] (NaN-tolerant, unlike [=], so folded NaN
+     constants still dedup) over at most |configs| leaders. The first
+     configuration holding a key becomes the group's leader, so grouping
+     is deterministic in configuration order. *)
+  let exec_key (b : Compiler.Driver.binary) =
+    (b.Compiler.Driver.ir, Compiler.Config.runtime b.Compiler.Driver.config)
+  in
+  let leader_of = Array.make (max 1 (List.length configs)) (-1) in
+  let leaders_rev = ref [] in
+  List.iteri
+    (fun i r ->
+      match r with
+      | Error _ -> ()
+      | Ok binary -> begin
+        let key = exec_key binary in
+        match
+          List.find_opt
+            (fun (k, _, _) -> Stdlib.compare k key = 0)
+            !leaders_rev
+        with
+        | Some (_, lane, _) -> leader_of.(i) <- lane
+        | None ->
+          leaders_rev := (key, i, binary) :: !leaders_rev;
+          leader_of.(i) <- i
+      end)
+    compiled;
+  let leaders = List.rev !leaders_rev in
+  (* Phase 3 — one execution per distinct binary, fanned out. Raw
+     [execute]: accounting happens per configuration in phase 4. A trap
+     (out-of-bounds subscript) is a reportable per-configuration
+     failure, not a crash. *)
+  let executed =
+    Obs.Span.with_span "difftest.exec" @@ fun () ->
+    Exec.Pool.map ~jobs
+      (fun (_, _, binary) ->
+        in_slot (fun () ->
+            match Compiler.Driver.execute binary inputs with
+            | out -> Ok out
+            | exception Irsim.Interp.Trap t ->
+              Error ("execution trapped: " ^ Irsim.Interp.trap_message t)))
+      leaders
+  in
+  let outcome_by_lane = Hashtbl.create 16 in
+  List.iter2
+    (fun (_, lane, _) out -> Hashtbl.replace outcome_by_lane lane out)
+    leaders executed;
+  (* Phase 4 — per-configuration accounting, sequential in configuration
+     order. Every configuration books its own run — metrics, dedup
+     hit/miss, and (when tracing) an Executed event re-entering the
+     configuration's lane at seq 1, the stamp the compile event's lane
+     left off at — so outputs, totals, and trace bytes are identical to
+     executing each configuration separately. *)
+  let outputs, failures =
+    let outs = ref [] and fails = ref [] in
+    List.iteri
+      (fun i (config, r) ->
+        match r with
+        | Error msg -> fails := (config, msg) :: !fails
+        | Ok binary -> begin
+          let lane = leader_of.(i) in
+          match Hashtbl.find outcome_by_lane lane with
+          | Error msg ->
+            fails :=
+              (config, Printf.sprintf "%s: %s" (Compiler.Config.name config) msg)
+              :: !fails
+          | Ok (out : Irsim.Interp.outcome) ->
+            Obs.Metrics.incr
+              (if lane = i then m_dedup_misses else m_dedup_hits);
+            in_slot (fun () ->
+                Obs.Trace.with_lane ~seq:1 i (fun () ->
+                    Compiler.Driver.account binary out));
+            outs :=
+              {
+                config;
+                value = out.Irsim.Interp.result;
+                hex = Fp.Bits.hex_of_double out.Irsim.Interp.result;
+                ops = out.Irsim.Interp.fp_ops;
+                work = binary.Compiler.Driver.work;
+              }
+              :: !outs
+        end)
+      (List.combine configs compiled);
+    (List.rev !outs, List.rev !fails)
   in
   (* One O(n) pass instead of an O(configs) scan per lookup: the
      comparison stage below performs 2 lookups per (pair, level) plus 2

@@ -59,12 +59,23 @@ val test :
     The front end (emit + parse + validate + lower) runs once per
     {e target} via {!Compiler.Driver.fronts} — two passes per program
     instead of one per configuration — and [jobs > 1] fans the
-    per-configuration back end + execution across the {!Exec.Pool}.
-    The [result] is identical at any job count; only wall-clock
-    changes. Trace events carry a deterministic [(slot, lane, seq)]
-    stamp — [lane] is the configuration's matrix index — so a sink
-    wrapped in {!Obs.Sink.ordered} observes the exact [jobs = 1] event
-    sequence at any job count. *)
+    per-configuration back ends and the deduplicated executions across
+    the {!Exec.Pool}.
+
+    Executions are deduplicated: configurations whose back ends produced
+    the same (post-pipeline IR, runtime) pair share one execution of
+    that binary, and each configuration then books the shared outcome as
+    its own run (metrics, trace event, totals). The
+    [exec.dedup.hits] / [exec.dedup.misses] counters expose the ratio;
+    on the standard matrix the O1/O2/O3 levels of each personality
+    collapse, roughly halving executions.
+
+    The [result] is identical at any job count and on either
+    {!Compiler.Driver.engine}; only wall-clock changes. Trace events
+    carry a deterministic [(slot, lane, seq)] stamp — [lane] is the
+    configuration's matrix index — so a sink wrapped in
+    {!Obs.Sink.ordered} observes the exact [jobs = 1] event sequence at
+    any job count. *)
 
 val cross_inconsistencies : result -> int
 val has_inconsistency : result -> bool

@@ -1,4 +1,6 @@
-let hardware = Float.fma
+external hardware : float -> float -> float -> float
+  = "caml_fma_float" "caml_fma"
+[@@unboxed] [@@noalloc]
 
 (* Round-to-odd addition: compute a+b, and when rounding occurred force the
    last significand bit to 1. Adding a round-to-odd intermediate before a
@@ -31,4 +33,6 @@ let software a b c =
       let v = add_round_to_odd pl sl in
       sh +. v
 
-let contract = hardware
+external contract : float -> float -> float -> float
+  = "caml_fma_float" "caml_fma"
+[@@unboxed] [@@noalloc]

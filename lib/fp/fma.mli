@@ -8,7 +8,9 @@
     round-to-odd addition, used to cross-check the primitive in tests and
     as a fallback documentation of the algorithm. *)
 
-val hardware : float -> float -> float -> float
+external hardware : float -> float -> float -> float
+  = "caml_fma_float" "caml_fma"
+[@@unboxed] [@@noalloc]
 (** [hardware a b c] is the platform's correctly rounded fused
     [a *. b +. c]. *)
 
@@ -17,6 +19,8 @@ val software : float -> float -> float -> float
     non-overflowing, non-underflowing range; falls back to the naive
     two-rounding expression for special values and extreme magnitudes. *)
 
-val contract : float -> float -> float -> float
+external contract : float -> float -> float -> float
+  = "caml_fma_float" "caml_fma"
+[@@unboxed] [@@noalloc]
 (** The evaluation used by the simulator for contracted multiply-adds
     (currently [hardware]). *)

@@ -324,3 +324,14 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
     llm_seconds = Llm.Client.total_latency client;
     real_seconds = Unix.gettimeofday () -. t_start;
   }
+
+(* The equality key used by determinism drills (bench, checkpoint and
+   engine-equivalence tests): everything about an outcome that must be
+   invariant under jobs, checkpointing, observation, and execution
+   engine — but not the real-time measurements, which always differ. *)
+let signature (o : outcome) =
+  ( Difftest.Stats.total_inconsistencies o.stats,
+    Difftest.Stats.total_comparisons o.stats,
+    o.successful,
+    o.generation_failures,
+    o.sim_seconds )

@@ -72,6 +72,14 @@ val run :
     bytes and case archives are identical to the uninterrupted run's,
     at any kill point and any job count. *)
 
+val signature : outcome -> int * int * int * int * float
+(** (total inconsistencies, total comparisons, feedback-set size,
+    generation failures, simulated seconds): the outcome fields that
+    every determinism drill asserts invariant — under job count,
+    checkpoint/resume, attached observers, and execution engine. Shared
+    by bench and the equivalence tests so they all compare the same
+    key. *)
+
 val strategy_mix_probability : float
 (** 0.5 — the paper's fixed probability of choosing Feedback-Based
     Mutation once examples exist (§3.1.4). *)

@@ -8,6 +8,22 @@ type runtime = {
 
 type outcome = { result : float; fp_ops : int }
 
+type trap = { array : int; index : int; length : int }
+
+exception Trap of trap
+
+let trap_message { array; index; length } =
+  Printf.sprintf "out-of-bounds subscript: arr%d[%d] (length %d)" array index
+    length
+
+let () =
+  Printexc.register_printer (function
+    | Trap t -> Some ("Irsim.Interp.Trap: " ^ trap_message t)
+    | _ -> None)
+
+let check_bounds ~array ~index ~length =
+  if index < 0 || index >= length then raise (Trap { array; index; length })
+
 type env = {
   f : float array;
   i : int array;
@@ -55,7 +71,7 @@ let rec eval env (e : Ir.expr) =
   | Ir.Load_arr (s, idx) ->
     let arr = env.a.(s) in
     let k = eval_i env idx in
-    assert (k >= 0 && k < Array.length arr);
+    check_bounds ~array:s ~index:k ~length:(Array.length arr);
     arr.(k)
   | Ir.Itof e -> env.prec (float_of_int (eval_i env e))
   | Ir.Neg e -> -.eval env e
@@ -96,7 +112,7 @@ let rec exec env body =
       | Ir.Store_arr (slot, idx, e) ->
         let arr = env.a.(slot) in
         let k = eval_i env idx in
-        assert (k >= 0 && k < Array.length arr);
+        check_bounds ~array:slot ~index:k ~length:(Array.length arr);
         arr.(k) <- eval env e
       | Ir.If { lhs; cmp; rhs; body } ->
         if
@@ -135,7 +151,10 @@ let run rt (ir : Ir.t) (inputs : Inputs.t) =
       | Ir.Bind_arr (slot, len), Inputs.Arr a ->
         if Array.length a <> len then
           invalid_arg "Interp.run: array length mismatch";
-        Array.blit (Array.map prec a) 0 env.a.(slot) 0 len
+        let dst = env.a.(slot) in
+        for k = 0 to len - 1 do
+          dst.(k) <- prec a.(k)
+        done
       | _ -> invalid_arg "Interp.run: input kind mismatch")
     ir.bindings inputs;
   env.f.(ir.comp_slot) <- 0.0;

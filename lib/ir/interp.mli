@@ -1,4 +1,4 @@
-(** The execution engine.
+(** The reference execution engine.
 
     Evaluates lowered/optimized IR exactly as written: one binary64 (or
     binary32, for [F32] programs) rounding per arithmetic node, fused
@@ -8,7 +8,9 @@
 
     This is the "run the binary" stage of the paper's pipeline: the
     returned accumulator value is what the generated program would print,
-    and its bit pattern is what differential testing compares. *)
+    and its bit pattern is what differential testing compares. The
+    tree-walking evaluation here is the semantic reference; {!Vm} is the
+    flattened production engine, gated bit-exactly against this module. *)
 
 type runtime = {
   libm : Mathlib.Libm.flavor;
@@ -27,7 +29,36 @@ type outcome = {
   fp_ops : int;     (** dynamic floating-point operation count *)
 }
 
+type trap = {
+  array : int;   (** array slot of the offending subscript *)
+  index : int;   (** the out-of-range index value *)
+  length : int;  (** declared length of that array *)
+}
+
+exception Trap of trap
+(** An out-of-bounds subscript at execution time. The generator's
+    validator excludes these from campaign programs, but hand-built or
+    reduced IR can still reach one; a typed error keeps it a reportable
+    finding rather than a crash. *)
+
+val trap_message : trap -> string
+(** One-line human-readable rendering of a trap. *)
+
 val run : runtime -> Ir.t -> Inputs.t -> outcome
 (** Execute. Raises [Invalid_argument] when the input vector does not
-    match the program's bindings, [Assert_failure] on an out-of-bounds
-    subscript (excluded by the validator). *)
+    match the program's bindings, {!Trap} on an out-of-bounds
+    subscript. *)
+
+(**/**)
+
+val round_f32 : float -> float
+(** Round to the nearest binary32 value (storage/operation precision for
+    [F32] programs). Shared with {!Vm}. *)
+
+val check_bounds : array:int -> index:int -> length:int -> unit
+(** Raise {!Trap} unless [0 <= index < length]. Shared with {!Vm}. *)
+
+val ccmp : nan_taken:bool -> Lang.Ast.cmpop -> float -> float -> bool
+(** C comparison semantics: every ordered comparison involving NaN is
+    false and [!=] is true, unless [nan_taken] (finite-math codegen)
+    forces NaN comparisons to take the branch. Shared with {!Vm}. *)

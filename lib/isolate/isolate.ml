@@ -59,12 +59,8 @@ let hybrid_compile (config : Compiler.Config.t) (program : Lang.Ast.program)
         in
         let ir = { optimized with Irsim.Ir.body } in
         Ok
-          {
-            Compiler.Driver.config = no_dce;
-            source = Lang.Pp.to_c program;
-            ir;
-            work = 0;
-          }
+          (Compiler.Driver.of_ir ~config:no_dce ~source:(Lang.Pp.to_c program)
+             ~work:0 ir)
       end
   end
 

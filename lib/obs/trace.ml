@@ -51,14 +51,17 @@ let with_slot slot f =
 
 (* Lane context: a parallel fan-out brackets each task with its input
    index so the task's events carry a deterministic intra-slot sort key
-   (the per-lane sequence counter restarts at 0 for every task). *)
+   (the per-lane sequence counter restarts at [seq], default 0, for
+   every task). [?seq] lets a caller that split one historic task into
+   phases re-enter the lane and continue its numbering — stamps must
+   stay unique per (slot, lane) or ordered sinks lose determinism. *)
 
 let lane_ctx : (int * int ref) option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
-let with_lane lane f =
+let with_lane ?(seq = 0) lane f =
   let saved = Domain.DLS.get lane_ctx in
-  Domain.DLS.set lane_ctx (Some (lane, ref 0));
+  Domain.DLS.set lane_ctx (Some (lane, ref seq));
   Fun.protect ~finally:(fun () -> Domain.DLS.set lane_ctx saved) f
 
 let current_stamp () =

@@ -48,10 +48,13 @@ val with_slot : int -> (unit -> 'a) -> 'a
 (** Bracket one budget slot; nested layers pick the slot up via
     {!current_slot} when building their events. *)
 
-val with_lane : int -> (unit -> 'a) -> 'a
+val with_lane : ?seq:int -> int -> (unit -> 'a) -> 'a
 (** Bracket one task of a parallel fan-out. [lane] must be the task's
     deterministic input index (e.g. the configuration's position in the
     matrix), {e not} anything completion-ordered: events emitted inside
-    are stamped [(slot, lane, 0)], [(slot, lane, 1)], … so an
-    {!Sink.ordered} sink can restore sequential order. Nests: an inner
-    lane shadows the outer one for its extent. *)
+    are stamped [(slot, lane, seq)], [(slot, lane, seq+1)], … with [seq]
+    defaulting to 0, so an {!Sink.ordered} sink can restore sequential
+    order. A caller that split one historic task into phases passes
+    [?seq] to continue the lane's numbering — stamps must stay unique
+    per (slot, lane) or ordered-sink output becomes arrival-ordered.
+    Nests: an inner lane shadows the outer one for its extent. *)

@@ -268,6 +268,58 @@ let bleu_self =
       let t = Diversity.Bleu.table (tokens p) in
       Float.abs (Diversity.Bleu.score ~candidate:t ~reference:t -. 1.0) < 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Execution-engine equivalence *)
+
+(* A generated case plus a uniformly drawn configuration index: the VM
+   must agree with the tree interpreter under every runtime the matrix
+   can produce (libm flavor, FTZ, NaN-branch polarity, precision), not
+   just strict mode. Shrinking minimizes the program/inputs and keeps
+   the configuration fixed. *)
+let vm_configs = Compiler.Config.all ()
+
+let vm_case =
+  {
+    Engine.gen =
+      (fun rng ->
+        let case = Arb.case.Engine.gen rng in
+        let k = Util.Rng.int_in rng 0 (List.length vm_configs - 1) in
+        (case, k));
+    shrink =
+      (fun (case, k) ->
+        Seq.map (fun c -> (c, k)) (Arb.case.Engine.shrink case));
+    print =
+      (fun (case, k) ->
+        Printf.sprintf "config = %s\n%s"
+          (Compiler.Config.name (List.nth vm_configs k))
+          (Arb.case.Engine.print case));
+  }
+
+let vm_equiv =
+  make_suite "vm-equiv"
+    "the flattened VM is bit-identical to the tree interpreter under \
+     every configuration"
+    vm_case
+    (fun ((p, inputs), k) ->
+      let config = List.nth vm_configs k in
+      match Compiler.Driver.compile config p with
+      | Error _ -> true (* nothing to execute *)
+      | Ok binary -> begin
+        let rt = Compiler.Config.runtime binary.Compiler.Driver.config in
+        let tree = Irsim.Interp.run rt binary.Compiler.Driver.ir inputs in
+        (* a batch of two through one reused state also proves the
+           state reset between vectors *)
+        match
+          Irsim.Vm.run_batch binary.Compiler.Driver.vm [ inputs; inputs ]
+        with
+        | [ first; second ] ->
+          same_bits tree.Irsim.Interp.result first.Irsim.Interp.result
+          && tree.Irsim.Interp.fp_ops = first.Irsim.Interp.fp_ops
+          && same_bits first.Irsim.Interp.result second.Irsim.Interp.result
+          && first.Irsim.Interp.fp_ops = second.Irsim.Interp.fp_ops
+        | _ -> false
+      end)
+
 let all =
   [
     gen_valid;
@@ -284,6 +336,7 @@ let all =
     eft_two_prod;
     bleu_range;
     bleu_self;
+    vm_equiv;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

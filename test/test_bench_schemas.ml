@@ -67,6 +67,17 @@ let watch =
            req "events_streamed" Int ]);
     req "flame_events" Int ]
 
+let engine_v8 =
+  [ req "engine" Str;
+    req "exec_dedup" (Obj [ req "hits" Int; req "misses" Int ]);
+    opt "interp_throughput"
+      (Obj
+         [ req "inputs" Int; req "tree_programs_per_sec" Num;
+           req "vm_programs_per_sec" Num; req "tree_fp_ops_per_sec" Num;
+           req "vm_fp_ops_per_sec" Num; req "speedup" Num ]);
+    opt "engine_equiv"
+      (Obj [ req "budget" Int; req "jobs" Int; req "equivalent" Bool ]) ]
+
 let run_spec = function
   | "llm4fp-bench/3" -> Some common
   | "llm4fp-bench/4" -> Some (common @ forensics)
@@ -74,6 +85,8 @@ let run_spec = function
   | "llm4fp-bench/6" -> Some (common @ forensics @ reduction @ checkpoint)
   | "llm4fp-bench/7" ->
     Some (common @ forensics @ reduction @ checkpoint @ watch)
+  | "llm4fp-bench/8" ->
+    Some (common @ forensics @ reduction @ checkpoint @ watch @ engine_v8)
   | _ -> None
 
 let rec check_kind ctx kind (v : Obs.Json.t) =

@@ -316,11 +316,12 @@ let test_kill_at_late_checkpoint_jobs4 () =
   check_kill_resume ~name:"ckpt3-j4" ~jobs:4 "checkpoint@3:crash"
 
 let test_kill_mid_slot () =
-  (* dies mid-slot (execution ~slot 10), well past the first snapshot *)
-  check_kill_resume ~name:"exec-j1" ~jobs:1 "exec@180:crash"
+  (* dies mid-slot (execution ~slot 10 — dedup leaves ~12 distinct
+     executions per slot), well past the first snapshot *)
+  check_kill_resume ~name:"exec-j1" ~jobs:1 "exec@120:crash"
 
 let test_kill_mid_slot_jobs4 () =
-  check_kill_resume ~name:"exec-j4" ~jobs:4 "exec@180:crash"
+  check_kill_resume ~name:"exec-j4" ~jobs:4 "exec@120:crash"
 
 (* Checkpointing off the hot path: attaching it must change nothing. *)
 let test_checkpointing_is_invisible () =

@@ -207,6 +207,38 @@ let test_custom_config_list () =
   check_int "no within pairs without baselines" 0
     (List.length r.Difftest.Run.within)
 
+(* Executing 18 back-end outputs dedups to one run per distinct
+   (post-pipeline IR, runtime) key; the metrics record the split. *)
+let test_exec_dedup_metrics () =
+  let hits = Obs.Metrics.counter "exec.dedup.hits" in
+  let misses = Obs.Metrics.counter "exec.dedup.misses" in
+  let h0 = Obs.Metrics.counter_value hits in
+  let m0 = Obs.Metrics.counter_value misses in
+  ignore (Difftest.Run.test (parse chaotic) Irsim.Inputs.[ Fp 1.0; Fp 2.0 ]);
+  let dh = Obs.Metrics.counter_value hits - h0 in
+  let dm = Obs.Metrics.counter_value misses - m0 in
+  check_int "every output either hit or missed" 18 (dh + dm);
+  check_bool "some configurations share an execution" true (dh > 0);
+  check_bool "at least one distinct execution" true (dm > 0)
+
+(* The VM engine must be invisible in the results: same hex outputs,
+   same comparisons, as the tree-walking interpreter. *)
+let test_engines_agree () =
+  let p = parse chaotic in
+  let inputs = Irsim.Inputs.[ Fp 1.25; Fp (-2.5) ] in
+  let saved = Compiler.Driver.engine () in
+  let under e =
+    Compiler.Driver.set_engine e;
+    let r = Difftest.Run.test p inputs in
+    List.map (fun (o : Difftest.Run.output) -> o.Difftest.Run.hex)
+      r.Difftest.Run.outputs
+  in
+  Fun.protect
+    ~finally:(fun () -> Compiler.Driver.set_engine saved)
+    (fun () ->
+      check_bool "tree and vm produce identical hex outputs" true
+        (under Compiler.Driver.Tree = under Compiler.Driver.Vm))
+
 let test_pair_index () =
   check_int "gcc-clang first" 0
     (Difftest.Stats.pair_index (Compiler.Personality.Gcc, Compiler.Personality.Clang));
@@ -226,6 +258,8 @@ let () =
           Alcotest.test_case "matches manual driver" `Quick test_run_matches_manual_driver;
           Alcotest.test_case "idempotent" `Quick test_run_idempotent;
           Alcotest.test_case "custom config list" `Quick test_custom_config_list;
+          Alcotest.test_case "exec dedup metrics" `Quick test_exec_dedup_metrics;
+          Alcotest.test_case "engines agree" `Quick test_engines_agree;
         ] );
       ( "stats",
         [

@@ -172,6 +172,54 @@ let test_fp32_varity_campaign () =
        o.Harness.Campaign.programs)
 
 (* ------------------------------------------------------------------ *)
+(* Execution engine equivalence: the tentpole acceptance drill. A
+   fixed-seed campaign must be indistinguishable — outcome signature,
+   ordered trace bytes, recorded case archives — across the tree
+   interpreter and the register VM, sequential and parallel. *)
+
+let archive_bytes dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort compare
+    |> List.map (fun name -> (name, read_file (Filename.concat dir name)))
+
+let test_engine_equivalence () =
+  let observe engine jobs =
+    with_tmpdir ~prefix:"llm4fp-engine" @@ fun root ->
+    Util.Durable.mkdir_p root;
+    let arch = Filename.concat root "cases" in
+    let trace = Filename.concat root "trace.jsonl" in
+    let recorder = Difftest.Recorder.create ~dir:arch in
+    let oc = open_out trace in
+    let saved = Compiler.Driver.engine () in
+    Compiler.Driver.set_engine engine;
+    let outcome =
+      Fun.protect
+        ~finally:(fun () ->
+          Compiler.Driver.set_engine saved;
+          close_out oc)
+        (fun () ->
+          Obs.Trace.with_sink
+            (Obs.Sink.ordered (Obs.Sink.jsonl oc))
+            (fun () ->
+              Harness.Campaign.run ~budget:20 ~jobs ~recorder ~seed:31337
+                Harness.Approach.Llm4fp))
+    in
+    (Harness.Campaign.signature outcome, read_file trace, archive_bytes arch)
+  in
+  let ref_sig, ref_trace, ref_archive = observe Compiler.Driver.Tree 1 in
+  check_bool "reference trace non-empty" true (String.length ref_trace > 0);
+  List.iter
+    (fun (engine, jobs, label) ->
+      let s, t, a = observe engine jobs in
+      check_bool (label ^ ": outcome signature identical") true (s = ref_sig);
+      check_bool (label ^ ": trace bytes identical") true (t = ref_trace);
+      check_bool (label ^ ": case archive identical") true (a = ref_archive))
+    [ (Compiler.Driver.Tree, 4, "tree/jobs=4");
+      (Compiler.Driver.Vm, 1, "vm/jobs=1");
+      (Compiler.Driver.Vm, 4, "vm/jobs=4") ]
+
+(* ------------------------------------------------------------------ *)
 (* Ablation *)
 
 let test_ablation_variants_shape () =
@@ -232,6 +280,11 @@ let () =
             test_parallel_suite_byte_identical;
           Alcotest.test_case "campaign outcome across jobs" `Slow
             test_parallel_campaign_same_outcome;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "tree/vm x jobs indistinguishable" `Slow
+            test_engine_equivalence;
         ] );
       ( "precision",
         [

@@ -158,6 +158,172 @@ let test_interp_input_mismatch () =
      with Invalid_argument _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* The flattened register VM against the tree interpreter *)
+
+let same_outcome name (a : Irsim.Interp.outcome) (b : Irsim.Interp.outcome) =
+  check_bool (name ^ ": result bits") true
+    (Int64.bits_of_float a.Irsim.Interp.result
+    = Int64.bits_of_float b.Irsim.Interp.result);
+  check_int (name ^ ": fp_ops") a.Irsim.Interp.fp_ops b.Irsim.Interp.fp_ops
+
+let vm_runtimes =
+  [ ("strict", strict_rt);
+    ("ftz", { strict_rt with Irsim.Interp.ftz = true });
+    ("finite-math", { strict_rt with Irsim.Interp.nan_cmp_taken = true });
+    ( "fast-libm+ftz",
+      { Irsim.Interp.libm = Mathlib.Libm.Gcc_fast;
+        ftz = true;
+        nan_cmp_taken = true } ) ]
+
+(* loops, array read/write, divergent branches, a libm call, and a
+   subnormal constant so FTZ runtimes exercise the flush paths *)
+let vm_rich_src = {|
+void compute(double x, double* a) {
+  double comp = 0.0;
+  double t = x;
+  for (int i = 0; i < 6; ++i) {
+    a[i] = a[i] * t + 1e-310;
+    if (a[i] > 0.5) {
+      t = t - a[i] / 3.0;
+    }
+    comp += sin(a[i] + t);
+  }
+  comp = comp * x - t;
+}
+|}
+
+let vm_rich_inputs k =
+  Irsim.Inputs.
+    [ Fp (0.25 +. (0.5 *. float_of_int k));
+      Arr (Array.init 8 (fun i -> float_of_int ((i + k) mod 5) /. 3.0)) ]
+
+let test_vm_matches_tree_all_runtimes () =
+  let ir = Irsim.Lower.program (parse vm_rich_src) in
+  List.iter
+    (fun (name, rt) ->
+      let vm = Irsim.Vm.flatten rt ir in
+      check_bool (name ^ ": nonempty code") true (Irsim.Vm.code_size vm > 0);
+      check_int (name ^ ": disasm covers code")
+        (Irsim.Vm.code_size vm)
+        (List.length (Irsim.Vm.disasm vm));
+      for k = 0 to 4 do
+        let inputs = vm_rich_inputs k in
+        same_outcome
+          (Printf.sprintf "%s[%d]" name k)
+          (Irsim.Interp.run rt ir inputs)
+          (Irsim.Vm.run vm inputs)
+      done)
+    vm_runtimes
+
+let test_vm_batch_divergent_lanes () =
+  (* lanes fall on both sides of the branch (and some hit the NaN
+     comparison path through 0/0) yet stay bit-identical to the tree *)
+  let src = {|
+void compute(double x) {
+  double comp = 0.0;
+  double bad = x / x;
+  if (bad < 1.0) {
+    comp = comp + x * 3.0;
+  }
+  if (x >= 2.0) {
+    comp = comp - 1.0 / x;
+  }
+}
+|} in
+  let ir = Irsim.Lower.program (parse src) in
+  let inputs =
+    List.map (fun v -> Irsim.Inputs.[ Fp v ]) [ 0.0; 0.5; 2.0; -3.0; 7.5 ]
+  in
+  List.iter
+    (fun (name, rt) ->
+      let vm = Irsim.Vm.flatten rt ir in
+      let tree = List.map (Irsim.Interp.run rt ir) inputs in
+      let batch = Irsim.Vm.run_batch vm inputs in
+      List.iteri
+        (fun l (a, b) -> same_outcome (Printf.sprintf "%s lane %d" name l) a b)
+        (List.combine tree batch))
+    vm_runtimes
+
+let test_vm_loop_residual_counter () =
+  (* the counter slot keeps bound-1 after the loop, and a zero-trip
+     loop leaves it untouched — in both engines *)
+  let body bound =
+    [ Irsim.Ir.For
+        { islot = 0; bound; body = [ Irsim.Ir.Store (0, Irsim.Ir.Const 1.0) ] };
+      Irsim.Ir.Store (0, Irsim.Ir.Itof (Irsim.Ir.Iload 0)) ]
+  in
+  let ir bound =
+    { Irsim.Ir.precision = Ast.F64; n_fslots = 1; n_islots = 1;
+      arr_lens = [||]; bindings = []; body = body bound; comp_slot = 0 }
+  in
+  List.iter
+    (fun bound ->
+      let ir = ir bound in
+      let tree = Irsim.Interp.run strict_rt ir [] in
+      let vm = Irsim.Vm.run (Irsim.Vm.flatten strict_rt ir) [] in
+      same_outcome (Printf.sprintf "bound %d" bound) tree vm)
+    [ 5; 1; 0 ]
+
+let oob_ir =
+  (* comp = a[n]: traps when n is out of [0, 8) *)
+  { Irsim.Ir.precision = Ast.F64; n_fslots = 1; n_islots = 1;
+    arr_lens = [| 8 |];
+    bindings = [ Irsim.Ir.Bind_arr (0, 8); Irsim.Ir.Bind_int 0 ];
+    body = [ Irsim.Ir.Store (0, Irsim.Ir.Load_arr (0, Irsim.Ir.Iload 0)) ];
+    comp_slot = 0 }
+
+let oob_inputs n = Irsim.Inputs.[ Arr (Array.make 8 1.5); Int n ]
+
+let trap_of f =
+  match f () with
+  | exception Irsim.Interp.Trap t -> Some t
+  | _ -> None
+
+let test_vm_trap_matches_tree () =
+  let vm = Irsim.Vm.flatten strict_rt oob_ir in
+  List.iter
+    (fun n ->
+      let tree = trap_of (fun () -> Irsim.Interp.run strict_rt oob_ir (oob_inputs n)) in
+      let reg = trap_of (fun () -> Irsim.Vm.run vm (oob_inputs n)) in
+      check_bool (Printf.sprintf "same trap for n=%d" n) true (tree = reg))
+    [ 0; 7; 8; -1; 100 ]
+
+let test_vm_batch_trap_order () =
+  (* the first trapped lane in input order raises, exactly as a
+     sequential List.map would *)
+  let vm = Irsim.Vm.flatten strict_rt oob_ir in
+  let batch = List.map oob_inputs [ 3; 12; 0; -1 ] in
+  (match trap_of (fun () -> Irsim.Vm.run_batch vm batch) with
+  | Some t ->
+    check_int "array" 0 t.Irsim.Interp.array;
+    check_int "index of first bad lane" 12 t.Irsim.Interp.index;
+    check_int "length" 8 t.Irsim.Interp.length
+  | None -> Alcotest.fail "batch did not trap");
+  (* surviving-lane results are unaffected by a prior trapping batch *)
+  let ok = List.map oob_inputs [ 2; 5 ] in
+  let a = Irsim.Vm.run_batch vm ok in
+  let b = List.map (Irsim.Vm.run vm) ok in
+  List.iteri
+    (fun l (x, y) -> same_outcome (Printf.sprintf "clean lane %d" l) x y)
+    (List.combine a b)
+
+let test_vm_flatten_rejects_bad_ir () =
+  let bad =
+    { Irsim.Ir.precision = Ast.F64; n_fslots = 1; n_islots = 0;
+      arr_lens = [||]; bindings = [];
+      body = [ Irsim.Ir.Store (0, Irsim.Ir.Load 99) ]; comp_slot = 0 }
+  in
+  check_bool "slot out of range" true
+    (try ignore (Irsim.Vm.flatten strict_rt bad); false
+     with Invalid_argument _ -> true);
+  let bad_binding =
+    { oob_ir with Irsim.Ir.bindings = [ Irsim.Ir.Bind_arr (0, 4) ] }
+  in
+  check_bool "binding length mismatch" true
+    (try ignore (Irsim.Vm.flatten strict_rt bad_binding); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Fold *)
 
 let test_fold_arith () =
@@ -483,6 +649,20 @@ let () =
           Alcotest.test_case "F32 rounding" `Quick test_interp_f32_rounding;
           Alcotest.test_case "op counting" `Quick test_interp_ops_counted;
           Alcotest.test_case "input mismatch" `Quick test_interp_input_mismatch;
+        ] );
+      ( "vm",
+        [
+          Alcotest.test_case "matches tree across runtimes" `Quick
+            test_vm_matches_tree_all_runtimes;
+          Alcotest.test_case "batch with divergent lanes" `Quick
+            test_vm_batch_divergent_lanes;
+          Alcotest.test_case "loop residual counter" `Quick
+            test_vm_loop_residual_counter;
+          Alcotest.test_case "trap matches tree" `Quick
+            test_vm_trap_matches_tree;
+          Alcotest.test_case "batch trap order" `Quick test_vm_batch_trap_order;
+          Alcotest.test_case "flatten rejects bad IR" `Quick
+            test_vm_flatten_rejects_bad_ir;
         ] );
       ( "fold",
         [
