@@ -39,6 +39,8 @@
      LLM4FP_THROUGHPUT_INPUTS  input vectors for that study (default 1000)
      LLM4FP_SKIP_ENGINE_EQUIV=1  skip the tree-vs-vm equivalence drill
      LLM4FP_ENGINE_BUDGET  campaign size for that drill (default 60)
+     LLM4FP_SKIP_COVERAGE=1  skip the coverage-observatory study
+     LLM4FP_COVERAGE_BUDGET  campaign size for that study (default 60)
      LLM4FP_JSON_OUT=FILE  also write a machine-readable summary (totals
                            plus per-phase Obs.Span aggregates, so
                            BENCH_*.json files track the phase-level
@@ -548,7 +550,7 @@ let run_watch ~jobs () =
   in
   let traced ~trace ~dir f =
     let recorder = Difftest.Recorder.create ~dir in
-    let oc = open_out trace in
+    let oc = open_out_bin trace in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
@@ -760,7 +762,7 @@ let run_engine_equiv ~jobs () =
     let dir = tmp (Printf.sprintf "engine-%s-cases" name) in
     Compiler.Driver.set_engine engine;
     let recorder = Difftest.Recorder.create ~dir in
-    let oc = open_out trace in
+    let oc = open_out_bin trace in
     let o =
       Fun.protect
         ~finally:(fun () -> close_out oc)
@@ -813,6 +815,66 @@ let run_engine_equiv ~jobs () =
   Printf.printf
     "outcome, trace bytes and case archive identical under both engines\n\n";
   { e_budget = budget; e_jobs = jobs }
+
+(* ------------------------------------------------------------------ *)
+(* Coverage observatory: the search-space ledger a campaign accumulates
+   must itself be deterministic — same cells, same provenance, same
+   rolling window — at any job count (asserted fatally by comparing the
+   serialized snapshots). The study also surfaces the v9 summary
+   fields: distinct cells, the novelty rate over the whole campaign,
+   and where the plateau detector tripped (if it did). *)
+
+type coverage_summary = {
+  cov_cells : int;
+  cov_novel_per_sim_s : float;
+  cov_plateau_at : float option;
+}
+
+let run_coverage ~jobs () =
+  let budget = env_int "LLM4FP_COVERAGE_BUDGET" 60 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  Printf.printf
+    "== coverage observatory (search-space ledger, budget %d) ==\n" budget;
+  let run jobs =
+    Harness.Campaign.run ~budget ~jobs ~seed Harness.Approach.Llm4fp
+  in
+  let o = run jobs in
+  let snapshot (o : Harness.Campaign.outcome) =
+    Obs.Json.to_string (Obs.Coverage.to_json o.Harness.Campaign.coverage)
+  in
+  if jobs > 1 && snapshot o <> snapshot (run 1) then begin
+    Printf.eprintf
+      "FATAL: coverage ledger differs between --jobs 1 and --jobs %d \
+       (budget %d, seed %d)\n"
+      jobs budget seed;
+    exit 1
+  end;
+  let cov = o.Harness.Campaign.coverage in
+  let now = o.Harness.Campaign.sim_seconds in
+  let cells = Obs.Coverage.total_cells cov in
+  Printf.printf
+    "  %d cells (cross %d, within %d), %d hits, last novel at %.1f sim-s\n"
+    cells
+    (Obs.Coverage.kind_cells cov "cross")
+    (Obs.Coverage.kind_cells cov "within")
+    (Obs.Coverage.total_hits cov)
+    (Obs.Coverage.last_novel cov);
+  List.iter
+    (fun (r : Obs.Coverage.strategy_rate) ->
+      Printf.printf "  %-8s window hits %d (novel %d), %.6f novel/sim-s\n"
+        r.Obs.Coverage.strategy r.Obs.Coverage.window_hits
+        r.Obs.Coverage.window_novel r.Obs.Coverage.novel_per_sim_s)
+    (Obs.Coverage.strategy_rates cov ~now);
+  let plateau = Obs.Coverage.plateau_at cov ~now in
+  (match plateau with
+  | Some at -> Printf.printf "  plateau tripped at %.1f sim-s\n\n" at
+  | None -> Printf.printf "  no plateau within the campaign\n\n");
+  {
+    cov_cells = cells;
+    cov_novel_per_sim_s =
+      (if now > 0.0 then float_of_int cells /. now else 0.0);
+    cov_plateau_at = plateau;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Flamegraph export: the span tree collected across the whole bench
@@ -893,7 +955,7 @@ let validate_flame () =
 
 let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
     ~forensics ~reduction ~checkpoint ~watch ~throughput ~engine_equiv
-    ~flame_events =
+    ~coverage ~flame_events =
   let phase (r : Obs.Span.row) =
     Obs.Json.Obj
       [ ("label", Obs.Json.String r.Obs.Span.label);
@@ -907,7 +969,7 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
      fails — an instrument the run didn't touch just reads 0. *)
   let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "llm4fp-bench/8");
+    ([ ("schema", Obs.Json.String "llm4fp-bench/9");
        ("budget", Obs.Json.Int budget);
        ("seed", Obs.Json.Int seed);
        ("jobs", Obs.Json.Int jobs);
@@ -991,6 +1053,15 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
                 (* inequivalence is fatal above; recorded explicitly so
                    stored summaries say the drill ran and passed *)
                 ("equivalent", Obs.Json.Bool true) ] ) ])
+    @ (match coverage with
+      | None -> []
+      | Some c ->
+        [ ("coverage_cells", Obs.Json.Int c.cov_cells);
+          ("novel_per_sim_s", Obs.Json.Float c.cov_novel_per_sim_s) ]
+        @
+        match c.cov_plateau_at with
+        | None -> []
+        | Some at -> [ ("plateau_at_sim_s", Obs.Json.Float at) ])
     @ [ ("flame_events", Obs.Json.Int flame_events);
         ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
     @
@@ -1046,6 +1117,10 @@ let () =
       Some (run_engine_equiv ~jobs ())
     else None
   in
+  let coverage =
+    if not (env_flag "LLM4FP_SKIP_COVERAGE") then Some (run_coverage ~jobs ())
+    else None
+  in
   let flame_events = validate_flame () in
   Printf.printf "(flame export valid: %d slice(s))\n" flame_events;
   match Sys.getenv_opt "LLM4FP_JSON_OUT" with
@@ -1058,6 +1133,6 @@ let () =
       (Obs.Json.to_string
          (json_summary ~budget ~seed ~jobs ~tables_seconds
             ~end_to_end_seconds ~micro ~forensics ~reduction ~checkpoint
-            ~watch ~throughput ~engine_equiv ~flame_events)
+            ~watch ~throughput ~engine_equiv ~coverage ~flame_events)
       ^ "\n");
     Printf.printf "(wrote JSON summary to %s)\n" path

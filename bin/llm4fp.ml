@@ -74,8 +74,10 @@ let with_trace path f =
   match path with
   | None -> f ()
   | Some path ->
+    (* Binary mode: trace bytes are identical across platforms (no
+       newline translation), the same fix the recorder got. *)
     let oc =
-      try open_out path
+      try open_out_bin path
       with Sys_error msg ->
         prerr_endline ("cannot open trace file: " ^ msg);
         exit 1
@@ -1009,6 +1011,119 @@ let cmd_trace_query =
              deterministic for a fixed-seed trace.")
     Term.(const run $ file $ kind $ slot $ config $ stats $ csv)
 
+let cmd_coverage =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"An archived JSONL trace ($(b,campaign --trace)).")
+  in
+  let by_strategy =
+    Arg.(value & flag
+         & info [ "by-strategy" ]
+             ~doc:"Per-strategy efficiency instead of the cell listing: \
+                   novel cells and total hits per generation strategy, \
+                   with rates on the simulated clock.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let run file by_strategy csv =
+    match Obs.Follow.read_all ~path:file with
+    | Error msg ->
+      prerr_endline ("llm4fp coverage: " ^ msg);
+      exit 1
+    | Ok events ->
+      (* Rebuild the ledger view from the coverage events alone. A
+         Coverage_hit for a cell whose Coverage_novel predates the trace
+         (impossible for a complete trace, possible for a truncated one)
+         still lists, with unknown provenance. *)
+      let tbl = Hashtbl.create 64 in
+      let sim_end = ref 0.0 in
+      let novel_by = Hashtbl.create 8 in
+      let hits_by = Hashtbl.create 8 in
+      let count tbl k by =
+        Hashtbl.replace tbl k
+          (by + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      in
+      List.iter
+        (fun ev ->
+          match ev with
+          | Obs.Event.Coverage_novel
+              { slot; kind; pair; level; classes; strategy; sim_s; _ } ->
+            Hashtbl.replace tbl (kind, pair, level, classes)
+              (1, string_of_int slot, Obs.Json.float_repr sim_s, strategy);
+            sim_end := Float.max !sim_end sim_s;
+            count novel_by strategy 1;
+            count hits_by strategy 1
+          | Obs.Event.Coverage_hit
+              { kind; pair; level; classes; strategy; hits; _ } ->
+            let _, slot, sim, disc =
+              Option.value
+                ~default:(0, "-", "-", "?")
+                (Hashtbl.find_opt tbl (kind, pair, level, classes))
+            in
+            Hashtbl.replace tbl (kind, pair, level, classes)
+              (hits, slot, sim, disc);
+            count hits_by strategy 1
+          | Obs.Event.Slot_finished { sim_s; _ } ->
+            sim_end := Float.max !sim_end sim_s
+          | Obs.Event.Campaign_finished { sim_seconds; _ } ->
+            sim_end := Float.max !sim_end sim_seconds
+          | _ -> ())
+        events;
+      if by_strategy then begin
+        let strategies =
+          Hashtbl.fold (fun k _ acc -> k :: acc) hits_by []
+          |> List.sort_uniq String.compare
+        in
+        let rate n =
+          if !sim_end <= 0.0 then "-"
+          else Printf.sprintf "%.6f/s" (float_of_int n /. !sim_end)
+        in
+        let header = [ "strategy"; "novel"; "hits"; "novel/sim-s";
+                       "hits/sim-s" ] in
+        let rows =
+          List.map
+            (fun s ->
+              let novel =
+                Option.value ~default:0 (Hashtbl.find_opt novel_by s)
+              in
+              let hits =
+                Option.value ~default:0 (Hashtbl.find_opt hits_by s)
+              in
+              [ s; string_of_int novel; string_of_int hits; rate novel;
+                rate hits ])
+            strategies
+        in
+        if csv then print_string (Report.Table.to_csv ~header rows)
+        else print_string (Report.Table.render ~header rows)
+      end
+      else begin
+        let header = [ "kind"; "pair"; "level"; "classes"; "hits";
+                       "first slot"; "first sim_s"; "strategy" ] in
+        let rows =
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+          |> List.sort compare
+          |> List.map
+               (fun ((kind, pair, level, classes), (hits, slot, sim, disc))
+               ->
+                 [ kind; pair; level; classes; string_of_int hits; slot;
+                   sim; disc ])
+        in
+        if csv then print_string (Report.Table.to_csv ~header rows)
+        else print_string (Report.Table.render ~header rows)
+      end
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Fold a campaign trace's coverage events into the \
+             search-space ledger view: every discovered (kind, pair, \
+             level, value-class) cell with hit count and first-discovery \
+             provenance, or ($(b,--by-strategy)) per-strategy novelty and \
+             discovery rates on the simulated clock. Cell order is \
+             deterministic for a fixed-seed trace.")
+    Term.(const run $ file $ by_strategy $ csv)
+
 let cmd_stability =
   let seeds =
     Arg.(value & opt (list int) [ 11; 22; 33 ]
@@ -1035,4 +1150,5 @@ let () =
                    (SC'25 reproduction)")
           [ cmd_generate; cmd_matrix; cmd_campaign; cmd_tables; cmd_profile;
             cmd_explain; cmd_fuzz; cmd_dashboard; cmd_watch; cmd_trace_query;
-            cmd_corpus; cmd_ablation; cmd_fp32; cmd_stability ]))
+            cmd_coverage; cmd_corpus; cmd_ablation; cmd_fp32;
+            cmd_stability ]))

@@ -16,10 +16,11 @@
      1. header     — identity, counters, both RNG states, trace offset
      2. LLM client — the {!Llm.Client.snapshot} payload
      3. statistics — {!Difftest.Stats.to_json}
-     4. recorder   — dedup set and counters (only when [has_recorder])
+     4. coverage   — {!Obs.Coverage.to_json} (schema 2; always present)
+     5. recorder   — dedup set and counters (only when [has_recorder])
      n. slots      — one line per valid program, in slot order *)
 
-let schema = "llm4fp-checkpoint/1"
+let schema = "llm4fp-checkpoint/2"
 let file_name = "checkpoint.jsonl"
 let path ~dir = Filename.concat dir file_name
 
@@ -50,6 +51,7 @@ type t = {
   trace_offset : int option;
   client : Llm.Client.snapshot;
   stats : Difftest.Stats.t;
+  coverage : Obs.Coverage.t;
   recorder : recorder_state option;
   slots : slot list;
 }
@@ -128,6 +130,7 @@ let write ~dir t =
       line (header_to_json t);
       line (client_to_json t.client);
       line (Difftest.Stats.to_json t.stats);
+      line (Obs.Coverage.to_json t.coverage);
       (match t.recorder with None -> () | Some r -> line (recorder_to_json r));
       List.iter (fun s -> line (slot_to_json s)) t.slots)
 
@@ -311,7 +314,7 @@ let load ~dir =
               let* n_slots = int_field "slots" header in
               let* has_recorder = bool_field "has_recorder" header in
               let expected =
-                2 + (if has_recorder then 1 else 0) + n_slots
+                3 + (if has_recorder then 1 else 0) + n_slots
               in
               let* () =
                 if List.length rest = expected then Ok ()
@@ -331,12 +334,18 @@ let load ~dir =
                   (fun m -> "checkpoint: " ^ m)
                   (Difftest.Stats.of_json stats_json)
               in
-              let rest = List.filteri (fun i _ -> i >= 2) rest in
+              let* coverage_json = parse_line ~path:p 4 (List.nth rest 2) in
+              let* coverage =
+                Result.map_error
+                  (fun m -> "checkpoint: " ^ m)
+                  (Obs.Coverage.of_json coverage_json)
+              in
+              let rest = List.filteri (fun i _ -> i >= 3) rest in
               let* recorder, rest =
                 if has_recorder then
                   match rest with
                   | line :: tl ->
-                      let* json = parse_line ~path:p 4 line in
+                      let* json = parse_line ~path:p 5 line in
                       let* r = recorder_of_json json in
                       Ok (Some r, tl)
                   | [] -> err "%s: missing recorder line" p
@@ -368,6 +377,7 @@ let load ~dir =
                   trace_offset;
                   client;
                   stats;
+                  coverage;
                   recorder;
                   slots;
                 })

@@ -3,7 +3,7 @@
     The paper's campaigns are hours-long loops; a production service
     must survive a crash, OOM-kill or preemption mid-campaign without
     corrupting archives or discarding completed slots. A checkpoint is
-    a versioned JSONL snapshot ([schema "llm4fp-checkpoint/1"]) of the
+    a versioned JSONL snapshot ([schema "llm4fp-checkpoint/2"]) of the
     {e complete} campaign loop state, written atomically
     ({!Util.Durable.write_atomic}) every N slots at a slot boundary:
 
@@ -12,6 +12,9 @@
     - the LLM session ({!Llm.Client.snapshot}: its RNG, sampler usage,
       skeleton memory, clone-key history, call counters);
     - the running {!Difftest.Stats.t};
+    - the {!Obs.Coverage} ledger (cells, rolling window, plateau
+      state), so resumed runs keep emitting the same coverage events
+      and telemetry an uninterrupted run would;
     - every valid program so far with its input vector and feedback
       flag (programs travel as C renderings — [Lang.Pp] and
       [Cparse.Parse] are structural inverses);
@@ -53,6 +56,7 @@ type t = {
           resumed run truncates the trace back to it *)
   client : Llm.Client.snapshot;
   stats : Difftest.Stats.t;
+  coverage : Obs.Coverage.t;
   recorder : recorder_state option;
   slots : slot list;  (** valid programs in slot order *)
 }

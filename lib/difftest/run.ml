@@ -266,6 +266,31 @@ let test ?configs ?(jobs = 1) program inputs =
     total_ops = List.fold_left (fun acc o -> acc + o.ops) 0 outputs;
   }
 
+(* The coverage projection: one ledger key per inconsistent comparison,
+   cross first then within, each list in its construction (level-major)
+   order — the deterministic feed order of the campaign's ledger. *)
+let coverage_keys result =
+  let key kind pair (c : comparison) =
+    {
+      Obs.Coverage.kind;
+      pair;
+      level = Compiler.Optlevel.name c.level;
+      classes = Fp.Bits.class_pair_name c.class_left c.class_right;
+    }
+  in
+  List.filter_map
+    (fun (pair, c) ->
+      if c.inconsistent then
+        Some (key "cross" (Compiler.Personality.pair_name pair) c)
+      else None)
+    result.cross
+  @ List.filter_map
+      (fun (p, c) ->
+        if c.inconsistent then
+          Some (key "within" (Compiler.Personality.name p) c)
+        else None)
+      result.within
+
 let cross_inconsistencies result =
   List.fold_left
     (fun acc (_, c) -> if c.inconsistent then acc + 1 else acc)

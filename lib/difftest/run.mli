@@ -77,6 +77,14 @@ val test :
     {!Obs.Sink.ordered} observes the exact [jobs = 1] event sequence at
     any job count. *)
 
+val coverage_keys : result -> Obs.Coverage.key list
+(** The result's inconsistent comparisons projected to coverage-ledger
+    keys: cross comparisons first (kind ["cross"], pair =
+    {!Compiler.Personality.pair_name}), then within (kind ["within"],
+    pair = the compiler's own name), each in the result's level-major
+    construction order — so the campaign feeds its {!Obs.Coverage}
+    ledger in a deterministic order. *)
+
 val cross_inconsistencies : result -> int
 val has_inconsistency : result -> bool
 (** True when any cross-compiler comparison is inconsistent — the

@@ -2,6 +2,7 @@ type outcome = {
   approach : Approach.t;
   budget : int;
   stats : Difftest.Stats.t;
+  coverage : Obs.Coverage.t;
   programs : Lang.Ast.program list;
   cases : (Lang.Ast.program * Irsim.Inputs.t) list;
   generation_failures : int;
@@ -57,6 +58,14 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
     match resume with
     | None -> Difftest.Stats.create ()
     | Some snap -> snap.Checkpoint.stats
+  in
+  (* The coverage ledger is always on and purely observational: feeding
+     it draws no randomness and changes no campaign decision, it only
+     measures which cells of the inconsistency space have lit up. *)
+  let coverage =
+    match resume with
+    | None -> Obs.Coverage.create ()
+    | Some snap -> snap.Checkpoint.coverage
   in
   let successful = ref [] in
   let n_successful = ref 0 in
@@ -142,6 +151,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
         trace_offset;
         client = Llm.Client.snapshot client;
         stats;
+        coverage;
         recorder =
           Option.map
             (fun r ->
@@ -268,6 +278,45 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
             List.iter
               (fun case -> ignore (Difftest.Recorder.record recorder case))
               (Difftest.Case.of_result ~seed ~slot ~program ~inputs result));
+          (* Coverage ledger: every inconsistent comparison lights its
+             cell. Recorded in the result's deterministic key order at
+             the slot's final simulated time. *)
+          let sim_now = Util.Sim_clock.elapsed clock in
+          List.iter
+            (fun key ->
+              let novel =
+                Obs.Coverage.record coverage ~slot
+                  ~strategy:(strategy_name strategy) ~sim_s:sim_now key
+              in
+              if Obs.Trace.on () then
+                Obs.Trace.emit
+                  (if novel then
+                     Obs.Event.Coverage_novel
+                       {
+                         slot;
+                         kind = key.Obs.Coverage.kind;
+                         pair = key.Obs.Coverage.pair;
+                         level = key.Obs.Coverage.level;
+                         classes = key.Obs.Coverage.classes;
+                         strategy = strategy_name strategy;
+                         cells = Obs.Coverage.total_cells coverage;
+                         sim_s = sim_now;
+                       }
+                   else
+                     Obs.Event.Coverage_hit
+                       {
+                         slot;
+                         kind = key.Obs.Coverage.kind;
+                         pair = key.Obs.Coverage.pair;
+                         level = key.Obs.Coverage.level;
+                         classes = key.Obs.Coverage.classes;
+                         strategy = strategy_name strategy;
+                         hits =
+                           (match Obs.Coverage.find coverage key with
+                           | Some c -> c.Obs.Coverage.hits
+                           | None -> 0);
+                       }))
+            (Difftest.Run.coverage_keys result);
           let inconsistent = Difftest.Run.has_inconsistency result in
           let feedback = approach = Approach.Llm4fp && inconsistent in
           feedback_flags := feedback :: !feedback_flags;
@@ -316,6 +365,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
     approach;
     budget;
     stats;
+    coverage;
     programs = List.rev !programs;
     cases = List.rev !cases;
     generation_failures = !generation_failures;

@@ -15,6 +15,12 @@ type outcome = {
   approach : Approach.t;
   budget : int;
   stats : Difftest.Stats.t;
+  coverage : Obs.Coverage.t;
+      (** search-space coverage ledger: every inconsistent comparison's
+          (kind × pair × level × value-class) cell, with hit counts,
+          first-discovery provenance and rolling novelty telemetry.
+          Purely observational, deterministic in [seed], and snapshotted
+          by checkpoints. *)
   programs : Lang.Ast.program list;
       (** valid generated programs in generation order (diversity input) *)
   cases : (Lang.Ast.program * Irsim.Inputs.t) list;

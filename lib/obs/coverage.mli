@@ -1,0 +1,99 @@
+(** Search-space coverage ledger: which cells of the inconsistency
+    space a campaign has lit up, when, and which strategy found them.
+
+    A {e cell} is the identity of an inconsistency class: outcome kind
+    (["cross"] or ["within"]) × compiler pair (or compiler, for within
+    cases) × optimization level × value-class pair — the axes of the
+    paper's Tables 2–6. The ledger counts hits per cell, remembers the
+    first-discovery provenance (slot, simulated time, strategy), and
+    keeps a rolling window of recent hits on the {e simulated} clock
+    from which per-strategy efficiency rates and a plateau signal
+    derive.
+
+    Everything here is deterministic in the campaign seed: keys are
+    rendered names, times are simulated seconds, and {!cells} /
+    {!to_json} order cells by key — so two runs recording the same
+    hit sequence serialize to identical bytes. The ledger is purely
+    observational: feeding it draws no randomness and changes no
+    campaign decision. *)
+
+type key = {
+  kind : string;     (** ["cross"] or ["within"] — the outcome axis *)
+  pair : string;     (** compiler pair, or compiler name for within *)
+  level : string;    (** compared optimization level *)
+  classes : string;  (** value-class pair label, e.g. ["{Real, Zero}"] *)
+}
+
+type cell = {
+  hits : int;          (** total recordings of this key *)
+  first_slot : int;    (** budget slot of the first hit *)
+  first_sim_s : float; (** simulated clock at the first hit *)
+  strategy : string;   (** strategy that discovered the cell *)
+}
+
+type t
+
+val default_window : float
+(** 600 simulated seconds — the rolling window over which efficiency
+    rates and the plateau detector are computed. *)
+
+val create : ?window:float -> unit -> t
+(** An empty ledger. [window] must be positive (defaults to
+    {!default_window}). *)
+
+val window : t -> float
+
+val record : t -> slot:int -> strategy:string -> sim_s:float -> key -> bool
+(** Record one hit at simulated time [sim_s]. Returns [true] when the
+    key is novel (first ever hit of that cell). Recordings must arrive
+    in nondecreasing [sim_s] order — the campaign loop's natural
+    order — because the rolling window prunes as it goes. *)
+
+val find : t -> key -> cell option
+
+val cells : t -> (key * cell) list
+(** Every cell, sorted by key (kind, pair, level, classes) — the
+    deterministic ordering every consumer renders in. *)
+
+val total_cells : t -> int
+val kind_cells : t -> string -> int
+(** Distinct cells of one [kind] (["cross"] / ["within"]). *)
+
+val total_hits : t -> int
+
+val last_novel : t -> float
+(** Simulated time of the most recent novel cell; [0.0] before any —
+    the campaign start, so an all-quiet campaign plateaus after one
+    full window. *)
+
+type strategy_rate = {
+  strategy : string;
+  window_hits : int;      (** hits inside the rolling window *)
+  window_novel : int;     (** novel cells inside the window *)
+  hits_per_sim_s : float;
+  novel_per_sim_s : float;
+}
+
+val strategy_rates : t -> now:float -> strategy_rate list
+(** Per-strategy efficiency over the window ending at [now], sorted by
+    strategy name. Rates divide by [min window now] (the span actually
+    observed), and are [0.] when that span is not positive. *)
+
+val plateaued : t -> now:float -> bool
+(** No novel cell within the last {!window} simulated seconds. *)
+
+val plateau_at : t -> now:float -> float option
+(** When {!plateaued}, the simulated time the plateau tripped:
+    [last_novel + window]. *)
+
+val json_schema : string
+(** ["llm4fp-coverage/1"]. *)
+
+val to_json : t -> Json.t
+(** Complete snapshot — cells in {!cells} order plus the rolling
+    window's surviving entries — so a ledger restored by {!of_json}
+    continues recording exactly as the original would. Equal ledgers
+    serialize to identical bytes. *)
+
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; [Error] names the offending field. *)

@@ -18,7 +18,14 @@ let bump key assoc =
 let apply (v : Report.Flightdeck.view) (ev : Event.t) : Report.Flightdeck.view =
   match ev with
   | Event.Campaign_started { approach; budget; seed; precision } ->
-    { Report.Flightdeck.empty with approach; budget; seed; precision }
+    {
+      Report.Flightdeck.empty with
+      approach;
+      budget;
+      seed;
+      precision;
+      coverage_window = Coverage.default_window;
+    }
   | Event.Slot_started { strategy; _ } ->
     {
       v with
@@ -52,6 +59,19 @@ let apply (v : Report.Flightdeck.view) (ev : Event.t) : Report.Flightdeck.view =
   | Event.Inconsistency_found { pair; level; _ } ->
     { v with hits = bump (pair, level) v.hits }
   | Event.Case_recorded _ -> { v with cases = v.cases + 1 }
+  | Event.Coverage_novel { kind; strategy; cells; sim_s; _ } ->
+    {
+      v with
+      coverage_cells = max v.coverage_cells cells;
+      coverage_cross =
+        (v.coverage_cross + if kind = "cross" then 1 else 0);
+      coverage_within =
+        (v.coverage_within + if kind = "within" then 1 else 0);
+      coverage_hits = v.coverage_hits + 1;
+      novel_by_strategy = bump strategy v.novel_by_strategy;
+      last_novel_sim_s = Float.max v.last_novel_sim_s sim_s;
+    }
+  | Event.Coverage_hit _ -> { v with coverage_hits = v.coverage_hits + 1 }
   | Event.Slot_finished { outcome; sim_s; _ } ->
     {
       v with

@@ -38,6 +38,25 @@ type t =
       digits : int;
     }
   | Case_recorded of { slot : int option; fingerprint : string; kind : string }
+  | Coverage_novel of {
+      slot : int;
+      kind : string;
+      pair : string;
+      level : string;
+      classes : string;
+      strategy : string;
+      cells : int;
+      sim_s : float;
+    }
+  | Coverage_hit of {
+      slot : int;
+      kind : string;
+      pair : string;
+      level : string;
+      classes : string;
+      strategy : string;
+      hits : int;
+    }
   | Feedback_added of { slot : int; feedback_size : int }
   | Slot_finished of { slot : int; outcome : string; sim_s : float }
   | Campaign_finished of {
@@ -61,6 +80,8 @@ let name = function
   | Compared _ -> "compared"
   | Inconsistency_found _ -> "inconsistency_found"
   | Case_recorded _ -> "case_recorded"
+  | Coverage_novel _ -> "coverage_novel"
+  | Coverage_hit _ -> "coverage_hit"
   | Feedback_added _ -> "feedback_added"
   | Slot_finished _ -> "slot_finished"
   | Campaign_finished _ -> "campaign_finished"
@@ -123,6 +144,26 @@ let to_json ev =
       (slot s
       @ [ ("fingerprint", Json.String fingerprint);
           ("kind", Json.String kind) ])
+  | Coverage_novel { slot; kind; pair; level; classes; strategy; cells; sim_s }
+    ->
+    obj
+      [ ("slot", Json.Int slot);
+        ("kind", Json.String kind);
+        ("pair", Json.String pair);
+        ("level", Json.String level);
+        ("classes", Json.String classes);
+        ("strategy", Json.String strategy);
+        ("cells", Json.Int cells);
+        ("sim_s", Json.Float sim_s) ]
+  | Coverage_hit { slot; kind; pair; level; classes; strategy; hits } ->
+    obj
+      [ ("slot", Json.Int slot);
+        ("kind", Json.String kind);
+        ("pair", Json.String pair);
+        ("level", Json.String level);
+        ("classes", Json.String classes);
+        ("strategy", Json.String strategy);
+        ("hits", Json.Int hits) ]
   | Feedback_added { slot; feedback_size } ->
     obj
       [ ("slot", Json.Int slot); ("feedback_size", Json.Int feedback_size) ]
@@ -247,6 +288,27 @@ let of_json json =
     let* fingerprint = str "fingerprint" in
     let* kind = str "kind" in
     Ok (Case_recorded { slot = slot_opt; fingerprint; kind })
+  | "coverage_novel" ->
+    let* slot = int "slot" in
+    let* kind = str "kind" in
+    let* pair = str "pair" in
+    let* level = str "level" in
+    let* classes = str "classes" in
+    let* strategy = str "strategy" in
+    let* cells = int "cells" in
+    let* sim_s = float "sim_s" in
+    Ok
+      (Coverage_novel
+         { slot; kind; pair; level; classes; strategy; cells; sim_s })
+  | "coverage_hit" ->
+    let* slot = int "slot" in
+    let* kind = str "kind" in
+    let* pair = str "pair" in
+    let* level = str "level" in
+    let* classes = str "classes" in
+    let* strategy = str "strategy" in
+    let* hits = int "hits" in
+    Ok (Coverage_hit { slot; kind; pair; level; classes; strategy; hits })
   | "feedback_added" ->
     let* slot = int "slot" in
     let* feedback_size = int "feedback_size" in
@@ -290,6 +352,8 @@ let slot = function
   | Slot_started { slot; _ }
   | Parse_failed { slot; _ }
   | Validation_failed { slot; _ }
+  | Coverage_novel { slot; _ }
+  | Coverage_hit { slot; _ }
   | Feedback_added { slot; _ }
   | Slot_finished { slot; _ } ->
     Some slot
@@ -328,6 +392,12 @@ let summary = function
       right_hex digits
   | Case_recorded { fingerprint; kind; _ } ->
     Printf.sprintf "%s %s" fingerprint kind
+  | Coverage_novel { kind; pair; level; classes; strategy; cells; sim_s; _ } ->
+    Printf.sprintf "%s %s @ %s %s strategy=%s cells=%d sim=%s" kind pair level
+      classes strategy cells (seconds sim_s)
+  | Coverage_hit { kind; pair; level; classes; strategy; hits; _ } ->
+    Printf.sprintf "%s %s @ %s %s strategy=%s hits=%d" kind pair level classes
+      strategy hits
   | Feedback_added { feedback_size; _ } ->
     Printf.sprintf "size=%d" feedback_size
   | Slot_finished { outcome; sim_s; _ } ->

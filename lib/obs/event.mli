@@ -51,6 +51,31 @@ type t =
       (** a first-seen inconsistency case entered the forensic archive;
           [kind] is ["cross"] or ["within"]. The fingerprint is a
           content hash, so this event is seed-deterministic. *)
+  | Coverage_novel of {
+      slot : int;
+      kind : string;
+      pair : string;
+      level : string;
+      classes : string;
+      strategy : string;
+      cells : int;
+      sim_s : float;
+    }
+      (** a never-before-seen coverage cell (see {!Coverage.key}) lit
+          up: [kind] is ["cross"]/["within"], [strategy] the generation
+          strategy that found it, [cells] the ledger's distinct-cell
+          count after this hit, [sim_s] the simulated clock. *)
+  | Coverage_hit of {
+      slot : int;
+      kind : string;
+      pair : string;
+      level : string;
+      classes : string;
+      strategy : string;
+      hits : int;
+    }
+      (** a repeat hit of an already-covered cell by [strategy]; [hits]
+          is the cell's cumulative count after this hit. *)
   | Feedback_added of { slot : int; feedback_size : int }
   | Slot_finished of { slot : int; outcome : string; sim_s : float }
       (** [outcome]: ["generation_failed"], ["consistent"] or

@@ -107,6 +107,52 @@ let by_class t =
   in
   (header, rows)
 
+(* Pair × level case-density grid. Cells carry a shade glyph scaled to
+   the densest cell plus the count, so the terminal rendering reads as
+   a heatmap; the HTML rendering maps the same densities to background
+   shading. Axes are sorted, so the grid is deterministic. *)
+let heatmap_counts t =
+  let pairs = List.map fst (group (fun c -> c.pair) t.cases) in
+  let levels = List.map fst (group (fun c -> c.level) t.cases) in
+  let count pair level =
+    List.length
+      (List.filter (fun c -> c.pair = pair && c.level = level) t.cases)
+  in
+  let grid =
+    List.map (fun pair -> (pair, List.map (count pair) levels)) pairs
+  in
+  let max_n =
+    List.fold_left
+      (fun acc (_, row) -> List.fold_left max acc row)
+      0 grid
+  in
+  (levels, grid, max_n)
+
+let shade_glyphs = [| "\xe2\x96\x91"; "\xe2\x96\x92"; "\xe2\x96\x93";
+                     "\xe2\x96\x88" |]
+
+let shade_index ~max_n n =
+  (* 1..4 for n > 0, proportional to the densest cell. *)
+  if n <= 0 || max_n <= 0 then 0
+  else min 4 (((4 * n) + max_n - 1) / max_n)
+
+let heatmap t =
+  let levels, grid, max_n = heatmap_counts t in
+  let header = "pair \\ level" :: levels in
+  let rows =
+    List.map
+      (fun (pair, row) ->
+        pair
+        :: List.map
+             (fun n ->
+               match shade_index ~max_n n with
+               | 0 -> "\xc2\xb7" (* · *)
+               | i -> Printf.sprintf "%s %d" shade_glyphs.(i - 1) n)
+             row)
+      grid
+  in
+  (header, rows)
+
 let latency_table latencies =
   ( [ "histogram"; "n"; "p50"; "p95"; "p99" ],
     List.map
@@ -142,6 +188,8 @@ let render_tty ?(latencies = []) ?(title = "campaign forensics") t =
   section "by compiler pair" (by_pair t);
   section "by optimization level" (by_level t);
   section "by value-class pair" (by_class t);
+  if t.cases <> [] then
+    section "coverage heatmap (cases per pair x level)" (heatmap t);
   if latencies <> [] then
     section "latency percentiles" (latency_table latencies);
   Buffer.contents b
@@ -216,6 +264,37 @@ let render_html ?(latencies = []) ?(max_cases = 100) ~title t =
   section "By compiler pair" (by_pair t);
   section "By optimization level" (by_level t);
   section "By value-class pair" (by_class t);
+  (if t.cases <> [] then begin
+     let levels, grid, max_n = heatmap_counts t in
+     Buffer.add_string b "<h2>Coverage heatmap</h2>\n";
+     Buffer.add_string b "<table>\n<tr><th>pair \\ level</th>";
+     List.iter
+       (fun l -> Buffer.add_string b ("<th>" ^ escape l ^ "</th>"))
+       levels;
+     Buffer.add_string b "</tr>\n";
+     List.iter
+       (fun (pair, row) ->
+         Buffer.add_string b ("<tr><td>" ^ escape pair ^ "</td>");
+         List.iter
+           (fun n ->
+             if n = 0 then Buffer.add_string b "<td></td>"
+             else begin
+               (* Density shading on the same 4-step scale as the TTY
+                  glyphs; text flips to white on the darkest steps. *)
+               let i = shade_index ~max_n n in
+               let bg = [| "#dfe3f5"; "#aab4e4"; "#6574c4"; "#2c3a8c" |] in
+               Buffer.add_string b
+                 (Printf.sprintf
+                    "<td style=\"background:%s%s\">%d</td>"
+                    bg.(i - 1)
+                    (if i >= 3 then ";color:#fff" else "")
+                    n)
+             end)
+           row;
+         Buffer.add_string b "</tr>\n")
+       grid;
+     Buffer.add_string b "</table>\n"
+   end);
   if latencies <> [] then
     section "Latency percentiles" (latency_table latencies);
   Buffer.add_string b "<h2>Cases</h2>\n";

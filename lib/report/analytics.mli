@@ -50,6 +50,18 @@ val by_level : t -> string list * string list list
 val by_class : t -> string list * string list list
 (** Per value-class pair: case count and digit statistics. *)
 
+val shade_index : max_n:int -> int -> int
+(** Density bucket 0–4 for a cell count against the grid maximum:
+    0 for an empty cell, 4 for the densest, rounding up so any
+    non-zero count gets at least the lightest shade. *)
+
+val heatmap : t -> string list * string list list
+(** The pair × level case-density grid: one row per pair, one column
+    per level (both sorted), each populated cell rendered as a shade
+    glyph (░▒▓█, scaled to the densest cell) plus the count; empty
+    cells as ["·"]. The HTML rendering shows the same grid with
+    background shading. *)
+
 val render_tty : ?latencies:latency list -> ?title:string -> t -> string
 (** Overview counts plus the three breakdown tables (and the latency
     table when given), as plain text. *)

@@ -25,6 +25,13 @@ type view = {
   lat_total_s : float;
   lat_max_s : float;
   recent_lat_s : float list;
+  coverage_cells : int;
+  coverage_cross : int;
+  coverage_within : int;
+  coverage_hits : int;
+  novel_by_strategy : (string * int) list;
+  last_novel_sim_s : float;
+  coverage_window : float;
   sim_s : float;
   finished : bool;
 }
@@ -50,6 +57,13 @@ let empty =
     lat_total_s = 0.0;
     lat_max_s = 0.0;
     recent_lat_s = [];
+    coverage_cells = 0;
+    coverage_cross = 0;
+    coverage_within = 0;
+    coverage_hits = 0;
+    novel_by_strategy = [];
+    last_novel_sim_s = 0.0;
+    coverage_window = 0.0;
     sim_s = 0.0;
     finished = false;
   }
@@ -121,6 +135,22 @@ let render v =
   in
   line "programs    %d compared, %d comparisons, %d cross hits, %d archived%s"
     v.programs v.comparisons v.cross_hits v.cases rejects;
+  (if v.coverage_cells = 0 then line "coverage    -"
+   else
+     line "coverage    %d cells (cross %d, within %d)  %d hits  novel %s  \
+           last novel %s"
+       v.coverage_cells v.coverage_cross v.coverage_within v.coverage_hits
+       (rate_per_sim_s v v.coverage_cells)
+       (seconds v.last_novel_sim_s));
+  if v.novel_by_strategy <> [] then
+    line "novelty     %s" (counted v.novel_by_strategy);
+  if
+    v.coverage_window > 0.0
+    && v.sim_s -. v.last_novel_sim_s >= v.coverage_window
+  then
+    line "!! plateau  no novel cell in %s of simulated time (last at %s)"
+      (seconds v.coverage_window)
+      (seconds v.last_novel_sim_s);
   (if v.lat_count > 0 then
      line "llm latency mean %s  max %s  %s"
        (seconds (v.lat_total_s /. float_of_int v.lat_count))

@@ -29,6 +29,17 @@ type view = {
   lat_total_s : float;
   lat_max_s : float;
   recent_lat_s : float list;  (** sliding window, newest last *)
+  coverage_cells : int;  (** distinct coverage cells discovered *)
+  coverage_cross : int;  (** ... of kind cross *)
+  coverage_within : int;  (** ... of kind within *)
+  coverage_hits : int;  (** total coverage recordings incl. repeats *)
+  novel_by_strategy : (string * int) list;
+      (** strategy -> novel cells discovered, sorted *)
+  last_novel_sim_s : float;
+      (** simulated time of the latest novel cell; 0 before any *)
+  coverage_window : float;
+      (** plateau window (sim seconds); 0 until the fold learns it —
+          the plateau banner only renders when positive *)
   sim_s : float;  (** simulated clock at the last slot boundary *)
   finished : bool;
 }

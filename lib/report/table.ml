@@ -22,8 +22,8 @@ let render ?title ~header ?align rows =
     List.mapi
       (fun i h ->
         List.fold_left
-          (fun acc row -> max acc (String.length (List.nth row i)))
-          (String.length h) rows)
+          (fun acc row -> max acc (Util.Text.display_width (List.nth row i)))
+          (Util.Text.display_width h) rows)
       header
   in
   let rec rstrip s =

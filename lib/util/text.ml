@@ -12,11 +12,21 @@ let indent n s =
   |> List.map (fun line -> if line = "" then line else pad ^ line)
   |> String.concat "\n"
 
+(* Column width of a UTF-8 string: codepoints, not bytes. The tables
+   only ever use single-column glyphs (block shades, middle dot), so
+   skipping continuation bytes (0b10xxxxxx) is exact enough. *)
+let display_width s =
+  let n = ref 0 in
+  String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr n) s;
+  !n
+
 let pad_right width s =
-  if String.length s >= width then s else s ^ String.make (width - String.length s) ' '
+  let w = display_width s in
+  if w >= width then s else s ^ String.make (width - w) ' '
 
 let pad_left width s =
-  if String.length s >= width then s else String.make (width - String.length s) ' ' ^ s
+  let w = display_width s in
+  if w >= width then s else String.make (width - w) ' ' ^ s
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix

@@ -9,11 +9,15 @@ val unlines : string list -> string
 val indent : int -> string -> string
 (** [indent n s] prefixes every non-empty line of [s] with [n] spaces. *)
 
+val display_width : string -> int
+(** Column width of a UTF-8 string: codepoints, not bytes. Exact for
+    the single-column glyphs the report tables use. *)
+
 val pad_right : int -> string -> string
-(** Pad with spaces on the right to at least the given width. *)
+(** Pad with spaces on the right to at least [display_width] columns. *)
 
 val pad_left : int -> string -> string
-(** Pad with spaces on the left to at least the given width. *)
+(** Pad with spaces on the left to at least [display_width] columns. *)
 
 val starts_with : prefix:string -> string -> bool
 (** Prefix test (available for OCaml < 4.13 compatibility of callers). *)

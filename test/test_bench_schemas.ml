@@ -78,6 +78,11 @@ let engine_v8 =
     opt "engine_equiv"
       (Obj [ req "budget" Int; req "jobs" Int; req "equivalent" Bool ]) ]
 
+let coverage_v9 =
+  [ opt "coverage_cells" Int;
+    opt "novel_per_sim_s" Num;
+    opt "plateau_at_sim_s" Num ]
+
 let run_spec = function
   | "llm4fp-bench/3" -> Some common
   | "llm4fp-bench/4" -> Some (common @ forensics)
@@ -87,6 +92,10 @@ let run_spec = function
     Some (common @ forensics @ reduction @ checkpoint @ watch)
   | "llm4fp-bench/8" ->
     Some (common @ forensics @ reduction @ checkpoint @ watch @ engine_v8)
+  | "llm4fp-bench/9" ->
+    Some
+      (common @ forensics @ reduction @ checkpoint @ watch @ engine_v8
+     @ coverage_v9)
   | _ -> None
 
 let rec check_kind ctx kind (v : Obs.Json.t) =

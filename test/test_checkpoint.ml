@@ -221,6 +221,9 @@ type run_signature = {
   sig_generation_failures : int;
   sig_sim_seconds : float;
   sig_llm_seconds : float;
+  sig_coverage : string;
+      (* serialized coverage ledger: resume must rebuild it byte for
+         byte, including the rolling window and novelty clock *)
 }
 
 let signature (o : Harness.Campaign.outcome) =
@@ -231,6 +234,8 @@ let signature (o : Harness.Campaign.outcome) =
     sig_generation_failures = o.Harness.Campaign.generation_failures;
     sig_sim_seconds = o.Harness.Campaign.sim_seconds;
     sig_llm_seconds = o.Harness.Campaign.llm_seconds;
+    sig_coverage =
+      Obs.Json.to_string (Obs.Coverage.to_json o.Harness.Campaign.coverage);
   }
 
 (* The uninterrupted reference: outcome signature, trace bytes, archive
@@ -242,7 +247,7 @@ let reference =
      let arch = Filename.concat root "cases" in
      let trace = Filename.concat root "trace.jsonl" in
      let recorder = Difftest.Recorder.create ~dir:arch in
-     let oc = open_out trace in
+     let oc = open_out_bin trace in
      let outcome =
        Fun.protect
          ~finally:(fun () -> close_out oc)
@@ -270,7 +275,7 @@ let check_kill_resume ~name ~jobs faults =
   | Ok plan -> Exec.Faults.arm plan
   | Error msg -> Alcotest.fail msg);
   let recorder = Difftest.Recorder.create ~dir:arch in
-  let oc = open_out trace in
+  let oc = open_out_bin trace in
   let crashed =
     Fun.protect
       ~finally:(fun () -> close_out oc)
@@ -332,7 +337,7 @@ let test_checkpointing_is_invisible () =
   let trace = Filename.concat root "trace.jsonl" in
   let arch = Filename.concat root "cases" in
   let recorder = Difftest.Recorder.create ~dir:arch in
-  let oc = open_out trace in
+  let oc = open_out_bin trace in
   let outcome =
     Fun.protect
       ~finally:(fun () -> close_out oc)

@@ -139,6 +139,48 @@ let test_trace_query () =
   in
   check_string "csv deterministic" csv csv2
 
+let test_coverage_query () =
+  with_campaign_trace @@ fun trace ->
+  let code, out, _ =
+    run (Printf.sprintf "coverage %s" (Filename.quote trace)) in
+  check_int "coverage exits 0" 0 code;
+  check_bool "table header names the cell axes" true
+    (contains out "kind" && contains out "classes");
+  check_bool "lists a cross cell" true (contains out "cross");
+  check_bool "lists first-discovery provenance" true
+    (contains out "first slot");
+  (* deterministic: the same query twice is byte-identical *)
+  let _, again, _ =
+    run (Printf.sprintf "coverage %s" (Filename.quote trace)) in
+  check_string "table deterministic" out again;
+  let code, csv, _ =
+    run (Printf.sprintf "coverage %s --csv" (Filename.quote trace)) in
+  check_int "csv exits 0" 0 code;
+  check_bool "csv header" true
+    (contains csv "kind,pair,level,classes,hits,first slot,first sim_s,strategy");
+  check_int "one csv row per table row"
+    (List.length (String.split_on_char '\n' (String.trim out)) - 1)
+    (List.length (String.split_on_char '\n' (String.trim csv)));
+  let code, by, _ =
+    run (Printf.sprintf "coverage %s --by-strategy" (Filename.quote trace)) in
+  check_int "by-strategy exits 0" 0 code;
+  check_bool "per-strategy rates" true
+    (contains by "novel/sim-s" && contains by "/s");
+  (* a missing trace dies in cmdliner's file converter *)
+  let code, _, _ =
+    run (Printf.sprintf "coverage %s"
+           (Filename.quote (trace ^ ".does-not-exist"))) in
+  check_int "missing trace exits 124" 124 code;
+  (* a corrupt trace dies in the follower, with provenance *)
+  let corrupt = trace ^ ".corrupt" in
+  let oc = open_out_bin corrupt in
+  output_string oc "this is not an event\n";
+  close_out oc;
+  let code, _, err = run (Printf.sprintf "coverage %s" (Filename.quote corrupt)) in
+  check_int "corrupt trace exits 1" 1 code;
+  check_bool "error names the command" true (contains err "llm4fp coverage");
+  check_bool "error names the line" true (contains err "line 1")
+
 let test_profile_flame_export () =
   with_tmpdir @@ fun dir ->
   Unix.mkdir dir 0o755;
@@ -186,6 +228,8 @@ let () =
         ] );
       ( "trace",
         [ Alcotest.test_case "query and csv" `Slow test_trace_query ] );
+      ( "coverage",
+        [ Alcotest.test_case "query, csv, rates" `Slow test_coverage_query ] );
       ( "profile",
         [
           Alcotest.test_case "flame export" `Slow test_profile_flame_export;

@@ -245,6 +245,50 @@ let test_pair_index () =
   check_int "clang-nvcc last" 2
     (Difftest.Stats.pair_index (Compiler.Personality.Clang, Compiler.Personality.Nvcc))
 
+(* coverage_keys projects exactly the inconsistent comparisons, with
+   rendered names the ledger can key on *)
+let test_coverage_keys () =
+  let consistent =
+    Difftest.Run.test (parse inert) Irsim.Inputs.[ Fp 1.0; Fp 2.0 ]
+  in
+  check_bool "inert program projects no keys" true
+    (Difftest.Run.coverage_keys consistent = []);
+  let rng = Util.Rng.of_int 77 in
+  let divergent = ref None in
+  for _ = 1 to 10 do
+    let inputs =
+      Irsim.Inputs.[ Fp (Util.Rng.float_in rng (-5.0) 5.0);
+                     Fp (Util.Rng.float_in rng (-5.0) 5.0) ]
+    in
+    let result = Difftest.Run.test (parse chaotic) inputs in
+    if !divergent = None && Difftest.Run.has_inconsistency result then
+      divergent := Some result
+  done;
+  match !divergent with
+  | None -> Alcotest.fail "chaotic program never diverged"
+  | Some result ->
+    let keys = Difftest.Run.coverage_keys result in
+    let inconsistent =
+      List.length
+        (List.filter (fun (_, (c : Difftest.Run.comparison)) ->
+             c.Difftest.Run.inconsistent)
+           result.Difftest.Run.cross)
+      + List.length
+          (List.filter (fun (_, (c : Difftest.Run.comparison)) ->
+               c.Difftest.Run.inconsistent)
+             result.Difftest.Run.within)
+    in
+    check_int "one key per inconsistent comparison" inconsistent
+      (List.length keys);
+    List.iter
+      (fun (k : Obs.Coverage.key) ->
+        check_bool "kind is cross or within" true
+          (k.Obs.Coverage.kind = "cross" || k.Obs.Coverage.kind = "within");
+        check_bool "classes rendered as a pair label" true
+          (String.length k.Obs.Coverage.classes > 0
+          && k.Obs.Coverage.classes.[0] = '{'))
+      keys
+
 let () =
   Alcotest.run "difftest"
     [
@@ -260,6 +304,7 @@ let () =
           Alcotest.test_case "custom config list" `Quick test_custom_config_list;
           Alcotest.test_case "exec dedup metrics" `Quick test_exec_dedup_metrics;
           Alcotest.test_case "engines agree" `Quick test_engines_agree;
+          Alcotest.test_case "coverage keys" `Quick test_coverage_keys;
         ] );
       ( "stats",
         [

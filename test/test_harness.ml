@@ -140,7 +140,12 @@ let test_parallel_campaign_same_outcome () =
   check_bool "same programs" true
     (seq.Harness.Campaign.programs = par.Harness.Campaign.programs);
   Alcotest.(check (float 1e-9)) "same simulated clock"
-    seq.Harness.Campaign.sim_seconds par.Harness.Campaign.sim_seconds
+    seq.Harness.Campaign.sim_seconds par.Harness.Campaign.sim_seconds;
+  (* the coverage ledger — hits, provenance, rolling window — is part
+     of the determinism contract too *)
+  Alcotest.(check string) "same coverage ledger at jobs=1 and jobs=4"
+    (Obs.Json.to_string (Obs.Coverage.to_json seq.Harness.Campaign.coverage))
+    (Obs.Json.to_string (Obs.Coverage.to_json par.Harness.Campaign.coverage))
 
 let test_outcome_accessor () =
   let s = Lazy.force suite in

@@ -340,6 +340,13 @@ let sample_events : Obs.Event.t list =
         digits = 16 };
     Obs.Event.Case_recorded
       { slot = Some 1; fingerprint = "0123456789abcdef"; kind = "cross" };
+    Obs.Event.Coverage_novel
+      { slot = 1; kind = "cross"; pair = "gcc, nvcc"; level = "03_fastmath";
+        classes = "{Real, Real}"; strategy = "grammar"; cells = 1;
+        sim_s = 12.5 };
+    Obs.Event.Coverage_hit
+      { slot = 1; kind = "cross"; pair = "gcc, nvcc"; level = "03_fastmath";
+        classes = "{Real, Real}"; strategy = "grammar"; hits = 2 };
     Obs.Event.Feedback_added { slot = 1; feedback_size = 3 };
     Obs.Event.Slot_finished
       { slot = 1; outcome = "inconsistent"; sim_s = 17.5 };
@@ -480,6 +487,25 @@ let test_follow_corrupt_line () =
   | Error msg ->
     check_bool "error names the file" true (Util.Text.contains_sub msg path)
 
+(* A structurally valid JSON line whose ["event"] tag no decoder knows
+   (a trace from a newer writer, say) must fail loudly with full
+   provenance — file, line, offset, and the offending tag — never be
+   silently skipped. *)
+let test_follow_unknown_event_kind () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "trace.jsonl" in
+  write_lines path [ ev_line 1; {|{"event":"no_such_kind","slot":2}|} ];
+  match Obs.Follow.read_all ~path with
+  | Ok _ -> Alcotest.fail "unknown event kind accepted"
+  | Error msg ->
+    check_bool "error names the file" true (Util.Text.contains_sub msg path);
+    check_bool "error names the line" true
+      (Util.Text.contains_sub msg "line 2");
+    check_bool "error names the offset" true
+      (Util.Text.contains_sub msg "offset");
+    check_bool "error names the unknown tag" true
+      (Util.Text.contains_sub msg {|unknown event kind "no_such_kind"|})
+
 (* The protocol's core guarantee: streaming a trace through a follower
    in arbitrary small increments yields the byte-identical event stream
    of a one-shot read — at any job count (the ordered sink makes the
@@ -616,6 +642,118 @@ let test_span_flame () =
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* Coverage ledger *)
+
+let ckey kind pair level classes = { Obs.Coverage.kind; pair; level; classes }
+
+let test_coverage_ledger () =
+  let t = Obs.Coverage.create () in
+  check_float "default window" 600.0 (Obs.Coverage.window t);
+  let k1 = ckey "cross" "gcc, nvcc" "03_fastmath" "{Real, Real}" in
+  let k2 = ckey "within" "gcc" "01" "{Real, Real}" in
+  check_bool "first hit is novel" true
+    (Obs.Coverage.record t ~slot:1 ~strategy:"grammar" ~sim_s:5.0 k1);
+  check_bool "repeat hit is not novel" false
+    (Obs.Coverage.record t ~slot:2 ~strategy:"mutate" ~sim_s:9.0 k1);
+  check_bool "second key is novel again" true
+    (Obs.Coverage.record t ~slot:3 ~strategy:"mutate" ~sim_s:12.0 k2);
+  check_int "total cells" 2 (Obs.Coverage.total_cells t);
+  check_int "cross cells" 1 (Obs.Coverage.kind_cells t "cross");
+  check_int "within cells" 1 (Obs.Coverage.kind_cells t "within");
+  check_int "total hits" 3 (Obs.Coverage.total_hits t);
+  (match Obs.Coverage.find t k1 with
+  | None -> Alcotest.fail "recorded key lost"
+  | Some c ->
+    check_int "per-cell hits" 2 c.Obs.Coverage.hits;
+    check_int "first-discovery slot" 1 c.Obs.Coverage.first_slot;
+    check_float "first-discovery sim clock" 5.0 c.Obs.Coverage.first_sim_s;
+    check_string "discovering strategy survives repeats" "grammar"
+      c.Obs.Coverage.strategy);
+  check_bool "cells sorted by key" true
+    (List.map fst (Obs.Coverage.cells t) = [ k1; k2 ]);
+  check_float "last novel" 12.0 (Obs.Coverage.last_novel t)
+
+let test_coverage_rates_and_plateau () =
+  let t = Obs.Coverage.create ~window:100.0 () in
+  let k n = ckey "cross" (Printf.sprintf "p%d" n) "03" "{Real, Real}" in
+  ignore (Obs.Coverage.record t ~slot:1 ~strategy:"grammar" ~sim_s:10.0 (k 1));
+  ignore (Obs.Coverage.record t ~slot:2 ~strategy:"grammar" ~sim_s:20.0 (k 1));
+  ignore (Obs.Coverage.record t ~slot:3 ~strategy:"mutate" ~sim_s:40.0 (k 2));
+  (match Obs.Coverage.strategy_rates t ~now:50.0 with
+  | [ g; m ] ->
+    check_string "rates sorted by strategy" "grammar" g.Obs.Coverage.strategy;
+    check_int "grammar window hits" 2 g.Obs.Coverage.window_hits;
+    check_int "grammar window novel" 1 g.Obs.Coverage.window_novel;
+    (* only 50 sim-seconds observed so far: divide by the real span *)
+    check_float ~eps:1e-12 "rate over the observed span" (2.0 /. 50.0)
+      g.Obs.Coverage.hits_per_sim_s;
+    check_int "mutate window novel" 1 m.Obs.Coverage.window_novel
+  | rs ->
+    Alcotest.fail (Printf.sprintf "expected 2 strategies, got %d"
+                     (List.length rs)));
+  check_bool "novelty at 40 keeps 50 off the plateau" false
+    (Obs.Coverage.plateaued t ~now:50.0);
+  (* recording at 130 prunes everything at or before 30 from the window *)
+  ignore (Obs.Coverage.record t ~slot:4 ~strategy:"mutate" ~sim_s:130.0 (k 2));
+  (match Obs.Coverage.strategy_rates t ~now:130.0 with
+  | [ m ] ->
+    check_string "grammar aged out of the window" "mutate"
+      m.Obs.Coverage.strategy;
+    check_int "window keeps the 40 and 130 hits" 2 m.Obs.Coverage.window_hits
+  | rs ->
+    Alcotest.fail (Printf.sprintf "expected 1 strategy, got %d"
+                     (List.length rs)));
+  check_bool "not plateaued 90s after the last novelty" false
+    (Obs.Coverage.plateaued t ~now:130.0);
+  check_bool "plateaued one window after the last novelty" true
+    (Obs.Coverage.plateaued t ~now:141.0);
+  (match Obs.Coverage.plateau_at t ~now:141.0 with
+  | Some at -> check_float ~eps:1e-12 "plateau trip time" 140.0 at
+  | None -> Alcotest.fail "plateau_at missing while plateaued");
+  check_bool "plateau_at silent before the trip" true
+    (Obs.Coverage.plateau_at t ~now:130.0 = None);
+  (* an all-quiet campaign plateaus one window after its start *)
+  let quiet = Obs.Coverage.create ~window:50.0 () in
+  check_bool "quiet campaign plateaus" true
+    (Obs.Coverage.plateaued quiet ~now:50.0)
+
+let test_coverage_json_roundtrip () =
+  let t = Obs.Coverage.create ~window:120.0 () in
+  ignore
+    (Obs.Coverage.record t ~slot:1 ~strategy:"grammar" ~sim_s:7.25
+       (ckey "cross" "gcc, clang" "02" "{Real, Real}"));
+  ignore
+    (Obs.Coverage.record t ~slot:1 ~strategy:"grammar" ~sim_s:7.25
+       (ckey "within" "nvcc" "03" "{Real, Zero}"));
+  ignore
+    (Obs.Coverage.record t ~slot:2 ~strategy:"mutate" ~sim_s:19.0
+       (ckey "cross" "gcc, clang" "02" "{Real, Real}"));
+  let json = Obs.Coverage.to_json t in
+  match Obs.Coverage.of_json json with
+  | Error msg -> Alcotest.fail ("snapshot did not decode: " ^ msg)
+  | Ok t' ->
+    check_string "byte-identical reserialization" (Obs.Json.to_string json)
+      (Obs.Json.to_string (Obs.Coverage.to_json t'));
+    (* the restored ledger is full continuation state: both continue
+       recording identically *)
+    let k = ckey "within" "gcc" "01" "{Real, Real}" in
+    let a = Obs.Coverage.record t ~slot:9 ~strategy:"direct" ~sim_s:90.0 k in
+    let b = Obs.Coverage.record t' ~slot:9 ~strategy:"direct" ~sim_s:90.0 k in
+    check_bool "continuation agrees on novelty" true (a = b);
+    check_string "continuation serializes identically"
+      (Obs.Json.to_string (Obs.Coverage.to_json t))
+      (Obs.Json.to_string (Obs.Coverage.to_json t'));
+    List.iter
+      (fun (label, bad) ->
+        match Obs.Coverage.of_json bad with
+        | Ok _ -> Alcotest.fail ("accepted " ^ label)
+        | Error msg ->
+          check_bool (label ^ " diagnosed") true (String.length msg > 0))
+      [ ("wrong schema",
+         Obs.Json.Obj [ ("schema", Obs.Json.String "llm4fp-bench/9") ]);
+        ("non-object", Obs.Json.Int 3) ]
+
+(* ------------------------------------------------------------------ *)
 (* Deck fold and flight-deck rendering *)
 
 let test_deck_fold_and_render () =
@@ -627,6 +765,15 @@ let test_deck_fold_and_render () =
   check_bool "hit counted by pair and level" true
     (v.Report.Flightdeck.hits = [ (("gcc, nvcc", "03_fastmath"), 1) ]);
   check_int "cases" 1 v.Report.Flightdeck.cases;
+  check_int "coverage cells" 1 v.Report.Flightdeck.coverage_cells;
+  check_int "coverage cross cells" 1 v.Report.Flightdeck.coverage_cross;
+  check_int "coverage within cells" 0 v.Report.Flightdeck.coverage_within;
+  check_int "coverage hits (novel + repeat)" 2 v.Report.Flightdeck.coverage_hits;
+  check_bool "novelty counted by strategy" true
+    (v.Report.Flightdeck.novel_by_strategy = [ ("grammar", 1) ]);
+  check_float "last novel sim clock" 12.5 v.Report.Flightdeck.last_novel_sim_s;
+  check_float "window learned from campaign start"
+    Obs.Coverage.default_window v.Report.Flightdeck.coverage_window;
   check_bool "finished" true v.Report.Flightdeck.finished;
   check_bool "sim clock is max of boundaries" true
     (v.Report.Flightdeck.sim_s = 138.0);
@@ -682,8 +829,18 @@ let () =
             test_follow_partial_final_line;
           Alcotest.test_case "rotation" `Quick test_follow_rotation;
           Alcotest.test_case "corrupt line" `Quick test_follow_corrupt_line;
+          Alcotest.test_case "unknown event kind diagnosed" `Quick
+            test_follow_unknown_event_kind;
           Alcotest.test_case "stream equals one-shot (jobs 1 and 4)" `Slow
             test_follow_stream_equals_one_shot;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "ledger" `Quick test_coverage_ledger;
+          Alcotest.test_case "rates and plateau" `Quick
+            test_coverage_rates_and_plateau;
+          Alcotest.test_case "json roundtrip" `Quick
+            test_coverage_json_roundtrip;
         ] );
       ( "deck",
         [

@@ -52,6 +52,76 @@ let test_csv () =
   check_string "csv"
     "a,b\nplain,\"with,comma\"\n\"with\"\"quote\",x\n" out
 
+let test_render_utf8_width () =
+  (* shade glyphs are 3 UTF-8 bytes but 1 column: padding must count
+     columns, or the heatmap grid shears *)
+  let out =
+    Report.Table.render ~header:[ "pair"; "n" ]
+      [ [ "a"; "\xe2\x96\x91 1" ]; [ "b"; "\xc2\xb7" ] ]
+  in
+  let lines = Util.Text.lines out in
+  check_bool "rows column-aligned despite multi-byte glyphs" true
+    (List.for_all
+       (fun l -> Util.Text.display_width l = Util.Text.display_width (List.nth lines 0))
+       [ List.nth lines 2 ]);
+  check_int "display_width counts codepoints" 3
+    (Util.Text.display_width "\xe2\x96\x91 1")
+
+let test_flightdeck_coverage_panel () =
+  let base =
+    { Report.Flightdeck.empty with
+      Report.Flightdeck.approach = "LLM4FP"; budget = 10; seed = 1;
+      precision = "fp64"; slots_done = 4; sim_s = 700.0 }
+  in
+  let frame = Report.Flightdeck.render base in
+  check_bool "no ledger yet renders a dash" true
+    (Util.Text.contains_sub frame "coverage    -");
+  check_bool "no window, no plateau banner" false
+    (Util.Text.contains_sub frame "plateau");
+  let covered =
+    { base with
+      Report.Flightdeck.coverage_cells = 3; coverage_cross = 2;
+      coverage_within = 1; coverage_hits = 7;
+      novel_by_strategy = [ ("grammar", 2); ("mutate", 1) ];
+      last_novel_sim_s = 50.0; coverage_window = 600.0 }
+  in
+  let frame = Report.Flightdeck.render covered in
+  check_bool "cell counts on the panel" true
+    (Util.Text.contains_sub frame "3 cells (cross 2, within 1)");
+  check_bool "novelty by strategy" true
+    (Util.Text.contains_sub frame "grammar 2");
+  check_bool "quiet window trips the banner" true
+    (Util.Text.contains_sub frame "plateau");
+  let fresh = { covered with Report.Flightdeck.last_novel_sim_s = 650.0 } in
+  check_bool "recent novelty clears the banner" false
+    (Util.Text.contains_sub (Report.Flightdeck.render fresh) "plateau");
+  check_string "render is pure" frame (Report.Flightdeck.render covered)
+
+let test_analytics_heatmap () =
+  check_int "zero shades to zero" 0 (Report.Analytics.shade_index ~max_n:4 0);
+  check_int "max shades full" 4 (Report.Analytics.shade_index ~max_n:4 4);
+  check_int "rounds up" 1 (Report.Analytics.shade_index ~max_n:4 1);
+  let case fp pair level =
+    { Report.Analytics.fingerprint = fp; kind = "cross"; pair; level;
+      class_pair = "{Real, Real}"; digits = 1; slot = 1 }
+  in
+  let t =
+    Report.Analytics.build
+      [ case "a" "gcc, nvcc" "03"; case "b" "gcc, nvcc" "03";
+        case "c" "gcc, clang" "01" ]
+  in
+  let header, rows = Report.Analytics.heatmap t in
+  check_bool "header leads with the pair axis" true
+    (List.hd header = "pair \\ level");
+  check_bool "levels on the header" true
+    (List.tl header = [ "01"; "03" ]);
+  check_int "one row per pair" 2 (List.length rows);
+  let flat = String.concat "|" (List.concat rows) in
+  check_bool "dense cell uses the full shade" true
+    (Util.Text.contains_sub flat "\xe2\x96\x88 2");
+  check_bool "empty cell is a middle dot" true
+    (Util.Text.contains_sub flat "\xc2\xb7")
+
 let qcheck_render_line_count =
   QCheck.Test.make ~name:"render emits header + separator + one line per row"
     ~count:100
@@ -76,6 +146,16 @@ let () =
           Alcotest.test_case "percentages" `Quick test_pct;
           Alcotest.test_case "thousands" `Quick test_commas;
           Alcotest.test_case "csv export" `Quick test_csv;
+          Alcotest.test_case "utf8 column width" `Quick test_render_utf8_width;
           QCheck_alcotest.to_alcotest qcheck_render_line_count;
+        ] );
+      ( "flightdeck",
+        [
+          Alcotest.test_case "coverage panel and plateau banner" `Quick
+            test_flightdeck_coverage_panel;
+        ] );
+      ( "analytics",
+        [
+          Alcotest.test_case "heatmap" `Quick test_analytics_heatmap;
         ] );
     ]
