@@ -41,6 +41,8 @@
      LLM4FP_ENGINE_BUDGET  campaign size for that drill (default 60)
      LLM4FP_SKIP_COVERAGE=1  skip the coverage-observatory study
      LLM4FP_COVERAGE_BUDGET  campaign size for that study (default 60)
+     LLM4FP_SKIP_FLEET=1   skip the fleet scaling study
+     LLM4FP_FLEET_BUDGET   campaign size for that study (default 60)
      LLM4FP_JSON_OUT=FILE  also write a machine-readable summary (totals
                            plus per-phase Obs.Span aggregates, so
                            BENCH_*.json files track the phase-level
@@ -877,6 +879,134 @@ let run_coverage ~jobs () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Fleet scaling: run the same chunked budget at N ∈ {1, 2, 4} shards —
+   each shard a domain running [Fleet.run_shard] with traces off (the
+   trace sink is process-global; trace byte-identity is the test
+   suite's sequential drill) — then merge each root and require the
+   merged record byte-identical to the N=1 reference. Inequivalence is
+   fatal: this is the bench-level shard-invariance drill the v10
+   schema records. Wall-clock per N and the merge cost land in the
+   JSON summary as the scaling curve. *)
+
+type fleet_point = { fl_shards : int; fl_seconds : float; fl_speedup : float }
+
+type fleet_summary = {
+  fl_budget : int;
+  fl_chunk : int;
+  fl_cores : int;
+      (* recommended domain count: the scaling ceiling. On a one-core
+         box the curve measures pure sharding overhead, not speedup. *)
+  fl_points : fleet_point list;
+  fl_merge_seconds : float;
+}
+
+let run_fleet_study () =
+  let budget = env_int "LLM4FP_FLEET_BUDGET" 60 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  let chunk = 10 in
+  Printf.printf
+    "== fleet scaling (budget %d, chunk %d, shards 1/2/4, %d core(s)) ==\n"
+    budget chunk
+    (Domain.recommended_domain_count ());
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter
+          (fun f -> rm_rf (Filename.concat path f))
+          (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  (* everything the merge exposes, as comparable bytes *)
+  let merged_bytes (m : Harness.Fleet.merged) =
+    String.concat "\n"
+      (List.map
+         (fun o -> Obs.Json.to_string (Harness.Fleet.outcome_to_json o))
+         m.Harness.Fleet.chunks
+      @ [ Obs.Json.to_string
+            (Difftest.Stats.to_json m.Harness.Fleet.merged_stats);
+          Obs.Json.to_string
+            (Obs.Coverage.to_json m.Harness.Fleet.merged_coverage) ]
+      @ List.map
+          (fun c -> Obs.Json.to_string (Difftest.Case.to_json c))
+          m.Harness.Fleet.cases)
+  in
+  let merge_seconds = ref 0.0 in
+  let run n =
+    let root =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "llm4fp-bench-fleet-n%d-%d" n (Unix.getpid ()))
+    in
+    rm_rf root;
+    Util.Durable.mkdir_p root;
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init n (fun i ->
+          Domain.spawn (fun () ->
+              Harness.Fleet.run_shard ~chunk ~trace:false ~root
+                ~spec:{ Harness.Shard.index = i; count = n }
+                ~budget ~seed Harness.Approach.Llm4fp))
+    in
+    List.iter
+      (fun d ->
+        match Domain.join d with
+        | Ok _ -> ()
+        | Error msg ->
+          Printf.eprintf "FATAL: fleet shard failed at N=%d: %s\n" n msg;
+          exit 1)
+      domains;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let t1 = Unix.gettimeofday () in
+    let merged =
+      match Harness.Fleet.load ~root with
+      | Ok m -> m
+      | Error msg ->
+        Printf.eprintf "FATAL: fleet merge failed at N=%d: %s\n" n msg;
+        exit 1
+    in
+    merge_seconds := Unix.gettimeofday () -. t1;
+    let bytes = merged_bytes merged in
+    rm_rf root;
+    (seconds, bytes)
+  in
+  let t1_seconds, reference = run 1 in
+  let points =
+    { fl_shards = 1; fl_seconds = t1_seconds; fl_speedup = 1.0 }
+    :: List.map
+         (fun n ->
+           let seconds, bytes = run n in
+           if bytes <> reference then begin
+             Printf.eprintf
+               "FATAL: merged fleet record at N=%d differs from the \
+                single-process reference (budget %d, seed %d)\n"
+               n budget seed;
+             exit 1
+           end;
+           {
+             fl_shards = n;
+             fl_seconds = seconds;
+             fl_speedup = (if seconds > 0.0 then t1_seconds /. seconds else 0.0);
+           })
+         [ 2; 4 ]
+  in
+  List.iter
+    (fun p ->
+      Printf.printf "  N=%d: %.2fs (speedup %.2fx)\n" p.fl_shards p.fl_seconds
+        p.fl_speedup)
+    points;
+  Printf.printf
+    "  merged records byte-identical at every N (merge %.3fs)\n\n"
+    !merge_seconds;
+  {
+    fl_budget = budget;
+    fl_chunk = chunk;
+    fl_cores = Domain.recommended_domain_count ();
+    fl_points = points;
+    fl_merge_seconds = !merge_seconds;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Flamegraph export: the span tree collected across the whole bench
    run must export as well-formed Chrome trace-event JSON — parseable,
    every event a complete ("ph":"X") slice with the required fields,
@@ -955,7 +1085,7 @@ let validate_flame () =
 
 let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
     ~forensics ~reduction ~checkpoint ~watch ~throughput ~engine_equiv
-    ~coverage ~flame_events =
+    ~coverage ~fleet ~flame_events =
   let phase (r : Obs.Span.row) =
     Obs.Json.Obj
       [ ("label", Obs.Json.String r.Obs.Span.label);
@@ -969,7 +1099,7 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
      fails — an instrument the run didn't touch just reads 0. *)
   let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "llm4fp-bench/9");
+    ([ ("schema", Obs.Json.String "llm4fp-bench/10");
        ("budget", Obs.Json.Int budget);
        ("seed", Obs.Json.Int seed);
        ("jobs", Obs.Json.Int jobs);
@@ -1062,6 +1192,27 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
         match c.cov_plateau_at with
         | None -> []
         | Some at -> [ ("plateau_at_sim_s", Obs.Json.Float at) ])
+    @ (match fleet with
+      | None -> []
+      | Some f ->
+        [ ( "fleet",
+            Obs.Json.Obj
+              [ ("budget", Obs.Json.Int f.fl_budget);
+                ("chunk", Obs.Json.Int f.fl_chunk);
+                ("cores", Obs.Json.Int f.fl_cores);
+                ( "scaling",
+                  Obs.Json.List
+                    (List.map
+                       (fun p ->
+                         Obs.Json.Obj
+                           [ ("shards", Obs.Json.Int p.fl_shards);
+                             ("seconds", Obs.Json.Float p.fl_seconds);
+                             ("speedup", Obs.Json.Float p.fl_speedup) ])
+                       f.fl_points) );
+                ("merge_seconds", Obs.Json.Float f.fl_merge_seconds);
+                (* a divergent merge is fatal above; recorded so stored
+                   summaries say the shard-invariance drill ran *)
+                ("identical", Obs.Json.Bool true) ] ) ])
     @ [ ("flame_events", Obs.Json.Int flame_events);
         ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
     @
@@ -1121,6 +1272,10 @@ let () =
     if not (env_flag "LLM4FP_SKIP_COVERAGE") then Some (run_coverage ~jobs ())
     else None
   in
+  let fleet =
+    if not (env_flag "LLM4FP_SKIP_FLEET") then Some (run_fleet_study ())
+    else None
+  in
   let flame_events = validate_flame () in
   Printf.printf "(flame export valid: %d slice(s))\n" flame_events;
   match Sys.getenv_opt "LLM4FP_JSON_OUT" with
@@ -1133,6 +1288,6 @@ let () =
       (Obs.Json.to_string
          (json_summary ~budget ~seed ~jobs ~tables_seconds
             ~end_to_end_seconds ~micro ~forensics ~reduction ~checkpoint
-            ~watch ~throughput ~engine_equiv ~coverage ~flame_events)
+            ~watch ~throughput ~engine_equiv ~coverage ~fleet ~flame_events)
       ^ "\n");
     Printf.printf "(wrote JSON summary to %s)\n" path

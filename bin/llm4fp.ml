@@ -289,9 +289,130 @@ let cmd_campaign =
                    ACTION one of crash, fail (transient, retried), \
                    delay=SECONDS. Also read from \\$LLM4FP_FAULTS.")
   in
+  let shard =
+    Arg.(value & opt (some string) None
+         & info [ "shard" ] ~docv:"I/N"
+             ~doc:"Run one fleet shard: the chunks of the budget this \
+                   shard of $(i,N) owns, each as an independent \
+                   mini-campaign under $(b,--out)/chunk-*/ (own trace, \
+                   case archive, checkpoint and durable outcome record). \
+                   Chunks completed by an earlier run are skipped; an \
+                   interrupted chunk resumes from its checkpoint. The \
+                   chunk set — and so the merged result — is identical \
+                   at every N ($(b,0/1) is the single-process \
+                   reference).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"ROOT"
+             ~doc:"The fleet root directory (with $(b,--shard)); merge \
+                   completed chunks with $(b,llm4fp merge) $(docv).")
+  in
+  let chunk =
+    Arg.(value & opt int Harness.Shard.default_chunk
+         & info [ "chunk" ] ~docv:"SLOTS"
+             ~doc:"Chunk size in budget slots (with $(b,--shard); \
+                   default 25). Part of the partition's identity: \
+                   changing it changes results, changing the shard \
+                   count never does.")
+  in
   let run seed budget approach fp32 jobs trace metrics record html
-      checkpoint_dir checkpoint_every resume faults engine =
+      checkpoint_dir checkpoint_every resume faults engine shard out chunk =
     apply_engine engine;
+    (match shard with
+    | None -> ()
+    | Some spec_text -> begin
+      (* Shard mode owns its own trace/archive/checkpoint layout under
+         the fleet root; the single-campaign flags would silently
+         fight it, so they are rejected up front. Exit 2 with a
+         one-line diagnostic, like every other usage error. *)
+      match Harness.Shard.parse_spec spec_text with
+      | Error msg ->
+        Printf.eprintf "llm4fp campaign: %s\n" msg;
+        exit 2
+      | Ok spec ->
+        (match out with
+        | Some _ -> ()
+        | None ->
+          prerr_endline
+            "llm4fp campaign: --shard needs --out ROOT (the fleet root \
+             directory)";
+          exit 2);
+        if chunk <= 0 then begin
+          prerr_endline "llm4fp campaign: --chunk must be positive";
+          exit 2
+        end;
+        if trace <> None || record <> None || html <> None
+           || checkpoint_dir <> None || resume <> None
+        then begin
+          prerr_endline
+            "llm4fp campaign: --shard manages its own trace, archive and \
+             checkpoints under --out; drop --trace/--record/--html/\
+             --checkpoint/--resume";
+          exit 2
+        end;
+        if checkpoint_every <= 0 then begin
+          prerr_endline "--checkpoint-every must be positive";
+          exit 2
+        end;
+        (try Exec.Faults.of_env ()
+         with Invalid_argument msg ->
+           prerr_endline msg;
+           exit 1);
+        (match faults with
+        | None -> ()
+        | Some spec -> begin
+          match Exec.Faults.parse spec with
+          | Ok plan -> Exec.Faults.arm plan
+          | Error msg ->
+            prerr_endline ("--faults: " ^ msg);
+            exit 1
+        end);
+        let root = Option.get out in
+        Util.Durable.mkdir_p root;
+        let precision = if fp32 then Lang.Ast.F32 else Lang.Ast.F64 in
+        let on_chunk (o : Harness.Fleet.chunk_outcome)
+            (how : Harness.Fleet.chunk_run) =
+          Printf.printf "chunk %04d: slots %d..%d, %d inconsistencies, %d \
+                         case(s)%s\n%!"
+            o.Harness.Fleet.chunk o.Harness.Fleet.first_slot
+            (o.Harness.Fleet.first_slot + o.Harness.Fleet.budget - 1)
+            (Difftest.Stats.total_inconsistencies o.Harness.Fleet.stats)
+            (List.length o.Harness.Fleet.fingerprints)
+            (match how with
+            | Harness.Fleet.Skipped -> " [already done]"
+            | Harness.Fleet.Resumed -> " [resumed]"
+            | Harness.Fleet.Fresh -> "")
+        in
+        match
+          Harness.Fleet.run_shard ~chunk ~jobs ~precision
+            ~interval:checkpoint_every ~on_chunk ~root ~spec ~budget ~seed
+            approach
+        with
+        | Error msg ->
+          prerr_endline ("llm4fp campaign: " ^ msg);
+          exit 1
+        | Ok outcomes ->
+          let sum f =
+            List.fold_left (fun acc o -> acc + f o) 0 outcomes
+          in
+          Printf.printf
+            "shard %s: %d chunk(s), %d slots, %d inconsistencies, %d \
+             case(s) under %s\n"
+            (Harness.Shard.spec_name spec)
+            (List.length outcomes)
+            (sum (fun o -> o.Harness.Fleet.budget))
+            (sum (fun o ->
+                 Difftest.Stats.total_inconsistencies o.Harness.Fleet.stats))
+            (sum (fun o -> List.length o.Harness.Fleet.fingerprints))
+            root;
+          print_metrics_if metrics;
+          exit 0
+    end);
+    if out <> None then begin
+      prerr_endline "llm4fp campaign: --out only makes sense with --shard";
+      exit 2
+    end;
     if html <> None && record = None then begin
       prerr_endline "--html needs --record DIR (the dashboard folds the case archive)";
       exit 1
@@ -433,7 +554,381 @@ let cmd_campaign =
   Cmd.v (Cmd.info "campaign" ~doc:"Run one approach's full campaign")
     Term.(const run $ seed_arg $ budget_arg $ approach $ fp32 $ jobs_arg
           $ trace_arg $ metrics_arg $ record $ html $ checkpoint_dir
-          $ checkpoint_every $ resume $ faults $ engine_arg)
+          $ checkpoint_every $ resume $ faults $ engine_arg $ shard $ out
+          $ chunk)
+
+let cmd_fleet =
+  let approach =
+    Arg.(required & pos 0 (some approach_arg) None
+         & info [] ~docv:"APPROACH" ~doc:"Which approach to run.")
+  in
+  let shards =
+    Arg.(value & opt int 2
+         & info [ "n"; "shards" ] ~docv:"N"
+             ~doc:"Worker processes to supervise (default 2). The merged \
+                   result is byte-identical at every N.")
+  in
+  let fp32 =
+    Arg.(value & flag
+         & info [ "fp32" ] ~doc:"Generate and test single-precision programs.")
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "out" ] ~docv:"ROOT"
+             ~doc:"The fleet root directory: per-chunk traces, archives, \
+                   checkpoints and outcomes land under \
+                   $(docv)/chunk-*/, per-shard process logs at \
+                   $(docv)/shard-*.log.")
+  in
+  let chunk =
+    Arg.(value & opt int Harness.Shard.default_chunk
+         & info [ "chunk" ] ~docv:"SLOTS"
+             ~doc:"Chunk size in budget slots (default 25).")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 5
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Slots between per-chunk checkpoints in the children \
+                   (default 5) — the grain at which a crashed shard \
+                   resumes.")
+  in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"PLAN"
+             ~doc:"Fault-injection plan passed to each child's $(i,first) \
+                   spawn (e.g. $(b,checkpoint\\@1:crash) for a \
+                   crash-and-resume drill). Respawned children run \
+                   without it, so an injected crash is hit exactly \
+                   once per shard.")
+  in
+  let max_restarts =
+    Arg.(value & opt int 3
+         & info [ "max-restarts" ] ~docv:"K"
+             ~doc:"Give up on a shard after $(docv) respawns (default 3).")
+  in
+  let interval =
+    Arg.(value & opt float 0.2
+         & info [ "interval" ] ~docv:"SECS"
+             ~doc:"Supervisor polling interval (default 0.2).")
+  in
+  let run seed budget approach fp32 jobs shards out chunk checkpoint_every
+      faults max_restarts interval engine =
+    if shards < 1 then begin
+      prerr_endline "llm4fp fleet: -n must be at least 1";
+      exit 2
+    end;
+    if chunk <= 0 then begin
+      prerr_endline "llm4fp fleet: --chunk must be positive";
+      exit 2
+    end;
+    if checkpoint_every <= 0 then begin
+      prerr_endline "llm4fp fleet: --checkpoint-every must be positive";
+      exit 2
+    end;
+    if interval <= 0.0 then begin
+      prerr_endline "llm4fp fleet: --interval must be positive";
+      exit 2
+    end;
+    (* Validate the plan up front (the children re-parse their copy). *)
+    (match faults with
+    | None -> ()
+    | Some spec -> begin
+      match Exec.Faults.parse spec with
+      | Ok _ -> ()
+      | Error msg ->
+        prerr_endline ("--faults: " ^ msg);
+        exit 1
+    end);
+    let root = out in
+    Util.Durable.mkdir_p root;
+    let plan = Harness.Shard.plan ~chunk ~budget ~seed () in
+    let slices_of i =
+      Harness.Shard.assigned { Harness.Shard.index = i; count = shards } plan
+    in
+    let log_path i = Filename.concat root (Printf.sprintf "shard-%d.log" i) in
+    let child_argv i ~with_faults =
+      let args =
+        [ Sys.executable_name; "campaign"; Harness.Approach.name approach;
+          "--shard"; Printf.sprintf "%d/%d" i shards; "--out"; root;
+          "-b"; string_of_int budget; "-s"; string_of_int seed;
+          "--chunk"; string_of_int chunk;
+          "--checkpoint-every"; string_of_int checkpoint_every;
+          "-j"; string_of_int jobs ]
+        @ (if fp32 then [ "--fp32" ] else [])
+        @ (match engine with
+          | Some e -> [ "--engine"; Compiler.Driver.engine_name e ]
+          | None -> [])
+        @ (match faults with
+          | Some f when with_faults -> [ "--faults"; f ]
+          | _ -> [])
+      in
+      Array.of_list args
+    in
+    let spawn i ~with_faults =
+      let log =
+        Unix.openfile (log_path i)
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+          0o644
+      in
+      let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close log;
+          Unix.close null)
+        (fun () ->
+          Unix.create_process Sys.executable_name (child_argv i ~with_faults)
+            null log log)
+    in
+    let state = Array.init shards (fun i -> `Running (spawn i ~with_faults:true)) in
+    let restarts = Array.make shards 0 in
+    (* One flight-deck fold per chunk trace: the supervisor streams
+       every child's JSONL trace through the same follower protocol the
+       watch TUI uses, missing files (a chunk not started yet) reading
+       as empty batches. *)
+    let trace_of slice =
+      Harness.Fleet.trace_path
+        (Harness.Fleet.chunk_dir ~root slice.Harness.Shard.chunk)
+    in
+    let follower =
+      Obs.Follow.Multi.create ~paths:(List.map trace_of plan)
+    in
+    let views : (string, Report.Flightdeck.view) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    let tty = Unix.isatty Unix.stdout in
+    let poll_traces () =
+      match Obs.Follow.Multi.poll follower with
+      | Error msg ->
+        prerr_endline ("llm4fp fleet: " ^ msg);
+        exit 1
+      | Ok batches ->
+        List.iter
+          (fun (path, (b : Obs.Follow.batch)) ->
+            let v =
+              if b.Obs.Follow.rotated then Report.Flightdeck.empty
+              else
+                Option.value ~default:Report.Flightdeck.empty
+                  (Hashtbl.find_opt views path)
+            in
+            Hashtbl.replace views path
+              (List.fold_left Obs.Deck.apply v b.Obs.Follow.events))
+          batches
+    in
+    let shard_row i =
+      let slices = slices_of i in
+      let view_of s =
+        Option.value ~default:Report.Flightdeck.empty
+          (Hashtbl.find_opt views (trace_of s))
+      in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 slices in
+      {
+        Report.Fleetdeck.shard = i;
+        state =
+          (match state.(i) with
+          | `Running _ -> "running"
+          | `Done -> "done"
+          | `Failed -> "failed");
+        restarts = restarts.(i);
+        chunks_done =
+          sum (fun s ->
+              if
+                Sys.file_exists
+                  (Harness.Fleet.outcome_path
+                     (Harness.Fleet.chunk_dir ~root s.Harness.Shard.chunk))
+              then 1
+              else 0);
+        chunks_total = List.length slices;
+        slots_done = sum (fun s -> (view_of s).Report.Flightdeck.slots_done);
+        slots_total = sum (fun s -> s.Harness.Shard.budget);
+        inconsistencies =
+          sum (fun s -> (view_of s).Report.Flightdeck.cross_hits);
+      }
+    in
+    let title =
+      Printf.sprintf "llm4fp fleet — %s, budget %d, seed %d, %d shard(s)"
+        (Harness.Approach.name approach)
+        budget seed shards
+    in
+    let render () =
+      Report.Fleetdeck.render ~title (List.init shards shard_row)
+    in
+    let rec supervise () =
+      Array.iteri
+        (fun i st ->
+          match st with
+          | `Running pid -> begin
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> ()
+            | _, Unix.WEXITED 0 -> state.(i) <- `Done
+            | _, _ ->
+              if restarts.(i) < max_restarts then begin
+                restarts.(i) <- restarts.(i) + 1;
+                Printf.eprintf
+                  "llm4fp fleet: shard %d crashed; restarting (%d/%d), \
+                   resuming from its chunk checkpoints\n%!"
+                  i restarts.(i) max_restarts;
+                (* No fault plan on respawn: the drill's crash fires
+                   once, then the shard runs clean from its durable
+                   state. *)
+                state.(i) <- `Running (spawn i ~with_faults:false)
+              end
+              else begin
+                state.(i) <- `Failed;
+                Printf.eprintf
+                  "llm4fp fleet: shard %d failed after %d restart(s); see \
+                   %s\n%!"
+                  i restarts.(i) (log_path i)
+              end
+          end
+          | `Done | `Failed -> ())
+        state;
+      poll_traces ();
+      if tty then begin
+        print_string ("\027[H\027[2J" ^ render ());
+        flush stdout
+      end;
+      if Array.exists (function `Running _ -> true | _ -> false) state
+      then begin
+        Unix.sleepf interval;
+        supervise ()
+      end
+    in
+    supervise ();
+    poll_traces ();
+    print_string (if tty then "\027[H\027[2J" ^ render () else render ());
+    if Array.exists (( = ) `Failed) state then exit 1;
+    Printf.printf "merge with: llm4fp merge %s\n" root
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Supervise a fleet of campaign shard processes: spawn \
+             $(b,-n) children running $(b,campaign --shard i/N) over a \
+             deterministic chunk partition of the budget, stream their \
+             JSONL traces into one aggregated status view, and restart \
+             crashed shards — each resumes from its own per-chunk \
+             checkpoints, so the finished tree (and the subsequent \
+             $(b,merge)) is byte-identical to an uninterrupted run at \
+             any shard count.")
+    Term.(const run $ seed_arg $ budget_arg $ approach $ fp32 $ jobs_arg
+          $ shards $ out $ chunk $ checkpoint_every $ faults
+          $ max_restarts $ interval $ engine_arg)
+
+let cmd_merge =
+  let root =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ROOT"
+             ~doc:"A fleet root directory ($(b,fleet --out) / \
+                   $(b,campaign --shard --out)).")
+  in
+  let html =
+    Arg.(value & opt (some string) None
+         & info [ "html" ] ~docv:"FILE"
+             ~doc:"Write the merged analytics dashboard (self-contained \
+                   HTML) to $(docv).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write the merged artifacts into $(docv): the \
+                   deduplicated case archive (loadable by \
+                   $(b,dashboard) and $(b,explain)), the folded \
+                   stats.json and coverage.json ledgers, and a \
+                   merged.json summary. Byte-deterministic: any shard \
+                   count yields the identical directory.")
+  in
+  let title =
+    Arg.(value & opt (some string) None
+         & info [ "title" ] ~docv:"TITLE"
+             ~doc:"Dashboard title (default derives from the fleet \
+                   root's contents).")
+  in
+  let run root html title out =
+    match Harness.Fleet.load ~root with
+    | Error msg ->
+      Printf.eprintf "llm4fp merge: %s\n" msg;
+      exit 2
+    | Ok m ->
+      let stats = m.Harness.Fleet.merged_stats in
+      let coverage = m.Harness.Fleet.merged_coverage in
+      Printf.printf "merged %d chunk(s) under %s\n"
+        (List.length m.Harness.Fleet.chunks)
+        root;
+      Printf.printf "  budget             : %d slot(s)\n"
+        m.Harness.Fleet.total_budget;
+      Printf.printf "  inconsistency rate : %s\n"
+        (Report.Table.pct (Difftest.Stats.inconsistency_rate stats));
+      Printf.printf "  inconsistencies    : %s of %s comparisons\n"
+        (Report.Table.commas (Difftest.Stats.total_inconsistencies stats))
+        (Report.Table.commas (Difftest.Stats.total_comparisons stats));
+      Printf.printf "  valid programs     : %d (%d generation failures)\n"
+        (m.Harness.Fleet.total_budget
+        - m.Harness.Fleet.total_generation_failures)
+        m.Harness.Fleet.total_generation_failures;
+      Printf.printf "  feedback set       : %d (summed over chunks)\n"
+        m.Harness.Fleet.total_successful;
+      Printf.printf "  simulated time     : %s (llm %s)\n"
+        (Util.Sim_clock.hms m.Harness.Fleet.total_sim_seconds)
+        (Util.Sim_clock.hms m.Harness.Fleet.total_llm_seconds);
+      Printf.printf "  case archive       : %d unique case(s)\n"
+        (List.length m.Harness.Fleet.cases);
+      Printf.printf "  coverage           : %d cell(s), %d hit(s)\n"
+        (Obs.Coverage.total_cells coverage)
+        (Obs.Coverage.total_hits coverage);
+      let title =
+        match title with
+        | Some t -> t
+        | None ->
+          Printf.sprintf "LLM4FP fleet merge — %d chunks, budget %d"
+            (List.length m.Harness.Fleet.chunks)
+            m.Harness.Fleet.total_budget
+      in
+      (match out with
+      | None -> ()
+      | Some dir ->
+        Harness.Fleet.write_archive ~dir:(Filename.concat dir "cases") m;
+        write_file
+          (Filename.concat dir "stats.json")
+          (Obs.Json.to_string (Difftest.Stats.to_json stats) ^ "\n");
+        write_file
+          (Filename.concat dir "coverage.json")
+          (Obs.Json.to_string (Obs.Coverage.to_json coverage) ^ "\n");
+        let inco, comp, succ, genf, sim_s = Harness.Fleet.signature m in
+        write_file
+          (Filename.concat dir "merged.json")
+          (Obs.Json.to_string
+             (Obs.Json.Obj
+                [ ("schema", Obs.Json.String "llm4fp-merge/1");
+                  ( "chunks",
+                    Obs.Json.Int (List.length m.Harness.Fleet.chunks) );
+                  ("budget", Obs.Json.Int m.Harness.Fleet.total_budget);
+                  ("inconsistencies", Obs.Json.Int inco);
+                  ("comparisons", Obs.Json.Int comp);
+                  ("successful", Obs.Json.Int succ);
+                  ("generation_failures", Obs.Json.Int genf);
+                  ("sim_seconds", Obs.Json.Float sim_s);
+                  ( "cases",
+                    Obs.Json.Int (List.length m.Harness.Fleet.cases) ) ])
+          ^ "\n");
+        Printf.printf "  merged artifacts   : %s\n" dir);
+      (match html with
+      | None -> ()
+      | Some file ->
+        let analytics =
+          Report.Analytics.build
+            (List.map Difftest.Case.to_analytics m.Harness.Fleet.cases)
+        in
+        write_file file (Report.Analytics.render_html ~title analytics);
+        Printf.printf "  dashboard          : %s\n" file)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Merge a fleet root's completed chunks into one combined \
+             record: union the case archives (fingerprint dedup), fold \
+             the statistics and coverage ledgers in chunk order, and \
+             optionally emit the merged archive, ledgers and dashboard. \
+             Deterministic: the same chunk set merges to identical \
+             bytes regardless of shard count or merge order.")
+    Term.(const run $ root $ html $ title $ out)
 
 let cmd_tables =
   let only =
@@ -1148,7 +1643,7 @@ let () =
           (Cmd.info "llm4fp" ~version:"1.0.0"
              ~doc:"LLM-guided floating-point differential compiler testing \
                    (SC'25 reproduction)")
-          [ cmd_generate; cmd_matrix; cmd_campaign; cmd_tables; cmd_profile;
-            cmd_explain; cmd_fuzz; cmd_dashboard; cmd_watch; cmd_trace_query;
-            cmd_coverage; cmd_corpus; cmd_ablation; cmd_fp32;
-            cmd_stability ]))
+          [ cmd_generate; cmd_matrix; cmd_campaign; cmd_fleet; cmd_merge;
+            cmd_tables; cmd_profile; cmd_explain; cmd_fuzz; cmd_dashboard;
+            cmd_watch; cmd_trace_query; cmd_coverage; cmd_corpus;
+            cmd_ablation; cmd_fp32; cmd_stability ]))

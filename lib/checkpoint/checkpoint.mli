@@ -25,7 +25,14 @@
     [Harness.Campaign.run ~resume] restores all of it and continues at
     [next_slot]; the final outcome, trace bytes and case archives are
     identical to an uninterrupted run at any kill point and any job
-    count. *)
+    count.
+
+    Sharded campaigns ([Harness.Fleet]) keep one checkpoint directory
+    per chunk ([ROOT/chunk-%04d/ckpt/]), so a restarted shard resumes
+    each interrupted chunk independently. Note the snapshot embeds the
+    recorder's archive directory as an absolute path — byte-comparing
+    two fleet roots must therefore exclude [ckpt/] (compare the
+    per-chunk [outcome.json], trace and cases instead). *)
 
 type slot = {
   program : Lang.Ast.program;

@@ -161,6 +161,64 @@ let total_ops t = t.ops
 let compile_failures t = t.programs_with_failures
 
 (* ------------------------------------------------------------------ *)
+(* Merging: fold two accumulators into a fresh one, as if a single
+   accumulator had seen both result streams. Every field is a sum (or a
+   min/max inside the digit accumulators), so the operation is
+   commutative and associative — the algebraic property the fleet-merge
+   property suite asserts. It is deliberately *not* idempotent: merging
+   an accumulator with itself doubles every count, exactly like feeding
+   the same results twice. Deduplication is the fleet layer's job
+   (chunk-id-keyed union), not this fold's. *)
+
+let acc_merge a b =
+  let na, mina, maxa, suma = Fp.Digits.Acc.raw a in
+  let nb, minb, maxb, sumb = Fp.Digits.Acc.raw b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else
+    Fp.Digits.Acc.of_raw
+      (na + nb, Stdlib.min mina minb, Stdlib.max maxa maxb, suma + sumb)
+
+let merge a b =
+  let t = create () in
+  t.programs <- a.programs + b.programs;
+  t.generation_failures <- a.generation_failures + b.generation_failures;
+  t.programs_with_failures <-
+    a.programs_with_failures + b.programs_with_failures;
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j _ ->
+          t.cross_counts.(i).(j) <-
+            a.cross_counts.(i).(j) + b.cross_counts.(i).(j);
+          t.cross_digit_acc.(i).(j) <-
+            acc_merge a.cross_digit_acc.(i).(j) b.cross_digit_acc.(i).(j))
+        row)
+    t.cross_counts;
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j _ -> t.within.(i).(j) <- a.within.(i).(j) + b.within.(i).(j))
+        row)
+    t.within;
+  let add_classes src =
+    Hashtbl.iter
+      (fun key count ->
+        match Hashtbl.find_opt t.class_counts key with
+        | Some r -> r := !r + !count
+        | None -> Hashtbl.replace t.class_counts key (ref !count))
+      src.class_counts
+  in
+  add_classes a;
+  add_classes b;
+  t.inconsistencies <- a.inconsistencies + b.inconsistencies;
+  t.work <- a.work + b.work;
+  t.ops <- a.ops + b.ops;
+  t.performed <- a.performed + b.performed;
+  t.within_performed <- a.within_performed + b.within_performed;
+  t
+
+(* ------------------------------------------------------------------ *)
 (* Snapshot codec: everything the accumulator holds, so a checkpointed
    campaign restores its running totals exactly. All payloads are ints,
    so plain JSON numbers are lossless. *)

@@ -71,6 +71,17 @@ val compile_failures : t -> int
 (** Programs with at least one configuration failing to compile
     (generation failures included). *)
 
+(** {1 Merging} *)
+
+val merge : t -> t -> t
+(** A fresh accumulator equal to one that saw both inputs' result
+    streams: every count, matrix cell and digit accumulator is summed
+    (digit min/max combined). Commutative and associative, so folding
+    any permutation of per-shard accumulators yields the same totals —
+    and {e not} idempotent: like {!add}, feeding the same results twice
+    counts them twice. Fingerprint-level deduplication lives in the
+    fleet merge layer, not here. Inputs are not mutated. *)
+
 (** {1 Durable snapshots} *)
 
 val to_json : t -> Obs.Json.t

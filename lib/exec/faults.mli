@@ -11,7 +11,13 @@
     Crashes are simulated by raising {!Crash_injected}, which the
     campaign loop deliberately does not catch; transient failures raise
     {!Transient}, which retry policies in [Llm.Client] and
-    [Compiler.Driver] absorb with deterministic {!backoff}. *)
+    [Compiler.Driver] absorb with deterministic {!backoff}.
+
+    The fleet supervisor ([llm4fp fleet --faults ...]) forwards the
+    plan to every shard child on first spawn only: each child then
+    crashes once at its planned position, and the restarted child runs
+    fault-free, resuming from its per-chunk checkpoints — the
+    crash-and-resume drill in [test_cli.ml] pins this end to end. *)
 
 type stage =
   | Llm_call  (** one simulated LLM generation request *)

@@ -42,7 +42,7 @@ let admit source =
   end
 
 let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
-    ?checkpoint ?resume ~seed approach =
+    ?checkpoint ?resume ?(slot_offset = 0) ~seed approach =
   (match checkpoint with
   | Some (_, interval) when interval <= 0 ->
     invalid_arg "Campaign.run: checkpoint interval must be positive"
@@ -222,7 +222,13 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
          });
   Obs.Span.with_clock clock (fun () ->
       for slot = first_slot to budget do
-        (Obs.Trace.with_slot slot @@ fun () ->
+        (* The loop variable is campaign-local (checkpoints store it);
+           [rslot] is what observers see — offset into the fleet's
+           global slot space, so merged traces, archives and coverage
+           ledgers carry globally unique slot numbers. At the default
+           offset 0 the two coincide and nothing changes. *)
+        let rslot = slot_offset + slot in
+        (Obs.Trace.with_slot rslot @@ fun () ->
         Obs.Span.with_span "campaign.slot" @@ fun () ->
         Util.Sim_clock.advance clock framework_cost;
         Obs.Metrics.incr m_slots;
@@ -230,7 +236,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
         if Obs.Trace.on () then
           Obs.Trace.emit
             (Obs.Event.Slot_started
-               { slot; strategy = strategy_name strategy });
+               { slot = rslot; strategy = strategy_name strategy });
         match
           Obs.Span.with_span "campaign.generate" (fun () -> generate strategy)
         with
@@ -241,13 +247,14 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
           if Obs.Trace.on () then begin
             (match failure with
             | `Parse reason ->
-              Obs.Trace.emit (Obs.Event.Parse_failed { slot; reason })
+              Obs.Trace.emit (Obs.Event.Parse_failed { slot = rslot; reason })
             | `Validate reason ->
-              Obs.Trace.emit (Obs.Event.Validation_failed { slot; reason }));
+              Obs.Trace.emit
+                (Obs.Event.Validation_failed { slot = rslot; reason }));
             Obs.Trace.emit
               (Obs.Event.Slot_finished
                  {
-                   slot;
+                   slot = rslot;
                    outcome = "generation_failed";
                    sim_s = Util.Sim_clock.elapsed clock;
                  })
@@ -277,7 +284,8 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
             Obs.Span.with_span "campaign.record" @@ fun () ->
             List.iter
               (fun case -> ignore (Difftest.Recorder.record recorder case))
-              (Difftest.Case.of_result ~seed ~slot ~program ~inputs result));
+              (Difftest.Case.of_result ~seed ~slot:rslot ~program ~inputs
+                 result));
           (* Coverage ledger: every inconsistent comparison lights its
              cell. Recorded in the result's deterministic key order at
              the slot's final simulated time. *)
@@ -285,7 +293,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
           List.iter
             (fun key ->
               let novel =
-                Obs.Coverage.record coverage ~slot
+                Obs.Coverage.record coverage ~slot:rslot
                   ~strategy:(strategy_name strategy) ~sim_s:sim_now key
               in
               if Obs.Trace.on () then
@@ -293,7 +301,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
                   (if novel then
                      Obs.Event.Coverage_novel
                        {
-                         slot;
+                         slot = rslot;
                          kind = key.Obs.Coverage.kind;
                          pair = key.Obs.Coverage.pair;
                          level = key.Obs.Coverage.level;
@@ -305,7 +313,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
                    else
                      Obs.Event.Coverage_hit
                        {
-                         slot;
+                         slot = rslot;
                          kind = key.Obs.Coverage.kind;
                          pair = key.Obs.Coverage.pair;
                          level = key.Obs.Coverage.level;
@@ -326,14 +334,15 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
             if Obs.Trace.on () then
               Obs.Trace.emit
                 (Obs.Event.Feedback_added
-                   { slot; feedback_size = !n_successful })
+                   { slot = rslot; feedback_size = !n_successful })
           end;
           if Obs.Trace.on () then
             Obs.Trace.emit
               (Obs.Event.Slot_finished
                  {
-                   slot;
-                   outcome = (if inconsistent then "inconsistent" else "consistent");
+                   slot = rslot;
+                   outcome =
+                     (if inconsistent then "inconsistent" else "consistent");
                    sim_s = Util.Sim_clock.elapsed clock;
                  }));
         (* Checkpoint at the slot boundary (outside the slot context):

@@ -41,6 +41,7 @@ val run :
   ?recorder:Difftest.Recorder.t ->
   ?checkpoint:string * int ->
   ?resume:Checkpoint.t ->
+  ?slot_offset:int ->
   seed:int ->
   Approach.t ->
   outcome
@@ -76,7 +77,17 @@ val run :
     snapshot's offset {e before} subscribing its sink
     ({!Checkpoint.reopen_trace}). A resumed campaign's outcome, trace
     bytes and case archives are identical to the uninterrupted run's,
-    at any kill point and any job count. *)
+    at any kill point and any job count.
+
+    [slot_offset] (default 0) shifts every {e reported} slot number —
+    trace events and their ordering stamps, archived-case provenance,
+    coverage recordings — by the given amount, without touching the
+    loop itself: RNG draws, feedback decisions, checkpoint contents and
+    resume logic all keep the campaign-local [1..budget] indices. The
+    fleet layer runs each chunk as an independent campaign with
+    [slot_offset = first_slot - 1], so merged traces and ledgers carry
+    globally unique slot numbers. At offset 0, behaviour is
+    bit-identical to before the parameter existed. *)
 
 val signature : outcome -> int * int * int * int * float
 (** (total inconsistencies, total comparisons, feedback-set size,

@@ -1,0 +1,91 @@
+(* Deterministic partitioning of a campaign's budget across a fleet.
+
+   The unit of distribution is the *chunk*: a fixed-size contiguous
+   block of budget slots run as an independent mini-campaign whose seed
+   derives from (base seed, chunk index) through a SplitMix64-style
+   finalizer. Shard i of N owns exactly the chunks whose index is
+   congruent to i mod N — a pure function of the index, so slices are
+   pairwise disjoint and jointly exhaustive by construction, and the
+   set of chunks (hence the merged result) is identical at every N.
+
+   The trade-off this buys: the paper's feedback loop is sequential
+   within a campaign (the mutate arm samples from the successful set),
+   so feedback resets at every chunk boundary. The chunk size is the
+   knob — larger chunks mean longer feedback runs and coarser
+   parallelism. The single-process reference for every determinism
+   drill is the N = 1 fleet ([--shard 0/1]), which runs the same chunk
+   sequence in one process. *)
+
+type spec = { index : int; count : int }
+
+let parse_spec s =
+  let malformed () =
+    Error
+      (Printf.sprintf
+         "malformed shard spec %S (expected I/N with 0 <= I < N, e.g. 0/4)" s)
+  in
+  match String.index_opt s '/' with
+  | None -> malformed ()
+  | Some cut -> begin
+    let index = String.sub s 0 cut in
+    let count = String.sub s (cut + 1) (String.length s - cut - 1) in
+    match (int_of_string_opt index, int_of_string_opt count) with
+    | Some index, Some count when count >= 1 && index >= 0 && index < count ->
+      Ok { index; count }
+    | Some _, Some _ | Some _, None | None, Some _ | None, None ->
+      malformed ()
+  end
+
+let spec_name { index; count } = Printf.sprintf "%d/%d" index count
+
+type slice = {
+  chunk : int;
+  first_slot : int;
+  budget : int;
+  seed : int;
+}
+
+let default_chunk = 25
+
+(* SplitMix64 finalization over (seed, chunk): decorrelated chunk
+   streams that never collide with the base campaign stream (which
+   advances by golden-gamma increments, not by finalizing the raw
+   seed). Masked into non-negative [int] range because campaign seeds
+   travel as plain ints through checkpoints and the CLI. *)
+let chunk_seed ~seed chunk =
+  let mix z =
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul
+        (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  let z =
+    mix (Int64.logxor (Int64.of_int seed) (mix (Int64.of_int (chunk + 1))))
+  in
+  Int64.to_int z land max_int
+
+let plan ?(chunk = default_chunk) ~budget ~seed () =
+  if chunk <= 0 then invalid_arg "Shard.plan: chunk size must be positive";
+  if budget < 0 then invalid_arg "Shard.plan: negative budget";
+  let n_chunks = (budget + chunk - 1) / chunk in
+  List.init n_chunks (fun k ->
+      let first_slot = (k * chunk) + 1 in
+      {
+        chunk = k;
+        first_slot;
+        budget = min chunk (budget - (k * chunk));
+        seed = chunk_seed ~seed k;
+      })
+
+let assigned spec slices =
+  List.filter (fun s -> s.chunk mod spec.count = spec.index) slices
+
+let slots slice =
+  List.init slice.budget (fun i -> slice.first_slot + i)

@@ -1,0 +1,54 @@
+(** Deterministic partitioning of a campaign budget across a fleet.
+
+    A budget of B slots is cut into fixed-size contiguous {e chunks},
+    each run as an independent mini-campaign ({!Campaign.run} with a
+    derived seed and a slot offset). Shard [i] of [N] owns exactly the
+    chunks with [chunk mod N = i], so for any N the slices are pairwise
+    disjoint, jointly exhaustive over [1..B], and — because ownership
+    is a pure function of the chunk index — the {e set} of chunks the
+    whole fleet runs is identical at every shard count. The merged
+    fleet result is therefore a function of (seed, budget, chunk size)
+    alone, byte-identical to the single-process reference
+    ([--shard 0/1]).
+
+    The documented trade-off: the paper's feedback loop is sequential,
+    so the mutate arm's successful set resets at chunk boundaries.
+    {!default_chunk} balances feedback depth against parallel grain;
+    changing the chunk size changes results (it is part of the
+    partition's identity), changing the shard count never does. *)
+
+type spec = { index : int; count : int }
+(** One shard's identity: [index] of [count], zero-based. *)
+
+val parse_spec : string -> (spec, string) result
+(** Parse an ["I/N"] spec as given to [--shard]. [Error] (a one-line
+    diagnostic) unless both are integers with [0 <= I < N]. *)
+
+val spec_name : spec -> string
+(** Canonical ["I/N"] rendering (inverse of {!parse_spec}). *)
+
+type slice = {
+  chunk : int;       (** chunk index, zero-based *)
+  first_slot : int;  (** first global budget slot (1-based) *)
+  budget : int;      (** slots in this chunk (the last may be short) *)
+  seed : int;        (** derived campaign seed, {!chunk_seed} *)
+}
+
+val default_chunk : int
+(** 25 slots per chunk. *)
+
+val chunk_seed : seed:int -> int -> int
+(** SplitMix64-finalized mix of the base seed and the chunk index:
+    decorrelated per-chunk streams, deterministic, non-negative. *)
+
+val plan : ?chunk:int -> budget:int -> seed:int -> unit -> slice list
+(** Every chunk of the campaign in index order. Raises
+    [Invalid_argument] on a non-positive chunk size or negative
+    budget. *)
+
+val assigned : spec -> slice list -> slice list
+(** The slices shard [spec] owns ([chunk mod count = index]), in index
+    order. *)
+
+val slots : slice -> int list
+(** The global slot numbers a slice covers, ascending. *)

@@ -108,6 +108,58 @@ let plateau_at t ~now =
   if plateaued t ~now then Some (t.last_novel +. t.w) else None
 
 (* ------------------------------------------------------------------ *)
+(* Merging *)
+
+(* Total order on hit records: newest first, ties broken by strategy
+   then novelty, so the merged window is a deterministic function of
+   the two hit multisets, never of list construction order. *)
+let compare_hit a b =
+  match Float.compare b.h_sim_s a.h_sim_s with
+  | 0 -> begin
+    match String.compare a.h_strategy b.h_strategy with
+    | 0 -> Bool.compare a.h_novel b.h_novel
+    | c -> c
+  end
+  | c -> c
+
+(* First-discovery provenance of a cell seen by both sides: the
+   earlier (slot, sim_s, strategy) wins — a total order, so the choice
+   is commutative and associative. Fleet shards report disjoint global
+   slot ranges, so in practice the slot alone decides. *)
+let earlier_cell a b =
+  let key c = (c.first_slot, c.first_sim_s, c.strategy) in
+  if key a <= key b then a else b
+
+let merge a b =
+  let w = Float.max a.w b.w in
+  let tbl = Hashtbl.create 64 in
+  let add_cells src =
+    Hashtbl.iter
+      (fun k c ->
+        match Hashtbl.find_opt tbl k with
+        | None -> Hashtbl.replace tbl k c
+        | Some prev ->
+          let first = earlier_cell prev c in
+          Hashtbl.replace tbl k { first with hits = prev.hits + c.hits })
+      src.tbl
+  in
+  add_cells a;
+  add_cells b;
+  let hits = List.sort compare_hit (a.recent @ b.recent) in
+  (* Re-prune against the merged frontier: the window ends at the
+     newest hit either side has seen. Pruning against the running max
+     commutes with union, which keeps the merge associative. *)
+  let now = match hits with [] -> 0.0 | h :: _ -> h.h_sim_s in
+  let recent = List.filter (fun h -> h.h_sim_s > now -. w) hits in
+  {
+    w;
+    tbl;
+    recent;
+    last_novel = Float.max a.last_novel b.last_novel;
+    total_hits = a.total_hits + b.total_hits;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* JSON snapshot *)
 
 let json_schema = "llm4fp-coverage/1"

@@ -86,6 +86,23 @@ val plateau_at : t -> now:float -> float option
 (** When {!plateaued}, the simulated time the plateau tripped:
     [last_novel + window]. *)
 
+val merge : t -> t -> t
+(** A fresh ledger equal to one campaign having observed both hit
+    histories: cells are unioned with hit counts summed and the {e
+    earlier} first-discovery provenance kept (ordered by slot, then
+    simulated time, then strategy — a total order, so the winner never
+    depends on argument order); [total_hits] sums; [last_novel] is the
+    max; the window length is the max of the two; and the rolling
+    window re-sorts both sides' surviving hits newest-first and prunes
+    against the merged frontier. Commutative and associative — folding
+    per-shard ledgers in any order yields byte-identical {!to_json} —
+    and not idempotent (merging a ledger with itself doubles its
+    counts); chunk-level deduplication is the fleet layer's job.
+    Inputs are not mutated. Merged ledgers are for reporting
+    ({!cells}, {!strategy_rates}, {!plateaued}); recording into one is
+    not meaningful because the constituent campaigns' simulated clocks
+    are independent. *)
+
 val json_schema : string
 (** ["llm4fp-coverage/1"]. *)
 

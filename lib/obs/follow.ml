@@ -71,6 +71,30 @@ let poll t =
           end
         end)
 
+(* Multi-file following: one follower per shard trace, polled in the
+   fixed path order given at creation. A shard that has not opened its
+   trace yet (the supervisor attaches before the child's first flush)
+   simply contributes an empty batch — [poll] already treats a missing
+   file as "keep waiting", and the aggregate inherits that tolerance
+   path by path rather than failing the whole fleet poll. *)
+module Multi = struct
+  type nonrec t = t array
+
+  let create ~paths = Array.of_list (List.map (fun path -> create ~path) paths)
+
+  let paths t = Array.to_list (Array.map (fun f -> f.path) t)
+
+  let poll t =
+    let rec go acc i =
+      if i = Array.length t then Ok (List.rev acc)
+      else
+        match poll t.(i) with
+        | Error _ as e -> e
+        | Ok batch -> go ((t.(i).path, batch) :: acc) (i + 1)
+    in
+    go [] 0
+end
+
 let read_all ~path =
   if not (Sys.file_exists path) then
     Error (Printf.sprintf "%s: no such trace file" path)

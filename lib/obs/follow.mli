@@ -52,3 +52,25 @@ val poll : t -> (batch, string) result
 val read_all : path:string -> (Event.t list, string) result
 (** One-shot read of a completed trace: every complete line decoded in
     file order. Unlike {!poll}, a missing file is an [Error]. *)
+
+(** Following a whole fleet: one committed offset per shard trace,
+    polled together. The missing-file tolerance of {!poll} holds per
+    path — a shard whose trace has not been created yet (the
+    supervisor attaches before the child's first flush) contributes an
+    empty batch instead of failing the aggregate poll. *)
+module Multi : sig
+  type t
+
+  val create : paths:string list -> t
+  (** One follower per path, kept in the given order. No I/O until the
+      first {!poll}; none of the files need exist. *)
+
+  val paths : t -> string list
+
+  val poll : t -> ((string * batch) list, string) result
+  (** Poll every follower in creation order: one [(path, batch)] pair
+      per path, missing files yielding empty batches. [Error] (a
+      corrupt complete line in one file, as in the single-file
+      {!poll}) aborts the aggregate poll at that file; offsets of the
+      files polled before it have already advanced. *)
+end

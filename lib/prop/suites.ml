@@ -320,6 +320,125 @@ let vm_equiv =
         | _ -> false
       end)
 
+(* ------------------------------------------------------------------ *)
+(* Fleet merge laws *)
+
+(* A fixed pool of completed chunk outcomes, built once per process:
+   real mini-campaigns supply stats and coverage ledgers with populated
+   cross/within matrices, and per-chunk archive cases come from the
+   same generator the codec suite uses. Random subsets of one pool can
+   never conflict (equal chunk ids carry equal bytes), which is exactly
+   the regime Harness.Fleet.merge_outcomes promises its laws under. *)
+let fleet_pool =
+  lazy
+    (List.init 6 (fun k ->
+         let approach = Harness.Approach.all.(k mod Array.length Harness.Approach.all) in
+         let seed = Harness.Shard.chunk_seed ~seed:20250704 k in
+         let o = Harness.Campaign.run ~budget:4 ~seed approach in
+         let rng = Util.Rng.of_int (1000 + k) in
+         let cases = List.init ((k mod 3) + 1) (fun _ -> gen_archive_case rng) in
+         let cases =
+           (* fingerprint-keyed first-wins, sorted: the invariant chunk
+              archives hold on disk *)
+           List.sort_uniq
+             (fun a b ->
+               compare (Difftest.Case.fingerprint a) (Difftest.Case.fingerprint b))
+             cases
+         in
+         let outcome =
+           {
+             Harness.Fleet.chunk = k;
+             seed;
+             first_slot = (k * 4) + 1;
+             budget = 4;
+             approach = Harness.Approach.name approach;
+             precision = "fp64";
+             successful = o.Harness.Campaign.successful;
+             generation_failures = o.Harness.Campaign.generation_failures;
+             sim_seconds = o.Harness.Campaign.sim_seconds;
+             llm_seconds = o.Harness.Campaign.llm_seconds;
+             stats = o.Harness.Campaign.stats;
+             coverage = o.Harness.Campaign.coverage;
+             fingerprints = List.map Difftest.Case.fingerprint cases;
+           }
+         in
+         (outcome, cases)))
+
+(* Three independent subsets of the pool, as sorted index lists. *)
+let gen_fleet_subsets rng =
+  let subset () =
+    List.filter (fun _ -> Util.Rng.bool rng) [ 0; 1; 2; 3; 4; 5 ]
+  in
+  (subset (), subset (), subset ())
+
+let fleet_subsets =
+  Engine.make
+    ~print:(fun (a, b, c) ->
+      let show ids = "{" ^ String.concat "," (List.map string_of_int ids) ^ "}" in
+      Printf.sprintf "a=%s b=%s c=%s" (show a) (show b) (show c))
+    gen_fleet_subsets
+
+let fleet_merge =
+  make_suite "fleet-merge"
+    "fleet archive/stats/coverage merge is commutative, associative, idempotent"
+    fleet_subsets
+    (fun (ia, ib, ic) ->
+      let pool = Lazy.force fleet_pool in
+      let outcomes ids = List.map (fun i -> fst (List.nth pool i)) ids in
+      let cases ids = List.concat_map (fun i -> snd (List.nth pool i)) ids in
+      let oa, ob, oc = (outcomes ia, outcomes ib, outcomes ic) in
+      let outcome_bytes os =
+        String.concat ";"
+          (List.map
+             (fun o -> Obs.Json.to_string (Harness.Fleet.outcome_to_json o))
+             os)
+      in
+      let merge2 x y =
+        match Harness.Fleet.merge_outcomes x y with
+        | Ok m -> m
+        | Error msg -> failwith msg
+      in
+      let case_bytes cs =
+        String.concat ";"
+          (List.map (fun c -> Obs.Json.to_string (Difftest.Case.to_json c)) cs)
+      in
+      let mc = Harness.Fleet.merge_cases in
+      let ca, cb, cc = (cases ia, cases ib, cases ic) in
+      let stats_of os =
+        List.fold_left
+          (fun acc o -> Difftest.Stats.merge acc o.Harness.Fleet.stats)
+          (Difftest.Stats.create ()) os
+      in
+      let stats_bytes s = Obs.Json.to_string (Difftest.Stats.to_json s) in
+      let sa, sb, sc = (stats_of oa, stats_of ob, stats_of oc) in
+      let cov_of os =
+        List.fold_left
+          (fun acc o -> Obs.Coverage.merge acc o.Harness.Fleet.coverage)
+          (Obs.Coverage.create ()) os
+      in
+      let cov_bytes v = Obs.Json.to_string (Obs.Coverage.to_json v) in
+      let va, vb, vc = (cov_of oa, cov_of ob, cov_of oc) in
+      (* chunk-keyed outcome union: commutative, associative AND
+         idempotent (the keyed-union layer supplies idempotence the raw
+         ledger sums cannot) *)
+      outcome_bytes (merge2 oa ob) = outcome_bytes (merge2 ob oa)
+      && outcome_bytes (merge2 (merge2 oa ob) oc)
+         = outcome_bytes (merge2 oa (merge2 ob oc))
+      && outcome_bytes (merge2 oa oa) = outcome_bytes oa
+      (* fingerprint-keyed archive union: same three laws *)
+      && case_bytes (mc [ ca; cb ]) = case_bytes (mc [ cb; ca ])
+      && case_bytes (mc [ mc [ ca; cb ]; cc ]) = case_bytes (mc [ ca; mc [ cb; cc ] ])
+      && case_bytes (mc [ ca; ca ]) = case_bytes (mc [ ca ])
+      (* raw ledger folds: commutative and associative sums (dedup is
+         the keyed layer's job, so no idempotence here) *)
+      && stats_bytes (Difftest.Stats.merge sa sb)
+         = stats_bytes (Difftest.Stats.merge sb sa)
+      && stats_bytes (Difftest.Stats.merge (Difftest.Stats.merge sa sb) sc)
+         = stats_bytes (Difftest.Stats.merge sa (Difftest.Stats.merge sb sc))
+      && cov_bytes (Obs.Coverage.merge va vb) = cov_bytes (Obs.Coverage.merge vb va)
+      && cov_bytes (Obs.Coverage.merge (Obs.Coverage.merge va vb) vc)
+         = cov_bytes (Obs.Coverage.merge va (Obs.Coverage.merge vb vc)))
+
 let all =
   [
     gen_valid;
@@ -337,6 +456,7 @@ let all =
     bleu_range;
     bleu_self;
     vm_equiv;
+    fleet_merge;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

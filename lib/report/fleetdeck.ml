@@ -1,0 +1,61 @@
+(* Fleet supervisor status frame.
+
+   Like Flightdeck, this module only renders: the supervisor folds
+   child traces and process states into plain [shard] rows and calls
+   [render]. Every figure comes from deterministic event payloads or
+   process bookkeeping, never wall time, so equal rows render equal
+   bytes — which is what lets the CLI tests assert on frames. *)
+
+type shard = {
+  shard : int;
+  state : string;
+  restarts : int;
+  chunks_done : int;
+  chunks_total : int;
+  slots_done : int;
+  slots_total : int;
+  inconsistencies : int;
+}
+
+let bar ~width ~total done_ =
+  if total <= 0 then String.make width '-'
+  else begin
+    let filled =
+      max 0 (min width (done_ * width / total))
+    in
+    String.make filled '#' ^ String.make (width - filled) '.'
+  end
+
+let render ~title shards =
+  let rows =
+    List.map
+      (fun s ->
+        [ string_of_int s.shard;
+          s.state;
+          Printf.sprintf "%d/%d" s.chunks_done s.chunks_total;
+          Printf.sprintf "%d/%d" s.slots_done s.slots_total;
+          bar ~width:20 ~total:s.slots_total s.slots_done;
+          string_of_int s.inconsistencies;
+          string_of_int s.restarts ])
+      shards
+  in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
+  let totals =
+    Printf.sprintf
+      "fleet: %d/%d chunks, %d/%d slots, %d inconsistencies, %d restart(s)\n"
+      (sum (fun s -> s.chunks_done))
+      (sum (fun s -> s.chunks_total))
+      (sum (fun s -> s.slots_done))
+      (sum (fun s -> s.slots_total))
+      (sum (fun s -> s.inconsistencies))
+      (sum (fun s -> s.restarts))
+  in
+  Table.render ~title
+    ~header:
+      [ "shard"; "state"; "chunks"; "slots"; "progress"; "inconsistencies";
+        "restarts" ]
+    ~align:
+      [ Table.Right; Table.Left; Table.Right; Table.Right; Table.Left;
+        Table.Right; Table.Right ]
+    rows
+  ^ totals

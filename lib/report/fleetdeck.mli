@@ -1,0 +1,25 @@
+(** Fleet supervisor status frame: one row per shard process.
+
+    Render-only, like {!Flightdeck}: the supervisor folds its
+    children's traces and process states into {!shard} rows and calls
+    {!render}. Pure — equal rows render equal bytes (no wall clock), so
+    frames are assertable in tests. *)
+
+type shard = {
+  shard : int;           (** shard index, [0..N-1] *)
+  state : string;        (** [running] / [done] / [crashed] / [failed] *)
+  restarts : int;        (** times the supervisor respawned it *)
+  chunks_done : int;     (** chunks with a durable outcome *)
+  chunks_total : int;    (** chunks the shard owns *)
+  slots_done : int;      (** slots finished across its chunks *)
+  slots_total : int;     (** budget slots the shard owns *)
+  inconsistencies : int; (** inconsistent comparisons streamed so far *)
+}
+
+val bar : width:int -> total:int -> int -> string
+(** ASCII progress bar, [#] for done and [.] for remaining; all [-]
+    when [total] is not positive. *)
+
+val render : title:string -> shard list -> string
+(** The status table plus a one-line fleet total, trailing newline
+    included. *)

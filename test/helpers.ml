@@ -44,6 +44,39 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 (* ------------------------------------------------------------------ *)
+(* Campaign fixtures *)
+
+(* A case archive as comparable bytes: (filename, contents) sorted by
+   name. The shape every byte-identity drill (checkpoint resume, engine
+   equivalence, fleet shard invariance) compares on. *)
+let archive_bytes dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.map (fun name -> (name, read_file (Filename.concat dir name)))
+
+(* The one mini-campaign builder the forensics, checkpoint, harness and
+   fleet suites share: a fixed-seed recorded + ordered-traced campaign
+   under [root], returning the outcome plus the trace file and archive
+   directory it wrote. *)
+let run_traced_campaign ?(budget = 20) ?(jobs = 1) ?(seed = 20250704)
+    ?(approach = Harness.Approach.Llm4fp) ~root () =
+  Util.Durable.mkdir_p root;
+  let arch = Filename.concat root "cases" in
+  let trace = Filename.concat root "trace.jsonl" in
+  let recorder = Difftest.Recorder.create ~dir:arch in
+  let oc = open_out_bin trace in
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Obs.Trace.with_sink
+          (Obs.Sink.ordered (Obs.Sink.jsonl oc))
+          (fun () -> Harness.Campaign.run ~budget ~jobs ~recorder ~seed approach))
+  in
+  (outcome, trace, arch)
+
+(* ------------------------------------------------------------------ *)
 (* Golden files *)
 
 let max_diff_lines = 10

@@ -83,6 +83,15 @@ let coverage_v9 =
     opt "novel_per_sim_s" Num;
     opt "plateau_at_sim_s" Num ]
 
+let fleet_v10 =
+  [ opt "fleet"
+      (Obj
+         [ req "budget" Int; req "chunk" Int; req "cores" Int;
+           req "scaling"
+             (List_of
+                (Obj [ req "shards" Int; req "seconds" Num; req "speedup" Num ]));
+           req "merge_seconds" Num; req "identical" Bool ]) ]
+
 let run_spec = function
   | "llm4fp-bench/3" -> Some common
   | "llm4fp-bench/4" -> Some (common @ forensics)
@@ -96,6 +105,10 @@ let run_spec = function
     Some
       (common @ forensics @ reduction @ checkpoint @ watch @ engine_v8
      @ coverage_v9)
+  | "llm4fp-bench/10" ->
+    Some
+      (common @ forensics @ reduction @ checkpoint @ watch @ engine_v8
+     @ coverage_v9 @ fleet_v10)
   | _ -> None
 
 let rec check_kind ctx kind (v : Obs.Json.t) =

@@ -210,10 +210,6 @@ let budget = 20
 let interval = 6
 let seed = 20250704
 
-let archive_bytes dir =
-  Sys.readdir dir |> Array.to_list |> List.sort String.compare
-  |> List.map (fun name -> (name, read_file (Filename.concat dir name)))
-
 type run_signature = {
   sig_stats : string;
   sig_programs : string list;
@@ -243,21 +239,7 @@ let signature (o : Harness.Campaign.outcome) =
 let reference =
   lazy
     (with_tmpdir ~prefix:"llm4fp-ckpt-ref" @@ fun root ->
-     Util.Durable.mkdir_p root;
-     let arch = Filename.concat root "cases" in
-     let trace = Filename.concat root "trace.jsonl" in
-     let recorder = Difftest.Recorder.create ~dir:arch in
-     let oc = open_out_bin trace in
-     let outcome =
-       Fun.protect
-         ~finally:(fun () -> close_out oc)
-         (fun () ->
-           Obs.Trace.with_sink
-             (Obs.Sink.ordered (Obs.Sink.jsonl oc))
-             (fun () ->
-               Harness.Campaign.run ~budget ~recorder ~seed
-                 Harness.Approach.Llm4fp))
-     in
+     let outcome, trace, arch = run_traced_campaign ~budget ~seed ~root () in
      (signature outcome, read_file trace, archive_bytes arch))
 
 (* Kill a checkpointing campaign with the injected [faults] plan (which

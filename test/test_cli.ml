@@ -204,6 +204,129 @@ let test_profile_flame_export () =
     | _ -> Alcotest.fail "flame file has no traceEvents"
   end
 
+(* ------------------------------------------------------------------ *)
+(* Fleet: sharded campaigns, supervision, merge *)
+
+(* Malformed --shard specs are usage errors: exit 2 with a one-line
+   diagnostic, before any work happens. *)
+let test_shard_diagnostics () =
+  List.iter
+    (fun spec ->
+      let code, _, err =
+        run (Printf.sprintf "campaign llm4fp -b 4 --shard %s --out /tmp/x" spec)
+      in
+      check_int (Printf.sprintf "--shard %s exits 2" spec) 2 code;
+      check_bool
+        (Printf.sprintf "--shard %s diagnostic names the shape" spec)
+        true
+        (contains err "I/N" || contains err "malformed shard"))
+    [ "3/2"; "abc"; "1/0"; "1/-2"; "2/2" ];
+  let code, _, err = run "campaign llm4fp -b 4 --shard 0/2" in
+  check_int "--shard without --out exits 2" 2 code;
+  check_bool "asks for --out" true (contains err "--out");
+  let code, _, err = run "campaign llm4fp -b 4 --out /tmp/x" in
+  check_int "--out without --shard exits 2" 2 code;
+  check_bool "says --shard" true (contains err "--shard");
+  let code, _, err =
+    run "campaign llm4fp -b 4 --shard 0/2 --out /tmp/x --trace /tmp/t.jsonl"
+  in
+  check_int "--shard rejects --trace" 2 code;
+  check_bool "explains the conflict" true (contains err "--shard");
+  let code, _, _ = run "fleet llm4fp -n 0 --out /tmp/x" in
+  check_int "fleet -n 0 exits 2" 2 code
+
+(* Everything the byte-identity drills compare on, per chunk. The
+   checkpoint files embed absolute archive paths (they differ across
+   roots by construction), so the comparison is outcome + trace +
+   archive — the data the merge consumes. *)
+let chunk_observation root =
+  Sys.readdir root |> Array.to_list
+  |> List.filter (fun n -> String.starts_with ~prefix:"chunk-" n)
+  |> List.sort String.compare
+  |> List.map (fun n ->
+         let dir = Filename.concat root n in
+         ( n,
+           read_file (Filename.concat dir "outcome.json"),
+           read_file (Filename.concat dir "trace.jsonl"),
+           archive_bytes (Filename.concat dir "cases") ))
+
+let run_fleet ?(extra = "") ~root () =
+  run
+    (Printf.sprintf
+       "fleet llm4fp -n 2 -b 12 --chunk 5 --checkpoint-every 2 --out %s%s"
+       (Filename.quote root) extra)
+
+(* The supervision drill: a fleet whose children all crash at their
+   second checkpoint write must restart each shard, resume it from its
+   durable per-chunk state, and still converge to the byte-identical
+   tree and merge of an unfaulted fleet. *)
+let test_fleet_crash_and_resume () =
+  with_tmpdir ~prefix:"llm4fp-fleet-clean" @@ fun clean ->
+  with_tmpdir ~prefix:"llm4fp-fleet-faulted" @@ fun faulted ->
+  let code, out, err = run_fleet ~root:clean () in
+  if code <> 0 then Alcotest.fail ("clean fleet failed: " ^ err);
+  check_bool "clean fleet reports no restarts" true
+    (contains out "0 restart(s)");
+  check_bool "clean fleet suggests the merge" true (contains out "llm4fp merge");
+  let code, out, err =
+    run_fleet ~root:faulted ~extra:" --faults checkpoint@2:crash" ()
+  in
+  if code <> 0 then Alcotest.fail ("faulted fleet failed: " ^ err);
+  check_bool "supervisor reports the restarts" true
+    (contains err "crashed; restarting");
+  check_bool "restarts surface in the frame" true (contains out "restart(s)");
+  check_bool "faulted fleet restarted at least one shard" false
+    (contains out "0 restart(s)");
+  check_bool "crash-and-resume tree byte-identical to clean fleet" true
+    (chunk_observation faulted = chunk_observation clean);
+  (* and the merges agree byte for byte, artifacts included *)
+  let merge root sub =
+    let dir = Filename.concat root sub in
+    let code, _, err =
+      run (Printf.sprintf "merge %s --out %s" (Filename.quote root)
+             (Filename.quote dir))
+    in
+    if code <> 0 then Alcotest.fail ("merge failed: " ^ err);
+    ( read_file (Filename.concat dir "merged.json"),
+      read_file (Filename.concat dir "stats.json"),
+      read_file (Filename.concat dir "coverage.json"),
+      archive_bytes (Filename.concat dir "cases") )
+  in
+  check_bool "merged artifacts byte-identical" true
+    (merge faulted "merged" = merge clean "merged")
+
+(* Merging an empty root is a usage error, like the other archive-less
+   diagnostics. *)
+let test_merge_empty_root () =
+  with_tmpdir @@ fun dir ->
+  Unix.mkdir dir 0o755;
+  let code, _, err = run (Printf.sprintf "merge %s" (Filename.quote dir)) in
+  check_int "exit 2" 2 code;
+  check_bool "hints at fleet/--shard" true
+    (contains err "llm4fp fleet" || contains err "--shard")
+
+(* The merged dashboard is deterministic: a fixed-seed single-process
+   shard run merges to the golden HTML, byte for byte. *)
+let test_merge_golden_dashboard () =
+  with_tmpdir ~prefix:"llm4fp-merge-golden" @@ fun root ->
+  let code, _, err =
+    run
+      (Printf.sprintf "campaign llm4fp -b 12 --chunk 5 --shard 0/1 --out %s"
+         (Filename.quote root))
+  in
+  if code <> 0 then Alcotest.fail ("shard run failed: " ^ err);
+  let html = Filename.concat root "dashboard.html" in
+  let code, out, err =
+    run
+      (Printf.sprintf "merge %s --html %s --title %s" (Filename.quote root)
+         (Filename.quote html)
+         (Filename.quote "LLM4FP merged dashboard (golden)"))
+  in
+  if code <> 0 then Alcotest.fail ("merge --html failed: " ^ err);
+  check_bool "summary names the merge" true (contains out "merged 3 chunk(s)");
+  check_golden "merged dashboard" ~golden:"golden/merged_dashboard.html"
+    (read_file html)
+
 let () =
   Alcotest.run "cli"
     [
@@ -233,5 +356,14 @@ let () =
       ( "profile",
         [
           Alcotest.test_case "flame export" `Slow test_profile_flame_export;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "shard diagnostics" `Quick test_shard_diagnostics;
+          Alcotest.test_case "crash and resume" `Slow
+            test_fleet_crash_and_resume;
+          Alcotest.test_case "merge: empty root" `Quick test_merge_empty_root;
+          Alcotest.test_case "merge: golden dashboard" `Slow
+            test_merge_golden_dashboard;
         ] );
     ]

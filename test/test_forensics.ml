@@ -180,10 +180,6 @@ let archive_of ~jobs ~dir =
   in
   (recorder, outcome)
 
-let archive_bytes dir =
-  Sys.readdir dir |> Array.to_list |> List.sort String.compare
-  |> List.map (fun name -> (name, read_file (Filename.concat dir name)))
-
 let test_archive_identical_across_jobs () =
   with_tmpdir ~prefix:"llm4fp-arch1" @@ fun d1 ->
   with_tmpdir ~prefix:"llm4fp-arch4" @@ fun d4 ->

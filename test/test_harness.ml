@@ -182,33 +182,15 @@ let test_fp32_varity_campaign () =
    ordered trace bytes, recorded case archives — across the tree
    interpreter and the register VM, sequential and parallel. *)
 
-let archive_bytes dir =
-  if not (Sys.file_exists dir) then []
-  else
-    Sys.readdir dir |> Array.to_list |> List.sort compare
-    |> List.map (fun name -> (name, read_file (Filename.concat dir name)))
-
 let test_engine_equivalence () =
   let observe engine jobs =
     with_tmpdir ~prefix:"llm4fp-engine" @@ fun root ->
-    Util.Durable.mkdir_p root;
-    let arch = Filename.concat root "cases" in
-    let trace = Filename.concat root "trace.jsonl" in
-    let recorder = Difftest.Recorder.create ~dir:arch in
-    let oc = open_out trace in
     let saved = Compiler.Driver.engine () in
     Compiler.Driver.set_engine engine;
-    let outcome =
+    let outcome, trace, arch =
       Fun.protect
-        ~finally:(fun () ->
-          Compiler.Driver.set_engine saved;
-          close_out oc)
-        (fun () ->
-          Obs.Trace.with_sink
-            (Obs.Sink.ordered (Obs.Sink.jsonl oc))
-            (fun () ->
-              Harness.Campaign.run ~budget:20 ~jobs ~recorder ~seed:31337
-                Harness.Approach.Llm4fp))
+        ~finally:(fun () -> Compiler.Driver.set_engine saved)
+        (fun () -> run_traced_campaign ~budget:20 ~jobs ~seed:31337 ~root ())
     in
     (Harness.Campaign.signature outcome, read_file trace, archive_bytes arch)
   in
@@ -256,6 +238,101 @@ let test_ablation_replay_reduces () =
   check_bool "removing fast math cannot raise the rate much" true
     (rate "no-fastmath" <= full +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Fleet shard invariance: the distributed-campaign acceptance drill.
+
+   For every shard count N the fleet must produce the byte-identical
+   chunk tree — outcome signature, per-chunk ordered trace bytes,
+   per-chunk archive bytes, merged coverage ledger — because chunks,
+   not shards, are the unit of determinism. N=1 is the single-process
+   reference. *)
+
+let fleet_budget = 12
+let fleet_chunk = 5
+let fleet_seed = 20250704
+
+(* Run an N-shard fleet sequentially in-process (the trace sink is
+   process-global, so shards take turns) and observe everything the
+   drill compares on. *)
+let observe_fleet ~root n =
+  Util.Durable.mkdir_p root;
+  for i = 0 to n - 1 do
+    match
+      Harness.Fleet.run_shard ~chunk:fleet_chunk ~root
+        ~spec:{ Harness.Shard.index = i; count = n }
+        ~budget:fleet_budget ~seed:fleet_seed Harness.Approach.Llm4fp
+    with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.fail msg
+  done;
+  match Harness.Fleet.load ~root with
+  | Error msg -> Alcotest.fail msg
+  | Ok m ->
+    let n_chunks = List.length m.Harness.Fleet.chunks in
+    let per_chunk f =
+      List.init n_chunks (fun k -> f (Harness.Fleet.chunk_dir ~root k))
+    in
+    ( Harness.Fleet.signature m,
+      per_chunk (fun dir -> read_file (Harness.Fleet.trace_path dir)),
+      per_chunk (fun dir -> archive_bytes (Harness.Fleet.cases_path dir)),
+      Obs.Json.to_string (Obs.Coverage.to_json m.Harness.Fleet.merged_coverage),
+      Obs.Json.to_string (Difftest.Stats.to_json m.Harness.Fleet.merged_stats),
+      List.map
+        (fun c -> Obs.Json.to_string (Difftest.Case.to_json c))
+        m.Harness.Fleet.cases )
+
+let test_fleet_shard_invariance () =
+  let reference =
+    with_tmpdir ~prefix:"llm4fp-fleet-n1" @@ fun root -> observe_fleet ~root 1
+  in
+  let _, ref_traces, ref_archives, _, _, ref_cases = reference in
+  check_bool "reference ran chunks" true (List.length ref_traces > 1);
+  check_bool "reference traces non-empty" true
+    (List.for_all (fun t -> String.length t > 0) ref_traces);
+  check_bool "reference recorded cases" true (List.length ref_cases > 0);
+  check_bool "reference archives non-empty" true
+    (List.exists (fun a -> a <> []) ref_archives);
+  List.iter
+    (fun n ->
+      let obs =
+        with_tmpdir ~prefix:(Printf.sprintf "llm4fp-fleet-n%d" n)
+        @@ fun root -> observe_fleet ~root n
+      in
+      check_bool
+        (Printf.sprintf
+           "N=%d fleet byte-identical to single-process reference" n)
+        true (obs = reference))
+    [ 2; 4 ]
+
+(* The partition itself: shard slices are pairwise disjoint and jointly
+   exhaustive over the budget, at every N. *)
+let test_shard_partition () =
+  let budget = 103 and seed = 42 in
+  let plan = Harness.Shard.plan ~chunk:7 ~budget ~seed () in
+  List.iter
+    (fun n ->
+      let slices =
+        List.init n (fun i ->
+            Harness.Shard.assigned { Harness.Shard.index = i; count = n } plan)
+      in
+      let slots =
+        List.concat_map (List.concat_map Harness.Shard.slots) slices
+      in
+      check_int
+        (Printf.sprintf "N=%d jointly exhaustive" n)
+        budget (List.length slots);
+      let sorted = List.sort_uniq compare slots in
+      check_bool
+        (Printf.sprintf "N=%d pairwise disjoint" n)
+        true
+        (List.length sorted = budget
+        && sorted = List.init budget (fun i -> i + 1)))
+    [ 1; 2; 3; 4; 5 ];
+  (* chunk seeds are derived per chunk, independent of N *)
+  let seeds = List.map (fun s -> s.Harness.Shard.seed) plan in
+  check_int "one derived seed per chunk" (List.length plan)
+    (List.length (List.sort_uniq compare seeds))
+
 let () =
   Alcotest.run "harness"
     [
@@ -288,6 +365,10 @@ let () =
         ] );
       ( "engine",
         [
+          Alcotest.test_case "fleet shard invariance" `Slow
+            test_fleet_shard_invariance;
+          Alcotest.test_case "shard partition laws" `Quick
+            test_shard_partition;
           Alcotest.test_case "tree/vm x jobs indistinguishable" `Slow
             test_engine_equivalence;
         ] );

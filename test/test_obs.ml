@@ -506,6 +506,42 @@ let test_follow_unknown_event_kind () =
     check_bool "error names the unknown tag" true
       (Util.Text.contains_sub msg {|unknown event kind "no_such_kind"|})
 
+(* Multi-file following tolerates members that do not exist yet: a
+   fleet shard's chunk trace appears only when the chunk starts, and
+   the supervisor begins following the whole plan up front. A missing
+   member must read as an empty batch, never an error (the regression
+   this pins down), and start streaming once the file appears. *)
+let test_follow_multi_missing_member () =
+  with_dir @@ fun dir ->
+  let present = Filename.concat dir "chunk-0000.jsonl" in
+  let missing = Filename.concat dir "chunk-0001.jsonl" in
+  write_lines present [ ev_line 1; ev_line 2 ];
+  let m = Obs.Follow.Multi.create ~paths:[ present; missing ] in
+  check_bool "paths round-trip" true
+    (Obs.Follow.Multi.paths m = [ present; missing ]);
+  let batches =
+    match Obs.Follow.Multi.poll m with
+    | Ok bs -> bs
+    | Error msg -> Alcotest.fail ("multi poll with missing member: " ^ msg)
+  in
+  (match batches with
+  | [ (p1, b1); (p2, b2) ] ->
+    check_string "present path first" present p1;
+    check_int "present events" 2 (List.length b1.Obs.Follow.events);
+    check_string "missing path second" missing p2;
+    check_bool "missing member is an empty batch" true
+      (b2.Obs.Follow.events = []);
+    check_bool "missing member is not a rotation" false b2.Obs.Follow.rotated
+  | bs -> Alcotest.failf "expected two batches, got %d" (List.length bs));
+  (* the member appearing later starts streaming from its beginning *)
+  write_lines missing [ ev_line 7 ];
+  match Obs.Follow.Multi.poll m with
+  | Error msg -> Alcotest.fail msg
+  | Ok [ (_, b1); (_, b2) ] ->
+    check_bool "present member drained" true (b1.Obs.Follow.events = []);
+    check_int "appeared member streams" 1 (List.length b2.Obs.Follow.events)
+  | Ok bs -> Alcotest.failf "expected two batches, got %d" (List.length bs)
+
 (* The protocol's core guarantee: streaming a trace through a follower
    in arbitrary small increments yields the byte-identical event stream
    of a one-shot read — at any job count (the ordered sink makes the
@@ -831,6 +867,8 @@ let () =
           Alcotest.test_case "corrupt line" `Quick test_follow_corrupt_line;
           Alcotest.test_case "unknown event kind diagnosed" `Quick
             test_follow_unknown_event_kind;
+          Alcotest.test_case "multi tolerates missing member" `Quick
+            test_follow_multi_missing_member;
           Alcotest.test_case "stream equals one-shot (jobs 1 and 4)" `Slow
             test_follow_stream_equals_one_shot;
         ] );
