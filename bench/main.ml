@@ -43,6 +43,8 @@
      LLM4FP_COVERAGE_BUDGET  campaign size for that study (default 60)
      LLM4FP_SKIP_FLEET=1   skip the fleet scaling study
      LLM4FP_FLEET_BUDGET   campaign size for that study (default 60)
+     LLM4FP_SKIP_BANDIT=1  skip the bandit-ensemble ablation study
+     LLM4FP_BANDIT_BUDGET  campaign size for that study (default 200)
      LLM4FP_JSON_OUT=FILE  also write a machine-readable summary (totals
                            plus per-phase Obs.Span aggregates, so
                            BENCH_*.json files track the phase-level
@@ -1007,6 +1009,177 @@ let run_fleet_study () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Bandit ensemble: the five-arm bandit campaign against each fixed arm
+   at the same budget and seed, compared on inconsistencies per
+   simulated second. Two determinism properties are asserted fatally
+   before any rate is printed: the job count must not move a single
+   bandit draw (outcome signature and serialized posterior identical at
+   jobs 1 and N), and a bandit campaign crashed at its second
+   checkpoint and resumed must finish with the identical outcome and
+   posterior. The ablation itself — bandit vs best fixed arm — is the
+   reported result. *)
+
+type bandit_arm_row = {
+  b_arm : string;
+  b_pulls : int;
+  b_incons : int;
+  b_sim_s : float;
+  b_rate : float;
+}
+
+type bandit_summary = {
+  b_budget : int;
+  b_arms : bandit_arm_row list;
+  b_bandit_rate : float;
+  b_fixed : (string * float) list;
+  b_best_fixed : string;
+  b_best_fixed_rate : float;
+  b_delta : float;
+  b_resume_equivalent : bool;
+  b_jobs_equivalent : bool;
+}
+
+let run_bandit ~jobs () =
+  let budget = env_int "LLM4FP_BANDIT_BUDGET" 200 in
+  let seed = env_int "LLM4FP_SEED" 20250704 in
+  Printf.printf
+    "== bandit ensemble: ablation vs fixed arms (budget %d, %d jobs) ==\n"
+    budget jobs;
+  let posterior (o : Harness.Campaign.outcome) =
+    match o.Harness.Campaign.bandit with
+    | Some b -> Obs.Json.to_string (Harness.Bandit.to_json b)
+    | None ->
+      Printf.eprintf "FATAL: bandit campaign returned no bandit state\n";
+      exit 1
+  in
+  let observe jobs =
+    let o = Harness.Campaign.run ~budget ~jobs ~seed Harness.Approach.Bandit in
+    (o, posterior o)
+  in
+  let o, post = observe jobs in
+  let b_jobs_equivalent =
+    jobs = 1
+    ||
+    let o1, post1 = observe 1 in
+    Harness.Campaign.signature o1 = Harness.Campaign.signature o
+    && post1 = post
+  in
+  if not b_jobs_equivalent then begin
+    Printf.eprintf
+      "FATAL: bandit campaign differs between --jobs 1 and --jobs %d \
+       (budget %d, seed %d)\n"
+      jobs budget seed;
+    exit 1
+  end;
+  (* Crash drill: die mid-write at the second snapshot, resume from the
+     first, and require the finished posterior to match byte for byte. *)
+  let interval = max 2 ((budget / 4) + 1) in
+  let crash_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "llm4fp-bench-bandit-%d" (Unix.getpid ()))
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  rm_rf crash_dir;
+  Exec.Faults.arm
+    [ { Exec.Faults.stage = Exec.Faults.Checkpoint_write;
+        hit = 2;
+        action = Exec.Faults.Crash } ];
+  (match
+     Harness.Campaign.run ~budget ~jobs ~checkpoint:(crash_dir, interval)
+       ~seed Harness.Approach.Bandit
+   with
+  | exception Exec.Faults.Crash_injected _ -> ()
+  | _ ->
+    Printf.eprintf "FATAL: injected bandit checkpoint crash never fired\n";
+    exit 1);
+  Exec.Faults.disarm ();
+  let resumed =
+    match Checkpoint.load ~dir:crash_dir with
+    | Error msg ->
+      Printf.eprintf "FATAL: surviving bandit checkpoint unreadable: %s\n" msg;
+      exit 1
+    | Ok snap ->
+      Harness.Campaign.run ~budget ~jobs ~resume:snap ~seed
+        Harness.Approach.Bandit
+  in
+  rm_rf crash_dir;
+  let b_resume_equivalent =
+    Harness.Campaign.signature resumed = Harness.Campaign.signature o
+    && posterior resumed = post
+  in
+  if not b_resume_equivalent then begin
+    Printf.eprintf
+      "FATAL: resumed bandit campaign diverged from the uninterrupted run \
+       (budget %d, seed %d, crash at checkpoint 2)\n"
+      budget seed;
+    exit 1
+  end;
+  (* The ablation: each fixed arm at the identical budget and seed. *)
+  let rate (o : Harness.Campaign.outcome) =
+    let s = o.Harness.Campaign.sim_seconds in
+    if s > 0.0 then
+      float_of_int (Difftest.Stats.total_inconsistencies o.Harness.Campaign.stats)
+      /. s
+    else 0.0
+  in
+  let fixed =
+    List.map
+      (fun a ->
+        ( Harness.Approach.name a,
+          rate (Harness.Campaign.run ~budget ~jobs ~seed a) ))
+      (Array.to_list Harness.Approach.all)
+  in
+  let best_fixed, best_fixed_rate =
+    List.fold_left
+      (fun (bn, br) (n, r) -> if r > br then (n, r) else (bn, br))
+      ("", neg_infinity) fixed
+  in
+  let arms =
+    match o.Harness.Campaign.bandit with
+    | None -> []
+    | Some b ->
+      List.map
+        (fun (name, pulls, incons, sim_s, r) ->
+          { b_arm = name; b_pulls = pulls; b_incons = incons;
+            b_sim_s = sim_s; b_rate = r })
+        (Harness.Bandit.table b)
+  in
+  Printf.printf "  per-arm allocation (bandit campaign):\n";
+  List.iter
+    (fun r ->
+      Printf.printf "    %-8s %5d pull(s)  %5d incons  %8.1f sim-s  %.4f/s\n"
+        r.b_arm r.b_pulls r.b_incons r.b_sim_s r.b_rate)
+    arms;
+  let bandit_rate = rate o in
+  Printf.printf "  fixed arms at the same budget:\n";
+  List.iter
+    (fun (n, r) -> Printf.printf "    %-14s %.4f incons/sim-s\n" n r)
+    fixed;
+  Printf.printf
+    "  bandit: %.4f incons/sim-s vs best fixed arm %s at %.4f (%+.4f); \
+     jobs and kill/resume drills byte-identical\n\n"
+    bandit_rate best_fixed best_fixed_rate
+    (bandit_rate -. best_fixed_rate);
+  {
+    b_budget = budget;
+    b_arms = arms;
+    b_bandit_rate = bandit_rate;
+    b_fixed = fixed;
+    b_best_fixed = best_fixed;
+    b_best_fixed_rate = best_fixed_rate;
+    b_delta = bandit_rate -. best_fixed_rate;
+    b_resume_equivalent;
+    b_jobs_equivalent;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Flamegraph export: the span tree collected across the whole bench
    run must export as well-formed Chrome trace-event JSON — parseable,
    every event a complete ("ph":"X") slice with the required fields,
@@ -1085,7 +1258,7 @@ let validate_flame () =
 
 let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
     ~forensics ~reduction ~checkpoint ~watch ~throughput ~engine_equiv
-    ~coverage ~fleet ~flame_events =
+    ~coverage ~fleet ~bandit ~flame_events =
   let phase (r : Obs.Span.row) =
     Obs.Json.Obj
       [ ("label", Obs.Json.String r.Obs.Span.label);
@@ -1099,7 +1272,7 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
      fails — an instrument the run didn't touch just reads 0. *)
   let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   Obs.Json.Obj
-    ([ ("schema", Obs.Json.String "llm4fp-bench/10");
+    ([ ("schema", Obs.Json.String "llm4fp-bench/11");
        ("budget", Obs.Json.Int budget);
        ("seed", Obs.Json.Int seed);
        ("jobs", Obs.Json.Int jobs);
@@ -1213,6 +1386,39 @@ let json_summary ~budget ~seed ~jobs ~tables_seconds ~end_to_end_seconds ~micro
                 (* a divergent merge is fatal above; recorded so stored
                    summaries say the shard-invariance drill ran *)
                 ("identical", Obs.Json.Bool true) ] ) ])
+    @ (match bandit with
+      | None -> []
+      | Some b ->
+        [ ( "bandit",
+            Obs.Json.Obj
+              [ ("budget", Obs.Json.Int b.b_budget);
+                ( "arms",
+                  Obs.Json.List
+                    (List.map
+                       (fun r ->
+                         Obs.Json.Obj
+                           [ ("arm", Obs.Json.String r.b_arm);
+                             ("pulls", Obs.Json.Int r.b_pulls);
+                             ("inconsistencies", Obs.Json.Int r.b_incons);
+                             ("sim_seconds", Obs.Json.Float r.b_sim_s);
+                             ("rate", Obs.Json.Float r.b_rate) ])
+                       b.b_arms) );
+                ("bandit_rate", Obs.Json.Float b.b_bandit_rate);
+                ( "fixed",
+                  Obs.Json.List
+                    (List.map
+                       (fun (n, r) ->
+                         Obs.Json.Obj
+                           [ ("approach", Obs.Json.String n);
+                             ("rate", Obs.Json.Float r) ])
+                       b.b_fixed) );
+                ("best_fixed", Obs.Json.String b.b_best_fixed);
+                ("best_fixed_rate", Obs.Json.Float b.b_best_fixed_rate);
+                ("delta_vs_best_fixed", Obs.Json.Float b.b_delta);
+                (* both drills are fatal above; recorded so stored
+                   summaries say they ran and passed *)
+                ("resume_equivalent", Obs.Json.Bool b.b_resume_equivalent);
+                ("jobs_equivalent", Obs.Json.Bool b.b_jobs_equivalent) ] ) ])
     @ [ ("flame_events", Obs.Json.Int flame_events);
         ("phases", Obs.Json.List (List.map phase (Obs.Span.summary ()))) ]
     @
@@ -1276,6 +1482,10 @@ let () =
     if not (env_flag "LLM4FP_SKIP_FLEET") then Some (run_fleet_study ())
     else None
   in
+  let bandit =
+    if not (env_flag "LLM4FP_SKIP_BANDIT") then Some (run_bandit ~jobs ())
+    else None
+  in
   let flame_events = validate_flame () in
   Printf.printf "(flame export valid: %d slice(s))\n" flame_events;
   match Sys.getenv_opt "LLM4FP_JSON_OUT" with
@@ -1288,6 +1498,7 @@ let () =
       (Obs.Json.to_string
          (json_summary ~budget ~seed ~jobs ~tables_seconds
             ~end_to_end_seconds ~micro ~forensics ~reduction ~checkpoint
-            ~watch ~throughput ~engine_equiv ~coverage ~fleet ~flame_events)
+            ~watch ~throughput ~engine_equiv ~coverage ~fleet ~bandit
+            ~flame_events)
       ^ "\n");
     Printf.printf "(wrote JSON summary to %s)\n" path

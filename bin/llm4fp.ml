@@ -134,7 +134,8 @@ let approach_arg =
     | Some a -> Ok a
     | None ->
       Error (`Msg (Printf.sprintf "unknown approach %S (try varity, \
-                                   direct-prompt, grammar-guided, llm4fp)" s))
+                                   direct-prompt, grammar-guided, llm4fp, \
+                                   bandit)" s))
   in
   let print fmt a = Format.pp_print_string fmt (Harness.Approach.name a) in
   Arg.conv (parse, print)
@@ -151,11 +152,18 @@ let cmd_generate =
              ~doc:"varity | direct-prompt | grammar-guided | llm4fp")
   in
   let run seed count approach =
+    if approach = Harness.Approach.Bandit then begin
+      prerr_endline
+        "bandit is a campaign-level ensemble, not a generator; pick one of \
+         varity, direct-prompt, grammar-guided, llm4fp";
+      exit 1
+    end;
     let rng = Util.Rng.of_int seed in
     let client = Llm.Client.create ~seed () in
     for k = 1 to count do
       let source =
         match approach with
+        | Harness.Approach.Bandit -> assert false
         | Harness.Approach.Varity -> Lang.Pp.to_c (Gen.Varity.generate rng)
         | Harness.Approach.Direct_prompt ->
           (Llm.Client.generate client (Llm.Prompt.Direct { precision = Lang.Ast.F64 }))
@@ -231,8 +239,24 @@ let cmd_matrix =
 
 let cmd_campaign =
   let approach =
-    Arg.(required & pos 0 (some approach_arg) None
-         & info [] ~docv:"APPROACH" ~doc:"Which approach to run.")
+    Arg.(value & pos 0 (some approach_arg) None
+         & info [] ~docv:"APPROACH"
+             ~doc:"Which approach to run (omit with $(b,--bandit)).")
+  in
+  let bandit =
+    Arg.(value & flag
+         & info [ "bandit" ]
+             ~doc:"Run the bandit-interleaved ensemble: every budget slot \
+                   goes to the arm — mutate, varity, direct, grammar, grow \
+                   — with the best recent inconsistencies per simulated \
+                   second. Equivalent to APPROACH $(b,bandit).")
+  in
+  let grow_from =
+    Arg.(value & opt (some string) None
+         & info [ "grow-from" ] ~docv:"DIR"
+             ~doc:"Seed the bandit's grow arm with the archived cases in \
+                   $(docv) (a $(b,--record) directory from an earlier \
+                   campaign). Only meaningful with $(b,--bandit).")
   in
   let fp32 =
     Arg.(value & flag
@@ -316,9 +340,37 @@ let cmd_campaign =
                    changing it changes results, changing the shard \
                    count never does.")
   in
-  let run seed budget approach fp32 jobs trace metrics record html
-      checkpoint_dir checkpoint_every resume faults engine shard out chunk =
+  let run seed budget approach bandit grow_from fp32 jobs trace metrics record
+      html checkpoint_dir checkpoint_every resume faults engine shard out chunk
+      =
     apply_engine engine;
+    let approach =
+      match (approach, bandit) with
+      | Some a, false -> a
+      | None, true | Some Harness.Approach.Bandit, true ->
+        Harness.Approach.Bandit
+      | Some a, true ->
+        Printf.eprintf
+          "llm4fp campaign: --bandit conflicts with APPROACH %s\n"
+          (Harness.Approach.name a);
+        exit 2
+      | None, false ->
+        prerr_endline
+          "llm4fp campaign: required argument APPROACH is missing (or pass \
+           --bandit)";
+        exit 2
+    in
+    if grow_from <> None && approach <> Harness.Approach.Bandit then begin
+      prerr_endline
+        "llm4fp campaign: --grow-from only applies to --bandit campaigns";
+      exit 2
+    end;
+    if grow_from <> None && shard <> None then begin
+      prerr_endline
+        "llm4fp campaign: --grow-from is not supported in --shard mode (the \
+         fleet's chunks each rebuild their own grow pool from feedback)";
+      exit 2
+    end;
     (match shard with
     | None -> ()
     | Some spec_text -> begin
@@ -480,6 +532,20 @@ let cmd_campaign =
       | None, Some (dir, snap) -> Some (dir, snap.Checkpoint.interval)
       | None, None -> None
     in
+    let grow_seeds =
+      match grow_from with
+      | None -> []
+      | Some dir -> begin
+        match Reduce.grow_pool ~dir with
+        | Ok [] ->
+          prerr_endline ("--grow-from: no archived cases in " ^ dir);
+          exit 1
+        | Ok pool -> pool
+        | Error msg ->
+          prerr_endline ("--grow-from: " ^ msg);
+          exit 1
+      end
+    in
     let with_campaign_trace f =
       match (trace, snapshot) with
       | Some path, Some (_, snap) ->
@@ -505,7 +571,7 @@ let cmd_campaign =
     let o =
       with_campaign_trace (fun () ->
           Harness.Campaign.run ~budget ~precision ~jobs ?recorder ?checkpoint
-            ?resume:(Option.map snd snapshot) ~seed approach)
+            ?resume:(Option.map snd snapshot) ~grow_seeds ~seed approach)
     in
     let stats = o.Harness.Campaign.stats in
     Printf.printf "%s: budget %d, seed %d\n" (Harness.Approach.name approach)
@@ -519,6 +585,15 @@ let cmd_campaign =
       (List.length o.Harness.Campaign.programs)
       o.Harness.Campaign.generation_failures;
     Printf.printf "  feedback set       : %d\n" o.Harness.Campaign.successful;
+    (match o.Harness.Campaign.bandit with
+    | None -> ()
+    | Some b ->
+      Printf.printf "  bandit arms        : (pulls, incons, sim time, rate)\n";
+      List.iter
+        (fun (name, pulls, incons, sim_s, rate) ->
+          Printf.printf "    %-8s %5d  %6d  %8s  %.4f/s\n" name pulls incons
+            (Util.Sim_clock.hms sim_s) rate)
+        (Harness.Bandit.table b));
     Printf.printf "  simulated time     : %s (llm %s)\n"
       (Util.Sim_clock.hms o.Harness.Campaign.sim_seconds)
       (Util.Sim_clock.hms o.Harness.Campaign.llm_seconds);
@@ -552,10 +627,10 @@ let cmd_campaign =
     print_metrics_if metrics
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run one approach's full campaign")
-    Term.(const run $ seed_arg $ budget_arg $ approach $ fp32 $ jobs_arg
-          $ trace_arg $ metrics_arg $ record $ html $ checkpoint_dir
-          $ checkpoint_every $ resume $ faults $ engine_arg $ shard $ out
-          $ chunk)
+    Term.(const run $ seed_arg $ budget_arg $ approach $ bandit $ grow_from
+          $ fp32 $ jobs_arg $ trace_arg $ metrics_arg $ record $ html
+          $ checkpoint_dir $ checkpoint_every $ resume $ faults $ engine_arg
+          $ shard $ out $ chunk)
 
 let cmd_fleet =
   let approach =

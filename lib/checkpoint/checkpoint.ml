@@ -20,7 +20,7 @@
      5. recorder   — dedup set and counters (only when [has_recorder])
      n. slots      — one line per valid program, in slot order *)
 
-let schema = "llm4fp-checkpoint/2"
+let schema = "llm4fp-checkpoint/3"
 let file_name = "checkpoint.jsonl"
 let path ~dir = Filename.concat dir file_name
 
@@ -49,6 +49,15 @@ type t = {
   rng : int64 * float option;
   input_rng : int64 * float option;
   trace_offset : int option;
+  bandit : Obs.Json.t option;
+      (* the Harness.Bandit posterior + stream position, stored as the
+         opaque JSON Harness.Bandit.to_json produced (checkpoint sits
+         below harness, so it cannot name the type); None outside
+         bandit campaigns *)
+  grow_seeds : string list;
+      (* C renderings of the grow arm's external seed pool, so a
+         resumed run rebuilds the exact pool without the archive
+         directory it was loaded from *)
   client : Llm.Client.snapshot;
   stats : Difftest.Stats.t;
   coverage : Obs.Coverage.t;
@@ -84,6 +93,10 @@ let header_to_json t =
         match t.trace_offset with
         | None -> Obs.Json.Null
         | Some n -> Obs.Json.Int n );
+      ( "bandit",
+        match t.bandit with None -> Obs.Json.Null | Some json -> json );
+      ( "grow_seeds",
+        Obs.Json.List (List.map (fun s -> Obs.Json.String s) t.grow_seeds) );
       ("slots", Obs.Json.Int (List.length t.slots));
       ("has_recorder", Obs.Json.Bool (t.recorder <> None)) ]
 
@@ -311,6 +324,13 @@ let load ~dir =
                 | Some (Obs.Json.Int n) -> Ok (Some n)
                 | _ -> err "%s: malformed trace_offset" p
               in
+              let* bandit =
+                match Obs.Json.member "bandit" header with
+                | Some Obs.Json.Null -> Ok None
+                | Some (Obs.Json.Obj _ as json) -> Ok (Some json)
+                | _ -> err "%s: malformed bandit state" p
+              in
+              let* grow_seeds = string_list "grow_seeds" header in
               let* n_slots = int_field "slots" header in
               let* has_recorder = bool_field "has_recorder" header in
               let expected =
@@ -375,6 +395,8 @@ let load ~dir =
                   rng;
                   input_rng;
                   trace_offset;
+                  bandit;
+                  grow_seeds;
                   client;
                   stats;
                   coverage;

@@ -3,7 +3,7 @@
     The paper's campaigns are hours-long loops; a production service
     must survive a crash, OOM-kill or preemption mid-campaign without
     corrupting archives or discarding completed slots. A checkpoint is
-    a versioned JSONL snapshot ([schema "llm4fp-checkpoint/2"]) of the
+    a versioned JSONL snapshot ([schema "llm4fp-checkpoint/3"]) of the
     {e complete} campaign loop state, written atomically
     ({!Util.Durable.write_atomic}) every N slots at a slot boundary:
 
@@ -20,7 +20,10 @@
       [Cparse.Parse] are structural inverses);
     - the simulated clock, generation-failure count, and the trace
       file's durable byte offset ({!Obs.Trace.sync});
-    - the recorder's dedup set and counters, when one is attached.
+    - the recorder's dedup set and counters, when one is attached;
+    - for bandit campaigns, the arm posteriors with their rolling
+      reward windows and the bandit stream's position, plus the grow
+      arm's external seed pool (as C sources).
 
     [Harness.Campaign.run ~resume] restores all of it and continues at
     [next_slot]; the final outcome, trace bytes and case archives are
@@ -61,6 +64,14 @@ type t = {
   trace_offset : int option;
       (** durable byte offset of the trace file at the boundary; a
           resumed run truncates the trace back to it *)
+  bandit : Obs.Json.t option;
+      (** the bandit posterior and its stream position, opaque to this
+          layer ([Harness.Bandit.to_json] produced it and
+          [Harness.Bandit.restore] consumes it); [None] outside bandit
+          campaigns *)
+  grow_seeds : string list;
+      (** C renderings of the grow arm's external seed pool, so resume
+          rebuilds the exact pool without the archive directory *)
   client : Llm.Client.snapshot;
   stats : Difftest.Stats.t;
   coverage : Obs.Coverage.t;

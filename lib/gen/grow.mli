@@ -1,0 +1,28 @@
+(** Structural program growth — the reducer's validity-filtered shrink
+    moves run in reverse.
+
+    {!Prop.Arb.shrink_program} proposes structurally {e smaller}
+    programs (statement removal, loop/branch body splicing, operand
+    hoisting, literal simplification); each grower here performs the
+    inverse move: wrap a statement in fresh control flow, duplicate a
+    right-hand side into a named temporary, push an expression under a
+    new arithmetic node, split a literal into a same-valued compound.
+    Candidates are filtered through {!Analysis.Validate.check} exactly
+    like the shrink direction, so a grown program is always admissible
+    without another front-end pass.
+
+    This is the fifth generation arm of the bandit campaign ensemble:
+    seeded from archived inconsistency cases, it explores the
+    neighborhood {e around} known divergence witnesses instead of
+    sampling fresh programs. All randomness flows through the caller's
+    {!Util.Rng.t}, so growth is deterministic in the campaign seed. *)
+
+val grow_once : Util.Rng.t -> Lang.Ast.program -> Lang.Ast.program option
+(** Apply one growth move. Movers are tried in a ring from a random
+    starting point; the first applicable, validator-approved candidate
+    wins. [None] when no mover applies (practically only on degenerate
+    empty-body programs). *)
+
+val grow : Util.Rng.t -> Lang.Ast.program -> Lang.Ast.program
+(** Apply one to three growth moves in sequence. Returns the input
+    program unchanged when no mover applies. *)

@@ -10,6 +10,7 @@ type outcome = {
   sim_seconds : float;
   llm_seconds : float;
   real_seconds : float;
+  bandit : Bandit.t option;
 }
 
 let strategy_mix_probability = 0.5
@@ -42,7 +43,7 @@ let admit source =
   end
 
 let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
-    ?checkpoint ?resume ?(slot_offset = 0) ~seed approach =
+    ?checkpoint ?resume ?(slot_offset = 0) ?(grow_seeds = []) ~seed approach =
   (match checkpoint with
   | Some (_, interval) when interval <= 0 ->
     invalid_arg "Campaign.run: checkpoint interval must be positive"
@@ -52,8 +53,33 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
      build it once here instead of once per budget slot. *)
   let configs = Compiler.Config.all () in
   let input_rng = Util.Rng.split rng in
+  (* The bandit owns its own split stream, taken only in bandit mode so
+     every fixed-arm campaign's draw sequence is unchanged. Selection
+     burns exactly two draws per slot from this stream, never from the
+     strategy or input streams. *)
+  let bandit =
+    match approach with
+    | Approach.Bandit -> Some (Bandit.create ~rng:(Util.Rng.split rng) ())
+    | _ -> None
+  in
   let clock = Util.Sim_clock.create () in
   let client = Llm.Client.create ~seed:(seed lxor 0x5eed) () in
+  (* The grow arm's external seed pool. On resume the snapshot's stored
+     renderings are authoritative — they are exactly the pool the
+     interrupted run drew from, independent of what the caller can
+     still locate on disk. *)
+  let grow_seeds =
+    match resume with
+    | None -> grow_seeds
+    | Some snap ->
+      List.map
+        (fun source ->
+          match Cparse.Parse.program source with
+          | Ok p -> p
+          | Error msg ->
+            invalid_arg ("Campaign.run: checkpoint grow seed: " ^ msg))
+        snap.Checkpoint.grow_seeds
+  in
   let stats =
     match resume with
     | None -> Difftest.Stats.create ()
@@ -104,6 +130,16 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
     (match Llm.Client.restore client snap.Checkpoint.client with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Campaign.run: " ^ msg));
+    (match (bandit, snap.Checkpoint.bandit) with
+    | Some b, Some json -> (
+      match Bandit.restore b json with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Campaign.run: " ^ msg))
+    | Some _, None ->
+      invalid_arg
+        "Campaign.run: resume mismatch: bandit campaign, but the checkpoint \
+         has no bandit state"
+    | None, _ -> ());
     (match (recorder, snap.Checkpoint.recorder) with
     | Some r, Some rs ->
       Difftest.Recorder.restore r
@@ -149,6 +185,8 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
         rng = Util.Rng.state rng;
         input_rng = Util.Rng.state input_rng;
         trace_offset;
+        bandit = Option.map Bandit.to_json bandit;
+        grow_seeds = List.map Lang.Pp.to_c grow_seeds;
         client = Llm.Client.snapshot client;
         stats;
         coverage;
@@ -172,9 +210,25 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
     Time_model.charge_llm clock response.Llm.Client.latency;
     admit response.Llm.Client.source
   in
+  let arm_strategy = function
+    | Bandit.Mutate -> `Mutate
+    | Bandit.Varity -> `Varity
+    | Bandit.Direct -> `Direct
+    | Bandit.Grammar -> `Grammar
+    | Bandit.Grow -> `Grow
+  in
+  let arm_of_strategy = function
+    | `Mutate -> Bandit.Mutate
+    | `Varity -> Bandit.Varity
+    | `Direct -> Bandit.Direct
+    | `Grammar -> Bandit.Grammar
+    | `Grow -> Bandit.Grow
+  in
   (* The per-slot strategy is drawn first (same RNG order as ever) so it
-     can be traced even when generation subsequently fails. *)
-  let choose_strategy () =
+     can be traced even when generation subsequently fails. In bandit
+     mode the choice comes from the bandit's own stream instead and is
+     traced as an [Arm_chosen] event just before the slot starts. *)
+  let choose_strategy rslot =
     match approach with
     | Approach.Varity -> `Varity
     | Approach.Direct_prompt -> `Direct
@@ -183,12 +237,32 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
       if !successful <> [] && Util.Rng.chance rng strategy_mix_probability
       then `Mutate
       else `Grammar
+    | Approach.Bandit ->
+      let b = Option.get bandit in
+      let choice =
+        Bandit.select b
+          ~now:(Util.Sim_clock.elapsed clock)
+          ~mutate_ok:(!successful <> [])
+          ~grow_ok:(grow_seeds <> [] || !successful <> [])
+      in
+      if Obs.Trace.on () then
+        Obs.Trace.emit
+          (Obs.Event.Arm_chosen
+             {
+               slot = rslot;
+               arm = Bandit.arm_name choice.Bandit.arm;
+               pulls = choice.Bandit.pulls_before;
+               reward = choice.Bandit.estimate;
+               explore = choice.Bandit.explore;
+             });
+      arm_strategy choice.Bandit.arm
   in
   let strategy_name = function
     | `Varity -> "varity"
     | `Direct -> "direct"
     | `Grammar -> "grammar"
     | `Mutate -> "mutate"
+    | `Grow -> "grow"
   in
   let generate strategy : (Lang.Ast.program, _) result =
     match strategy with
@@ -198,16 +272,26 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
     | `Mutate ->
       let example = Util.Rng.choose_list rng !successful in
       llm_generate (Llm.Prompt.Mutate { precision; example })
+    | `Grow ->
+      (* Reverse-shrink: start from an archived or successful case and
+         apply validity-preserving growth moves. No LLM call — this arm
+         costs framework time only. *)
+      let pool = grow_seeds @ !successful in
+      let sprout = Util.Rng.choose_list rng pool in
+      Ok { (Gen.Grow.grow rng sprout) with Lang.Ast.precision }
   in
-  let input_config =
-    match approach with
-    | Approach.Varity -> Gen.Varity.config
-    | Approach.Direct_prompt | Approach.Grammar_guided | Approach.Llm4fp ->
-      Llm.Client.generation_config
+  (* Per strategy, not per approach: under the bandit a Varity slot
+     keeps Varity's input ranges and LLM arms keep the LLM config —
+     exactly what the corresponding fixed-arm campaign would use for
+     that slot. Grow takes the LLM ranges since its seeds are archived
+     or feedback programs generated under them. *)
+  let input_config = function
+    | `Varity -> Gen.Varity.config
+    | `Direct | `Grammar | `Mutate | `Grow -> Llm.Client.generation_config
   in
-  let framework_cost =
-    if Approach.uses_llm approach then Time_model.framework_llm
-    else Time_model.framework
+  let framework_cost = function
+    | `Varity | `Grow -> Time_model.framework
+    | `Direct | `Grammar | `Mutate -> Time_model.framework_llm
   in
   (* A resumed run appends to a trace that already opens with the
      original Campaign_started event (the stored offset covers it). *)
@@ -230,16 +314,18 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
         let rslot = slot_offset + slot in
         (Obs.Trace.with_slot rslot @@ fun () ->
         Obs.Span.with_span "campaign.slot" @@ fun () ->
-        Util.Sim_clock.advance clock framework_cost;
         Obs.Metrics.incr m_slots;
-        let strategy = choose_strategy () in
+        let incons_before = Difftest.Stats.total_inconsistencies stats in
+        let sim_before = Util.Sim_clock.elapsed clock in
+        let strategy = choose_strategy rslot in
+        Util.Sim_clock.advance clock (framework_cost strategy);
         if Obs.Trace.on () then
           Obs.Trace.emit
             (Obs.Event.Slot_started
                { slot = rslot; strategy = strategy_name strategy });
-        match
-          Obs.Span.with_span "campaign.generate" (fun () -> generate strategy)
-        with
+        (match
+           Obs.Span.with_span "campaign.generate" (fun () -> generate strategy)
+         with
         | Error failure ->
           incr generation_failures;
           Obs.Metrics.incr m_generation_failures;
@@ -262,7 +348,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
         | Ok program ->
           programs := program :: !programs;
           let inputs =
-            Gen.Generate.gen_inputs input_rng input_config program
+            Gen.Generate.gen_inputs input_rng (input_config strategy) program
           in
           cases := (program, inputs) :: !cases;
           let result =
@@ -326,7 +412,10 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
                        }))
             (Difftest.Run.coverage_keys result);
           let inconsistent = Difftest.Run.has_inconsistency result in
-          let feedback = approach = Approach.Llm4fp && inconsistent in
+          let feedback =
+            (approach = Approach.Llm4fp || approach = Approach.Bandit)
+            && inconsistent
+          in
           feedback_flags := feedback :: !feedback_flags;
           if feedback then begin
             successful := program :: !successful;
@@ -345,6 +434,18 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
                      (if inconsistent then "inconsistent" else "consistent");
                    sim_s = Util.Sim_clock.elapsed clock;
                  }));
+        (* Reward the pulled arm with the slot's whole delta — framework
+           charge, LLM latency and execution cost all count, so the rate
+           the bandit optimises is the same inconsistencies per
+           simulated second the coverage observatory reports. *)
+        match bandit with
+        | None -> ()
+        | Some b ->
+          Bandit.update b (arm_of_strategy strategy)
+            ~inconsistencies:
+              (Difftest.Stats.total_inconsistencies stats - incons_before)
+            ~sim_cost:(Util.Sim_clock.elapsed clock -. sim_before)
+            ~now:(Util.Sim_clock.elapsed clock));
         (* Checkpoint at the slot boundary (outside the slot context):
            the ordered sink's reorder buffer is provably empty here, so
            the synced trace offset is a clean cut line. Never written
@@ -382,6 +483,7 @@ let run ?(budget = 1000) ?(precision = Lang.Ast.F64) ?(jobs = 1) ?recorder
     sim_seconds = Util.Sim_clock.elapsed clock;
     llm_seconds = Llm.Client.total_latency client;
     real_seconds = Unix.gettimeofday () -. t_start;
+    bandit;
   }
 
 (* The equality key used by determinism drills (bench, checkpoint and

@@ -32,6 +32,9 @@ type outcome = {
   sim_seconds : float;       (** total modelled wall-clock *)
   llm_seconds : float;       (** the API-latency share *)
   real_seconds : float;      (** actually measured compute time *)
+  bandit : Bandit.t option;
+      (** final arm posteriors ({!Bandit.table} renders them); [None]
+          outside bandit campaigns *)
 }
 
 val run :
@@ -42,6 +45,7 @@ val run :
   ?checkpoint:string * int ->
   ?resume:Checkpoint.t ->
   ?slot_offset:int ->
+  ?grow_seeds:Lang.Ast.program list ->
   seed:int ->
   Approach.t ->
   outcome
@@ -78,6 +82,24 @@ val run :
     ({!Checkpoint.reopen_trace}). A resumed campaign's outcome, trace
     bytes and case archives are identical to the uninterrupted run's,
     at any kill point and any job count.
+
+    [grow_seeds] (default empty) is the grow arm's external seed pool —
+    typically archived cases loaded with {!Reduce.grow_pool} from a
+    previous campaign's [--record] directory. Only a bandit campaign
+    reads it: the grow arm draws a seed from [grow_seeds] plus the
+    current feedback set and applies {!Gen.Grow}'s validity-preserving
+    growth moves. The pool is snapshotted into checkpoints (as C
+    renderings), so a resumed run ignores the caller's value and
+    restores the original pool.
+
+    For [Approach.Bandit], the per-slot strategy is chosen by an
+    epsilon-greedy bandit ({!Bandit}) over five arms — mutate, varity,
+    direct, grammar, grow — maximising recent inconsistencies per
+    simulated second. The bandit draws from its own split stream
+    (exactly two draws per slot), so fixed-arm campaigns' draw
+    sequences are untouched, and its full posterior rides in the
+    checkpoint for byte-identical kill/resume. Every choice is traced
+    as an {!Obs.Event.Arm_chosen} event just before [Slot_started].
 
     [slot_offset] (default 0) shifts every {e reported} slot number —
     trace events and their ordering stamps, archived-case provenance,

@@ -16,12 +16,16 @@ type suite = {
   direct : Campaign.outcome;
   grammar : Campaign.outcome;
   llm4fp : Campaign.outcome;
+  bandit : Campaign.outcome;
+      (** the bandit-interleaved ensemble at the same budget — not a
+          paper approach; it feeds the ablation section only *)
 }
 
 val run_suite : ?budget:int -> ?jobs:int -> seed:int -> unit -> suite
-(** Four campaigns with decorrelated seeds derived from [seed].
+(** Five campaigns (the paper's four approaches plus the bandit
+    ensemble) with decorrelated seeds derived from [seed].
 
-    [jobs] (default 1) is the size of the shared {!Exec.Pool}: the four
+    [jobs] (default 1) is the size of the shared {!Exec.Pool}: the
     independent campaigns fan out across it, and each campaign's
     per-slot configuration matrix does too (nested fan-out degrades to
     sequential inside a pool worker, so there is no oversubscription).
@@ -75,6 +79,12 @@ val sections : ?max_pairs:int -> ?jobs:int -> suite -> section list
 val all_tables : ?max_pairs:int -> ?jobs:int -> suite -> (string * string) list
 (** [(name, rendered)] for every table and figure, in paper order
     (= {!sections} without the CSV view). *)
+
+val bandit_ablation : suite -> string
+(** This reproduction's bandit ablation: the ensemble campaign against
+    every fixed arm at equal budget, compared on the bandit's objective
+    (inconsistencies per simulated second) with the bandit-minus-arm
+    delta per row. *)
 
 val feature_statistics : suite -> string
 (** This reproduction's structural summary: mean program size, math-call

@@ -35,10 +35,11 @@ let rewrite_kth_expr pred f k body =
            report a change when the tree actually differs *)
         changed := e' <> e;
         if !changed then e'
-        else begin
-          counter := max_int; (* stop trying; nothing to do here *)
-          e
-        end
+        else
+          (* The k-th candidate didn't rewrite; leave the counter at 0
+             so the next candidate in pre-order (possibly a descendant
+             of this node) gets its turn, instead of giving up. *)
+          visit_children e
       end
       else begin
         decr counter;

@@ -32,6 +32,12 @@ let apply (v : Report.Flightdeck.view) (ev : Event.t) : Report.Flightdeck.view =
       slots_started = v.slots_started + 1;
       strategies = bump strategy v.strategies;
     }
+  | Event.Arm_chosen { arm; explore; _ } ->
+    {
+      v with
+      arms = bump arm v.arms;
+      arm_explores = (v.arm_explores + if explore then 1 else 0);
+    }
   | Event.Generated { latency_s; _ } ->
     let recent = v.recent_lat_s @ [ latency_s ] in
     let recent =

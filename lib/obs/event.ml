@@ -12,6 +12,13 @@ type t =
       precision : string;
     }
   | Slot_started of { slot : int; strategy : string }
+  | Arm_chosen of {
+      slot : int;
+      arm : string;  (** strategy name of the chosen bandit arm *)
+      pulls : int;  (** the arm's pull count before this slot *)
+      reward : float;  (** windowed inconsistencies/sim-s at choice time *)
+      explore : bool;  (** warmup or epsilon-exploration *)
+    }
   | Generated of {
       slot : int option;
       prompt : string;
@@ -72,6 +79,7 @@ type t =
 let name = function
   | Campaign_started _ -> "campaign_started"
   | Slot_started _ -> "slot_started"
+  | Arm_chosen _ -> "arm_chosen"
   | Generated _ -> "generated"
   | Parse_failed _ -> "parse_failed"
   | Validation_failed _ -> "validation_failed"
@@ -101,6 +109,13 @@ let to_json ev =
         ("precision", Json.String precision) ]
   | Slot_started { slot; strategy } ->
     obj [ ("slot", Json.Int slot); ("strategy", Json.String strategy) ]
+  | Arm_chosen { slot; arm; pulls; reward; explore } ->
+    obj
+      [ ("slot", Json.Int slot);
+        ("arm", Json.String arm);
+        ("pulls", Json.Int pulls);
+        ("reward", Json.Float reward);
+        ("explore", Json.Bool explore) ]
   | Generated { slot = s; prompt; latency_s; prompt_tokens; output_tokens } ->
     obj
       (slot s
@@ -244,6 +259,13 @@ let of_json json =
     let* slot = int "slot" in
     let* strategy = str "strategy" in
     Ok (Slot_started { slot; strategy })
+  | "arm_chosen" ->
+    let* slot = int "slot" in
+    let* arm = str "arm" in
+    let* pulls = int "pulls" in
+    let* reward = float "reward" in
+    let* explore = bool "explore" in
+    Ok (Arm_chosen { slot; arm; pulls; reward; explore })
   | "generated" ->
     let* prompt = str "prompt" in
     let* latency_s = float "latency_s" in
@@ -350,6 +372,7 @@ let of_jsonl line =
 let slot = function
   | Campaign_started _ | Campaign_finished _ -> None
   | Slot_started { slot; _ }
+  | Arm_chosen { slot; _ }
   | Parse_failed { slot; _ }
   | Validation_failed { slot; _ }
   | Coverage_novel { slot; _ }
@@ -375,6 +398,10 @@ let summary = function
   | Campaign_started { approach; budget; seed; precision } ->
     Printf.sprintf "%s budget=%d seed=%d %s" approach budget seed precision
   | Slot_started { strategy; _ } -> "strategy=" ^ strategy
+  | Arm_chosen { arm; pulls; reward; explore; _ } ->
+    Printf.sprintf "arm=%s pulls=%d reward=%s/s %s" arm pulls
+      (Json.float_repr reward)
+      (if explore then "explore" else "exploit")
   | Generated { prompt; latency_s; prompt_tokens; output_tokens; _ } ->
     Printf.sprintf "prompt=%s latency=%s tokens=%d/%d" prompt
       (seconds latency_s) prompt_tokens output_tokens

@@ -21,7 +21,21 @@ type t =
     }
   | Slot_started of { slot : int; strategy : string }
       (** [strategy] is one of ["varity"], ["direct"], ["grammar"],
-          ["mutate"] — for LLM4FP the per-slot coin flip of §2.3. *)
+          ["mutate"] (for LLM4FP the per-slot coin flip of §2.3) or
+          ["grow"] (the bandit's archived-case growth arm). *)
+  | Arm_chosen of {
+      slot : int;
+      arm : string;
+      pulls : int;
+      reward : float;
+      explore : bool;
+    }
+      (** a bandit campaign allocated the slot: [arm] is the chosen
+          strategy name, [pulls] the arm's pull count before this slot,
+          [reward] its windowed inconsistencies per simulated second at
+          choice time, [explore] whether the pick was a warmup or
+          epsilon-exploration rather than exploitation. Emitted
+          immediately before the slot's {!Slot_started}. *)
   | Generated of {
       slot : int option;
       prompt : string;

@@ -215,6 +215,39 @@ let digits_total =
       | Error (Fp.Digits.Malformed _) -> false)
 
 (* ------------------------------------------------------------------ *)
+(* RNG draw discipline *)
+
+(* Probabilities including the boundaries and out-of-range values: the
+   schedule endpoints are exactly where a shortcut would skip the draw
+   and desync every replayed stream behind it. *)
+let chance_case =
+  Engine.make
+    ~print:(fun (seed, p) -> Printf.sprintf "seed = %d, p = %.6f" seed p)
+    (fun rng ->
+      let seed = Util.Rng.int_in rng 0 1_000_000 in
+      let p =
+        match Util.Rng.int_in rng 0 5 with
+        | 0 -> 0.0
+        | 1 -> 1.0
+        | 2 -> -0.25
+        | 3 -> 1.25
+        | _ -> Util.Rng.float rng 1.0
+      in
+      (seed, p))
+
+let chance_one_draw =
+  make_suite "chance-one-draw"
+    "Rng.chance burns exactly one uniform draw at every p, boundaries \
+     included, and decides by comparing that draw"
+    chance_case
+    (fun (seed, p) ->
+      let a = Util.Rng.of_int seed in
+      let b = Util.Rng.of_int seed in
+      let c = Util.Rng.chance a p in
+      let u = Util.Rng.float b 1.0 in
+      c = (u < p) && Util.Rng.state a = Util.Rng.state b)
+
+(* ------------------------------------------------------------------ *)
 (* Error-free transformations *)
 
 let eft_two_sum =
@@ -451,6 +484,7 @@ let all =
     pp_parse_fixpoint;
     case_codec_roundtrip;
     digits_total;
+    chance_one_draw;
     eft_two_sum;
     eft_two_prod;
     bleu_range;

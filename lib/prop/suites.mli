@@ -25,8 +25,8 @@ val all : suite list
     [gen-valid], [gen-inputs-match], [interp-total], [fold-preserves],
     [dce-preserves], [forward-preserves], [contract-idempotent],
     [pp-parse-fixpoint], [case-codec-roundtrip], [digits-total],
-    [eft-two-sum], [eft-two-prod], [bleu-range], [bleu-self],
-    [vm-equiv], [fleet-merge]. *)
+    [chance-one-draw], [eft-two-sum], [eft-two-prod], [bleu-range],
+    [bleu-self], [vm-equiv], [fleet-merge]. *)
 
 val find : string -> suite option
 

@@ -18,6 +18,31 @@ let m_ratio =
     ~buckets:[| 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 |]
     "reduce.shrink_ratio"
 
+(* The grow arm's seed loader: an archive directory back into programs.
+   [load_dir] returns cases in fingerprint order, so the pool — and
+   therefore every bandit grow draw — is deterministic in the archive
+   contents alone. Distinct cases frequently share one program (same
+   slot, different pair or level): dedup on the normalized rendering
+   keeps one seed each, first occurrence wins. *)
+let grow_pool ~dir =
+  match Difftest.Recorder.load_dir dir with
+  | Error msg -> Error msg
+  | Ok cases ->
+    let rec go seen acc = function
+      | [] -> Ok (List.rev acc)
+      | (case : Difftest.Case.t) :: rest -> (
+        match Cparse.Parse.program case.Difftest.Case.source with
+        | Error msg ->
+          Error
+            (Printf.sprintf "%s: archived source does not parse: %s"
+               (Difftest.Case.fingerprint case) msg)
+        | Ok program ->
+          let key = Lang.Pp.to_c program in
+          if List.mem key seen then go seen acc rest
+          else go (key :: seen) (program :: acc) rest)
+    in
+    go [] [] cases
+
 (* Compile a candidate under both sides of the case's configuration pair,
    sharing the front end when both are host configurations. *)
 let compile_pair left_cfg right_cfg program =

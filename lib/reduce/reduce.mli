@@ -46,3 +46,11 @@ val run :
 val render : outcome -> string
 (** Human-readable report: size before/after, ratio, oracle cost, and
     the minimized program with its inputs. *)
+
+val grow_pool : dir:string -> (Lang.Ast.program list, string) result
+(** Load a [--record] archive directory as a seed pool for the bandit's
+    grow arm ([campaign --bandit --grow-from DIR]): every archived case's
+    program, re-parsed from its stored source, deduplicated on the
+    normalized rendering, in fingerprint order — deterministic in the
+    archive contents alone. [Error] on an unreadable directory or an
+    undecodable case file. *)

@@ -14,6 +14,8 @@ type view = {
   slots_done : int;
   outcomes : (string * int) list;
   strategies : (string * int) list;
+  arms : (string * int) list;
+  arm_explores : int;
   programs : int;
   comparisons : int;
   cross_hits : int;
@@ -46,6 +48,8 @@ let empty =
     slots_done = 0;
     outcomes = [];
     strategies = [];
+    arms = [];
+    arm_explores = 0;
     programs = 0;
     comparisons = 0;
     cross_hits = 0;
@@ -127,6 +131,12 @@ let render v =
     (rate_per_sim_s v v.comparisons);
   line "outcomes    %s" (counted v.outcomes);
   line "strategies  %s" (counted v.strategies);
+  (* Only bandit campaigns emit Arm_chosen events, so fixed-arm frames
+     are byte-identical to what they rendered before the bandit
+     existed. *)
+  if v.arms <> [] then
+    line "bandit      %s  explore %d/%d" (counted v.arms) v.arm_explores
+      (List.fold_left (fun acc (_, n) -> acc + n) 0 v.arms);
   let rejects =
     (if v.parse_failures > 0 || v.validation_failures > 0 then
        Printf.sprintf "  (parse %d, validation %d)" v.parse_failures

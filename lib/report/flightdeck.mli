@@ -17,6 +17,10 @@ type view = {
   slots_done : int;
   outcomes : (string * int) list;  (** outcome name -> slots, sorted *)
   strategies : (string * int) list;  (** strategy arm -> slots, sorted *)
+  arms : (string * int) list;
+      (** bandit arm -> pulls, sorted; [[]] outside bandit campaigns,
+          which keeps fixed-arm frames byte-identical *)
+  arm_explores : int;  (** warmup + epsilon-exploration pulls *)
   programs : int;  (** differential tests completed *)
   comparisons : int;  (** cross + within comparisons *)
   cross_hits : int;  (** inconsistent cross-compiler comparisons *)

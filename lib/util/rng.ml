@@ -51,10 +51,11 @@ let float_in t lo hi = lo +. float t (hi -. lo)
 
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
-let chance t p =
-  if p <= 0. then false
-  else if p >= 1. then true
-  else float t 1.0 < p
+(* Exactly one uniform draw regardless of [p]: probability schedules
+   that reach a boundary value (0 or 1) must not desync replay streams.
+   The comparison itself clamps — [u < 0.] is never true and [u < 1.]
+   always is, since [u] is uniform in [0,1). *)
+let chance t p = float t 1.0 < p
 
 let choose t arr =
   if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";

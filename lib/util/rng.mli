@@ -56,7 +56,10 @@ val bool : t -> bool
 (** Fair coin. *)
 
 val chance : t -> float -> bool
-(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]).
+    Always consumes exactly one uniform draw, even at the boundary
+    values [p <= 0.] and [p >= 1.], so probability schedules that reach
+    an endpoint keep replay streams in sync. *)
 
 val choose : t -> 'a array -> 'a
 (** Uniform element of a non-empty array. Raises [Invalid_argument] on an

@@ -60,7 +60,7 @@ let archive_bytes dir =
    under [root], returning the outcome plus the trace file and archive
    directory it wrote. *)
 let run_traced_campaign ?(budget = 20) ?(jobs = 1) ?(seed = 20250704)
-    ?(approach = Harness.Approach.Llm4fp) ~root () =
+    ?(approach = Harness.Approach.Llm4fp) ?(grow_seeds = []) ~root () =
   Util.Durable.mkdir_p root;
   let arch = Filename.concat root "cases" in
   let trace = Filename.concat root "trace.jsonl" in
@@ -72,7 +72,9 @@ let run_traced_campaign ?(budget = 20) ?(jobs = 1) ?(seed = 20250704)
       (fun () ->
         Obs.Trace.with_sink
           (Obs.Sink.ordered (Obs.Sink.jsonl oc))
-          (fun () -> Harness.Campaign.run ~budget ~jobs ~recorder ~seed approach))
+          (fun () ->
+            Harness.Campaign.run ~budget ~jobs ~recorder ~grow_seeds ~seed
+              approach))
   in
   (outcome, trace, arch)
 

@@ -92,6 +92,24 @@ let fleet_v10 =
                 (Obj [ req "shards" Int; req "seconds" Num; req "speedup" Num ]));
            req "merge_seconds" Num; req "identical" Bool ]) ]
 
+let bandit_v11 =
+  [ opt "bandit"
+      (Obj
+         [ req "budget" Int;
+           req "arms"
+             (List_of
+                (Obj
+                   [ req "arm" Str; req "pulls" Int;
+                     req "inconsistencies" Int; req "sim_seconds" Num;
+                     req "rate" Num ]));
+           req "bandit_rate" Num;
+           req "fixed" (List_of (Obj [ req "approach" Str; req "rate" Num ]));
+           req "best_fixed" Str;
+           req "best_fixed_rate" Num;
+           req "delta_vs_best_fixed" Num;
+           req "resume_equivalent" Bool;
+           req "jobs_equivalent" Bool ]) ]
+
 let run_spec = function
   | "llm4fp-bench/3" -> Some common
   | "llm4fp-bench/4" -> Some (common @ forensics)
@@ -109,6 +127,10 @@ let run_spec = function
     Some
       (common @ forensics @ reduction @ checkpoint @ watch @ engine_v8
      @ coverage_v9 @ fleet_v10)
+  | "llm4fp-bench/11" ->
+    Some
+      (common @ forensics @ reduction @ checkpoint @ watch @ engine_v8
+     @ coverage_v9 @ fleet_v10 @ bandit_v11)
   | _ -> None
 
 let rec check_kind ctx kind (v : Obs.Json.t) =

@@ -310,6 +310,100 @@ let test_kill_mid_slot () =
 let test_kill_mid_slot_jobs4 () =
   check_kill_resume ~name:"exec-j4" ~jobs:4 "exec@120:crash"
 
+(* ------------------------------------------------------------------ *)
+(* Bandit kill-and-resume: the arm posteriors, their dedicated RNG
+   stream and the grow-seed pool all ride in the checkpoint, so a
+   resumed bandit campaign must reproduce not just the outcome and the
+   bytes but the bandit state itself. *)
+
+let bandit_posterior (o : Harness.Campaign.outcome) =
+  match o.Harness.Campaign.bandit with
+  | None -> "none"
+  | Some b -> Obs.Json.to_string (Harness.Bandit.to_json b)
+
+(* An external seed pool for the grow arm, so the drill also exercises
+   the grow-seed round-trip through the snapshot. *)
+let bandit_grow_seeds =
+  lazy
+    (let rng = Util.Rng.of_int 77 in
+     List.init 3 (fun _ -> Gen.Varity.generate rng))
+
+let bandit_reference =
+  lazy
+    (with_tmpdir ~prefix:"llm4fp-bandit-ref" @@ fun root ->
+     let outcome, trace, arch =
+       run_traced_campaign ~budget ~seed ~approach:Harness.Approach.Bandit
+         ~grow_seeds:(Lazy.force bandit_grow_seeds) ~root ()
+     in
+     (signature outcome, bandit_posterior outcome, read_file trace,
+      archive_bytes arch))
+
+let check_bandit_kill_resume ~name ~jobs faults =
+  let ref_sig, ref_post, ref_trace, ref_archive = Lazy.force bandit_reference in
+  let grow_seeds = Lazy.force bandit_grow_seeds in
+  with_tmpdir ~prefix:("llm4fp-bandit-" ^ name) @@ fun root ->
+  Util.Durable.mkdir_p root;
+  let ckpt = Filename.concat root "ckpt" in
+  let arch = Filename.concat root "cases" in
+  let trace = Filename.concat root "trace.jsonl" in
+  Fun.protect ~finally:Exec.Faults.disarm @@ fun () ->
+  (match Exec.Faults.parse faults with
+  | Ok plan -> Exec.Faults.arm plan
+  | Error msg -> Alcotest.fail msg);
+  let recorder = Difftest.Recorder.create ~dir:arch in
+  let oc = open_out_bin trace in
+  let crashed =
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Obs.Trace.with_sink
+          (Obs.Sink.ordered (Obs.Sink.jsonl oc))
+          (fun () ->
+            match
+              Harness.Campaign.run ~budget ~jobs ~recorder
+                ~checkpoint:(ckpt, interval) ~grow_seeds ~seed
+                Harness.Approach.Bandit
+            with
+            | exception Exec.Faults.Crash_injected _ -> true
+            | _ -> false))
+  in
+  check_bool (name ^ ": injected crash fired") true crashed;
+  Exec.Faults.disarm ();
+  match Checkpoint.load ~dir:ckpt with
+  | Error msg -> Alcotest.fail (name ^ ": surviving checkpoint unreadable: " ^ msg)
+  | Ok snap ->
+    check_bool (name ^ ": snapshot carries bandit state") true
+      (snap.Checkpoint.bandit <> None);
+    let recorder = Difftest.Recorder.create ~dir:arch in
+    let oc = Checkpoint.reopen_trace ~path:trace snap in
+    let outcome =
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Obs.Trace.with_sink
+            (Obs.Sink.ordered (Obs.Sink.jsonl oc))
+            (fun () ->
+              (* the resumed run still passes the caller's pool; the
+                 snapshot's rendering of it must win (and here they
+                 coincide, which is exactly the round-trip) *)
+              Harness.Campaign.run ~budget ~jobs ~recorder
+                ~checkpoint:(ckpt, interval) ~resume:snap ~grow_seeds ~seed
+                Harness.Approach.Bandit))
+    in
+    check_bool (name ^ ": outcome identical") true (signature outcome = ref_sig);
+    check_bool (name ^ ": bandit posterior identical") true
+      (bandit_posterior outcome = ref_post);
+    check_bool (name ^ ": trace bytes identical") true
+      (read_file trace = ref_trace);
+    check_bool (name ^ ": case archive identical") true
+      (archive_bytes arch = ref_archive)
+
+let test_bandit_kill_at_checkpoint () =
+  check_bandit_kill_resume ~name:"ckpt2-j1" ~jobs:1 "checkpoint@2:crash"
+
+let test_bandit_kill_mid_slot_jobs4 () =
+  check_bandit_kill_resume ~name:"exec-j4" ~jobs:4 "exec@120:crash"
+
 (* Checkpointing off the hot path: attaching it must change nothing. *)
 let test_checkpointing_is_invisible () =
   let ref_sig, ref_trace, _ = Lazy.force reference in
@@ -374,5 +468,12 @@ let () =
             test_kill_mid_slot_jobs4;
           Alcotest.test_case "checkpointing is invisible" `Slow
             test_checkpointing_is_invisible;
+        ] );
+      ( "bandit-kill-resume",
+        [
+          Alcotest.test_case "crash at 2nd checkpoint (jobs 1)" `Slow
+            test_bandit_kill_at_checkpoint;
+          Alcotest.test_case "crash mid-slot (jobs 4)" `Slow
+            test_bandit_kill_mid_slot_jobs4;
         ] );
     ]

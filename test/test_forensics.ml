@@ -293,7 +293,7 @@ let test_sections_csv () =
   check_bool "paper order" true
     (names
     = [ "summary"; "table1"; "table2"; "table3"; "figure3"; "table4";
-        "table5"; "table6"; "features" ]);
+        "table5"; "table6"; "features"; "bandit" ]);
   let by_name n =
     List.find
       (fun (s : Harness.Experiments.section) -> s.Harness.Experiments.name = n)

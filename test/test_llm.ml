@@ -171,6 +171,22 @@ let test_insert_intermediates_splits () =
   let f = Analysis.Features.of_program mutated in
   check_bool "temp introduced" true (f.Analysis.Features.temp_count = 1)
 
+let test_reorder_symmetric_candidate_advances () =
+  (* Regression: the first commutative candidate [x + x] is symmetric, so
+     swapping its operands is a no-op. The rewriter must advance to the
+     next pre-order candidate [x * y] instead of giving up for the slot —
+     it used to return the program unchanged whenever the drawn k landed
+     on a symmetric node. *)
+  let p = Cparse.Parse.program_exn
+      "void compute(double x, double y) { double comp = 0.0; comp = x + x; \
+       comp = x * y; }" in
+  for seed = 1 to 20 do
+    let rng = Util.Rng.of_int seed in
+    let mutated, changed = Llm.Mutate.apply rng Llm.Mutate.Reorder_or_nest p in
+    check_bool "applied" true changed;
+    check_bool "tree differs" false (Lang.Ast.equal mutated p)
+  done
+
 let test_add_control_flow_wraps () =
   let rng = Util.Rng.of_int 45 in
   let p = Cparse.Parse.program_exn
@@ -280,6 +296,8 @@ let () =
           Alcotest.test_case "swap introduces call" `Quick test_swap_introduces_call_when_none;
           Alcotest.test_case "insert splits" `Quick test_insert_intermediates_splits;
           Alcotest.test_case "control flow wraps" `Quick test_add_control_flow_wraps;
+          Alcotest.test_case "symmetric candidate advances" `Quick
+            test_reorder_symmetric_candidate_advances;
         ] );
       ( "client",
         [

@@ -322,6 +322,10 @@ let sample_events : Obs.Event.t list =
   [ Obs.Event.Campaign_started
       { approach = "LLM4FP"; budget = 16; seed = 42; precision = "fp64" };
     Obs.Event.Slot_started { slot = 1; strategy = "grammar" };
+    Obs.Event.Arm_chosen
+      { slot = 1; arm = "grow"; pulls = 4; reward = 0.0625; explore = false };
+    Obs.Event.Arm_chosen
+      { slot = 2; arm = "mutate"; pulls = 0; reward = 0.0; explore = true };
     Obs.Event.Generated
       { slot = Some 1; prompt = "grammar"; latency_s = 4.25;
         prompt_tokens = 120; output_tokens = 260 };

@@ -168,7 +168,7 @@ let suite_case name =
   Alcotest.test_case name `Quick (fun () -> run_suite name)
 
 let test_all_suites_listed () =
-  check_int "sixteen suites" 16 (List.length Prop.Suites.all);
+  check_int "seventeen suites" 17 (List.length Prop.Suites.all);
   List.iter
     (fun s ->
       check_bool "documented" true (String.length s.Prop.Suites.doc > 0);
@@ -212,6 +212,7 @@ let () =
           suite_case "pp-parse-fixpoint";
           suite_case "case-codec-roundtrip";
           suite_case "digits-total";
+          suite_case "chance-one-draw";
           suite_case "eft-two-sum";
           suite_case "eft-two-prod";
           suite_case "bleu-range";

@@ -77,6 +77,22 @@ let test_chance_extremes () =
   check_bool "p=0 never" false (Util.Rng.chance rng 0.0);
   check_bool "p=1 always" true (Util.Rng.chance rng 1.0)
 
+let test_chance_one_draw () =
+  (* Regression: the boundary probabilities used to early-return without
+     consuming a draw, desyncing any replayed stream that crossed them.
+     Every call must burn exactly one uniform, p in range or not. *)
+  List.iter
+    (fun p ->
+      let a = Util.Rng.of_int 9 in
+      let b = Util.Rng.of_int 9 in
+      ignore (Util.Rng.chance a p);
+      ignore (Util.Rng.float b 1.0);
+      check_bool
+        (Printf.sprintf "state advanced identically at p=%g" p)
+        true
+        (Util.Rng.state a = Util.Rng.state b))
+    [ 0.0; 1.0; -0.5; 1.5; 0.3 ]
+
 let test_chance_rate () =
   let rng = Util.Rng.of_int 10 in
   let hits = ref 0 in
@@ -257,6 +273,7 @@ let () =
           Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
           Alcotest.test_case "float bounds" `Quick test_float_bounds;
           Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "chance burns one draw" `Quick test_chance_one_draw;
           Alcotest.test_case "chance rate" `Quick test_chance_rate;
           Alcotest.test_case "choose uniform" `Quick test_choose_uniform;
           Alcotest.test_case "weighted bias" `Quick test_weighted_bias;
